@@ -1,0 +1,20 @@
+"""Shared shape assertions for the three hello-world figures."""
+
+from __future__ import annotations
+
+CO_WSRF = "Co-located WSRF.NET"
+CO_WXF = "Co-located WS-Transfer / WS-Eventing"
+DIST_WSRF = "Distributed WSRF.NET"
+DIST_WXF = "Distributed WS-Transfer / WS-Eventing"
+
+
+def assert_common_hello_shape(figure: dict[str, dict[str, float]]) -> None:
+    """Invariants the paper reports for *every* security scenario."""
+    for series in figure.values():
+        for op in ("Get", "Set", "Destroy"):
+            assert series["Create"] > series[op], "Create must be the slowest CRUD op"
+    assert figure[CO_WSRF]["Set"] < figure[CO_WXF]["Set"], "write-through cache advantage"
+    assert figure[CO_WXF]["Notify"] < figure[CO_WSRF]["Notify"], "TCP vs HTTP notify"
+    for co, dist in ((CO_WSRF, DIST_WSRF), (CO_WXF, DIST_WXF)):
+        for op in figure[co]:
+            assert figure[co][op] < figure[dist][op] < 1.5 * figure[co][op]

@@ -1,0 +1,102 @@
+"""FIG2 — Figure 2: "Hello World" with no security.
+
+Regenerates the four bar groups (co-located/distributed × stack) over
+Get/Set/Create/Destroy/Notify, and wall-clock-benchmarks the underlying
+operations.  Shape checks assert the paper's qualitative findings.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_figure
+from repro.apps.counter.deploy import CounterScenario, build_transfer_rig, build_wsrf_rig
+from repro.bench import hello_world_figure
+from repro.container import SecurityMode
+
+MODE = SecurityMode.NONE
+TITLE = "Figure 2: Hello World, no security"
+
+
+@pytest.fixture(scope="module")
+def figure():
+    fig = hello_world_figure(MODE)
+    record_figure(TITLE, fig)
+    return fig
+
+
+@pytest.fixture(scope="module")
+def wsrf_rig():
+    rig = build_wsrf_rig(CounterScenario(MODE, colocated=True))
+    rig.counter = rig.client.create(0)
+    return rig
+
+
+@pytest.fixture(scope="module")
+def transfer_rig():
+    rig = build_transfer_rig(CounterScenario(MODE, colocated=True))
+    rig.counter = rig.client.create(0)
+    return rig
+
+
+class TestShape:
+    """The paper's qualitative claims, asserted against the figure data."""
+
+    def test_create_is_slowest_crud_op(self, figure):
+        for series in figure.values():
+            for op in ("Get", "Set", "Destroy"):
+                assert series["Create"] > series[op]
+
+    def test_wsrf_set_faster_than_transfer_set(self, figure):
+        assert figure["Co-located WSRF.NET"]["Set"] < figure["Co-located WS-Transfer / WS-Eventing"]["Set"]
+
+    def test_eventing_notify_considerably_better(self, figure):
+        wsrf = figure["Co-located WSRF.NET"]["Notify"]
+        eventing = figure["Co-located WS-Transfer / WS-Eventing"]["Notify"]
+        assert eventing < 0.75 * wsrf
+
+    def test_distributed_adds_modest_overhead(self, figure):
+        for placement_pair in (
+            ("Co-located WSRF.NET", "Distributed WSRF.NET"),
+            ("Co-located WS-Transfer / WS-Eventing", "Distributed WS-Transfer / WS-Eventing"),
+        ):
+            co, dist = placement_pair
+            for op in figure[co]:
+                assert figure[dist][op] > figure[co][op]
+                assert figure[dist][op] < 1.5 * figure[co][op]
+
+    def test_overall_comparable(self, figure):
+        """"They are overwhelmingly equivalent in their ... implied
+        performance": no op differs by more than ~2.5x across stacks."""
+        for op in ("Get", "Set", "Create", "Destroy"):
+            a = figure["Co-located WSRF.NET"][op]
+            b = figure["Co-located WS-Transfer / WS-Eventing"][op]
+            assert max(a, b) / min(a, b) < 2.5
+
+
+class TestWallClock:
+    def test_bench_wsrf_get(self, benchmark, figure, wsrf_rig):
+        benchmark(lambda: wsrf_rig.client.get(wsrf_rig.counter))
+
+    def test_bench_wsrf_set(self, benchmark, wsrf_rig):
+        benchmark(lambda: wsrf_rig.client.set(wsrf_rig.counter, 5))
+
+    def test_bench_wsrf_create(self, benchmark, wsrf_rig):
+        benchmark(lambda: wsrf_rig.client.create(0))
+
+    def test_bench_transfer_get(self, benchmark, figure, transfer_rig):
+        benchmark(lambda: transfer_rig.client.get(transfer_rig.counter))
+
+    def test_bench_transfer_set(self, benchmark, transfer_rig):
+        benchmark(lambda: transfer_rig.client.set(transfer_rig.counter, 5))
+
+    def test_bench_transfer_create(self, benchmark, transfer_rig):
+        benchmark(lambda: transfer_rig.client.create(0))
+
+    def test_bench_wsrf_notify(self, benchmark, wsrf_rig):
+        counter = wsrf_rig.client.create(0)
+        wsrf_rig.client.subscribe(counter, wsrf_rig.consumer)
+        benchmark(lambda: wsrf_rig.client.set(counter, 1))
+
+    def test_bench_transfer_notify(self, benchmark, transfer_rig):
+        counter = transfer_rig.client.create(0)
+        transfer_rig.client.subscribe(counter, transfer_rig.consumer)
+        benchmark(lambda: transfer_rig.client.set(counter, 1))

@@ -1,0 +1,79 @@
+"""FIG3 — Figure 3: "Hello World" over HTTPS.
+
+The paper's observation: "Due to socket caching, HTTPS performance is much
+faster" — with resumed TLS sessions the figure looks like the no-security
+one plus a modest per-KB delta, nothing like the X.509 signing figure.
+"""
+
+import pytest
+
+from benchmarks._hello_common import CO_WSRF, CO_WXF, assert_common_hello_shape
+from benchmarks.conftest import record_figure
+from repro.apps.counter.deploy import CounterScenario, build_transfer_rig, build_wsrf_rig
+from repro.bench import hello_world_figure
+from repro.container import SecurityMode
+
+MODE = SecurityMode.HTTPS
+TITLE = "Figure 3: Hello World, HTTPS"
+
+
+@pytest.fixture(scope="module")
+def figure():
+    fig = hello_world_figure(MODE)
+    record_figure(TITLE, fig)
+    return fig
+
+
+@pytest.fixture(scope="module")
+def nosec_figure():
+    return hello_world_figure(SecurityMode.NONE)
+
+
+class TestShape:
+    def test_common_shape(self, figure):
+        assert_common_hello_shape(figure)
+
+    def test_https_close_to_nosec_thanks_to_session_cache(self, figure, nosec_figure):
+        """Warm HTTPS adds only a small delta over plain HTTP."""
+        for series_label in (CO_WSRF, CO_WXF):
+            for op in ("Get", "Set", "Create", "Destroy"):
+                delta = figure[series_label][op] - nosec_figure[series_label][op]
+                assert 0 <= delta < 8.0
+
+    def test_cold_handshake_would_dominate(self):
+        """Ablation check: without the session cache a single HTTPS call
+        pays the full handshake (why socket caching matters)."""
+        from repro.bench import measure_hello_world
+        from repro.sim.costs import CostModel
+
+        costs = CostModel()
+        no_cache = costs.replace(tls_resume=costs.tls_handshake)
+        cached = measure_hello_world("wsrf", MODE, True)
+        uncached = measure_hello_world("wsrf", MODE, True, costs=no_cache)
+        assert uncached["Get"] > cached["Get"] + costs.tls_handshake / 2
+
+
+class TestWallClock:
+    @pytest.fixture(scope="class")
+    def wsrf_rig(self):
+        rig = build_wsrf_rig(CounterScenario(MODE, colocated=True))
+        rig.counter = rig.client.create(0)
+        return rig
+
+    @pytest.fixture(scope="class")
+    def transfer_rig(self):
+        rig = build_transfer_rig(CounterScenario(MODE, colocated=True))
+        rig.counter = rig.client.create(0)
+        return rig
+
+    def test_bench_wsrf_get_https(self, benchmark, figure, wsrf_rig):
+        benchmark(lambda: wsrf_rig.client.get(wsrf_rig.counter))
+
+    def test_bench_wsrf_set_https(self, benchmark, wsrf_rig):
+        benchmark(lambda: wsrf_rig.client.set(wsrf_rig.counter, 3))
+
+    def test_bench_transfer_get_https(self, benchmark, transfer_rig):
+        benchmark(lambda: transfer_rig.client.get(transfer_rig.counter))
+
+    def test_bench_transfer_set_https(self, benchmark, transfer_rig):
+        benchmark(lambda: transfer_rig.client.set(transfer_rig.counter, 3))

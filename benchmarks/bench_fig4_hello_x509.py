@@ -1,0 +1,92 @@
+"""FIG4 — Figure 4: "Hello World" with X.509 signing of request + response.
+
+"The overhead of the security processing is so large that the performance
+differences between the two underlying systems tend to fade in
+significance" — every bar is several times its Figure 2 counterpart, and
+the cross-stack gaps shrink in relative terms.
+"""
+
+import pytest
+
+from benchmarks._hello_common import CO_WSRF, CO_WXF, assert_common_hello_shape
+from benchmarks.conftest import record_figure
+from repro.apps.counter.deploy import CounterScenario, build_transfer_rig, build_wsrf_rig
+from repro.bench import hello_world_figure
+from repro.container import SecurityMode
+
+MODE = SecurityMode.X509
+TITLE = "Figure 4: Hello World, X.509 signing"
+
+
+@pytest.fixture(scope="module")
+def figure():
+    fig = hello_world_figure(MODE)
+    record_figure(TITLE, fig)
+    return fig
+
+
+@pytest.fixture(scope="module")
+def nosec_figure():
+    return hello_world_figure(SecurityMode.NONE)
+
+
+class TestShape:
+    def test_common_shape(self, figure):
+        assert_common_hello_shape(figure)
+
+    def test_signing_dominates(self, figure, nosec_figure):
+        """Every operation is at least 3x its no-security time."""
+        for label in (CO_WSRF, CO_WXF):
+            for op in ("Get", "Set", "Create", "Destroy", "Notify"):
+                assert figure[label][op] > 3 * nosec_figure[label][op]
+
+    def test_relative_differences_fade(self, figure, nosec_figure):
+        """Percentage-wise gaps between the stacks shrink under signing."""
+        for op in ("Get", "Set"):
+            gap_nosec = abs(nosec_figure[CO_WSRF][op] - nosec_figure[CO_WXF][op]) / max(
+                nosec_figure[CO_WSRF][op], nosec_figure[CO_WXF][op]
+            )
+            gap_signed = abs(figure[CO_WSRF][op] - figure[CO_WXF][op]) / max(
+                figure[CO_WSRF][op], figure[CO_WXF][op]
+            )
+            assert gap_signed < gap_nosec
+
+    def test_signature_counts(self):
+        """A signed round trip carries exactly two signatures (request and
+        response), each verified once."""
+        from repro.bench.runner import measure_virtual
+
+        rig = build_wsrf_rig(CounterScenario(MODE, colocated=True))
+        counter = rig.client.create(0)
+        trace = measure_virtual(rig.deployment, "Get", lambda: rig.client.get(counter))
+        assert trace.signatures == 2
+        assert trace.verifications == 2
+
+
+class TestWallClock:
+    """Real RSA signing happens per message here, so these wall-clock
+    numbers include genuine asymmetric crypto."""
+
+    @pytest.fixture(scope="class")
+    def wsrf_rig(self):
+        rig = build_wsrf_rig(CounterScenario(MODE, colocated=True))
+        rig.counter = rig.client.create(0)
+        return rig
+
+    @pytest.fixture(scope="class")
+    def transfer_rig(self):
+        rig = build_transfer_rig(CounterScenario(MODE, colocated=True))
+        rig.counter = rig.client.create(0)
+        return rig
+
+    def test_bench_wsrf_get_signed(self, benchmark, figure, wsrf_rig):
+        benchmark(lambda: wsrf_rig.client.get(wsrf_rig.counter))
+
+    def test_bench_wsrf_set_signed(self, benchmark, wsrf_rig):
+        benchmark(lambda: wsrf_rig.client.set(wsrf_rig.counter, 3))
+
+    def test_bench_transfer_get_signed(self, benchmark, transfer_rig):
+        benchmark(lambda: transfer_rig.client.get(transfer_rig.counter))
+
+    def test_bench_transfer_set_signed(self, benchmark, transfer_rig):
+        benchmark(lambda: transfer_rig.client.set(transfer_rig.counter, 3))

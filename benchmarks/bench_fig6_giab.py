@@ -1,0 +1,158 @@
+"""FIG6 — Figure 6: Grid-in-a-Box performance comparison.
+
+Six measured client operations under X.509 signing.  The paper's reading:
+"The greatest factor influencing the performance of individual operations
+is the number of web service outcalls (and message signings) triggered on
+the server" — asserted below via the metrics traces.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_figure
+from repro.apps.giab import build_transfer_vo, build_wsrf_vo
+from repro.apps.giab.jobs import JobSpec
+from repro.bench.giab import GIAB_OPS, measure_giab
+
+TITLE = "Figure 6: Grid-in-a-Box comparison (X.509 signing)"
+
+
+@pytest.fixture(scope="module")
+def figure():
+    wsrf_results, wsrf_traces = measure_giab("wsrf", with_traces=True)
+    wxf_results, wxf_traces = measure_giab("transfer", with_traces=True)
+    fig = {
+        "WS-Transfer / WS-Eventing": wxf_results,
+        "WSRF.NET": wsrf_results,
+    }
+    record_figure(TITLE, fig)
+    # The analysis behind the figure: per-operation message/signing counts.
+    record_figure(
+        "Figure 6 analysis: messages (and signatures) per operation",
+        {
+            "WS-Transfer messages": {op: float(t.messages) for op, t in wxf_traces.items()},
+            "WS-Transfer signatures": {op: float(t.signatures) for op, t in wxf_traces.items()},
+            "WSRF.NET messages": {op: float(t.messages) for op, t in wsrf_traces.items()},
+            "WSRF.NET signatures": {op: float(t.signatures) for op, t in wsrf_traces.items()},
+        },
+    )
+    return fig, wsrf_traces, wxf_traces
+
+
+class TestShape:
+    def test_all_six_operations_measured(self, figure):
+        fig, _, _ = figure
+        for series in fig.values():
+            assert set(series) == set(GIAB_OPS)
+
+    def test_delete_file_single_call_comparable(self, figure):
+        """"The Delete File operation involves a single call in both
+        implementations ... the results of these operations are comparable."""
+        fig, wsrf_traces, wxf_traces = figure
+        assert wsrf_traces["Delete File"].messages == 2  # request + response
+        assert wxf_traces["Delete File"].messages == 2
+        a = fig["WSRF.NET"]["Delete File"]
+        b = fig["WS-Transfer / WS-Eventing"]["Delete File"]
+        assert max(a, b) / min(a, b) < 1.3
+
+    def test_upload_file_pair_of_calls_comparable(self, figure):
+        """Upload File "requires a pair of calls in both"."""
+        fig, wsrf_traces, wxf_traces = figure
+        assert wsrf_traces["Upload File"].messages == 4  # 2 calls × (req+resp)
+        assert wxf_traces["Upload File"].messages == 4
+        a = fig["WSRF.NET"]["Upload File"]
+        b = fig["WS-Transfer / WS-Eventing"]["Upload File"]
+        assert max(a, b) / min(a, b) < 1.3
+
+    def test_instantiate_job_wsrf_needs_more_outcalls(self, figure):
+        """"the WSRF implementation requires several more outcalls to
+        Instantiate a Job than the WS-Transfer version"."""
+        fig, wsrf_traces, wxf_traces = figure
+        assert wsrf_traces["Instantiate Job"].messages > wxf_traces["Instantiate Job"].messages + 2
+        assert (
+            fig["WSRF.NET"]["Instantiate Job"]
+            > 1.4 * fig["WS-Transfer / WS-Eventing"]["Instantiate Job"]
+        )
+
+    def test_unreserve_free_on_wsrf(self, figure):
+        """"Un-reserving a resource also happens automatically in the WSRF
+        version (so no time is reported)."""
+        fig, _, _ = figure
+        assert fig["WSRF.NET"]["Unreserve Resource"] == 0.0
+        assert fig["WS-Transfer / WS-Eventing"]["Unreserve Resource"] > 0
+
+    def test_signings_track_outcalls(self, figure):
+        """More messages ⇒ more signings ⇒ more time (§4.2.3)."""
+        _, wsrf_traces, _ = figure
+        ordered = sorted(
+            (t for t in wsrf_traces.values()),
+            key=lambda t: t.messages,
+        )
+        assert ordered[0].signatures <= ordered[-1].signatures
+        assert wsrf_traces["Instantiate Job"].signatures >= 8
+
+    def test_instantiate_dominated_by_design_not_specs(self, figure):
+        """"The performance differences between individual spec-defined
+        operations are small enough, that the overall design of a system
+        dictates how fast it will run": the cross-stack Instantiate gap is
+        far larger than any single-operation gap in Figure 4."""
+        fig, _, _ = figure
+        gap = (
+            fig["WSRF.NET"]["Instantiate Job"]
+            - fig["WS-Transfer / WS-Eventing"]["Instantiate Job"]
+        )
+        assert gap > 100  # several whole signed round trips
+
+
+class TestWallClock:
+    @pytest.fixture(scope="class")
+    def wsrf_vo(self):
+        return build_wsrf_vo()
+
+    @pytest.fixture(scope="class")
+    def transfer_vo(self):
+        return build_transfer_vo()
+
+    def test_bench_wsrf_get_available(self, benchmark, figure, wsrf_vo):
+        benchmark(lambda: wsrf_vo.client.get_available_resources("sort"))
+
+    def test_bench_transfer_get_available(self, benchmark, transfer_vo):
+        benchmark(lambda: transfer_vo.client.get_available_resources("sort"))
+
+    def test_bench_wsrf_full_job_flow(self, benchmark, wsrf_vo):
+        """One complete reserve→stage→run cycle (round-robin over nodes)."""
+        vo = wsrf_vo
+        state = {"n": 0}
+
+        def flow():
+            sites = vo.client.get_available_resources("sort")
+            if not sites:
+                return
+            site = sites[state["n"] % len(sites)]
+            state["n"] += 1
+            reservation = vo.client.make_reservation(site["host"])
+            directory = vo.client.create_data_directory(site["data_address"])
+            vo.client.upload_file(directory, "in.dat", "x" * 1024)
+            vo.client.start_job(
+                site["exec_address"], reservation, directory, JobSpec("sort", (), 50.0)
+            )
+            vo.deployment.network.clock.charge(60)
+
+        benchmark.pedantic(flow, rounds=5, iterations=1)
+
+    def test_bench_transfer_full_job_flow(self, benchmark, transfer_vo):
+        vo = transfer_vo
+        state = {"n": 0}
+
+        def flow():
+            sites = vo.client.get_available_resources("sort")
+            if not sites:
+                return
+            site = sites[state["n"] % len(sites)]
+            state["n"] += 1
+            vo.client.make_reservation(site["host"])
+            vo.client.upload_file(site["data_address"], "in.dat", "x" * 1024)
+            vo.client.start_job(site["exec_address"], JobSpec("sort", (), 50.0))
+            vo.deployment.network.clock.charge(60)
+            vo.client.unreserve(site["host"])
+
+        benchmark.pedantic(flow, rounds=5, iterations=1)

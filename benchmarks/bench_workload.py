@@ -1,0 +1,85 @@
+"""LOAD — workload-level comparison (extension).
+
+Runs an identical synthetic job stream end-to-end on both stacks: the
+workload-level integral of Figure 6.  Expected shape: the per-job cost gap
+narrows relative to the Instantiate-Job gap (most of a job's wall time is
+common work — staging, the job itself, cleanup), but WSRF's extra out-calls
+keep it measurably more expensive per job, partially offset by WS-Transfer's
+explicit unreserve call.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_figure
+from repro.bench.workload import (
+    GridWorkload,
+    run_workload_transfer,
+    run_workload_wsrf,
+)
+
+TITLE = "Workload comparison: 12-job synthetic stream (X.509)"
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = GridWorkload(seed=7, n_jobs=12)
+    wsrf = run_workload_wsrf(workload)
+    transfer = run_workload_transfer(workload)
+    record_figure(
+        TITLE,
+        {
+            "WS-Transfer / WS-Eventing": {
+                "jobs": float(transfer.completed),
+                "virtual ms": transfer.virtual_ms,
+                "ms/job": transfer.ms_per_job,
+                "messages": float(transfer.messages),
+            },
+            "WSRF.NET": {
+                "jobs": float(wsrf.completed),
+                "virtual ms": wsrf.virtual_ms,
+                "ms/job": wsrf.ms_per_job,
+                "messages": float(wsrf.messages),
+            },
+        },
+    )
+    return workload, wsrf, transfer
+
+
+class TestWorkloadShape:
+    def test_all_jobs_complete_on_both_stacks(self, results):
+        workload, wsrf, transfer = results
+        assert wsrf.completed == workload.n_jobs
+        assert transfer.completed == workload.n_jobs
+        assert wsrf.skipped_no_resource == 0
+
+    def test_wsrf_costs_more_messages(self, results):
+        _, wsrf, transfer = results
+        assert wsrf.messages > transfer.messages
+
+    def test_per_job_gap_narrower_than_instantiate_gap(self, results):
+        """Common per-job work (staging, run time, cleanup) dilutes the
+        instantiate-time difference at workload level."""
+        _, wsrf, transfer = results
+        workload_ratio = wsrf.ms_per_job / transfer.ms_per_job
+        assert 1.0 < workload_ratio < 1.73  # below the Figure 6 instantiate ratio
+
+    def test_deterministic(self):
+        workload = GridWorkload(seed=11, n_jobs=4)
+        first = run_workload_wsrf(workload)
+        second = run_workload_wsrf(workload)
+        assert first.virtual_ms == second.virtual_ms
+        assert first.messages == second.messages
+
+    def test_workload_generation_deterministic(self):
+        assert GridWorkload(seed=3).items == GridWorkload(seed=3).items
+        assert GridWorkload(seed=3).items != GridWorkload(seed=4).items
+
+
+class TestWallClock:
+    def test_bench_wsrf_workload(self, benchmark, results):
+        workload = GridWorkload(seed=5, n_jobs=4)
+        benchmark.pedantic(lambda: run_workload_wsrf(workload), rounds=3, iterations=1)
+
+    def test_bench_transfer_workload(self, benchmark):
+        workload = GridWorkload(seed=5, n_jobs=4)
+        benchmark.pedantic(lambda: run_workload_transfer(workload), rounds=3, iterations=1)

@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing: figure registry + terminal reporting.
+
+Every figure bench records its virtual-time table here; at the end of the
+run the tables are printed (so they land in ``bench_output.txt``) and
+written as CSV under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FIGURES: dict[str, dict[str, dict[str, float]]] = {}
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def record_figure(name: str, figure: dict[str, dict[str, float]]) -> None:
+    _FIGURES[name] = figure
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _FIGURES:
+        return
+    from repro.bench.report import figure_to_csv, format_figure_table
+
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    terminalreporter.write_line("")
+    terminalreporter.write_line("reproduced figures (virtual ms, single request)")
+    terminalreporter.write_line("-" * 72)
+    for name, figure in _FIGURES.items():
+        terminalreporter.write_line("")
+        for line in format_figure_table(name, figure).splitlines():
+            terminalreporter.write_line(line)
+        safe = name.lower().replace(" ", "_").replace(":", "").replace("/", "-")
+        with open(os.path.join(_RESULTS_DIR, f"{safe}.csv"), "w", encoding="utf-8") as fh:
+            fh.write(figure_to_csv(figure))

@@ -1,0 +1,106 @@
+"""Demand-based brokered notification: the six-service interaction of §3.1.
+
+A publisher registers with a broker as *demand-based*; the broker subscribes
+back and keeps that upstream subscription paused while nobody listens.  The
+example traces each state change and finally prints the message-count
+comparison behind the paper's "order of magnitude more messages" estimate.
+
+Run:  python examples/brokered_notification.py
+"""
+
+from repro.addressing import EndpointReference
+from repro.container import Deployment, SecurityPolicy, SoapClient
+from repro.crypto import CertificateAuthority
+from repro.wsn import (
+    NotificationBrokerService,
+    NotificationConsumer,
+    SubscriptionManagerService,
+)
+from repro.wsn.base import actions as wsnt
+from repro.wsn.broker import PublisherRegistrationManagerService, actions as wsbr
+from repro.wsn.topics import TopicDialect
+from repro.wsrf import ResourceHome
+from repro.wsrf.lifetime import actions as rl
+from repro.xmllib import element, ns
+
+# Reuse the sensor service from the test suite's WSN fixtures — it is the
+# minimal notification producer.
+import sys, os
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from tests.wsn.conftest import EMIT, NS, SensorService  # noqa: E402
+
+
+def main() -> None:
+    ca = CertificateAuthority.create(seed=7)
+    deployment = Deployment(SecurityPolicy(), ca=ca)
+    net = deployment.network
+
+    pub_container = deployment.add_container("pubhost", "Pub")
+    pub_manager = SubscriptionManagerService(ResourceHome("pub-subs", net))
+    pub_container.add_service(pub_manager)
+    publisher = SensorService(ResourceHome("pub-sensor", net))
+    publisher.subscription_manager = pub_manager
+    pub_container.add_service(publisher)
+
+    broker_container = deployment.add_container("brokerhost", "Broker")
+    broker_manager = SubscriptionManagerService(ResourceHome("broker-subs", net))
+    broker_container.add_service(broker_manager)
+    registrations = PublisherRegistrationManagerService(ResourceHome("registrations", net))
+    broker_container.add_service(registrations)
+    broker = NotificationBrokerService(ResourceHome("broker", net), broker_manager, registrations)
+    broker_container.add_service(broker)
+
+    client = SoapClient(deployment, "client")
+    consumer = NotificationConsumer(deployment, "client")
+
+    def publish(value: str) -> int:
+        response = client.invoke(
+            publisher.epr(), EMIT,
+            element(f"{{{NS}}}Emit", element(f"{{{NS}}}Topic", "readings"),
+                    element(f"{{{NS}}}Value", value)),
+        )
+        return int(response.text())
+
+    net.metrics.begin("demand scenario", net.clock.now)
+
+    print("1. publisher registers with the broker, Demand=true")
+    client.invoke(
+        broker.epr(), wsbr.REGISTER_PUBLISHER,
+        element(
+            f"{{{ns.WSBR}}}RegisterPublisher",
+            EndpointReference.create(publisher.address).to_xml(f"{{{ns.WSBR}}}PublisherReference"),
+            element(f"{{{ns.WSBR}}}Topic", "readings"),
+            element(f"{{{ns.WSBR}}}Demand", "true"),
+        ),
+    )
+    print(f"   publisher emits while nobody listens -> {publish('1')} deliveries "
+          "(upstream paused)")
+
+    print("2. a consumer subscribes at the broker -> broker resumes upstream")
+    response = client.invoke(
+        broker.epr(), wsnt.SUBSCRIBE,
+        element(
+            f"{{{ns.WSNT}}}Subscribe",
+            consumer.epr.to_xml(f"{{{ns.WSNT}}}ConsumerReference"),
+            element(f"{{{ns.WSNT}}}TopicExpression", "readings",
+                    attrs={"Dialect": TopicDialect.CONCRETE.value}),
+        ),
+    )
+    subscription = EndpointReference.from_xml(next(response.element_children()))
+    print(f"   publisher emits -> {publish('2')} delivery to the broker; "
+          f"consumer received {len(consumer.received)} message(s)")
+
+    print("3. consumer unsubscribes -> broker pauses upstream again")
+    client.invoke(subscription, rl.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy"))
+    print(f"   publisher emits -> {publish('3')} deliveries")
+
+    trace = net.metrics.end(net.clock.now)
+    print()
+    print(f"whole scenario: {trace.messages} messages across "
+          f"{len(trace.services_touched)} wire endpoints, {trace.elapsed_ms:.0f} virtual ms")
+    print("compare a plain subscribe: 2 messages, one service — the paper's")
+    print("'order of magnitude more messages' estimate for demand-based publishing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Grid-in-a-Box on WS-Transfer/WS-Eventing: everything is CRUD.
+
+The same workflow as grid_job_wsrf.py, but every interaction maps onto
+Create/Get/Put/Delete and the *shape of the EPR* selects behaviour: a
+reservation is a Put to ``R<site>``, an availability query a Get of
+``1<app>``, a file lives at ``<hash-of-DN>/<name>``.  Completion arrives as
+a WS-Eventing push over the persistent-TCP SoapReceiver, and — with no
+lifetime management in the spec — the client must unreserve explicitly.
+
+Run:  python examples/grid_job_transfer.py
+"""
+
+from repro.apps.giab import build_transfer_vo
+from repro.apps.giab.jobs import JobSpec
+
+
+def main() -> None:
+    vo = build_transfer_vo()
+    clock = vo.deployment.network.clock
+    print(f"VO user: {vo.user_dn}")
+
+    # Get with EPR "1sort" → available-resources query.
+    sites = vo.client.get_available_resources("sort")
+    print(f"sites offering 'sort': {[s['host'] for s in sites]}")
+    site = sites[0]
+
+    # Put with EPR "R<site>" → make reservation (account checked via Get
+    # against the Account service, whose resource key is the user's DN).
+    vo.client.make_reservation(site["host"])
+    print(f"reserved {site['host']}; holder = {vo.client.reservation_holder(site['host'])}")
+
+    # Create on the Data service → upload; the returned EPR is DN-hash/name.
+    file_epr = vo.client.upload_file(site["data_address"], "input.dat", "7 3 9 1 4\n" * 1000)
+    print(f"uploaded; file EPR key = "
+          f"{[v for _, v in file_epr.reference_properties][0]}")
+    print(f"directory listing (Get on EPR ending '/'): {vo.client.list_files(site['data_address'])}")
+
+    # Create on the Exec service → instantiate the job.
+    job = vo.client.start_job(
+        site["exec_address"], JobSpec("sort", ("input.dat",), run_time_ms=1500.0)
+    )
+    vo.client.subscribe_job_exit(site["exec_address"], job, vo.consumer)
+    print(f"job created; status (Get) = {vo.client.job_status(job)}")
+
+    clock.charge(2000)
+    event = vo.consumer.received[0]
+    print(f"WS-Eventing push received: {event.tag.local}, "
+          f"exit code {event.find_local('ExitCode').text()}")
+
+    # Cleanup is all manual on this stack: Delete the file, Put-U the site.
+    vo.client.delete_file(site["data_address"], "input.dat")
+    vo.client.unreserve(site["host"])
+    print(f"after manual unreserve, available again: "
+          f"{[s['host'] for s in vo.client.get_available_resources('sort')]}")
+    print(f"total virtual time elapsed: {clock.now:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

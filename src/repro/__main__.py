@@ -1,0 +1,102 @@
+"""Command-line figure regeneration: ``python -m repro [figure...]``.
+
+With no arguments, regenerates every figure from the paper's evaluation and
+prints it as a table.  Arguments select individual figures:
+``fig2 fig3 fig4 fig6 sweep switch``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import (
+    format_figure_table,
+    hello_world_figure,
+    measure_giab,
+    measure_hello_world,
+)
+from repro.container import SecurityMode
+
+
+def _fig2() -> None:
+    print(format_figure_table(
+        "Figure 2: Hello World, no security", hello_world_figure(SecurityMode.NONE)
+    ))
+
+
+def _fig3() -> None:
+    print(format_figure_table(
+        "Figure 3: Hello World, HTTPS", hello_world_figure(SecurityMode.HTTPS)
+    ))
+
+
+def _fig4() -> None:
+    print(format_figure_table(
+        "Figure 4: Hello World, X.509 signing", hello_world_figure(SecurityMode.X509)
+    ))
+
+
+def _fig6() -> None:
+    print(format_figure_table(
+        "Figure 6: Grid-in-a-Box comparison (X.509)",
+        {
+            "WS-Transfer / WS-Eventing": measure_giab("transfer"),
+            "WSRF.NET": measure_giab("wsrf"),
+        },
+    ))
+
+
+def _sweep() -> None:
+    table = {}
+    for mode in (SecurityMode.NONE, SecurityMode.X509, SecurityMode.HTTPS):
+        for colocated in (True, False):
+            for stack in ("transfer", "wsrf"):
+                placement = "co-located" if colocated else "distributed"
+                stack_name = "WSRF.NET" if stack == "wsrf" else "WS-Transfer"
+                table[f"{mode.value}/{placement}/{stack_name}"] = measure_hello_world(
+                    stack, mode, colocated
+                )
+    print(format_figure_table("Six-scenario sweep", table))
+
+
+def _switch() -> None:
+    from benchmarks.bench_stack_switching import _measure_ops, build_bridged_pair
+
+    wsrf_rig, (wxf_rig, bridged_wsrf), (wsrf_rig2, bridged_wxf), wxf_native = build_bridged_pair()
+    print(format_figure_table(
+        "Stack switching: native vs bridged",
+        {
+            "native WSRF": _measure_ops(wsrf_rig.deployment, wsrf_rig.client, "destroy"),
+            "WSRF over facade": _measure_ops(wxf_rig.deployment, bridged_wsrf, "destroy"),
+            "native WS-Transfer": _measure_ops(wxf_native.deployment, wxf_native.client, "delete"),
+            "WS-Transfer over facade": _measure_ops(wsrf_rig2.deployment, bridged_wxf, "delete"),
+        },
+    ))
+
+
+FIGURES = {
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig6": _fig6,
+    "sweep": _sweep,
+    "switch": _switch,
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or [name for name in FIGURES if name != "switch"]
+    unknown = [name for name in wanted if name not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(FIGURES)}", file=sys.stderr)
+        return 2
+    for index, name in enumerate(wanted):
+        if index:
+            print()
+        FIGURES[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

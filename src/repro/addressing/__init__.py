@@ -1,0 +1,11 @@
+"""WS-Addressing: endpoint references and message-information headers.
+
+Both stacks lean on WS-Addressing — WSRF's WS-Resource Access Pattern is an
+EPR whose *reference properties* identify the resource, and WS-Transfer mints
+EPRs whose reference property carries the GUID resource id (paper §2, §3.2).
+"""
+
+from repro.addressing.epr import EndpointReference
+from repro.addressing.headers import MessageHeaders
+
+__all__ = ["EndpointReference", "MessageHeaders"]

@@ -1,0 +1,74 @@
+"""Endpoint references (WS-Addressing 2004/08)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmllib import QName, element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+_ADDRESS = QName(ns.WSA, "Address")
+_REF_PROPS = QName(ns.WSA, "ReferenceProperties")
+_EPR_TAG = QName(ns.WSA, "EndpointReference")
+
+
+@dataclass(frozen=True)
+class EndpointReference:
+    """An address plus opaque reference properties.
+
+    Reference properties are simple qualified-name → text pairs, which covers
+    every use in the paper (WSRF resource keys, WS-Transfer GUIDs, the
+    DN/filename paths of the WS-Transfer DataService).  Per WS-Addressing,
+    reference properties are echoed as SOAP headers on every message sent to
+    the endpoint.
+    """
+
+    address: str
+    reference_properties: tuple[tuple[QName, str], ...] = field(default=())
+
+    @classmethod
+    def create(
+        cls, address: str, properties: dict[str | QName, str] | None = None
+    ) -> "EndpointReference":
+        props = tuple(
+            sorted(
+                ((QName.parse(k), str(v)) for k, v in (properties or {}).items()),
+                key=lambda kv: kv[0].sort_key(),
+            )
+        )
+        return cls(address=address, reference_properties=props)
+
+    def property(self, name: str | QName, default: str | None = None) -> str | None:
+        want = QName.parse(name)
+        for key, value in self.reference_properties:
+            if key == want:
+                return value
+        return default
+
+    def with_property(self, name: str | QName, value: str) -> "EndpointReference":
+        props = dict(self.reference_properties)
+        props[QName.parse(name)] = value
+        return EndpointReference.create(self.address, props)
+
+    # -- XML (de)serialization ----------------------------------------------
+
+    def to_xml(self, tag: str | QName = _EPR_TAG) -> XmlElement:
+        node = element(tag, element(_ADDRESS, self.address))
+        if self.reference_properties:
+            props = element(_REF_PROPS)
+            for key, value in self.reference_properties:
+                props.append(element(key, value))
+            node.append(props)
+        return node
+
+    @classmethod
+    def from_xml(cls, node: XmlElement) -> "EndpointReference":
+        address = text_of(node.find(_ADDRESS))
+        if not address:
+            raise ValueError("EndpointReference has no wsa:Address")
+        properties: dict[QName, str] = {}
+        props = node.find(_REF_PROPS)
+        if props is not None:
+            for child in props.element_children():
+                properties[child.tag] = child.text().strip()
+        return cls.create(address, properties)

@@ -1,0 +1,2 @@
+"""The paper's two evaluation applications: the Counter service ("hello
+world") and Grid-in-a-Box, each implemented on both software stacks."""

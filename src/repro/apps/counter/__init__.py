@@ -1,0 +1,29 @@
+"""The "hello world" counter service (§4.1), on both stacks.
+
+A counter resource with Get / Set / Create / Destroy plus an asynchronous
+``CounterValueChanged`` notification — "the simplest case of when a client
+might want to instantiate an object on the server".
+"""
+
+from repro.apps.counter.wsrf_service import WsrfCounterService
+from repro.apps.counter.transfer_service import TransferCounterService
+from repro.apps.counter.clients import TransferCounterClient, WsrfCounterClient
+from repro.apps.counter.deploy import (
+    CounterScenario,
+    TransferCounterRig,
+    WsrfCounterRig,
+    build_transfer_rig,
+    build_wsrf_rig,
+)
+
+__all__ = [
+    "WsrfCounterService",
+    "TransferCounterService",
+    "WsrfCounterClient",
+    "TransferCounterClient",
+    "CounterScenario",
+    "WsrfCounterRig",
+    "TransferCounterRig",
+    "build_wsrf_rig",
+    "build_transfer_rig",
+]

@@ -1,0 +1,130 @@
+"""Client proxies for the counter services.
+
+"From a client perspective, engaging either counter service is similar to
+invoking web methods on any other Web service — via a Web service proxy
+object with methods corresponding to those on the service."  The biggest
+difference (§4.1.3) shows below: the WS-Transfer proxy's arguments and
+return values are raw XML; the WSRF proxy deals in typed values.
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.apps.counter.transfer_service import (
+    TOPIC_VALUE_CHANGED,
+    counter_representation,
+    counter_value,
+)
+from repro.container.client import SoapClient
+from repro.eventing.delivery import EventingConsumer
+from repro.eventing.filters import EventFilter
+from repro.eventing.source import actions as wse_actions
+from repro.transfer.service import actions as wxf_actions
+from repro.wsn.base import NotificationConsumer, actions as wsnt_actions
+from repro.wsn.topics import TopicDialect
+from repro.wsrf.lifetime import actions as rl_actions
+from repro.wsrf.properties import actions as rp_actions
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+
+class WsrfCounterClient:
+    """Typed proxy for the WSRF counter."""
+
+    def __init__(self, soap: SoapClient, service_address: str):
+        self.soap = soap
+        self.service_epr = EndpointReference.create(service_address)
+
+    def create(self, initial: int = 0) -> EndpointReference:
+        response = self.soap.invoke(
+            self.service_epr,
+            ns.COUNTER + "/Create",
+            element(f"{{{ns.COUNTER}}}Create", element(f"{{{ns.COUNTER}}}Initial", initial)),
+        )
+        return EndpointReference.from_xml(next(response.element_children()))
+
+    def get(self, counter: EndpointReference) -> int:
+        response = self.soap.invoke(
+            counter,
+            rp_actions.GET,
+            element(f"{{{ns.WSRF_RP}}}GetResourceProperty", "Value"),
+        )
+        return int(text_of(response.find(f"{{{ns.COUNTER}}}Value")))
+
+    def set(self, counter: EndpointReference, value: int) -> None:
+        self.soap.invoke(
+            counter,
+            rp_actions.SET,
+            element(
+                f"{{{ns.WSRF_RP}}}SetResourceProperties",
+                element(f"{{{ns.WSRF_RP}}}Update", element(f"{{{ns.COUNTER}}}Value", value)),
+            ),
+        )
+
+    def destroy(self, counter: EndpointReference) -> None:
+        self.soap.invoke(counter, rl_actions.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy"))
+
+    def subscribe(
+        self, counter: EndpointReference, consumer: NotificationConsumer
+    ) -> EndpointReference:
+        body = element(
+            f"{{{ns.WSNT}}}Subscribe",
+            consumer.epr.to_xml(f"{{{ns.WSNT}}}ConsumerReference"),
+            element(
+                f"{{{ns.WSNT}}}TopicExpression",
+                TOPIC_VALUE_CHANGED,
+                attrs={"Dialect": TopicDialect.CONCRETE.value},
+            ),
+        )
+        response = self.soap.invoke(counter, wsnt_actions.SUBSCRIBE, body)
+        return EndpointReference.from_xml(next(response.element_children()))
+
+
+class TransferCounterClient:
+    """Raw-XML proxy for the WS-Transfer counter ("the arguments and return
+    values for the WS-Transfer proxy methods are arrays of XML elements")."""
+
+    def __init__(self, soap: SoapClient, service_address: str):
+        self.soap = soap
+        self.service_epr = EndpointReference.create(service_address)
+
+    def create(self, initial: int = 0) -> EndpointReference:
+        response = self.soap.invoke(
+            self.service_epr,
+            wxf_actions.CREATE,
+            element(f"{{{ns.WXF}}}Create", counter_representation(initial)),
+        )
+        created = response.find(f"{{{ns.WXF}}}ResourceCreated")
+        return EndpointReference.from_xml(created.find_local("EndpointReference"))
+
+    def get(self, counter: EndpointReference) -> int:
+        response = self.soap.invoke(counter, wxf_actions.GET, element(f"{{{ns.WXF}}}Get"))
+        # Manual deserialization of the raw representation:
+        return counter_value(next(response.element_children()))
+
+    def set(self, counter: EndpointReference, value: int) -> None:
+        self.soap.invoke(
+            counter, wxf_actions.PUT, element(f"{{{ns.WXF}}}Put", counter_representation(value))
+        )
+
+    def delete(self, counter: EndpointReference) -> None:
+        self.soap.invoke(counter, wxf_actions.DELETE, element(f"{{{ns.WXF}}}Delete"))
+
+    def subscribe(
+        self, counter: EndpointReference, consumer: EventingConsumer
+    ) -> EndpointReference:
+        """Subscription is per *service*; the filter narrows to one counter
+        resource (WS-Eventing's substitute for per-resource subscriptions)."""
+        from repro.transfer.service import TRANSFER_RESOURCE_ID
+
+        key = counter.property(TRANSFER_RESOURCE_ID)
+        filter_expression = (
+            f"@Topic='{TOPIC_VALUE_CHANGED}' and CounterValueChanged[@counter='{key}']"
+        )
+        body = element(
+            f"{{{ns.WSE}}}Subscribe",
+            element(f"{{{ns.WSE}}}Delivery", consumer.epr.to_xml(f"{{{ns.WSE}}}NotifyTo")),
+            element(f"{{{ns.WSE}}}Filter", filter_expression),
+        )
+        response = self.soap.invoke(self.service_epr, wse_actions.SUBSCRIBE, body)
+        return EndpointReference.from_xml(response.find(f"{{{ns.WSE}}}SubscriptionManager"))

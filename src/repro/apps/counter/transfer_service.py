@@ -1,0 +1,70 @@
+"""The counter on WS-Transfer / WS-Eventing (§4.1.2).
+
+The counter's operations map onto the four CRUD verbs: Create stores the
+client's ``<Counter>`` document unmodified, Get returns it untouched (same
+schema the client gave Create), Put overwrites the value, Delete removes
+the document.  A ``CounterValueChanged`` event fires through the
+NotificationManager after a Put.
+"""
+
+from __future__ import annotations
+
+from repro.container.service import MessageContext
+from repro.eventing.manager import EventSubscriptionManagerService
+from repro.eventing.notification_manager import NotificationManager
+from repro.eventing.source import EventSourceMixin
+from repro.container.service import web_method
+from repro.soap.envelope import SoapFault
+from repro.transfer.service import TransferResourceService, actions
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+TOPIC_VALUE_CHANGED = "CounterValueChanged"
+
+
+def counter_representation(value: int = 0) -> XmlElement:
+    """The hard-coded common schema client and service share (§3.2: no
+    input/output schema in WS-Transfer; both sides must simply agree)."""
+    return element(f"{{{ns.COUNTER}}}Counter", element(f"{{{ns.COUNTER}}}Value", value))
+
+
+def counter_value(representation: XmlElement) -> int:
+    value_el = representation.find(f"{{{ns.COUNTER}}}Value") or representation.find_local("Value")
+    if value_el is None:
+        raise SoapFault("Client", "document does not look like a Counter")
+    return int(text_of(value_el, "0"))
+
+
+class TransferCounterService(EventSourceMixin, TransferResourceService):
+    service_name = "TransferCounter"
+
+    def __init__(self, collection, event_subscription_manager: EventSubscriptionManagerService):
+        super().__init__(collection)
+        self.event_subscription_manager = event_subscription_manager
+        self.notifications = NotificationManager(event_subscription_manager.store)
+
+    def process_put(
+        self, key: str, old: XmlElement | None, replacement: XmlElement, context: MessageContext
+    ) -> XmlElement:
+        old_value = counter_value(old) if old is not None else 0
+        new_value = counter_value(replacement)
+        self._pending_event = (key, old_value, new_value)
+        return replacement
+
+    @web_method(actions.PUT)
+    def wxf_put(self, context: MessageContext) -> XmlElement:
+        self._pending_event = None
+        response = super().wxf_put(context)
+        if self._pending_event is not None:
+            key, old_value, new_value = self._pending_event
+            self.notifications.fire(
+                self,
+                element(
+                    f"{{{ns.COUNTER}}}CounterValueChanged",
+                    element(f"{{{ns.COUNTER}}}OldValue", old_value),
+                    element(f"{{{ns.COUNTER}}}NewValue", new_value),
+                    attrs={"counter": key},
+                ),
+                topic=TOPIC_VALUE_CHANGED,
+            )
+        return response

@@ -1,0 +1,62 @@
+"""The counter on WSRF.NET (§4.1.1).
+
+"The 'resource' is simply a single variable": one ``cv`` field.  The author
+defines a single Create WebMethod (built on ``ServiceBase.Create()``); Get,
+Set and Destroy are inherited from the WS-ResourceProperties and
+WS-ResourceLifetime port types; a ``CounterValueChanged`` notification fires
+whenever the value is set.
+"""
+
+from __future__ import annotations
+
+from repro.container.service import MessageContext, web_method
+from repro.wsn.base import NotificationProducerMixin
+from repro.wsrf.lifetime import ResourceLifetimeMixin
+from repro.wsrf.programming import ResourceField, WsResourceService, resource_property
+from repro.wsrf.properties import ResourcePropertiesMixin
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+TOPIC_VALUE_CHANGED = "CounterValueChanged"
+ACTION_CREATE = ns.COUNTER + "/Create"
+
+
+class WsrfCounterService(
+    NotificationProducerMixin,
+    ResourcePropertiesMixin,
+    ResourceLifetimeMixin,
+    WsResourceService,
+):
+    service_name = "WsrfCounter"
+    resource_ns = ns.COUNTER
+
+    cv = ResourceField(int, 0)
+
+    @web_method(ACTION_CREATE)
+    def create(self, context: MessageContext) -> XmlElement:
+        """The author-exposed create: stores ``cv`` (initially 0 unless the
+        request says otherwise) via the library Create()."""
+        initial = int(text_of(context.body.find_local("Initial"), "0"))
+        epr = self.create_resource(cv=initial)
+        return element(f"{{{ns.COUNTER}}}CreateResponse", epr.to_xml())
+
+    @resource_property(f"{{{ns.COUNTER}}}Value", settable=True)
+    def value(self):
+        return self.cv
+
+    def set_value(self, replacement: XmlElement | None) -> None:
+        old = self.cv
+        self.cv = int(replacement.text()) if replacement is not None else 0
+        key = self.current_resource
+        # Persist before notifying so consumers polling back see the new value.
+        self.save_current()
+        self.notify(
+            TOPIC_VALUE_CHANGED,
+            element(
+                f"{{{ns.COUNTER}}}CounterValueChanged",
+                element(f"{{{ns.COUNTER}}}OldValue", old),
+                element(f"{{{ns.COUNTER}}}NewValue", self.cv),
+                attrs={"counter": key},
+            ),
+            resource_key=key,
+        )

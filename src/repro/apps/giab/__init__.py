@@ -1,0 +1,30 @@
+"""Grid-in-a-Box (§4.2): remote job execution for one virtual organisation.
+
+Five WSRF services (Account, ResourceAllocation, Reservation, Data, Exec)
+and four WS-Transfer services (Account, unified ResourceAllocation/
+Reservation, Data, Exec), inspired by the OMII 1.0 services, plus the
+simulated substrates they stand on: a process spawner and a remote
+filesystem.
+"""
+
+from repro.apps.giab.jobs import JobState, ProcessHandle, ProcessSpawner
+from repro.apps.giab.storage import SimulatedFileSystem
+from repro.apps.giab.vo import (
+    GIAB_HOSTS,
+    TransferVo,
+    WsrfVo,
+    build_transfer_vo,
+    build_wsrf_vo,
+)
+
+__all__ = [
+    "JobState",
+    "ProcessHandle",
+    "ProcessSpawner",
+    "SimulatedFileSystem",
+    "GIAB_HOSTS",
+    "WsrfVo",
+    "TransferVo",
+    "build_wsrf_vo",
+    "build_transfer_vo",
+]

@@ -1,0 +1,64 @@
+"""Shared Grid-in-a-Box vocabulary: actions, topics, document shapes."""
+
+from __future__ import annotations
+
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+#: Default reservation lifetime: "current time plus an administrator
+#: specified delta (e.g. 4 hours)" — four virtual hours in ms.
+RESERVATION_DELTA_MS = 4 * 3600 * 1000.0
+
+TOPIC_JOB_EXITED = "job/exited"
+
+
+class wsrf_actions:
+    """Application-defined actions of the WSRF Grid-in-a-Box services.
+
+    The Account and ResourceAllocation services deliberately use meaningful
+    method names (addAccount, accountExists, ...) instead of CRUD — §4.2.3's
+    design observation.
+    """
+
+    ADD_ACCOUNT = ns.GIAB + "/addAccount"
+    REMOVE_ACCOUNT = ns.GIAB + "/removeAccount"
+    ACCOUNT_EXISTS = ns.GIAB + "/accountExists"
+    CHECK_PRIVILEGE = ns.GIAB + "/checkPrivilege"
+
+    REGISTER_HOST = ns.GIAB + "/registerHost"
+    UNREGISTER_HOST = ns.GIAB + "/unregisterHost"
+    GET_AVAILABLE_RESOURCES = ns.GIAB + "/getAvailableResources"
+
+    CREATE_RESERVATION = ns.GIAB + "/createReservation"
+    LIST_RESERVED_HOSTS = ns.GIAB + "/listReservedHosts"
+    CHECK_RESERVATION = ns.GIAB + "/checkReservation"
+
+    CREATE_DIRECTORY = ns.GIAB + "/createDirectory"
+    UPLOAD_FILE = ns.GIAB + "/uploadFile"
+    DOWNLOAD_FILE = ns.GIAB + "/downloadFile"
+    DELETE_FILE = ns.GIAB + "/deleteFile"
+
+    START_JOB = ns.GIAB + "/startJob"
+
+
+def host_info(host: str, exec_address: str, data_address: str, applications: list[str]) -> XmlElement:
+    node = element(
+        f"{{{ns.GIAB}}}HostInfo",
+        element(f"{{{ns.GIAB}}}Host", host),
+        element(f"{{{ns.GIAB}}}ExecService", exec_address),
+        element(f"{{{ns.GIAB}}}DataService", data_address),
+    )
+    for app in applications:
+        node.append(element(f"{{{ns.GIAB}}}Application", app))
+    return node
+
+
+def parse_host_info(node: XmlElement) -> dict:
+    return {
+        "host": text_of(node.find_local("Host")),
+        "exec_address": text_of(node.find_local("ExecService")),
+        "data_address": text_of(node.find_local("DataService")),
+        "applications": [
+            a.text().strip() for a in node.element_children() if a.tag.local == "Application"
+        ],
+    }

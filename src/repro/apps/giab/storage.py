@@ -1,0 +1,88 @@
+"""The simulated per-host filesystem the DataServices manage.
+
+The WSRF DataService models directories as resources ("Clients create new
+directory resources (although do not name them), upload data to them"); the
+WS-Transfer DataService "stores the files on the file system" under a
+hash-of-DN directory.  Both sit on this substrate, which charges calibrated
+filesystem costs.
+"""
+
+from __future__ import annotations
+
+from repro.sim.network import Network
+
+
+class FileSystemError(OSError):
+    """Missing paths, duplicate directories, non-empty refusals, ..."""
+
+
+class SimulatedFileSystem:
+    """Directories of named files with virtual-time costs."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._dirs: dict[str, dict[str, str]] = {}
+
+    # -- directories ----------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        if path in self._dirs:
+            raise FileSystemError(f"directory exists: {path}")
+        self.network.charge(self.network.costs.fs_mkdir, "fs")
+        self._dirs[path] = {}
+
+    def rmdir(self, path: str) -> None:
+        """Remove a directory and its contents (WSRF Destroy semantics)."""
+        if path not in self._dirs:
+            raise FileSystemError(f"no such directory: {path}")
+        contents = self._dirs.pop(path)
+        self.network.charge(
+            self.network.costs.fs_delete * max(1, len(contents)), "fs"
+        )
+
+    def exists_dir(self, path: str) -> bool:
+        return path in self._dirs
+
+    def listdir(self, path: str) -> list[str]:
+        directory = self._dirs.get(path)
+        if directory is None:
+            raise FileSystemError(f"no such directory: {path}")
+        self.network.charge(
+            self.network.costs.fs_list_per_entry * max(1, len(directory)), "fs"
+        )
+        return sorted(directory)
+
+    def directories(self) -> list[str]:
+        return sorted(self._dirs)
+
+    # -- files ---------------------------------------------------------------------
+
+    def write(self, path: str, name: str, content: str) -> None:
+        directory = self._dirs.get(path)
+        if directory is None:
+            raise FileSystemError(f"no such directory: {path}")
+        self.network.charge(
+            self.network.costs.fs_write_per_kb * len(content) / 1024.0, "fs"
+        )
+        directory[name] = content
+
+    def read(self, path: str, name: str) -> str:
+        directory = self._dirs.get(path)
+        if directory is None or name not in directory:
+            raise FileSystemError(f"no such file: {path}/{name}")
+        content = directory[name]
+        self.network.charge(
+            self.network.costs.fs_read_per_kb * len(content) / 1024.0, "fs"
+        )
+        return content
+
+    def delete(self, path: str, name: str) -> None:
+        directory = self._dirs.get(path)
+        if directory is None or name not in directory:
+            raise FileSystemError(f"no such file: {path}/{name}")
+        self.network.charge(self.network.costs.fs_delete, "fs")
+        del directory[name]
+
+    def exists(self, path: str, name: str) -> bool:
+        directory = self._dirs.get(path)
+        return directory is not None and name in directory

@@ -1,0 +1,16 @@
+"""The four WS-Transfer Grid-in-a-Box services (§4.2.2)."""
+
+from repro.apps.giab.transfer.account import TransferAccountService
+from repro.apps.giab.transfer.allocation import TransferResourceAllocationService
+from repro.apps.giab.transfer.data import TransferDataService
+from repro.apps.giab.transfer.execservice import TransferExecService
+from repro.apps.giab.transfer.client import TransferGridAdmin, TransferGridClient
+
+__all__ = [
+    "TransferAccountService",
+    "TransferResourceAllocationService",
+    "TransferDataService",
+    "TransferExecService",
+    "TransferGridAdmin",
+    "TransferGridClient",
+]

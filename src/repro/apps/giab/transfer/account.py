@@ -1,0 +1,61 @@
+"""The WS-Transfer Account service (§4.2.2).
+
+"Due to the relative simplicity of the account service the mapping of its
+functionality to the corresponding WS-Transfer operations is very
+intuitive": Create stores a new account resource whose EPR contains the
+user's X.509 DN; Get answers whether a user may perform an action; Delete
+removes all privileges.  Create and Delete are administrative.
+"""
+
+from __future__ import annotations
+
+from repro.container.service import MessageContext
+from repro.soap.envelope import SoapFault
+from repro.transfer.service import TransferResourceService
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+
+class TransferAccountService(TransferResourceService):
+    service_name = "Account"
+
+    def __init__(self, collection, admins: set[str] | None = None):
+        super().__init__(collection)
+        self.admins = admins or set()
+
+    def _require_admin(self, context: MessageContext) -> None:
+        if context.sender is None:
+            return
+        if str(context.sender) not in self.admins:
+            raise SoapFault(
+                "Client", f"{context.sender} may not administer accounts"
+            )
+
+    def process_create(self, representation: XmlElement, context: MessageContext):
+        self._require_admin(context)
+        dn = text_of(representation.find_local("DN"))
+        if not dn:
+            raise SoapFault("Client", "account representation needs a DN")
+        # "the EPR containing the X509 DN of the user": the DN *is* the key.
+        return representation, None, dn
+
+    def process_get(self, key: str, context: MessageContext) -> XmlElement:
+        """Get = "queries the account service whether a particular user can
+        perform a certain action".  The EPR names the user (DN); the body
+        may name an action; the answer is a yes/no document."""
+        account = self._load(key)
+        action = text_of(context.body.find_local("Action"))
+        if account is None:
+            allowed = False
+        elif action:
+            allowed = any(
+                p.text().strip() == action
+                for p in account.element_children()
+                if p.tag.local == "Privilege"
+            )
+        else:
+            allowed = True  # account exists
+        return element(f"{{{ns.GIAB}}}AccountCheck", "true" if allowed else "false")
+
+    def process_delete(self, key: str, context: MessageContext) -> None:
+        self._require_admin(context)

@@ -1,0 +1,224 @@
+"""Grid user and admin clients for the WS-Transfer Grid-in-a-Box.
+
+"There are ... two clients (grid user and admin client)."  Everything is
+CRUD: the client encodes *which* behaviour it wants into the EPR it builds
+(mode prefixes, DN/filename paths) — §4.2.3's observation that resource
+names stop being opaque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.addressing.epr import EndpointReference
+from repro.apps.giab.common import TOPIC_JOB_EXITED
+from repro.apps.giab.jobs import JobSpec
+from repro.apps.giab.transfer.allocation import site_representation
+from repro.container.client import SoapClient
+from repro.crypto.x509 import DistinguishedName
+from repro.eventing.delivery import EventingConsumer
+from repro.eventing.source import actions as wse_actions
+from repro.transfer.service import TRANSFER_RESOURCE_ID, actions as wxf_actions
+from repro.xmllib import element, ns, text_of
+
+
+def _epr(address: str, key: str | None = None) -> EndpointReference:
+    epr = EndpointReference.create(address)
+    if key is not None:
+        epr = epr.with_property(TRANSFER_RESOURCE_ID, key)
+    return epr
+
+
+@dataclass
+class TransferGridAdmin:
+    soap: SoapClient
+    account_address: str
+    allocation_address: str
+
+    def add_account(self, dn: str, privileges: list[str] | None = None) -> EndpointReference:
+        account = element(f"{{{ns.GIAB}}}Account", element(f"{{{ns.GIAB}}}DN", dn))
+        for privilege in privileges or []:
+            account.append(element(f"{{{ns.GIAB}}}Privilege", privilege))
+        response = self.soap.invoke(
+            _epr(self.account_address), wxf_actions.CREATE, element(f"{{{ns.WXF}}}Create", account)
+        )
+        created = response.find(f"{{{ns.WXF}}}ResourceCreated")
+        return EndpointReference.from_xml(created.find_local("EndpointReference"))
+
+    def remove_account(self, dn: str) -> None:
+        self.soap.invoke(
+            _epr(self.account_address, dn), wxf_actions.DELETE, element(f"{{{ns.WXF}}}Delete")
+        )
+
+    def register_site(
+        self, name: str, exec_address: str, data_address: str, applications: list[str]
+    ) -> None:
+        self.soap.invoke(
+            _epr(self.allocation_address),
+            wxf_actions.CREATE,
+            element(
+                f"{{{ns.WXF}}}Create",
+                site_representation(name, exec_address, data_address, applications),
+            ),
+        )
+
+    def remove_site(self, name: str) -> None:
+        self.soap.invoke(
+            _epr(self.allocation_address, name), wxf_actions.DELETE, element(f"{{{ns.WXF}}}Delete")
+        )
+
+
+@dataclass
+class TransferGridClient:
+    soap: SoapClient
+    allocation_address: str
+    dn: str
+
+    # -- resource discovery: Get with the "1<app>" mode ------------------------------
+
+    def get_available_resources(self, application: str) -> list[dict]:
+        response = self.soap.invoke(
+            _epr(self.allocation_address, f"1{application}"),
+            wxf_actions.GET,
+            element(f"{{{ns.WXF}}}Get"),
+        )
+        sites = []
+        for site in response.find_local("AvailableResources").element_children():
+            sites.append(
+                {
+                    "host": text_of(site.find_local("Name")),
+                    "exec_address": text_of(site.find_local("ExecService")),
+                    "data_address": text_of(site.find_local("DataService")),
+                    "applications": [
+                        a.text().strip()
+                        for a in site.element_children()
+                        if a.tag.local == "Application"
+                    ],
+                }
+            )
+        return sites
+
+    # -- reservations: Put with R/U/T modes ----------------------------------------------
+
+    def make_reservation(self, site: str, until: str = "") -> None:
+        body = element(f"{{{ns.GIAB}}}ReservationRequest")
+        if until:
+            body.append(element(f"{{{ns.GIAB}}}ReservedUntil", until))
+        self.soap.invoke(
+            _epr(self.allocation_address, f"R{site}"),
+            wxf_actions.PUT,
+            element(f"{{{ns.WXF}}}Put", body),
+        )
+
+    def unreserve(self, site: str) -> None:
+        self.soap.invoke(
+            _epr(self.allocation_address, f"U{site}"),
+            wxf_actions.PUT,
+            element(f"{{{ns.WXF}}}Put", element(f"{{{ns.GIAB}}}ReservationRequest")),
+        )
+
+    def change_reservation_time(self, site: str, until: str) -> None:
+        self.soap.invoke(
+            _epr(self.allocation_address, f"T{site}"),
+            wxf_actions.PUT,
+            element(
+                f"{{{ns.WXF}}}Put",
+                element(
+                    f"{{{ns.GIAB}}}ReservationRequest",
+                    element(f"{{{ns.GIAB}}}ReservedUntil", until),
+                ),
+            ),
+        )
+
+    def reservation_holder(self, site: str) -> str:
+        response = self.soap.invoke(
+            _epr(self.allocation_address, site), wxf_actions.GET, element(f"{{{ns.WXF}}}Get")
+        )
+        return text_of(response)
+
+    # -- files ------------------------------------------------------------------------------
+
+    def _user_dir(self) -> str:
+        return DistinguishedName.parse(self.dn).hashed()
+
+    def upload_file(self, data_address: str, name: str, content: str) -> EndpointReference:
+        response = self.soap.invoke(
+            _epr(data_address),
+            wxf_actions.CREATE,
+            element(
+                f"{{{ns.WXF}}}Create",
+                element(f"{{{ns.GIAB}}}File", content, attrs={"Name": name}),
+            ),
+        )
+        created = response.find(f"{{{ns.WXF}}}ResourceCreated")
+        return EndpointReference.from_xml(created.find_local("EndpointReference"))
+
+    def list_files(self, data_address: str) -> list[str]:
+        response = self.soap.invoke(
+            _epr(data_address, f"{self._user_dir()}/"),
+            wxf_actions.GET,
+            element(f"{{{ns.WXF}}}Get"),
+        )
+        listing = response.find_local("FileListing")
+        return [f.text().strip() for f in listing.element_children()]
+
+    def download_file(self, data_address: str, name: str) -> str:
+        response = self.soap.invoke(
+            _epr(data_address, f"{self._user_dir()}/{name}"),
+            wxf_actions.GET,
+            element(f"{{{ns.WXF}}}Get"),
+        )
+        return response.find_local("File").text()
+
+    def overwrite_file(self, data_address: str, name: str, content: str) -> None:
+        self.soap.invoke(
+            _epr(data_address, f"{self._user_dir()}/{name}"),
+            wxf_actions.PUT,
+            element(
+                f"{{{ns.WXF}}}Put",
+                element(f"{{{ns.GIAB}}}File", content, attrs={"Name": name}),
+            ),
+        )
+
+    def delete_file(self, data_address: str, name: str) -> None:
+        self.soap.invoke(
+            _epr(data_address, f"{self._user_dir()}/{name}"),
+            wxf_actions.DELETE,
+            element(f"{{{ns.WXF}}}Delete"),
+        )
+
+    # -- jobs ------------------------------------------------------------------------------
+
+    def start_job(self, exec_address: str, spec: JobSpec) -> EndpointReference:
+        response = self.soap.invoke(
+            _epr(exec_address),
+            wxf_actions.CREATE,
+            element(f"{{{ns.WXF}}}Create", spec.to_xml()),
+        )
+        created = response.find(f"{{{ns.WXF}}}ResourceCreated")
+        return EndpointReference.from_xml(created.find_local("EndpointReference"))
+
+    def job_status(self, job: EndpointReference) -> str:
+        response = self.soap.invoke(job, wxf_actions.GET, element(f"{{{ns.WXF}}}Get"))
+        for node in response.descendants():
+            if node.tag.local == "State":
+                return node.text().strip()
+        return ""
+
+    def kill_job(self, job: EndpointReference) -> None:
+        self.soap.invoke(job, wxf_actions.DELETE, element(f"{{{ns.WXF}}}Delete"))
+
+    def subscribe_job_exit(
+        self, exec_address: str, job: EndpointReference, consumer: EventingConsumer
+    ) -> EndpointReference:
+        key = job.property(TRANSFER_RESOURCE_ID)
+        filter_expression = (
+            f"@Topic='{TOPIC_JOB_EXITED}' and JobExited[@job='{key}']"
+        )
+        body = element(
+            f"{{{ns.WSE}}}Subscribe",
+            element(f"{{{ns.WSE}}}Delivery", consumer.epr.to_xml(f"{{{ns.WSE}}}NotifyTo")),
+            element(f"{{{ns.WSE}}}Filter", filter_expression),
+        )
+        response = self.soap.invoke(_epr(exec_address), wse_actions.SUBSCRIBE, body)
+        return EndpointReference.from_xml(response.find(f"{{{ns.WSE}}}SubscriptionManager"))

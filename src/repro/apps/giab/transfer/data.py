@@ -1,0 +1,149 @@
+"""The WS-Transfer Data service (§4.2.2).
+
+Files live on the node's file system, not in Xindice ("The only exception
+is the Data Service that stores the files on the file system").  The EPR of
+a file resource is ``<hash-of-DN>/<filename>``; all of a user's files share
+one directory, created automatically on first upload.  A Get whose EPR ends
+with ``/`` returns a directory listing; otherwise it is a download.
+Upload (Create) checks the uploader's reservation with the
+ResourceAllocation service — the operation's second call.
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.apps.giab.storage import FileSystemError, SimulatedFileSystem
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.crypto.x509 import DistinguishedName
+from repro.soap.envelope import SoapFault
+from repro.transfer.service import TRANSFER_RESOURCE_ID, actions as wxf_actions
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+
+class TransferDataService(ServiceSkeleton):
+    """File transfer to/from one computing site.
+
+    Not built on the generic collection-backed base: the resources here are
+    files, so the four operations are implemented directly against the
+    filesystem.
+    """
+
+    service_name = "Data"
+
+    def __init__(
+        self,
+        filesystem: SimulatedFileSystem,
+        site_name: str,
+        allocation_address: str = "",
+    ):
+        super().__init__()
+        self.filesystem = filesystem
+        self.site_name = site_name
+        self.allocation_address = allocation_address
+
+    # -- EPR helpers -----------------------------------------------------------------
+
+    def file_epr(self, dn: str, filename: str) -> EndpointReference:
+        user_dir = DistinguishedName.parse(dn).hashed()
+        return self.epr({TRANSFER_RESOURCE_ID: f"{user_dir}/{filename}"})
+
+    def listing_epr(self, dn: str) -> EndpointReference:
+        user_dir = DistinguishedName.parse(dn).hashed()
+        return self.epr({TRANSFER_RESOURCE_ID: f"{user_dir}/"})
+
+    def _split_key(self, context: MessageContext) -> tuple[str, str]:
+        key = context.headers.target_epr().property(TRANSFER_RESOURCE_ID)
+        if key is None or "/" not in key:
+            raise SoapFault("Client", "Data EPR must look like <userdir>/<filename>")
+        user_dir, _, filename = key.partition("/")
+        return user_dir, filename
+
+    def _sender_dir(self, context: MessageContext) -> str:
+        if context.sender is None:
+            return "anonymous"
+        return context.sender.hashed()
+
+    def _check_reservation(self, context: MessageContext) -> None:
+        if not self.allocation_address:
+            return
+        holder = context.client().invoke(
+            EndpointReference.create(self.allocation_address).with_property(
+                TRANSFER_RESOURCE_ID, self.site_name
+            ),
+            wxf_actions.GET,
+            element(f"{{{ns.WXF}}}Get"),
+        )
+        sender = str(context.sender) if context.sender is not None else "anonymous"
+        if text_of(holder) != sender:
+            raise SoapFault(
+                "Client", f"{sender} holds no reservation on {self.site_name}"
+            )
+
+    # -- the four operations -----------------------------------------------------------
+
+    @web_method(wxf_actions.CREATE)
+    def wxf_create(self, context: MessageContext) -> XmlElement:
+        """Upload: Create(<File Name="...">content</File>)."""
+        representation = next(context.body.element_children(), None)
+        if representation is None or representation.tag.local != "File":
+            raise SoapFault("Client", "Create needs a File representation")
+        name = representation.get("Name", "")
+        if not name:
+            raise SoapFault("Client", "File representation needs a Name attribute")
+        self._check_reservation(context)
+        user_dir = self._sender_dir(context)
+        if not self.filesystem.exists_dir(user_dir):
+            # "if a directory for this user does not exist yet it is created
+            # automatically"
+            self.filesystem.mkdir(user_dir)
+        self.filesystem.write(user_dir, name, representation.text())
+        created = element(
+            f"{{{ns.WXF}}}ResourceCreated",
+            self.epr({TRANSFER_RESOURCE_ID: f"{user_dir}/{name}"}).to_xml(),
+        )
+        return element(f"{{{ns.WXF}}}CreateResponse", created)
+
+    @web_method(wxf_actions.GET)
+    def wxf_get(self, context: MessageContext) -> XmlElement:
+        user_dir, filename = self._split_key(context)
+        if not filename:
+            # EPR ends with "/": directory listing.
+            try:
+                names = self.filesystem.listdir(user_dir)
+            except FileSystemError:
+                names = []
+            listing = element(f"{{{ns.GIAB}}}FileListing")
+            for name in names:
+                listing.append(element(f"{{{ns.GIAB}}}File", name))
+            return element(f"{{{ns.WXF}}}GetResponse", listing)
+        try:
+            content = self.filesystem.read(user_dir, filename)
+        except FileSystemError as exc:
+            raise SoapFault("Client", str(exc))
+        return element(
+            f"{{{ns.WXF}}}GetResponse",
+            element(f"{{{ns.GIAB}}}File", content, attrs={"Name": filename}),
+        )
+
+    @web_method(wxf_actions.PUT)
+    def wxf_put(self, context: MessageContext) -> XmlElement:
+        """Put "overrides an existing file with a newer version"."""
+        user_dir, filename = self._split_key(context)
+        replacement = next(context.body.element_children(), None)
+        if replacement is None:
+            raise SoapFault("Client", "Put needs a File representation")
+        if not self.filesystem.exists(user_dir, filename):
+            raise SoapFault("Client", f"no such file: {user_dir}/{filename}")
+        self.filesystem.write(user_dir, filename, replacement.text())
+        return element(f"{{{ns.WXF}}}PutResponse")
+
+    @web_method(wxf_actions.DELETE)
+    def wxf_delete(self, context: MessageContext) -> XmlElement:
+        """Delete "removes a file permanently" — a single call (§4.2.3)."""
+        user_dir, filename = self._split_key(context)
+        try:
+            self.filesystem.delete(user_dir, filename)
+        except FileSystemError as exc:
+            raise SoapFault("Client", str(exc))
+        return element(f"{{{ns.WXF}}}DeleteResponse")

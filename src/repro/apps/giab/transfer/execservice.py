@@ -1,0 +1,145 @@
+"""The WS-Transfer Execution service (§4.2.2).
+
+Create instantiates a job (one out-call to the unified ResourceAllocation
+service to confirm the caller's reservation — against WSRF's several), Get
+returns job status, Delete kills the process and removes the representation.
+The representation/resource split matters here: "The representation of the
+resource may remain even when the resource (e.g., process) does not exist
+anymore."  Completion is announced over WS-Eventing.
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.apps.giab.common import TOPIC_JOB_EXITED
+from repro.apps.giab.jobs import JobSpec, JobState, ProcessSpawner
+from repro.container.service import MessageContext
+from repro.crypto.x509 import DistinguishedName
+from repro.eventing.manager import EventSubscriptionManagerService
+from repro.eventing.notification_manager import NotificationManager
+from repro.eventing.source import EventSourceMixin
+from repro.soap.envelope import SoapFault
+from repro.transfer.service import (
+    TRANSFER_RESOURCE_ID,
+    TransferResourceService,
+    actions as wxf_actions,
+)
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+
+class TransferExecService(EventSourceMixin, TransferResourceService):
+    service_name = "Exec"
+
+    def __init__(
+        self,
+        collection,
+        spawner: ProcessSpawner,
+        site_name: str,
+        event_subscription_manager: EventSubscriptionManagerService,
+        allocation_address: str = "",
+        filesystem=None,
+    ):
+        super().__init__(collection)
+        self.spawner = spawner
+        self.site_name = site_name
+        self.allocation_address = allocation_address
+        self.event_subscription_manager = event_subscription_manager
+        self.notifications = NotificationManager(event_subscription_manager.store)
+        self.filesystem = filesystem
+        self._pids: dict[str, int] = {}
+
+    # -- Create: instantiate a job ----------------------------------------------------
+
+    def process_create(self, representation: XmlElement, context: MessageContext):
+        if representation.tag.local != "Job":
+            raise SoapFault("Client", "Create needs a Job representation")
+        spec = JobSpec.from_xml(representation)
+        self._check_reservation(context)
+        working_dir = (
+            context.sender.hashed() if context.sender is not None else "anonymous"
+        )
+        key = self.collection.new_id()
+        handle = self.spawner.spawn(
+            spec, working_dir, on_exit=lambda h: self._job_exited(key, h)
+        )
+        self._pids[key] = handle.pid
+        stored = representation.copy()
+        stored.set("pid", str(handle.pid))
+        return stored, None, key
+
+    def _check_reservation(self, context: MessageContext) -> None:
+        """The single out-call: "used by ... the Execution service to make
+        sure that the user who wants to use them has a reservation"."""
+        if not self.allocation_address:
+            return
+        holder = context.client().invoke(
+            EndpointReference.create(self.allocation_address).with_property(
+                TRANSFER_RESOURCE_ID, self.site_name
+            ),
+            wxf_actions.GET,
+            element(f"{{{ns.WXF}}}Get"),
+        )
+        sender = str(context.sender) if context.sender is not None else "anonymous"
+        if text_of(holder) != sender:
+            raise SoapFault("Client", f"{sender} holds no reservation on {self.site_name}")
+
+    def _job_exited(self, key: str, handle) -> None:
+        if (
+            self.filesystem is not None
+            and handle.exit_code == 0
+            and self.filesystem.exists_dir(handle.working_dir)
+        ):
+            for name in handle.spec.output_files:
+                self.filesystem.write(
+                    handle.working_dir, name,
+                    f"output of {handle.spec.command} (pid {handle.pid})\n",
+                )
+        self.notifications.fire(
+            self,
+            element(
+                f"{{{ns.GIAB}}}JobExited",
+                element(f"{{{ns.GIAB}}}ExitCode", handle.exit_code),
+                attrs={"job": key},
+            ),
+            topic=TOPIC_JOB_EXITED,
+        )
+
+    # -- Get: job status --------------------------------------------------------------
+
+    def process_get(self, key: str, context: MessageContext) -> XmlElement:
+        stored = self._load(key)
+        if stored is None:
+            raise SoapFault("Client", f"no job {key}")
+        pid = self._pids.get(key, int(stored.get("pid", "0")))
+        handle = self.spawner.get(pid)
+        status = element(f"{{{ns.GIAB}}}JobStatus", attrs={"job": key})
+        if handle is None:
+            # Process gone but representation remains (§3.2's first issue).
+            status.append(element(f"{{{ns.GIAB}}}State", "Unknown"))
+        else:
+            status.append(element(f"{{{ns.GIAB}}}State", handle.state.value))
+            if handle.exit_code is not None:
+                status.append(element(f"{{{ns.GIAB}}}ExitCode", handle.exit_code))
+            status.append(
+                element(
+                    f"{{{ns.GIAB}}}RunningTime",
+                    repr(handle.running_time(self.network.clock.now)),
+                )
+            )
+        return status
+
+    # -- Delete: kill + cleanup -------------------------------------------------------
+
+    def process_delete(self, key: str, context: MessageContext) -> None:
+        """Our resolution of the paper's Delete ambiguity: Delete terminates
+        the process *and* removes the representation."""
+        pid = self._pids.pop(key, None)
+        if pid is None:
+            stored = self._load(key)
+            if stored is not None:
+                pid = int(stored.get("pid", "0"))
+        if pid:
+            self.spawner.kill(pid)
+            if self.spawner.get(pid) is not None:
+                self.spawner.reap(pid)

@@ -1,0 +1,18 @@
+"""The five WSRF Grid-in-a-Box services (§4.2.1)."""
+
+from repro.apps.giab.wsrf.account import WsrfAccountService
+from repro.apps.giab.wsrf.allocation import WsrfResourceAllocationService
+from repro.apps.giab.wsrf.reservation import WsrfReservationService
+from repro.apps.giab.wsrf.data import WsrfDataService
+from repro.apps.giab.wsrf.execservice import WsrfExecService
+from repro.apps.giab.wsrf.client import WsrfGridAdmin, WsrfGridClient
+
+__all__ = [
+    "WsrfAccountService",
+    "WsrfResourceAllocationService",
+    "WsrfReservationService",
+    "WsrfDataService",
+    "WsrfExecService",
+    "WsrfGridAdmin",
+    "WsrfGridClient",
+]

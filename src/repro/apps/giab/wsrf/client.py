@@ -1,0 +1,168 @@
+"""Grid user and admin clients for the WSRF Grid-in-a-Box."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.addressing.epr import EndpointReference
+from repro.apps.giab.common import TOPIC_JOB_EXITED, host_info, parse_host_info, wsrf_actions as actions
+from repro.apps.giab.jobs import JobSpec
+from repro.container.client import SoapClient
+from repro.wsn.base import NotificationConsumer, actions as wsnt_actions
+from repro.wsn.topics import TopicDialect
+from repro.wsrf.lifetime import actions as rl_actions
+from repro.wsrf.properties import actions as rp_actions
+from repro.xmllib import element, ns, text_of
+
+
+@dataclass
+class WsrfGridAdmin:
+    """The VO administrator: accounts and host registry."""
+
+    soap: SoapClient
+    account_address: str
+    allocation_address: str
+
+    def add_account(self, dn: str, privileges: list[str] | None = None) -> None:
+        body = element(f"{{{ns.GIAB}}}addAccount", element(f"{{{ns.GIAB}}}DN", dn))
+        for privilege in privileges or []:
+            body.append(element(f"{{{ns.GIAB}}}Privilege", privilege))
+        self.soap.invoke(EndpointReference.create(self.account_address), actions.ADD_ACCOUNT, body)
+
+    def remove_account(self, dn: str) -> None:
+        self.soap.invoke(
+            EndpointReference.create(self.account_address),
+            actions.REMOVE_ACCOUNT,
+            element(f"{{{ns.GIAB}}}removeAccount", element(f"{{{ns.GIAB}}}DN", dn)),
+        )
+
+    def register_host(
+        self, host: str, exec_address: str, data_address: str, applications: list[str]
+    ) -> None:
+        self.soap.invoke(
+            EndpointReference.create(self.allocation_address),
+            actions.REGISTER_HOST,
+            host_info(host, exec_address, data_address, applications),
+        )
+
+
+@dataclass
+class WsrfGridClient:
+    """The grid user: the Figure 5 flow, one method per step."""
+
+    soap: SoapClient
+    allocation_address: str
+    reservation_address: str
+
+    # 1. What resources are available for my application?
+    def get_available_resources(self, application: str) -> list[dict]:
+        response = self.soap.invoke(
+            EndpointReference.create(self.allocation_address),
+            actions.GET_AVAILABLE_RESOURCES,
+            element(
+                f"{{{ns.GIAB}}}getAvailableResources",
+                element(f"{{{ns.GIAB}}}Application", application),
+            ),
+        )
+        return [parse_host_info(node) for node in response.element_children()]
+
+    # 5. Reserve resources.
+    def make_reservation(self, host: str) -> EndpointReference:
+        response = self.soap.invoke(
+            EndpointReference.create(self.reservation_address),
+            actions.CREATE_RESERVATION,
+            element(f"{{{ns.GIAB}}}createReservation", element(f"{{{ns.GIAB}}}Host", host)),
+        )
+        return EndpointReference.from_xml(next(response.element_children()))
+
+    # 7. Create new data resource + stage-in data.
+    def create_data_directory(self, data_address: str) -> EndpointReference:
+        response = self.soap.invoke(
+            EndpointReference.create(data_address),
+            actions.CREATE_DIRECTORY,
+            element(f"{{{ns.GIAB}}}createDirectory"),
+        )
+        return EndpointReference.from_xml(next(response.element_children()))
+
+    def upload_file(self, directory: EndpointReference, name: str, content: str) -> None:
+        self.soap.invoke(
+            directory,
+            actions.UPLOAD_FILE,
+            element(
+                f"{{{ns.GIAB}}}uploadFile",
+                element(f"{{{ns.GIAB}}}FileName", name),
+                element(f"{{{ns.GIAB}}}Content", content),
+            ),
+        )
+
+    def list_files(self, directory: EndpointReference) -> list[str]:
+        response = self.soap.invoke(
+            directory,
+            rp_actions.GET,
+            element(f"{{{ns.WSRF_RP}}}GetResourceProperty", "FileList"),
+        )
+        listing = response.find(f"{{{ns.GIAB}}}FileList")
+        if listing is None:
+            return []
+        return [f.text().strip() for f in listing.element_children()]
+
+    def download_file(self, directory: EndpointReference, name: str) -> str:
+        response = self.soap.invoke(
+            directory,
+            actions.DOWNLOAD_FILE,
+            element(f"{{{ns.GIAB}}}downloadFile", element(f"{{{ns.GIAB}}}FileName", name)),
+        )
+        return text_of(response.find(f"{{{ns.GIAB}}}Content"))
+
+    def delete_file(self, directory: EndpointReference, name: str) -> None:
+        self.soap.invoke(
+            directory,
+            actions.DELETE_FILE,
+            element(f"{{{ns.GIAB}}}deleteFile", element(f"{{{ns.GIAB}}}FileName", name)),
+        )
+
+    # 9. Start application.
+    def start_job(
+        self,
+        exec_address: str,
+        reservation: EndpointReference,
+        data_directory: EndpointReference,
+        spec: JobSpec,
+    ) -> EndpointReference:
+        response = self.soap.invoke(
+            EndpointReference.create(exec_address),
+            actions.START_JOB,
+            element(
+                f"{{{ns.GIAB}}}startJob",
+                element(f"{{{ns.GIAB}}}ReservationEPR", reservation.to_xml()),
+                element(f"{{{ns.GIAB}}}DataDirectoryEPR", data_directory.to_xml()),
+                spec.to_xml(),
+            ),
+        )
+        return EndpointReference.from_xml(next(response.element_children()))
+
+    # 11. Async notification when done (or poll).
+    def subscribe_job_exit(
+        self, job: EndpointReference, consumer: NotificationConsumer
+    ) -> EndpointReference:
+        body = element(
+            f"{{{ns.WSNT}}}Subscribe",
+            consumer.epr.to_xml(f"{{{ns.WSNT}}}ConsumerReference"),
+            element(
+                f"{{{ns.WSNT}}}TopicExpression",
+                TOPIC_JOB_EXITED,
+                attrs={"Dialect": TopicDialect.CONCRETE.value},
+            ),
+        )
+        response = self.soap.invoke(job, wsnt_actions.SUBSCRIBE, body)
+        return EndpointReference.from_xml(next(response.element_children()))
+
+    def job_status(self, job: EndpointReference) -> str:
+        response = self.soap.invoke(
+            job, rp_actions.GET, element(f"{{{ns.WSRF_RP}}}GetResourceProperty", "Status")
+        )
+        return text_of(response.find(f"{{{ns.GIAB}}}Status"))
+
+    def destroy(self, resource: EndpointReference) -> None:
+        """Cleanup of job and data resources via WSRF Destroy."""
+        self.soap.invoke(resource, rl_actions.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy"))

@@ -1,0 +1,199 @@
+"""The WSRF ExecService: job resources, claims, exit notifications (§4.2.1).
+
+StartJob is the paper's expensive operation: "due to the design of its
+services the WSRF implementation requires several more outcalls to
+Instantiate a Job than the WS-Transfer version" — here: reservation
+details, the claim (SetTerminationTime), and the working-directory lookup,
+plus the spawn.  When the job exits, subscribed clients get a WS-Notification
+containing the job's EPR and the reservation is destroyed automatically
+(why Figure 6 reports no WSRF bar for Un-reserve).
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.apps.giab.common import TOPIC_JOB_EXITED, wsrf_actions as actions
+from repro.apps.giab.jobs import JobSpec, JobState, ProcessSpawner
+from repro.container.service import MessageContext, web_method
+from repro.soap.envelope import SoapFault
+from repro.wsn.base import NotificationProducerMixin
+from repro.wsrf.lifetime import ResourceLifetimeMixin, actions as rl_actions
+from repro.wsrf.programming import ResourceField, WsResourceService, resource_property
+from repro.wsrf.properties import ResourcePropertiesMixin, actions as rp_actions
+from repro.wsrf.resource import RESOURCE_ID
+from repro.xmllib import element, ns, serialize, text_of
+from repro.xmllib.element import XmlElement
+
+
+class WsrfExecService(
+    NotificationProducerMixin,
+    ResourcePropertiesMixin,
+    ResourceLifetimeMixin,
+    WsResourceService,
+):
+    service_name = "Exec"
+    resource_ns = ns.GIAB
+
+    pid = ResourceField(int, 0)
+    command = ResourceField(str, "")
+    reservation_xml = ResourceField(str, "")
+
+    def __init__(self, home, spawner: ProcessSpawner, node_host: str, filesystem=None):
+        super().__init__(home)
+        self.spawner = spawner
+        self.node_host = node_host
+        #: The node's filesystem (shared with the co-located DataService),
+        #: where exiting jobs leave their output files.
+        self.filesystem = filesystem
+
+    # -- job instantiation ----------------------------------------------------------
+
+    @web_method(actions.START_JOB)
+    def start_job(self, context: MessageContext) -> XmlElement:
+        body = context.body
+        reservation_el = body.find_local("ReservationEPR")
+        data_el = body.find_local("DataDirectoryEPR")
+        job_el = body.find_local("Job")
+        if reservation_el is None or data_el is None or job_el is None:
+            raise SoapFault(
+                "Client", "startJob needs ReservationEPR, DataDirectoryEPR and Job"
+            )
+        reservation = EndpointReference.from_xml(
+            next(reservation_el.element_children())
+        )
+        data_dir = EndpointReference.from_xml(next(data_el.element_children()))
+        spec = JobSpec.from_xml(job_el)
+        client = context.client()
+
+        # Out-call 1: fetch the reservation's details and verify them.
+        details = client.invoke(
+            reservation,
+            rp_actions.GET_MULTIPLE,
+            element(
+                f"{{{ns.WSRF_RP}}}GetMultipleResourceProperties",
+                element(f"{{{ns.WSRF_RP}}}ResourceProperty", "Host"),
+                element(f"{{{ns.WSRF_RP}}}ResourceProperty", "Owner"),
+            ),
+        )
+        reserved_host = text_of(details.find(f"{{{ns.GIAB}}}Host"))
+        owner = text_of(details.find(f"{{{ns.GIAB}}}Owner"))
+        if reserved_host != self.node_host:
+            raise SoapFault(
+                "Client",
+                f"reservation is for {reserved_host}, not this ExecService's host {self.node_host}",
+            )
+        sender = str(context.sender) if context.sender is not None else owner
+        if owner != sender:
+            raise SoapFault("Client", f"reservation belongs to {owner}, not {sender}")
+
+        # Out-call 2: claim the reservation by lengthening its lifetime.
+        client.invoke(
+            reservation,
+            rl_actions.SET_TERMINATION_TIME,
+            element(
+                f"{{{ns.WSRF_RL}}}SetTerminationTime",
+                element(f"{{{ns.WSRF_RL}}}RequestedTerminationTime", "infinity"),
+            ),
+        )
+
+        # Out-call 3: resolve the working directory from the DataService.
+        directory_response = client.invoke(
+            data_dir,
+            rp_actions.GET,
+            element(f"{{{ns.WSRF_RP}}}GetResourceProperty", "DirectoryPath"),
+        )
+        working_dir = text_of(directory_response.find(f"{{{ns.GIAB}}}DirectoryPath"))
+
+        job_epr = self.create_resource(
+            command=spec.command,
+            reservation_xml=serialize(reservation.to_xml()),
+        )
+        job_key = job_epr.property(RESOURCE_ID)
+        handle = self.spawner.spawn(
+            spec, working_dir, on_exit=lambda h: self._job_exited(job_key, h)
+        )
+        document = self.home.load(job_key)
+        pid_el = document.find("{http://repro.example.org/wsrf/fields}pid")
+        pid_el.children = [str(handle.pid)]
+        self.home.save(job_key, document)
+        return element(f"{{{ns.GIAB}}}startJobResponse", job_epr.to_xml())
+
+    def _job_exited(self, job_key: str, handle) -> None:
+        """Exit callback: stage output files out, notify subscribers
+        (message contains the job's EPR), auto-destroy the reservation."""
+        self._write_outputs(handle)
+        job_epr = self.resource_epr(job_key)
+        self.notify(
+            TOPIC_JOB_EXITED,
+            element(
+                f"{{{ns.GIAB}}}JobExited",
+                job_epr.to_xml(f"{{{ns.GIAB}}}JobEPR"),
+                element(f"{{{ns.GIAB}}}ExitCode", handle.exit_code),
+            ),
+            resource_key=job_key,
+        )
+        if self.home.contains(job_key):
+            document = self.home.load(job_key)
+            reservation_xml = text_of(
+                document.find("{http://repro.example.org/wsrf/fields}reservation_xml")
+            )
+            if reservation_xml:
+                from repro.xmllib import parse_xml
+
+                reservation = EndpointReference.from_xml(parse_xml(reservation_xml))
+                try:
+                    self.container.outcall_client().invoke(
+                        reservation, rl_actions.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy")
+                    )
+                except SoapFault:
+                    pass  # already destroyed — nothing to unreserve
+
+    def _write_outputs(self, handle) -> None:
+        if self.filesystem is None or handle.exit_code != 0:
+            return
+        if not self.filesystem.exists_dir(handle.working_dir):
+            return  # directory resource destroyed while the job ran
+        for name in handle.spec.output_files:
+            self.filesystem.write(
+                handle.working_dir, name, f"output of {handle.spec.command} (pid {handle.pid})\n"
+            )
+
+    # -- resource properties -----------------------------------------------------------
+
+    def _handle(self):
+        return self.spawner.get(self.pid)
+
+    @resource_property(f"{{{ns.GIAB}}}Status")
+    def rp_status(self):
+        handle = self._handle()
+        return handle.state.value if handle is not None else JobState.PENDING.value
+
+    @resource_property(f"{{{ns.GIAB}}}ExitCode")
+    def rp_exit_code(self):
+        handle = self._handle()
+        if handle is None or handle.exit_code is None:
+            return None
+        return handle.exit_code
+
+    @resource_property(f"{{{ns.GIAB}}}RunningTime")
+    def rp_running_time(self):
+        handle = self._handle()
+        if handle is None:
+            return None
+        return repr(handle.running_time(self.network.clock.now))
+
+    # -- lifetime -------------------------------------------------------------------------
+
+    def on_resource_destroyed(self, key: str) -> None:
+        """Destroy kills the job if it is still running, then cleans up the
+        process exit state (§4.2.1)."""
+        if not self.home.contains(key):
+            return
+        document = self.home.load(key)
+        pid_text = text_of(document.find("{http://repro.example.org/wsrf/fields}pid"))
+        if not pid_text:
+            return
+        pid = int(pid_text)
+        self.spawner.kill(pid)
+        if self.spawner.get(pid) is not None:
+            self.spawner.reap(pid)

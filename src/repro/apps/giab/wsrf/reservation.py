@@ -1,0 +1,102 @@
+"""The WSRF ReservationService: reservations are WS-Resources (§4.2.1).
+
+A new reservation terminates at now + an administrator delta; the
+ExecService "claims" it by lengthening the termination time (to infinity in
+this Grid-in-a-Box, as in the paper), and destroys it once the job is done —
+which is why Un-reserve is free in the WSRF column of Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.apps.giab.common import RESERVATION_DELTA_MS, wsrf_actions as actions
+from repro.container.service import MessageContext, web_method
+from repro.soap.envelope import SoapFault
+from repro.wsrf.lifetime import ResourceLifetimeMixin
+from repro.wsrf.programming import ResourceField, WsResourceService, resource_property
+from repro.wsrf.properties import ResourcePropertiesMixin
+from repro.wsrf.resource import RESOURCE_ID
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+
+class WsrfReservationService(
+    ResourcePropertiesMixin, ResourceLifetimeMixin, WsResourceService
+):
+    service_name = "Reservation"
+    resource_ns = ns.GIAB
+
+    host = ResourceField(str, "")
+    owner = ResourceField(str, "")
+
+    def __init__(self, home, account_address: str = "", delta_ms: float = RESERVATION_DELTA_MS):
+        super().__init__(home)
+        self.account_address = account_address
+        self.delta_ms = delta_ms
+
+    # -- creation (application-specific, as WSRF mandates nothing) ----------------
+
+    @web_method(actions.CREATE_RESERVATION)
+    def create_reservation(self, context: MessageContext) -> XmlElement:
+        host = text_of(context.body.find_local("Host"))
+        if not host:
+            raise SoapFault("Client", "createReservation needs a Host")
+        owner = str(context.sender) if context.sender is not None else "anonymous"
+        # Figure 5 step 4: "Does this user have an account in this VO?"
+        # (Identity checks need signed messages; unsigned deployments skip.)
+        if self.account_address and context.sender is not None:
+            response = context.client().invoke(
+                EndpointReference.create(self.account_address),
+                actions.ACCOUNT_EXISTS,
+                element(f"{{{ns.GIAB}}}accountExists", element(f"{{{ns.GIAB}}}DN", owner)),
+            )
+            if response.text().strip() != "true":
+                raise SoapFault("Client", f"no VO account for {owner}")
+        if host in self._live_reserved_hosts():
+            raise SoapFault("Client", f"host {host} is already reserved")
+        epr = self.create_resource(host=host, owner=owner)
+        key = epr.property(RESOURCE_ID)
+        self.home.set_termination_time(key, self.network.clock.now + self.delta_ms)
+        return element(f"{{{ns.GIAB}}}createReservationResponse", epr.to_xml())
+
+    # -- queries used by the other services ------------------------------------------
+
+    @web_method(actions.LIST_RESERVED_HOSTS)
+    def list_reserved_hosts(self, context: MessageContext) -> XmlElement:
+        response = element(f"{{{ns.GIAB}}}listReservedHostsResponse")
+        for host in sorted(self._live_reserved_hosts()):
+            response.append(element(f"{{{ns.GIAB}}}Host", host))
+        return response
+
+    @web_method(actions.CHECK_RESERVATION)
+    def check_reservation(self, context: MessageContext) -> XmlElement:
+        host = text_of(context.body.find_local("Host"))
+        dn = text_of(context.body.find_local("DN"))
+        held = any(
+            entry == (host, dn) for entry in self._reservation_pairs()
+        )
+        return element(
+            f"{{{ns.GIAB}}}checkReservationResponse", "true" if held else "false"
+        )
+
+    def _reservation_pairs(self) -> list[tuple[str, str]]:
+        pairs = []
+        for key in self.home.keys():
+            doc = self.home.load(key)
+            host = text_of(doc.find("{http://repro.example.org/wsrf/fields}host"))
+            owner = text_of(doc.find("{http://repro.example.org/wsrf/fields}owner"))
+            pairs.append((host, owner))
+        return pairs
+
+    def _live_reserved_hosts(self) -> set[str]:
+        return {host for host, _ in self._reservation_pairs()}
+
+    # -- resource properties -----------------------------------------------------------
+
+    @resource_property(f"{{{ns.GIAB}}}Host")
+    def rp_host(self):
+        return self.host
+
+    @resource_property(f"{{{ns.GIAB}}}Owner")
+    def rp_owner(self):
+        return self.owner

@@ -1,0 +1,24 @@
+"""Benchmark harness: regenerates every figure in the paper's evaluation.
+
+Numbers come off the virtual clock (DESIGN.md §2): each measured operation
+is bracketed with the metrics recorder and reported in virtual milliseconds,
+the same unit as the paper's y-axes.  The pytest-benchmark targets in
+``benchmarks/`` additionally measure real wall time of the same operations.
+"""
+
+from repro.bench.runner import measure_virtual
+from repro.bench.hello import HELLO_OPS, measure_hello_world, hello_world_figure
+from repro.bench.giab import GIAB_OPS, measure_giab
+from repro.bench.report import figure_to_csv, format_figure_table, format_bar_chart
+
+__all__ = [
+    "measure_virtual",
+    "HELLO_OPS",
+    "measure_hello_world",
+    "hello_world_figure",
+    "GIAB_OPS",
+    "measure_giab",
+    "figure_to_csv",
+    "format_figure_table",
+    "format_bar_chart",
+]

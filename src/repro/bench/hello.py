@@ -1,0 +1,97 @@
+"""The "hello world" figure generator (Figures 2-4).
+
+For one security mode it produces the paper's four bar groups —
+{co-located, distributed} × {WS-Transfer/WS-Eventing, WSRF.NET} — over the
+five operations Get / Set / Create / Destroy / Notify, in virtual ms per
+single request.
+"""
+
+from __future__ import annotations
+
+from repro.apps.counter.deploy import (
+    CounterScenario,
+    build_transfer_rig,
+    build_wsrf_rig,
+)
+from repro.bench.runner import measure_virtual
+from repro.container.security import SecurityMode
+from repro.sim.costs import CostModel
+
+HELLO_OPS = ("Get", "Set", "Create", "Destroy", "Notify")
+
+#: Series labels in the paper's legend order.
+HELLO_SERIES = (
+    ("Co-located WS-Transfer / WS-Eventing", "transfer", True),
+    ("Co-located WSRF.NET", "wsrf", True),
+    ("Distributed WS-Transfer / WS-Eventing", "transfer", False),
+    ("Distributed WSRF.NET", "wsrf", False),
+)
+
+
+def measure_hello_world(
+    stack: str,
+    mode: SecurityMode,
+    colocated: bool,
+    costs: CostModel | None = None,
+) -> dict[str, float]:
+    """Measure the five counter operations for one configuration.
+
+    A full warm-up cycle runs first so connection caches (HTTP keep-alive,
+    TLS sessions) are in their steady state — the regime the paper's
+    "socket caching" observation describes.
+    """
+    scenario = CounterScenario(mode, colocated, costs or CostModel())
+    if stack == "wsrf":
+        rig = build_wsrf_rig(scenario)
+        create, get, set_, destroy, subscribe = (
+            rig.client.create, rig.client.get, rig.client.set,
+            rig.client.destroy, rig.client.subscribe,
+        )
+    elif stack == "transfer":
+        rig = build_transfer_rig(scenario)
+        create, get, set_, destroy, subscribe = (
+            rig.client.create, rig.client.get, rig.client.set,
+            rig.client.delete, rig.client.subscribe,
+        )
+    else:
+        raise ValueError(f"unknown stack: {stack}")
+    deployment = rig.deployment
+
+    # Warm-up cycle (not measured).
+    warm = create(0)
+    get(warm)
+    set_(warm, 1)
+    destroy(warm)
+
+    results: dict[str, float] = {}
+    counter = create(0)
+    results["Get"] = measure_virtual(deployment, "Get", lambda: get(counter)).elapsed_ms
+    results["Set"] = measure_virtual(deployment, "Set", lambda: set_(counter, 7)).elapsed_ms
+    created = {}
+    results["Create"] = measure_virtual(
+        deployment, "Create", lambda: created.update(epr=create(0))
+    ).elapsed_ms
+    results["Destroy"] = measure_virtual(
+        deployment, "Destroy", lambda: destroy(created["epr"])
+    ).elapsed_ms
+    # Notify: "first set the value of the counter and then receive a message
+    # indicating that the counter value has changed" — subscription set up
+    # beforehand, un-measured.
+    subscribe(counter, rig.consumer)
+    before = len(rig.consumer.received)
+    results["Notify"] = measure_virtual(
+        deployment, "Notify", lambda: set_(counter, 8)
+    ).elapsed_ms
+    if len(rig.consumer.received) != before + 1:
+        raise RuntimeError("Notify measurement did not deliver a notification")
+    return results
+
+
+def hello_world_figure(
+    mode: SecurityMode, costs: CostModel | None = None
+) -> dict[str, dict[str, float]]:
+    """One full figure: series label → {op → virtual ms}."""
+    return {
+        label: measure_hello_world(stack, mode, colocated, costs)
+        for label, stack, colocated in HELLO_SERIES
+    }

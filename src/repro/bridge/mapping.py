@@ -1,0 +1,58 @@
+"""Declarative mapping between a WS-Transfer representation and WSRF
+ResourceProperties of the same logical resource."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmllib import QName, element, ns
+from repro.xmllib.element import XmlElement
+
+
+@dataclass(frozen=True)
+class BridgeMapping:
+    """How one resource type looks on each stack.
+
+    * ``representation_tag`` — root element of the WS-Transfer form;
+    * ``properties`` — WSRF ResourceProperty QName → child tag inside the
+      representation carrying the same value;
+    * ``create_action`` / ``create_body_tag`` — the WSRF side's
+      application-specific creation operation (WSRF defines none, so the
+      bridge must know each service's idiosyncratic way in — the paper's
+      §2.3 interoperability complaint made concrete);
+    * ``defaults`` — initial child values for a fresh representation.
+    """
+
+    representation_tag: QName
+    properties: dict[QName, QName]
+    create_action: str
+    create_body_tag: QName
+    defaults: dict[QName, str]
+
+    def fresh_representation(self) -> XmlElement:
+        node = element(self.representation_tag)
+        for child_tag, value in self.defaults.items():
+            node.append(element(child_tag, value))
+        return node
+
+    def property_for_child(self, child_tag: QName) -> QName | None:
+        for rp, child in self.properties.items():
+            if child == child_tag or child.local == child_tag.local:
+                return rp
+        return None
+
+    def child_for_property(self, rp: QName) -> QName | None:
+        for known, child in self.properties.items():
+            if known == rp or known.local == rp.local:
+                return child
+        return None
+
+
+#: The counter resource, as used by both §4.1 implementations.
+COUNTER_MAPPING = BridgeMapping(
+    representation_tag=QName(ns.COUNTER, "Counter"),
+    properties={QName(ns.COUNTER, "Value"): QName(ns.COUNTER, "Value")},
+    create_action=ns.COUNTER + "/Create",
+    create_body_tag=QName(ns.COUNTER, "Create"),
+    defaults={QName(ns.COUNTER, "Value"): "0"},
+)

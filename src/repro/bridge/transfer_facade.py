@@ -1,0 +1,112 @@
+"""A WS-Transfer face over a WSRF backing service.
+
+The reverse gateway: CRUD clients drive a WSRF service.  Get assembles a
+representation from GetResourceProperty calls (one per mapped property),
+Put becomes SetResourceProperties, Delete becomes Destroy, Create calls the
+backing service's application-specific creation operation.
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.bridge.mapping import BridgeMapping
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.soap.envelope import SoapFault
+from repro.transfer.service import TRANSFER_RESOURCE_ID, actions as wxf_actions
+from repro.wsrf.lifetime import actions as rl_actions
+from repro.wsrf.properties import actions as rp_actions
+from repro.wsrf.resource import RESOURCE_ID
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+
+class TransferFacadeService(ServiceSkeleton):
+    service_name = "TransferFacade"
+
+    def __init__(self, backing_address: str, mapping: BridgeMapping):
+        super().__init__()
+        self.backing_address = backing_address
+        self.mapping = mapping
+
+    def _backing_epr(self, context: MessageContext) -> EndpointReference:
+        key = context.headers.target_epr().property(TRANSFER_RESOURCE_ID)
+        if key is None:
+            key = context.resource_key
+        if key is None:
+            raise SoapFault("Client", f"{self.service_name}: EPR names no resource")
+        return EndpointReference.create(self.backing_address).with_property(
+            RESOURCE_ID, key
+        )
+
+    # -- the four verbs, bridged ---------------------------------------------------
+
+    @web_method(wxf_actions.GET)
+    def bridged_get(self, context: MessageContext) -> XmlElement:
+        backing = self._backing_epr(context)
+        client = context.client()
+        representation = element(self.mapping.representation_tag)
+        for rp, child_tag in self.mapping.properties.items():
+            response = client.invoke(
+                backing,
+                rp_actions.GET,
+                element(f"{{{ns.WSRF_RP}}}GetResourceProperty", rp.clark()),
+            )
+            for node in response.element_children():
+                representation.append(element(child_tag, node.text()))
+        return element(f"{{{ns.WXF}}}GetResponse", representation)
+
+    @web_method(wxf_actions.PUT)
+    def bridged_put(self, context: MessageContext) -> XmlElement:
+        replacement = next(context.body.element_children(), None)
+        if replacement is None:
+            raise SoapFault("Client", "Put carries no replacement representation")
+        update = element(f"{{{ns.WSRF_RP}}}Update")
+        for child in replacement.element_children():
+            rp = self.mapping.property_for_child(child.tag)
+            if rp is None:
+                continue  # <xsd:any>: ignore what the backing cannot hold
+            update.append(element(rp, child.text()))
+        if not list(update.element_children()):
+            raise SoapFault("Client", "replacement matches no mapped properties")
+        context.client().invoke(
+            self._backing_epr(context),
+            rp_actions.SET,
+            element(f"{{{ns.WSRF_RP}}}SetResourceProperties", update),
+        )
+        return element(f"{{{ns.WXF}}}PutResponse", replacement.copy())
+
+    @web_method(wxf_actions.DELETE)
+    def bridged_delete(self, context: MessageContext) -> XmlElement:
+        context.client().invoke(
+            self._backing_epr(context), rl_actions.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy")
+        )
+        return element(f"{{{ns.WXF}}}DeleteResponse")
+
+    @web_method(wxf_actions.CREATE)
+    def bridged_create(self, context: MessageContext) -> XmlElement:
+        representation = next(context.body.element_children(), None)
+        body = element(self.mapping.create_body_tag)
+        if representation is not None:
+            value_tag = next(iter(self.mapping.defaults))
+            source = representation.find(value_tag) or representation.find_local(
+                value_tag.local
+            )
+            if source is not None:
+                body.append(
+                    element(
+                        f"{{{self.mapping.create_body_tag.namespace}}}Initial",
+                        source.text().strip(),
+                    )
+                )
+        response = context.client().invoke(
+            EndpointReference.create(self.backing_address),
+            self.mapping.create_action,
+            body,
+        )
+        backing_epr = EndpointReference.from_xml(next(response.element_children()))
+        key = backing_epr.property(RESOURCE_ID)
+        created = element(
+            f"{{{ns.WXF}}}ResourceCreated",
+            self.epr({TRANSFER_RESOURCE_ID: key}).to_xml(),
+        )
+        return element(f"{{{ns.WXF}}}CreateResponse", created)

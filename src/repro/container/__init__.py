@@ -1,0 +1,34 @@
+"""The generic resource-aware container (the paper's Figure 1).
+
+A request enters the container, the Dispatch mechanism routes it to the
+correct service, the Security/Policy handler authenticates and verifies
+signatures, the service code runs against state loaded from storage, and the
+response passes back out through the security handler.  Both stacks are
+built on this one container — exactly the architecture shared by WSRF.NET
+and the WS-Transfer implementation in the paper.
+"""
+
+from repro.container.security import (
+    Credentials,
+    SecurityError,
+    SecurityMode,
+    SecurityPolicy,
+)
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.container.container import Container
+from repro.container.deployment import Deployment, NotificationSink
+from repro.container.client import SoapClient
+
+__all__ = [
+    "Credentials",
+    "SecurityError",
+    "SecurityMode",
+    "SecurityPolicy",
+    "MessageContext",
+    "ServiceSkeleton",
+    "web_method",
+    "Container",
+    "Deployment",
+    "NotificationSink",
+    "SoapClient",
+]

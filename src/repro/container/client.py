@@ -1,0 +1,101 @@
+"""The client proxy: invoking services over the simulated wire.
+
+Mirrors a .NET Web-service proxy: it marshals the request, runs the
+security handler, pushes bytes through the transport, and unmarshals the
+response (re-raising faults as :class:`~repro.soap.envelope.SoapFault`).
+The same class serves end-user clients and server out-calls.
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.addressing.headers import MessageHeaders
+from repro.container.security import Credentials, SecurityError, SecurityHandler
+from repro.sim.network import Host
+from repro.soap.envelope import SoapFault, build_envelope
+from repro.soap.message import WireMessage
+from repro.xmllib.element import XmlElement
+
+
+class SoapClient:
+    """A client bound to one host and one identity."""
+
+    def __init__(
+        self,
+        deployment,
+        host: Host | str,
+        credentials: Credentials | None = None,
+    ) -> None:
+        self.deployment = deployment
+        self.host = deployment.host(host) if isinstance(host, str) else host
+        self.credentials = credentials
+        self.security = SecurityHandler(
+            deployment.policy, deployment.network, deployment.ca, deployment.trust
+        )
+
+    @property
+    def network(self):
+        return self.deployment.network
+
+    def invoke(
+        self,
+        epr: EndpointReference,
+        action: str,
+        body: XmlElement,
+        *,
+        reply_to: EndpointReference | None = None,
+    ) -> XmlElement | None:
+        """Round-trip one request; returns the response body child (if any)."""
+        headers = MessageHeaders(
+            to=epr.address,
+            action=action,
+            reply_to=reply_to,
+            reference_properties=epr.reference_properties,
+        )
+        envelope = build_envelope(headers.to_elements(), [body])
+        self.security.secure_outgoing(envelope, self.credentials)
+
+        costs = self.network.costs
+        request = WireMessage.from_envelope(envelope)
+        self.network.charge(
+            costs.soap_per_message + costs.xml_serialize_per_kb * request.n_kb,
+            "client.send",
+        )
+        server_host, container = self.deployment.resolve(epr.address)
+        transport = self.deployment.policy.transport
+        self.network.transmit(
+            self.host, server_host, request.n_bytes, transport, service=epr.address
+        )
+        self.network.metrics.log_message(
+            self.network.clock.now, self.host.name, epr.address, action, request.n_bytes
+        )
+
+        reply = container.handle(request)
+
+        # The response flows back on the same connection: wire time only.
+        kb = reply.n_bytes / 1024.0
+        if server_host != self.host:
+            wire = costs.lan_latency + kb * costs.lan_per_kb
+        else:
+            wire = kb * costs.loopback_per_kb
+        if transport.value == "https":
+            wire += kb * costs.tls_per_kb
+        self.network.charge(wire, "transport.wire")
+        self.network.metrics.message_sent(reply.n_bytes, epr.address)
+        self.network.metrics.log_message(
+            self.network.clock.now, epr.address, self.host.name,
+            action + "Response", reply.n_bytes, kind="response",
+        )
+
+        self.network.charge(
+            costs.soap_per_message + costs.xml_parse_per_kb * kb, "client.receive"
+        )
+        response = reply.parse()
+        try:
+            self.security.verify_incoming(response)
+        except SecurityError as exc:
+            raise SoapFault("Client", f"response security failure: {exc}") from exc
+        if response.is_fault():
+            raise response.fault()
+        children = list(response.body.element_children())
+        return children[0] if children else None

@@ -1,0 +1,152 @@
+"""The container: Figure 1's outer box.
+
+Processing order for each request, as in the paper: Dispatch routes to the
+service, the Security handler authenticates, the service executes against
+its storage, and the response passes back through the security handler to
+be signed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.addressing.headers import MessageHeaders
+from repro.container.security import Credentials, SecurityError, SecurityHandler
+from repro.container.service import MessageContext, ServiceSkeleton
+from repro.sim.network import Host, Network
+from repro.soap.envelope import Envelope, SoapFault, build_envelope, build_fault_envelope
+from repro.soap.message import WireMessage
+from repro.xmllib.element import XmlElement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.container.client import SoapClient
+    from repro.container.deployment import Deployment
+
+
+class Container:
+    """Hosts services on one machine and processes their requests."""
+
+    def __init__(
+        self,
+        deployment: "Deployment",
+        host: Host,
+        name: str,
+        credentials: Credentials | None = None,
+    ) -> None:
+        self.deployment = deployment
+        self.host = host
+        self.name = name
+        self.credentials = credentials
+        self.network: Network = deployment.network
+        self.security = SecurityHandler(
+            deployment.policy, deployment.network, deployment.ca, deployment.trust
+        )
+        self.services: dict[str, ServiceSkeleton] = {}
+
+    # -- deployment -------------------------------------------------------------
+
+    def add_service(self, service: ServiceSkeleton) -> str:
+        """Register a service; returns its address."""
+        address = f"soap://{self.host.name}/{self.name}/{service.service_name}"
+        if address in self.services:
+            raise ValueError(f"duplicate service address: {address}")
+        self.services[address] = service
+        service.attached(self, address)
+        self.deployment.register_endpoint(address, self.host, self)
+        return address
+
+    def outcall_client(self) -> "SoapClient":
+        from repro.container.client import SoapClient
+
+        return SoapClient(self.deployment, self.host, self.credentials)
+
+    # -- request processing -------------------------------------------------------
+
+    def handle(self, message: WireMessage) -> WireMessage:
+        """Process one request message and produce the response message.
+
+        Transport costs are charged by the caller (the client proxy); this
+        method charges server-side processing.
+        """
+        costs = self.network.costs
+        self.network.charge(
+            costs.soap_dispatch
+            + costs.soap_per_message
+            + costs.xml_parse_per_kb * message.n_kb,
+            "server.receive",
+        )
+        request = message.parse()
+        request_headers: MessageHeaders | None = None
+        try:
+            self._check_must_understand(request)
+            sender = self.security.verify_incoming(request)
+            request_headers = MessageHeaders.from_header_element(request.header)
+            service = self.services.get(request_headers.to)
+            if service is None:
+                raise SoapFault("Client", f"no service at {request_headers.to}")
+            context = MessageContext(
+                headers=request_headers,
+                body=request.body_child(),
+                sender=sender,
+                container=self,
+            )
+            result = service.dispatch(context)
+            response = self._response_envelope(request_headers, result)
+        except SoapFault as fault:
+            response = build_fault_envelope(
+                self._reply_headers(request_headers), fault
+            )
+        except SecurityError as exc:
+            response = build_fault_envelope(
+                self._reply_headers(request_headers),
+                SoapFault("Client", f"security failure: {exc}"),
+            )
+        try:
+            self.security.secure_outgoing(response, self.credentials)
+        except SecurityError:
+            # A misconfigured (credential-less) container cannot sign; send
+            # the response unsigned and let the client's policy reject it.
+            pass
+        reply = WireMessage.from_envelope(response)
+        self.network.charge(
+            costs.soap_per_message + costs.xml_serialize_per_kb * reply.n_kb,
+            "server.send",
+        )
+        return reply
+
+    #: Header namespaces this container processes (WS-I processing model).
+    _UNDERSTOOD = ()
+
+    def _check_must_understand(self, request: Envelope) -> None:
+        """Fault on mustUnderstand="1" headers this node cannot process.
+
+        WS-Addressing, WS-Security and signature headers are processed
+        here; anything else flagged mandatory earns a MustUnderstand fault
+        (SOAP 1.1 §4.2.3) instead of being silently ignored.
+        """
+        from repro.xmllib import QName, ns as nsmod
+
+        understood = {nsmod.WSA, nsmod.WSSE, nsmod.DS}
+        flag = QName(nsmod.SOAP, "mustUnderstand")
+        for header in request.header.element_children():
+            if header.attributes.get(flag) in ("1", "true") and header.tag.namespace not in understood:
+                raise SoapFault(
+                    "MustUnderstand",
+                    f"mandatory header {header.tag.clark()} not understood",
+                )
+
+    def _reply_headers(self, request_headers: MessageHeaders | None) -> list[XmlElement]:
+        if request_headers is None:
+            return []
+        reply = MessageHeaders(
+            to="soap://anonymous",
+            action=request_headers.action + "Response",
+            relates_to=request_headers.message_id,
+        )
+        return reply.to_elements()
+
+    def _response_envelope(
+        self, request_headers: MessageHeaders, result: XmlElement | None
+    ) -> Envelope:
+        body = [result] if result is not None else []
+        return build_envelope(self._reply_headers(request_headers), body)

@@ -1,0 +1,122 @@
+"""Service skeletons and the operation dispatch model.
+
+A service is a class deriving from :class:`ServiceSkeleton` whose operations
+are methods decorated with :func:`web_method`, keyed by WS-Addressing Action
+URI.  Port-type mixins (WSRF GetResourceProperty, WS-Transfer Get, ...)
+contribute their own decorated methods, which is how the "import
+functionality defined in the specifications" programming model works in both
+stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.addressing.epr import EndpointReference
+from repro.addressing.headers import MessageHeaders
+from repro.crypto.x509 import DistinguishedName
+from repro.soap.envelope import SoapFault
+from repro.xmllib.element import XmlElement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.container.client import SoapClient
+    from repro.container.container import Container
+
+
+def web_method(action: str) -> Callable:
+    """Mark a method as a SOAP operation bound to an Action URI."""
+
+    def mark(func: Callable) -> Callable:
+        func.__soap_action__ = action
+        return func
+
+    return mark
+
+
+@dataclass
+class MessageContext:
+    """Everything an operation can see about the current request."""
+
+    headers: MessageHeaders
+    body: XmlElement
+    sender: DistinguishedName | None
+    container: "Container"
+
+    @property
+    def resource_key(self) -> str | None:
+        """The opaque resource id carried in the EPR reference properties
+        (shared convention across both stacks)."""
+        for key, value in self.headers.reference_properties:
+            if key.local in ("ResourceID", "ResourceId"):
+                return value
+        return None
+
+    def target_epr(self) -> EndpointReference:
+        return self.headers.target_epr()
+
+    def client(self) -> "SoapClient":
+        """A client for server out-calls, rooted at this container's host and
+        signing with this container's credentials — the "web service
+        outcalls" whose count dominates the Grid-in-a-Box numbers."""
+        return self.container.outcall_client()
+
+
+class ServiceSkeleton:
+    """Base class for all services in both stacks."""
+
+    #: Service name; also the final component of the service address.
+    service_name: str = "Service"
+
+    def __init__(self) -> None:
+        self.container: "Container | None" = None
+        self.address: str = ""
+        self._operations: dict[str, Callable[[MessageContext], XmlElement | None]] = {}
+        # Scan class attributes (not the instance) so properties are not
+        # evaluated during construction; later subclasses override earlier.
+        seen_names: set[str] = set()
+        for klass in type(self).__mro__:
+            for name, member in vars(klass).items():
+                if name in seen_names or not callable(member):
+                    continue
+                seen_names.add(name)
+                action = getattr(member, "__soap_action__", None)
+                if action is not None:
+                    if action in self._operations:
+                        raise ValueError(
+                            f"{type(self).__name__}: duplicate operation for action {action}"
+                        )
+                    self._operations[action] = getattr(self, name)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def operations(self) -> dict[str, Callable]:
+        return dict(self._operations)
+
+    def dispatch(self, context: MessageContext) -> XmlElement | None:
+        operation = self._operations.get(context.headers.action)
+        if operation is None:
+            raise SoapFault(
+                "Client",
+                f"{self.service_name} does not support action {context.headers.action}",
+            )
+        return operation(context)
+
+    # -- conveniences available once deployed ---------------------------------
+
+    def attached(self, container: "Container", address: str) -> None:
+        """Called by the container when the service is registered."""
+        self.container = container
+        self.address = address
+
+    def epr(self, properties: dict | None = None) -> EndpointReference:
+        """Mint an EPR for this service (optionally naming a resource)."""
+        if not self.address:
+            raise RuntimeError(f"{self.service_name} is not attached to a container")
+        return EndpointReference.create(self.address, properties)
+
+    @property
+    def network(self):
+        if self.container is None:
+            raise RuntimeError(f"{self.service_name} is not attached to a container")
+        return self.container.network

@@ -1,0 +1,54 @@
+"""Prime generation for RSA key material."""
+
+from __future__ import annotations
+
+import random
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def is_probable_prime(n: int, rng: random.Random | None = None, rounds: int = 24) -> bool:
+    """Miller-Rabin primality test (probabilistic; error < 4**-rounds)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xC0FFEE ^ n)
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a prime of exactly ``bits`` bits using ``rng``.
+
+    Deterministic for a given seeded ``rng``, which keeps generated keys —
+    and therefore every signed message in the simulation — reproducible.
+    """
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # exact bit length, odd
+        if is_probable_prime(candidate, rng):
+            return candidate

@@ -1,0 +1,37 @@
+"""Client-side event reception: the WSE SoapReceiver over persistent TCP.
+
+"Plumbwork Orange uses a WSE SoapReceiver to handle notifications via TCP"
+— contrast with the WSRF.NET consumer's embedded HTTP server.
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.xmllib import ns
+from repro.xmllib.element import XmlElement
+
+
+class EventingConsumer:
+    """Receives pushed events on a persistent TCP sink."""
+
+    def __init__(self, deployment, host_name: str):
+        self.received: list[XmlElement] = []
+        self.ended: list[str] = []
+        self._callbacks = []
+        self.sink = deployment.add_sink(host_name, self._on_envelope, kind="tcp-receiver")
+
+    @property
+    def epr(self) -> EndpointReference:
+        return EndpointReference.create(self.sink.address)
+
+    def on_event(self, callback) -> None:
+        self._callbacks.append(callback)
+
+    def _on_envelope(self, envelope) -> None:
+        body = envelope.body_child()
+        if body.tag.namespace == ns.WSE and body.tag.local == "SubscriptionEnd":
+            self.ended.append(body.text())
+            return
+        self.received.append(body)
+        for callback in self._callbacks:
+            callback(body)

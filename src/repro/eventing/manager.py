@@ -1,0 +1,63 @@
+"""The WS-Eventing subscription manager service: Renew/GetStatus/Unsubscribe."""
+
+from __future__ import annotations
+
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.eventing.source import SUBSCRIPTION_ID, actions, parse_expires, _format_expires
+from repro.eventing.store import FlatFileSubscriptionStore
+from repro.soap.envelope import SoapFault
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+
+class EventSubscriptionManagerService(ServiceSkeleton):
+    """Manages subscriptions created by one or more event sources."""
+
+    service_name = "EventSubscriptionManager"
+
+    def __init__(self, store: FlatFileSubscriptionStore):
+        super().__init__()
+        self.store = store
+
+    def _identify(self, context: MessageContext) -> str:
+        identifier = context.headers.target_epr().property(SUBSCRIPTION_ID)
+        if not identifier:
+            raise SoapFault("Client", "request EPR carries no subscription Identifier")
+        return identifier
+
+    def _require(self, identifier: str):
+        record = self.store.get(identifier)
+        if record is None:
+            raise SoapFault("Client", f"unknown subscription: {identifier}")
+        if record.expired(self.network.clock.now):
+            self.store.remove(identifier)
+            raise SoapFault("Client", f"subscription {identifier} has expired")
+        return record
+
+    @web_method(actions.GET_STATUS)
+    def wse_get_status(self, context: MessageContext) -> XmlElement:
+        record = self._require(self._identify(context))
+        return element(
+            f"{{{ns.WSE}}}GetStatusResponse",
+            element(f"{{{ns.WSE}}}Expires", _format_expires(record.expires)),
+        )
+
+    @web_method(actions.RENEW)
+    def wse_renew(self, context: MessageContext) -> XmlElement:
+        identifier = self._identify(context)
+        self._require(identifier)
+        expires = parse_expires(
+            text_of(context.body.find(f"{{{ns.WSE}}}Expires")), self.network.clock.now
+        )
+        renewed = self.store.renew(identifier, expires)
+        return element(
+            f"{{{ns.WSE}}}RenewResponse",
+            element(f"{{{ns.WSE}}}Expires", _format_expires(renewed.expires)),
+        )
+
+    @web_method(actions.UNSUBSCRIBE)
+    def wse_unsubscribe(self, context: MessageContext) -> XmlElement:
+        identifier = self._identify(context)
+        if not self.store.remove(identifier):
+            raise SoapFault("Client", f"unknown subscription: {identifier}")
+        return element(f"{{{ns.WSE}}}UnsubscribeResponse")

@@ -1,0 +1,77 @@
+"""The NotificationManager: the trigger-side convenience tool.
+
+"The Notification Manager, which is not defined in the spec, is a
+convenient tool for an event source to trigger notifications by using
+operations implemented in it."  Delivery uses the push mode over the
+consumer's persistent-TCP SoapReceiver (the reason WS-Eventing Notify
+out-performs WSRF.NET's per-delivery HTTP server in Figures 2-4).
+"""
+
+from __future__ import annotations
+
+from repro.eventing.filters import EventFilter
+from repro.eventing.source import actions
+from repro.eventing.store import FlatFileSubscriptionStore, SubscriptionRecord
+from repro.soap.envelope import build_envelope
+from repro.xmllib import element, ns
+from repro.xmllib.element import XmlElement
+
+
+class NotificationManager:
+    """Fires events from a source service to its matching subscribers."""
+
+    def __init__(self, store: FlatFileSubscriptionStore):
+        self.store = store
+
+    def fire(self, source_service, message: XmlElement, topic: str = "") -> int:
+        """Deliver ``message`` to every live, matching subscriber of the
+        source.  Expired subscriptions are pruned (and their EndTo endpoints
+        told).  Returns the delivery count."""
+        deployment = source_service.container.deployment
+        now = source_service.network.clock.now
+        for dead in self.store.prune_expired(now):
+            self._send_subscription_end(source_service, dead, "expired")
+        delivered = 0
+        for record in self.store.for_source(source_service.address):
+            if not EventFilter(record.filter_expression).matches(message, topic):
+                continue
+            envelope = build_envelope([], [self._payload(record, message, topic, now)])
+            if deployment.deliver_notification(
+                source_service.container.host,
+                record.notify_to,
+                envelope,
+                source_service.container.credentials,
+            ):
+                delivered += 1
+        return delivered
+
+    def _payload(self, record: SubscriptionRecord, message, topic: str, now: float):
+        """Shape the delivered body per the subscription's delivery mode."""
+        from repro.eventing.source import WRAP_MODE
+
+        if record.delivery_mode == WRAP_MODE:
+            wrapper = element(
+                f"{{{ns.WSE}}}Wrapper",
+                attrs={"Subscription": record.identifier, "At": repr(now)},
+            )
+            if topic:
+                wrapper.set("Topic", topic)
+            wrapper.append(message.copy())
+            return wrapper
+        return message.copy()
+
+    def _send_subscription_end(self, source_service, record: SubscriptionRecord, reason: str) -> None:
+        if not record.end_to:
+            return
+        deployment = source_service.container.deployment
+        end_message = element(
+            f"{{{ns.WSE}}}SubscriptionEnd",
+            element(f"{{{ns.WSE}}}Status", actions.SUBSCRIPTION_END + "/" + reason),
+            element(f"{{{ns.WSE}}}Reason", reason),
+        )
+        deployment.deliver_notification(
+            source_service.container.host,
+            record.end_to,
+            build_envelope([], [end_message]),
+            source_service.container.credentials,
+        )

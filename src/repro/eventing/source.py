@@ -1,0 +1,105 @@
+"""The WS-Eventing event source: the Subscribe operation."""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.container.service import MessageContext, web_method
+from repro.eventing.filters import FILTER_DIALECT_XPATH
+from repro.eventing.store import SubscriptionRecord
+from repro.soap.envelope import SoapFault
+from repro.xmllib import QName, element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+#: Reference property identifying a subscription at the manager.
+SUBSCRIPTION_ID = QName(ns.WSE, "Identifier")
+
+PUSH_MODE = "http://schemas.xmlsoap.org/ws/2004/08/eventing/DeliveryModes/Push"
+#: This implementation's custom extension mode ("These modes are viewed as
+#: an extension point by WS-Eventing in which application-specific ways of
+#: sending messages can be defined").  Events arrive wrapped in a
+#: wse:Wrapper element carrying delivery metadata — and, per §2.3's warning,
+#: any *other* implementation will refuse a Subscribe that requests it.
+WRAP_MODE = "http://repro.example.org/eventing/DeliveryModes/Wrap"
+
+
+class actions:
+    """Action URIs from the WS-Eventing member submission."""
+
+    SUBSCRIBE = ns.WSE + "/Subscribe"
+    RENEW = ns.WSE + "/Renew"
+    GET_STATUS = ns.WSE + "/GetStatus"
+    UNSUBSCRIBE = ns.WSE + "/Unsubscribe"
+    SUBSCRIPTION_END = ns.WSE + "/SubscriptionEnd"
+
+
+def parse_expires(text: str, now: float) -> float | None:
+    """Expires is either an absolute virtual instant or empty (no expiry)."""
+    text = text.strip()
+    if not text or text.lower() in ("infinity", "never"):
+        return None
+    try:
+        value = float(text)
+    except ValueError:
+        raise SoapFault("Client", f"unintelligible Expires: {text!r}")
+    if value <= now:
+        raise SoapFault("Client", f"Expires {value} is not in the future (now={now})")
+    return value
+
+
+class EventSourceMixin:
+    """Port type: makes a service a WS-Eventing event source.
+
+    The hosting service must set ``self.event_subscription_manager`` to its
+    :class:`~repro.eventing.manager.EventSubscriptionManagerService` ("The
+    subscription manager service may be the same web service as the event
+    source, or a separate service").
+    """
+
+    @web_method(actions.SUBSCRIBE)
+    def wse_subscribe(self, context: MessageContext) -> XmlElement:
+        body = context.body
+        delivery = body.find(f"{{{ns.WSE}}}Delivery")
+        if delivery is None:
+            raise SoapFault("Client", "Subscribe has no Delivery element")
+        mode = delivery.get("Mode", PUSH_MODE)
+        if mode not in (PUSH_MODE, WRAP_MODE):
+            # Delivery modes are the spec's extension point; only Push is
+            # spec-defined (plus this implementation's own Wrap extension) —
+            # anything else must be refused.
+            raise SoapFault("Client", f"unsupported delivery mode: {mode}")
+        notify_el = delivery.find(f"{{{ns.WSE}}}NotifyTo")
+        if notify_el is None:
+            raise SoapFault("Client", "push delivery requires NotifyTo")
+        notify_to = EndpointReference.from_xml(notify_el)
+        end_el = body.find(f"{{{ns.WSE}}}EndTo")
+        end_to = EndpointReference.from_xml(end_el).address if end_el is not None else ""
+        filter_el = body.find(f"{{{ns.WSE}}}Filter")
+        filter_expression = text_of(filter_el)
+        if filter_el is not None:
+            dialect = filter_el.get("Dialect", FILTER_DIALECT_XPATH)
+            if dialect != FILTER_DIALECT_XPATH:
+                raise SoapFault("Client", f"unsupported filter dialect: {dialect}")
+        now = self.network.clock.now
+        expires = parse_expires(text_of(body.find(f"{{{ns.WSE}}}Expires")), now)
+
+        manager = self.event_subscription_manager
+        record = SubscriptionRecord(
+            identifier=manager.store.new_identifier(),
+            source_address=self.address,
+            notify_to=notify_to.address,
+            end_to=end_to,
+            expires=expires,
+            filter_expression=filter_expression,
+            delivery_mode=mode,
+        )
+        manager.store.add(record)
+        manager_epr = manager.epr({SUBSCRIPTION_ID: record.identifier})
+        return element(
+            f"{{{ns.WSE}}}SubscribeResponse",
+            manager_epr.to_xml(f"{{{ns.WSE}}}SubscriptionManager"),
+            element(f"{{{ns.WSE}}}Expires", _format_expires(expires)),
+        )
+
+
+def _format_expires(expires: float | None) -> str:
+    return "infinity" if expires is None else repr(expires)

@@ -1,0 +1,37 @@
+"""WS-MetadataExchange (extension beyond the paper's implementation).
+
+§3.2 identifies WS-Transfer's missing input/output schemas as a real
+problem — "our prototyping ... relied on hard-coding of common schemas
+within the client and service.  We determined no elegant mechanism by which
+the client could easily discover the schemas (although emerging
+specifications like WS-MetadataExchange do seem promising)."
+
+This package builds that promising mechanism: any service can answer
+``mex:GetMetadata`` with its supported operations, its representation
+schemas (rendered :class:`~repro.xmllib.schema.ElementSpec` trees a client
+can reconstruct and validate against) and — for WSRF services — its
+ResourceProperty names.
+"""
+
+from repro.metadata.exchange import (
+    DIALECT_OPERATIONS,
+    DIALECT_RESOURCE_PROPERTIES,
+    DIALECT_SCHEMA,
+    MetadataExchangeMixin,
+    ServiceMetadata,
+    actions,
+    fetch_metadata,
+)
+from repro.metadata.schema_xml import schema_from_xml, schema_to_xml
+
+__all__ = [
+    "DIALECT_OPERATIONS",
+    "DIALECT_RESOURCE_PROPERTIES",
+    "DIALECT_SCHEMA",
+    "MetadataExchangeMixin",
+    "ServiceMetadata",
+    "actions",
+    "fetch_metadata",
+    "schema_from_xml",
+    "schema_to_xml",
+]

@@ -1,0 +1,132 @@
+"""The GetMetadata operation and its client side."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.addressing.epr import EndpointReference
+from repro.container.service import MessageContext, web_method
+from repro.metadata.schema_xml import schema_from_xml, schema_to_xml
+from repro.xmllib import QName, element, ns, text_of
+from repro.xmllib.element import XmlElement
+from repro.xmllib.schema import ElementSpec
+
+DIALECT_OPERATIONS = "http://repro.example.org/mex/dialect/operations"
+DIALECT_SCHEMA = "http://repro.example.org/mex/dialect/representation-schema"
+DIALECT_RESOURCE_PROPERTIES = "http://repro.example.org/mex/dialect/resource-properties"
+#: The dialect real WS-MetadataExchange is best known for: serving WSDL.
+DIALECT_WSDL = "http://schemas.xmlsoap.org/wsdl/"
+
+
+class actions:
+    GET_METADATA = ns.MEX + "/GetMetadata"
+
+
+class MetadataExchangeMixin:
+    """Port type: answer ``mex:GetMetadata``.
+
+    Services advertise representation schemas by appending
+    :class:`~repro.xmllib.schema.ElementSpec` objects to
+    ``self.advertised_schemas`` — the WS-Transfer side's escape from
+    hard-coded client/service schema coupling.
+    """
+
+    @property
+    def advertised_schemas(self) -> list[ElementSpec]:
+        if not hasattr(self, "_advertised_schemas"):
+            self._advertised_schemas = []
+        return self._advertised_schemas
+
+    def advertise_schema(self, spec: ElementSpec) -> None:
+        self.advertised_schemas.append(spec)
+
+    @web_method(actions.GET_METADATA)
+    def mex_get_metadata(self, context: MessageContext) -> XmlElement:
+        wanted = text_of(context.body.find(f"{{{ns.MEX}}}Dialect"))
+        metadata = element(f"{{{ns.MEX}}}Metadata")
+        if not wanted or wanted == DIALECT_OPERATIONS:
+            section = element(
+                f"{{{ns.MEX}}}MetadataSection", attrs={"Dialect": DIALECT_OPERATIONS}
+            )
+            for action in sorted(self.operations()):
+                section.append(element(f"{{{ns.MEX}}}Operation", action))
+            metadata.append(section)
+        if not wanted or wanted == DIALECT_SCHEMA:
+            section = element(
+                f"{{{ns.MEX}}}MetadataSection", attrs={"Dialect": DIALECT_SCHEMA}
+            )
+            for spec in self.advertised_schemas:
+                section.append(schema_to_xml(spec))
+            metadata.append(section)
+        if not wanted or wanted == DIALECT_WSDL:
+            from repro.wsdl.generate import generate_wsdl
+
+            section = element(
+                f"{{{ns.MEX}}}MetadataSection", attrs={"Dialect": DIALECT_WSDL}
+            )
+            section.append(generate_wsdl(self, self.advertised_schemas or None))
+            metadata.append(section)
+        if (not wanted or wanted == DIALECT_RESOURCE_PROPERTIES) and hasattr(self, "rp_names"):
+            section = element(
+                f"{{{ns.MEX}}}MetadataSection",
+                attrs={"Dialect": DIALECT_RESOURCE_PROPERTIES},
+            )
+            for name in self.rp_names():
+                section.append(element(f"{{{ns.MEX}}}ResourceProperty", name.clark()))
+            metadata.append(section)
+        return element(f"{{{ns.MEX}}}GetMetadataResponse", metadata)
+
+
+@dataclass
+class ServiceMetadata:
+    """Client-side view of a GetMetadata response."""
+
+    operations: list[str] = field(default_factory=list)
+    schemas: list[ElementSpec] = field(default_factory=list)
+    resource_properties: list[QName] = field(default_factory=list)
+    wsdl: "object | None" = None  # WsdlDescription when the dialect was served
+
+    def supports(self, action: str) -> bool:
+        return action in self.operations
+
+    def schema_for(self, tag: str | QName) -> ElementSpec | None:
+        wanted = QName.parse(tag)
+        for spec in self.schemas:
+            if spec.tag == wanted:
+                return spec
+        return None
+
+
+def fetch_metadata(
+    soap, address: str, dialect: str = ""
+) -> ServiceMetadata:
+    """Discover a service's metadata (all dialects unless one is named)."""
+    body = element(f"{{{ns.MEX}}}GetMetadata")
+    if dialect:
+        body.append(element(f"{{{ns.MEX}}}Dialect", dialect))
+    response = soap.invoke(
+        EndpointReference.create(address), actions.GET_METADATA, body
+    )
+    out = ServiceMetadata()
+    metadata = response.find(f"{{{ns.MEX}}}Metadata")
+    if metadata is None:
+        return out
+    for section in metadata.find_all(f"{{{ns.MEX}}}MetadataSection"):
+        kind = section.get("Dialect", "")
+        if kind == DIALECT_OPERATIONS:
+            out.operations.extend(
+                op.text().strip() for op in section.element_children()
+            )
+        elif kind == DIALECT_SCHEMA:
+            out.schemas.extend(schema_from_xml(el) for el in section.element_children())
+        elif kind == DIALECT_RESOURCE_PROPERTIES:
+            out.resource_properties.extend(
+                QName.parse(rp.text().strip()) for rp in section.element_children()
+            )
+        elif kind == DIALECT_WSDL:
+            from repro.wsdl.describe import parse_wsdl
+
+            definitions = next(section.element_children(), None)
+            if definitions is not None:
+                out.wsdl = parse_wsdl(definitions)
+    return out

@@ -1,0 +1,61 @@
+"""Rendering ElementSpec schemas to XML and back.
+
+This is the wire form a MetadataSection carries, so a client can rebuild an
+:class:`~repro.xmllib.schema.ElementSpec` and validate representations
+locally instead of hard-coding the shape.
+"""
+
+from __future__ import annotations
+
+from repro.xmllib import QName, element, ns, text_of
+from repro.xmllib.element import XmlElement
+from repro.xmllib.schema import ElementSpec
+
+_EL = QName(ns.MEX, "Element")
+_CHILD = QName(ns.MEX, "Child")
+_ATTR = QName(ns.MEX, "RequiredAttribute")
+
+
+def schema_to_xml(spec: ElementSpec) -> XmlElement:
+    node = element(_EL, attrs={"name": spec.tag.clark()})
+    if spec.text_type is not None:
+        node.set("textType", spec.text_type)
+    if spec.open_content:
+        node.set("openContent", "true")
+    for attr in spec.required_attributes:
+        node.append(element(_ATTR, attrs={"name": attr.clark()}))
+    for tag, (child_spec, min_occurs, max_occurs) in spec.children.items():
+        child_el = element(
+            _CHILD,
+            attrs={
+                "name": tag.clark(),
+                "minOccurs": str(min_occurs),
+                "maxOccurs": "unbounded" if max_occurs is None else str(max_occurs),
+            },
+        )
+        if child_spec is not None:
+            child_el.append(schema_to_xml(child_spec))
+        node.append(child_el)
+    return node
+
+
+def schema_from_xml(node: XmlElement) -> ElementSpec:
+    if node.tag != _EL:
+        raise ValueError(f"not a schema element: {node.tag.clark()}")
+    spec = ElementSpec(
+        tag=QName.parse(node.get("name", "")),
+        text_type=node.get("textType"),
+        open_content=node.get("openContent") == "true",
+        required_attributes=tuple(
+            QName.parse(a.get("name", ""))
+            for a in node.find_all(_ATTR)
+        ),
+    )
+    for child_el in node.find_all(_CHILD):
+        tag = QName.parse(child_el.get("name", ""))
+        max_text = child_el.get("maxOccurs", "1")
+        max_occurs = None if max_text == "unbounded" else int(max_text)
+        inner = child_el.find(_EL)
+        child_spec = schema_from_xml(inner) if inner is not None else None
+        spec.children[tag] = (child_spec, int(child_el.get("minOccurs", "0")), max_occurs)
+    return spec

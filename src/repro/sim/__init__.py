@@ -1,0 +1,26 @@
+"""Deterministic virtual-time substrate.
+
+The paper measured wall-clock milliseconds on a pair of 2005-era Opteron
+machines.  This package replaces that testbed with a discrete virtual clock
+and a calibrated cost model (DESIGN.md §2, §5): every component *charges*
+virtual milliseconds for the work it does — SOAP processing scaled by the
+real serialized message size, database operations, RSA signing, TLS
+handshakes, LAN round trips — so the benchmark figures are deterministic and
+reproduce the paper's *shapes* rather than this machine's timings.
+"""
+
+from repro.sim.clock import Clock, Timer
+from repro.sim.costs import CostModel
+from repro.sim.metrics import MetricsRecorder, OperationTrace
+from repro.sim.network import Host, Network, TransportKind
+
+__all__ = [
+    "Clock",
+    "Timer",
+    "CostModel",
+    "MetricsRecorder",
+    "OperationTrace",
+    "Host",
+    "Network",
+    "TransportKind",
+]

@@ -1,0 +1,101 @@
+"""The calibrated cost model.
+
+Every figure in the paper is a sum of these primitives.  The defaults were
+back-fitted from the paper's bar charts (Figures 2-4 and 6, single request,
+dual-Opteron-240 / Windows Server 2003 era) — see DESIGN.md §5.  All values
+are virtual milliseconds.  Benchmarks that explore sensitivity (ablations)
+construct modified copies via :meth:`CostModel.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-millisecond costs of the simulation's primitive operations."""
+
+    # --- SOAP / container processing -----------------------------------
+    #: Fixed cost of accepting a request: dispatch + ASP.NET-style plumbing.
+    soap_dispatch: float = 0.6
+    #: Parsing one KB of XML (charged on every receive).
+    xml_parse_per_kb: float = 0.45
+    #: Serializing one KB of XML (charged on every send).
+    xml_serialize_per_kb: float = 0.35
+    #: Fixed envelope handling overhead per message in either direction.
+    soap_per_message: float = 0.6
+
+    # --- transport -------------------------------------------------------
+    #: One-way LAN latency between distinct hosts (zero when co-located).
+    lan_latency: float = 0.35
+    #: Wire time per KB between distinct hosts.
+    lan_per_kb: float = 0.09
+    #: Loopback per-KB cost when client and service share a machine.
+    loopback_per_kb: float = 0.012
+    #: Establishing a fresh HTTP connection (TCP handshake + HTTP overhead).
+    http_connect: float = 0.8
+    #: Reusing a kept-alive HTTP connection.
+    http_connect_cached: float = 0.1
+    #: Full TLS handshake (RSA key exchange, 2005-era).
+    tls_handshake: float = 28.0
+    #: Resumed TLS session ("socket caching" in the paper's words).
+    tls_resume: float = 1.8
+    #: Per-KB symmetric crypto cost on an HTTPS connection.
+    tls_per_kb: float = 0.22
+    #: Opening the persistent TCP socket WS-Eventing's SoapReceiver uses.
+    tcp_connect: float = 0.5
+    #: Per-delivery overhead of the WSRF.NET consumer's embedded HTTP server.
+    notify_http_overhead: float = 16.0
+    #: Per-delivery overhead of Plumbwork Orange's persistent-TCP receiver.
+    notify_tcp_overhead: float = 1.1
+
+    # --- WS-Security (X.509 / XML-DSig) ---------------------------------
+    #: RSA-1024 private-key signature (dominates Figure 4).
+    rsa_sign: float = 45.0
+    #: RSA-1024 public-key verification.
+    rsa_verify: float = 3.5
+    #: Canonicalization + digest per KB of signed content.
+    c14n_digest_per_kb: float = 0.5
+    #: WSE policy evaluation per secured message.
+    security_policy_check: float = 1.2
+
+    # --- Xindice XML database -------------------------------------------
+    #: Fetch a document by id.
+    db_read: float = 5.5
+    #: Update an existing document in place.
+    db_update: float = 7.0
+    #: Insert a new document ("creating resources ... is always slower").
+    db_insert: float = 24.0
+    #: Remove a document.
+    db_delete: float = 5.0
+    #: XPath query across a collection (per document scanned).
+    db_query_per_doc: float = 0.25
+    #: Fixed XPath query setup cost.
+    db_query_base: float = 2.0
+    #: Write-through resource-cache hit (WSRF.NET's optimization).
+    cache_hit: float = 0.4
+
+    # --- application-level -----------------------------------------------
+    #: Spawning the Windows service process wrapper for a job.
+    process_spawn: float = 55.0
+    #: Filesystem write per KB (DataService stores files on disk).
+    fs_write_per_kb: float = 0.8
+    #: Filesystem read per KB.
+    fs_read_per_kb: float = 0.5
+    #: Creating a directory.
+    fs_mkdir: float = 2.5
+    #: Deleting a file.
+    fs_delete: float = 1.5
+    #: Listing a directory (per entry).
+    fs_list_per_entry: float = 0.12
+
+    def replace(self, **overrides: float) -> "CostModel":
+        """Return a copy with some entries overridden (for ablations)."""
+        return _dc_replace(self, **overrides)
+
+    @classmethod
+    def free(cls) -> "CostModel":
+        """An all-zero model — lets unit tests assert pure functionality."""
+        zeros = {name: 0.0 for name in cls.__dataclass_fields__}
+        return cls(**zeros)

@@ -1,0 +1,134 @@
+"""Instrumentation: message counts, byte counts and virtual-time breakdowns.
+
+The paper attributes its Grid-in-a-Box results to "the number of web service
+outcalls (and message signings) triggered on the server"; the recorder makes
+exactly those quantities observable so benchmarks (and tests) can assert
+them directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WireLogEntry:
+    """One logged message: who sent what to whom, when (virtual ms)."""
+
+    at: float
+    source: str
+    target: str
+    action: str
+    n_bytes: int
+    kind: str = "request"  # request | response | notify
+
+
+@dataclass
+class OperationTrace:
+    """Everything observed between ``begin()`` and ``end()`` of one operation."""
+
+    name: str
+    started_at: float
+    ended_at: float = 0.0
+    messages: int = 0
+    bytes_on_wire: int = 0
+    signatures: int = 0
+    verifications: int = 0
+    db_ops: int = 0
+    services_touched: set[str] = field(default_factory=set)
+    time_by_category: Counter = field(default_factory=Counter)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.ended_at - self.started_at
+
+
+class MetricsRecorder:
+    """Accumulates simulation events, optionally attributing to an operation.
+
+    One recorder is shared per :class:`~repro.sim.network.Network`.  The
+    benchmark harness brackets each measured client operation with
+    ``begin()/end()``; all events between the brackets are attributed to
+    that operation's :class:`OperationTrace`.
+    """
+
+    def __init__(self) -> None:
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.time_by_category: Counter = Counter()
+        self._active: OperationTrace | None = None
+        self.completed: list[OperationTrace] = []
+        #: Per-message log, populated only while ``wire_log_enabled``.
+        self.wire_log: list[WireLogEntry] = []
+        self.wire_log_enabled = False
+
+    # -- operation bracketing ----------------------------------------------
+
+    def begin(self, name: str, now: float) -> OperationTrace:
+        if self._active is not None:
+            raise RuntimeError(
+                f"operation {self._active.name!r} still active; traces cannot nest"
+            )
+        self._active = OperationTrace(name=name, started_at=now)
+        return self._active
+
+    def end(self, now: float) -> OperationTrace:
+        if self._active is None:
+            raise RuntimeError("no active operation trace")
+        trace = self._active
+        trace.ended_at = now
+        self.completed.append(trace)
+        self._active = None
+        return trace
+
+    # -- event hooks ---------------------------------------------------------
+
+    def message_sent(self, n_bytes: int, service: str | None = None) -> None:
+        self.total_messages += 1
+        self.total_bytes += n_bytes
+        if self._active is not None:
+            self._active.messages += 1
+            self._active.bytes_on_wire += n_bytes
+            if service:
+                self._active.services_touched.add(service)
+
+    def signed(self) -> None:
+        if self._active is not None:
+            self._active.signatures += 1
+
+    def verified(self) -> None:
+        if self._active is not None:
+            self._active.verifications += 1
+
+    def db_op(self) -> None:
+        if self._active is not None:
+            self._active.db_ops += 1
+
+    def log_message(
+        self,
+        at: float,
+        source: str,
+        target: str,
+        action: str,
+        n_bytes: int,
+        kind: str = "request",
+    ) -> None:
+        """Record one message in the wire log (no-op unless enabled)."""
+        if self.wire_log_enabled:
+            self.wire_log.append(WireLogEntry(at, source, target, action, n_bytes, kind))
+
+    def time_charged(self, ms: float, category: str) -> None:
+        self.time_by_category[category] += ms
+        if self._active is not None:
+            self._active.time_by_category[category] += ms
+
+    # -- reporting -------------------------------------------------------------
+
+    def last(self) -> OperationTrace:
+        if not self.completed:
+            raise RuntimeError("no completed operation traces")
+        return self.completed[-1]
+
+    def reset(self) -> None:
+        self.__init__()

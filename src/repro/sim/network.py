@@ -1,0 +1,132 @@
+"""Simulated hosts, transports and connection caches.
+
+Models the part of the paper's testbed that the container does not: moving
+bytes between machines.  Three transports are provided:
+
+* ``HTTP`` — per-request connections with a keep-alive cache;
+* ``HTTPS`` — TLS on top, with a session-resumption cache (the paper:
+  "Due to socket caching, HTTPS performance is much faster");
+* ``TCP`` — the persistent socket used by WS-Eventing's ``SoapReceiver``
+  notification path (the reason WS-Eventing Notify beats WSRF.NET's
+  per-delivery HTTP server).
+
+Costs come from the shared :class:`~repro.sim.costs.CostModel`; all time is
+charged to the shared :class:`~repro.sim.clock.Clock` and attributed via the
+shared :class:`~repro.sim.metrics.MetricsRecorder`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.clock import Clock
+from repro.sim.costs import CostModel
+from repro.sim.metrics import MetricsRecorder
+
+
+class TransportKind(enum.Enum):
+    HTTP = "http"
+    HTTPS = "https"
+    TCP = "tcp"
+
+
+@dataclass(frozen=True)
+class Host:
+    """A machine in the simulated deployment."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.name
+
+
+@dataclass
+class _ConnectionState:
+    """Cached state for one (client-host, server-host, transport) triple."""
+
+    established: bool = False
+    tls_session: bool = False
+
+
+class Network:
+    """The simulated wire plus the shared clock/costs/metrics trio."""
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        clock: Clock | None = None,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        self.costs = cost_model if cost_model is not None else CostModel()
+        self.clock = clock if clock is not None else Clock()
+        self.metrics = metrics if metrics is not None else MetricsRecorder()
+        self._connections: dict[tuple[str, str, TransportKind], _ConnectionState] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def charge(self, ms: float, category: str) -> None:
+        """Advance virtual time and attribute it to ``category``."""
+        self.clock.charge(ms)
+        self.metrics.time_charged(ms, category)
+
+    def _conn(self, src: Host, dst: Host, kind: TransportKind) -> _ConnectionState:
+        key = (src.name, dst.name, kind)
+        state = self._connections.get(key)
+        if state is None:
+            state = _ConnectionState()
+            self._connections[key] = state
+        return state
+
+    def drop_connections(self) -> None:
+        """Forget all cached connections and TLS sessions (cold start)."""
+        self._connections.clear()
+
+    # -- the wire ---------------------------------------------------------
+
+    def transmit(
+        self,
+        src: Host,
+        dst: Host,
+        n_bytes: int,
+        kind: TransportKind,
+        *,
+        service: str | None = None,
+    ) -> None:
+        """Charge the cost of moving ``n_bytes`` from ``src`` to ``dst``.
+
+        Connection setup costs depend on the cache state; data costs depend
+        on placement (loopback vs LAN) and transport (TLS adds per-KB
+        symmetric crypto).
+        """
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        costs = self.costs
+        kb = n_bytes / 1024.0
+        state = self._conn(src, dst, kind)
+
+        setup = 0.0
+        if kind is TransportKind.HTTP:
+            setup += costs.http_connect_cached if state.established else costs.http_connect
+        elif kind is TransportKind.HTTPS:
+            setup += costs.http_connect_cached if state.established else costs.http_connect
+            setup += costs.tls_resume if state.tls_session else costs.tls_handshake
+            state.tls_session = True
+        elif kind is TransportKind.TCP:
+            if not state.established:
+                setup += costs.tcp_connect
+        state.established = True
+        if setup:
+            self.charge(setup, "transport.setup")
+
+        wire = 0.0
+        if src != dst:
+            wire += costs.lan_latency + kb * costs.lan_per_kb
+        else:
+            wire += kb * costs.loopback_per_kb
+        if kind is TransportKind.HTTPS:
+            wire += kb * costs.tls_per_kb
+        if wire:
+            self.charge(wire, "transport.wire")
+
+        self.metrics.message_sent(n_bytes, service)

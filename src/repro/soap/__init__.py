@@ -1,0 +1,17 @@
+"""SOAP envelope construction, faults, and wire messages."""
+
+from repro.soap.envelope import (
+    Envelope,
+    SoapFault,
+    build_envelope,
+    parse_envelope,
+)
+from repro.soap.message import WireMessage
+
+__all__ = [
+    "Envelope",
+    "SoapFault",
+    "build_envelope",
+    "parse_envelope",
+    "WireMessage",
+]

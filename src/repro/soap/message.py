@@ -1,0 +1,40 @@
+"""Wire messages: an envelope plus its serialized form.
+
+Messages really are serialized before "transmission" and re-parsed on
+receipt — the byte counts that drive transport costs are genuine, and
+signature verification runs against a re-parsed tree exactly as it would
+after crossing a real wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soap.envelope import Envelope, parse_envelope
+from repro.xmllib import serialize
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """One message in flight."""
+
+    text: str
+
+    @classmethod
+    def from_envelope(cls, envelope: Envelope) -> "WireMessage":
+        return cls(serialize(envelope.root, xml_declaration=True))
+
+    @property
+    def n_bytes(self) -> int:
+        return len(self.text.encode("utf-8"))
+
+    @property
+    def n_kb(self) -> float:
+        return self.n_bytes / 1024.0
+
+    def parse(self) -> Envelope:
+        text = self.text
+        if text.startswith("<?xml"):
+            end = text.find("?>")
+            text = text[end + 2 :]
+        return parse_envelope(text)

@@ -1,0 +1,16 @@
+"""Stack B part 1: WS-Transfer.
+
+The four REST/CRUD operations — Create, Get, Put, Delete — over
+EPR-addressed XML resource representations, with the behaviours the paper's
+implementation settled on: GUID resource naming, Xindice-backed storage,
+resource-vs-representation distinction hooks, and tolerance for resources
+created out of band.
+"""
+
+from repro.transfer.service import (
+    TRANSFER_RESOURCE_ID,
+    TransferResourceService,
+    actions,
+)
+
+__all__ = ["TRANSFER_RESOURCE_ID", "TransferResourceService", "actions"]

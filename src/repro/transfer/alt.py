@@ -1,0 +1,101 @@
+"""A second, independent WS-Transfer implementation ("Plumbtree").
+
+§2.3 wonders whether "ease of implementing WS-Transfer ... might eventually
+lead to more independent implementations" but doubts that "two WS-Transfer
+implementations are more apt to facilitate interoperability ... an
+implementation is more apt to use functionality outside of the scope of the
+spec, causing interoperability headaches among custom extensions."
+
+This class is that second implementation, written to the spec but with
+every free choice made differently from :class:`TransferResourceService`:
+
+* resources live in a plain in-memory map, not the XML database;
+* resource ids are sequential (``plumbtree-N``) and ride in a *different*
+  reference property (``{alt}ID``) — harmless to clients that keep EPRs
+  opaque, fatal to clients that construct EPRs by convention;
+* Put on a resource that was never Created faults (the spec permits
+  out-of-band resources but does not require supporting them);
+* Create echoes the stored representation back (also spec-legal).
+
+The interop tests show exactly which clients survive the swap.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.soap.envelope import SoapFault
+from repro.transfer.service import actions
+from repro.xmllib import QName, element, ns
+from repro.xmllib.element import XmlElement
+
+#: A different reference property than the main implementation's.
+ALT_RESOURCE_ID = QName("http://alt.example.org/transfer", "ID")
+
+
+class AltTransferService(ServiceSkeleton):
+    """Spec-conformant WS-Transfer with independently-chosen internals."""
+
+    service_name = "Plumbtree"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._resources: dict[str, XmlElement] = {}
+        self._ids = itertools.count(1)
+
+    def _key(self, context: MessageContext) -> str:
+        epr = context.headers.target_epr()
+        key = epr.property(ALT_RESOURCE_ID)
+        if key is None:
+            # Be liberal in what we accept: any *ID-shaped local name.
+            for name, value in epr.reference_properties:
+                if name.local.lower() in ("id", "resourceid"):
+                    key = value
+                    break
+        if key is None:
+            raise SoapFault("Client", "EPR carries no resource identifier")
+        return key
+
+    def _require(self, key: str) -> XmlElement:
+        resource = self._resources.get(key)
+        if resource is None:
+            raise SoapFault("Client", f"unknown resource {key}")
+        return resource
+
+    @web_method(actions.CREATE)
+    def create(self, context: MessageContext) -> XmlElement:
+        representation = next(context.body.element_children(), None)
+        if representation is None:
+            raise SoapFault("Client", "Create carries no representation")
+        key = f"plumbtree-{next(self._ids)}"
+        self._resources[key] = representation.copy()
+        epr = self.epr({ALT_RESOURCE_ID: key})
+        # Echoing the stored representation is explicitly allowed.
+        return element(
+            f"{{{ns.WXF}}}CreateResponse",
+            element(f"{{{ns.WXF}}}ResourceCreated", epr.to_xml(), representation.copy()),
+        )
+
+    @web_method(actions.GET)
+    def get(self, context: MessageContext) -> XmlElement:
+        return element(
+            f"{{{ns.WXF}}}GetResponse", self._require(self._key(context)).copy()
+        )
+
+    @web_method(actions.PUT)
+    def put(self, context: MessageContext) -> XmlElement:
+        key = self._key(context)
+        self._require(key)  # no out-of-band creation here — spec-legal choice
+        replacement = next(context.body.element_children(), None)
+        if replacement is None:
+            raise SoapFault("Client", "Put carries no representation")
+        self._resources[key] = replacement.copy()
+        return element(f"{{{ns.WXF}}}PutResponse", replacement.copy())
+
+    @web_method(actions.DELETE)
+    def delete(self, context: MessageContext) -> XmlElement:
+        key = self._key(context)
+        self._require(key)
+        del self._resources[key]
+        return element(f"{{{ns.WXF}}}DeleteResponse")

@@ -1,0 +1,162 @@
+"""The WS-Transfer resource service.
+
+Default semantics follow the paper's implementation (§3.2):
+
+* **Create** stores the client's XML representation into the database,
+  names the resource with a fresh GUID embedded into the returned EPR as a
+  reference property, and returns the (possibly service-modified)
+  representation alongside.
+* **Get** returns the stored representation as-is.
+* **Put** reads the old representation, lets the service merge, and stores
+  the result — the read-before-write WSRF.NET's cache avoids (§4.1.3).
+* **Delete** removes the document.
+
+Services override the ``process_*`` hooks for their own semantics — the
+WS-Transfer Grid-in-a-Box services dispatch on the *shape of the EPR*
+exactly as the paper describes.  There is deliberately no lifetime
+management ("there is no lifetime management functionality since it is not
+defined in the spec") and no schema for inputs/outputs (``<xsd:any>``):
+clients must know the representation shape by out-of-band agreement.
+"""
+
+from __future__ import annotations
+
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.soap.envelope import SoapFault
+from repro.xmldb.collection import Collection, DocumentNotFound
+from repro.xmllib import QName, element, ns
+from repro.xmllib.element import XmlElement
+
+#: Reference property naming the resource inside a WS-Transfer EPR.
+TRANSFER_RESOURCE_ID = QName("http://repro.example.org/transfer", "ResourceID")
+
+
+class actions:
+    """Action URIs from the WS-Transfer member submission."""
+
+    GET = ns.WXF + "/Get"
+    PUT = ns.WXF + "/Put"
+    DELETE = ns.WXF + "/Delete"
+    CREATE = ns.WXF + "/Create"
+
+
+class TransferResourceService(ServiceSkeleton):
+    """Base class for WS-Transfer services (one service, any resource types)."""
+
+    service_name = "TransferResource"
+
+    def __init__(self, collection: Collection):
+        super().__init__()
+        self.collection = collection
+
+    # -- EPR plumbing -------------------------------------------------------------
+
+    def resource_epr(self, key: str):
+        return self.epr({TRANSFER_RESOURCE_ID: key})
+
+    def _require_key(self, context: MessageContext) -> str:
+        key = context.headers.target_epr().property(TRANSFER_RESOURCE_ID)
+        if key is None:
+            key = context.resource_key  # tolerate foreign ResourceID props
+        if key is None:
+            raise SoapFault("Client", f"{self.service_name}: EPR names no resource")
+        return key
+
+    # -- the four operations --------------------------------------------------------
+
+    @web_method(actions.CREATE)
+    def wxf_create(self, context: MessageContext) -> XmlElement:
+        representation = next(context.body.element_children(), None)
+        if representation is None:
+            raise SoapFault("Client", "Create carries no resource representation")
+        stored, returned, key = self.process_create(representation.copy(), context)
+        key = self.collection.insert(stored, key)
+        response = element(
+            f"{{{ns.WXF}}}ResourceCreated", self.resource_epr(key).to_xml()
+        )
+        if returned is not None:
+            response.append(returned)
+        return element(f"{{{ns.WXF}}}CreateResponse", response)
+
+    @web_method(actions.GET)
+    def wxf_get(self, context: MessageContext) -> XmlElement:
+        key = self._require_key(context)
+        return element(f"{{{ns.WXF}}}GetResponse", self.process_get(key, context))
+
+    @web_method(actions.PUT)
+    def wxf_put(self, context: MessageContext) -> XmlElement:
+        key = self._require_key(context)
+        replacement = next(context.body.element_children(), None)
+        if replacement is None:
+            raise SoapFault("Client", "Put carries no replacement representation")
+        # Read-before-write: the paper calls this out as the reason the
+        # (unoptimized) WS-Transfer Set is slower than WSRF.NET's.
+        old = self._load(key)
+        updated = self.process_put(key, old, replacement.copy(), context)
+        if old is None:
+            # Out-of-band-created resource surfacing through Put.
+            self.collection.upsert(key, updated)
+        else:
+            self.collection.update(key, updated)
+        return element(f"{{{ns.WXF}}}PutResponse", updated.copy())
+
+    @web_method(actions.DELETE)
+    def wxf_delete(self, context: MessageContext) -> XmlElement:
+        key = self._require_key(context)
+        self.process_delete(key, context)
+        try:
+            self.collection.delete(key)
+        except DocumentNotFound:
+            raise SoapFault("Client", f"no resource {key} to delete")
+        return element(f"{{{ns.WXF}}}DeleteResponse")
+
+    # -- hooks --------------------------------------------------------------------
+
+    def process_create(
+        self, representation: XmlElement, context: MessageContext
+    ) -> tuple[XmlElement, XmlElement | None, str | None]:
+        """Return (document to store, representation to return or None,
+        explicit key or None for a GUID).  Default: store unmodified, return
+        nothing extra ("Create() stores this XML document without
+        modification into Xindice")."""
+        return representation, None, None
+
+    def process_get(self, key: str, context: MessageContext) -> XmlElement:
+        """Produce the Get representation.  Default: the stored document.
+
+        Override point for the paper's mode-dispatching Gets (directory
+        listing vs file download, availability query vs reservation check).
+        """
+        document = self._load(key)
+        if document is None:
+            document = self.resolve_out_of_band(key, context)
+        if document is None:
+            raise SoapFault("Client", f"no resource {key}")
+        return document
+
+    def process_put(
+        self, key: str, old: XmlElement | None, replacement: XmlElement, context: MessageContext
+    ) -> XmlElement:
+        """Merge the replacement into the stored form.  Default: replace."""
+        return replacement
+
+    def process_delete(self, key: str, context: MessageContext) -> None:
+        """Pre-delete hook: services distinguishing an *active* resource
+        (running process, transfer) from its representation decide here
+        whether Delete also terminates the entity (§3.2's first issue)."""
+
+    def resolve_out_of_band(
+        self, key: str, context: MessageContext
+    ) -> XmlElement | None:
+        """Supply a representation for a resource that exists although no
+        Create was ever issued (§3.2's second issue).  Returning a document
+        makes the Get legitimate; None faults."""
+        return None
+
+    # -- internals --------------------------------------------------------------------
+
+    def _load(self, key: str) -> XmlElement | None:
+        try:
+            return self.collection.read(key)
+        except DocumentNotFound:
+            return None

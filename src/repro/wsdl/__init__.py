@@ -1,0 +1,29 @@
+"""WSDL generation and inspection (extension beyond the paper's prototype).
+
+§2.3's typing contrast, made concrete: "every client must know the 'type'
+of objects that the service understands; in WSRF, this is contained in the
+WSDL.  In WS-Transfer, only an <XSD:any> tag exists."
+
+:func:`generate_wsdl` renders a deployed service's contract — operations
+keyed by WS-Addressing action, plus the element schemas it advertises.  For
+a WSRF service the types section carries real element declarations; for a
+WS-Transfer service with no advertised schemas it degenerates to
+``xsd:any``, exactly the interoperability hole the paper complains about.
+:func:`parse_wsdl` reconstructs the contract client-side so proxies can
+check actions and validate bodies before sending.
+"""
+
+from repro.wsdl.generate import generate_wsdl
+from repro.wsdl.describe import WsdlDescription, parse_wsdl
+from repro.wsdl.proxygen import GeneratedProxy, generate_proxy
+from repro.wsdl.xsd import elementspec_to_xsd, xsd_to_elementspec
+
+__all__ = [
+    "generate_wsdl",
+    "WsdlDescription",
+    "parse_wsdl",
+    "GeneratedProxy",
+    "generate_proxy",
+    "elementspec_to_xsd",
+    "xsd_to_elementspec",
+]

@@ -1,0 +1,92 @@
+"""Client-side WSDL inspection: the commercial-tooling proxy story.
+
+§5: "since both stacks are WS-I+ compliant, it should be possible to build
+client proxies with commercial tools right now."  A parsed
+:class:`WsdlDescription` is what such a tool would work from: the action
+set (to refuse unsupported invocations before the wire) and the element
+schemas (to validate request bodies — only possible when the service
+published real types, i.e. not for a bare WS-Transfer contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wsdl.generate import WSDL_NS
+from repro.wsdl.xsd import xsd_to_elementspec
+from repro.xmllib import QName, ns
+from repro.xmllib.element import XmlElement
+from repro.xmllib.schema import ElementSpec, SchemaError
+
+
+@dataclass
+class WsdlDescription:
+    service_name: str
+    address: str
+    #: operation name → WS-Addressing action URI
+    operations: dict[str, str] = field(default_factory=dict)
+    schemas: list[ElementSpec] = field(default_factory=list)
+    #: True when the types section is just <xsd:any> (the WS-Transfer hole).
+    untyped: bool = False
+
+    def action_supported(self, action: str) -> bool:
+        return action in self.operations.values()
+
+    def schema_for(self, tag: str | QName) -> ElementSpec | None:
+        wanted = QName.parse(tag)
+        for spec in self.schemas:
+            if spec.tag == wanted:
+                return spec
+        return None
+
+    def validate_body(self, body: XmlElement, *, strict: bool = False) -> None:
+        """Validate a request/representation against the published types.
+
+        Contracts are usually partial — services publish their
+        application-specific types while spec-defined message shapes
+        (GetResourceProperty, wxf:Get, ...) are known from the
+        specifications — so undeclared roots pass unless ``strict``.  An
+        untyped contract accepts anything (and catches nothing) — the
+        client is back to hard-coded agreements.
+        """
+        if self.untyped:
+            return
+        spec = self.schema_for(body.tag)
+        if spec is None:
+            if strict:
+                raise SchemaError(
+                    f"contract of {self.service_name} declares no element {body.tag.clark()}"
+                )
+            return
+        spec.validate(body)
+
+
+def parse_wsdl(definitions: XmlElement) -> WsdlDescription:
+    if definitions.tag != QName(WSDL_NS, "definitions"):
+        raise ValueError(f"not a WSDL definitions element: {definitions.tag.clark()}")
+    description = WsdlDescription(
+        service_name=definitions.get("name", ""), address=""
+    )
+    types = definitions.find(f"{{{WSDL_NS}}}types")
+    if types is not None:
+        schema = types.find(f"{{{ns.XSD}}}schema")
+        if schema is not None:
+            for child in schema.element_children():
+                if child.tag == QName(ns.XSD, "any"):
+                    description.untyped = True
+                elif child.tag == QName(ns.XSD, "element"):
+                    description.schemas.append(xsd_to_elementspec(child))
+    port_type = definitions.find(f"{{{WSDL_NS}}}portType")
+    if port_type is not None:
+        for operation in port_type.find_all(f"{{{WSDL_NS}}}operation"):
+            name = operation.get("name", "")
+            action = operation.get(f"{{{ns.WSA}}}Action", "")
+            if name and action:
+                description.operations[name] = action
+    service = definitions.find(f"{{{WSDL_NS}}}service")
+    if service is not None:
+        port = service.find(f"{{{WSDL_NS}}}port")
+        address = port.find(f"{{{WSDL_NS}}}address") if port is not None else None
+        if address is not None:
+            description.address = address.get("location", "")
+    return description

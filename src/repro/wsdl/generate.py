@@ -1,0 +1,65 @@
+"""WSDL 1.1-style contract generation for deployed services."""
+
+from __future__ import annotations
+
+from repro.container.service import ServiceSkeleton
+from repro.wsdl.xsd import elementspec_to_xsd
+from repro.xmllib import element, ns
+from repro.xmllib.element import XmlElement
+from repro.xmllib.schema import ElementSpec
+
+WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+
+
+def _operation_name(action: str) -> str:
+    tail = action.rstrip("/").rsplit("/", 1)[-1]
+    return tail or "Operation"
+
+
+def generate_wsdl(
+    service: ServiceSkeleton,
+    type_schemas: list[ElementSpec] | None = None,
+) -> XmlElement:
+    """Render the service's contract.
+
+    ``type_schemas`` defaults to the service's ``advertised_schemas`` (the
+    MetadataExchange mixin's registry) when present.  With no schemas at
+    all, the types section is a single ``xsd:any`` — a faithfully poor
+    WS-Transfer contract.
+    """
+    if type_schemas is None:
+        type_schemas = list(getattr(service, "advertised_schemas", []) or [])
+
+    types = element(f"{{{WSDL_NS}}}types")
+    schema = element(f"{{{ns.XSD}}}schema")
+    if type_schemas:
+        for spec in type_schemas:
+            schema.append(elementspec_to_xsd(spec))
+    else:
+        schema.append(element(f"{{{ns.XSD}}}any", attrs={"processContents": "lax"}))
+    types.append(schema)
+
+    port_type = element(
+        f"{{{WSDL_NS}}}portType", attrs={"name": f"{service.service_name}PortType"}
+    )
+    for action in sorted(service.operations()):
+        operation = element(
+            f"{{{WSDL_NS}}}operation",
+            element(f"{{{WSDL_NS}}}input", attrs={"message": f"tns:{_operation_name(action)}Request"}),
+            element(f"{{{WSDL_NS}}}output", attrs={"message": f"tns:{_operation_name(action)}Response"}),
+            attrs={"name": _operation_name(action), "{%s}Action" % ns.WSA: action},
+        )
+        port_type.append(operation)
+
+    port = element(
+        f"{{{WSDL_NS}}}port",
+        element(f"{{{WSDL_NS}}}address", attrs={"location": service.address}),
+        attrs={"name": f"{service.service_name}Port"},
+    )
+    return element(
+        f"{{{WSDL_NS}}}definitions",
+        types,
+        port_type,
+        element(f"{{{WSDL_NS}}}service", port, attrs={"name": service.service_name}),
+        attrs={"name": service.service_name},
+    )

@@ -1,0 +1,93 @@
+"""Rendering ElementSpec trees to an XSD subset and back.
+
+A pragmatic dialect of XML Schema: each ``xsd:element`` carries a
+``name`` plus a ``targetNamespace`` attribute (XSD proper scopes namespaces
+at the schema level; keeping it per-element lets one WSDL types section mix
+namespaces without imports, which is all this reproduction needs — the
+divergence is deliberate and contained here).
+"""
+
+from __future__ import annotations
+
+from repro.xmllib import QName, element, ns
+from repro.xmllib.element import XmlElement
+from repro.xmllib.schema import ElementSpec
+
+_XSD_TYPES = {
+    "string": "xsd:string",
+    "int": "xsd:int",
+    "float": "xsd:double",
+    "boolean": "xsd:boolean",
+    "anyURI": "xsd:anyURI",
+}
+_TYPES_BACK = {v: k for k, v in _XSD_TYPES.items()}
+
+
+def elementspec_to_xsd(spec: ElementSpec) -> XmlElement:
+    node = element(
+        f"{{{ns.XSD}}}element",
+        attrs={"name": spec.tag.local, "targetNamespace": spec.tag.namespace},
+    )
+    simple_type = _XSD_TYPES.get(spec.text_type or "")
+    if simple_type and not spec.children and not spec.open_content:
+        node.set("type", simple_type)
+        return node
+    complex_type = element(f"{{{ns.XSD}}}complexType")
+    sequence = element(f"{{{ns.XSD}}}sequence")
+    for tag, (child_spec, min_occurs, max_occurs) in spec.children.items():
+        if child_spec is not None:
+            child_el = elementspec_to_xsd(child_spec)
+        else:
+            child_el = element(
+                f"{{{ns.XSD}}}element",
+                attrs={"name": tag.local, "targetNamespace": tag.namespace},
+            )
+        child_el.set("minOccurs", str(min_occurs))
+        child_el.set("maxOccurs", "unbounded" if max_occurs is None else str(max_occurs))
+        sequence.append(child_el)
+    if spec.open_content:
+        sequence.append(element(f"{{{ns.XSD}}}any", attrs={"processContents": "lax"}))
+    complex_type.append(sequence)
+    for attr in spec.required_attributes:
+        complex_type.append(
+            element(
+                f"{{{ns.XSD}}}attribute",
+                attrs={
+                    "name": attr.local,
+                    "targetNamespace": attr.namespace,
+                    "use": "required",
+                },
+            )
+        )
+    node.append(complex_type)
+    return node
+
+
+def xsd_to_elementspec(node: XmlElement) -> ElementSpec:
+    if node.tag != QName(ns.XSD, "element"):
+        raise ValueError(f"not an xsd:element: {node.tag.clark()}")
+    tag = QName(node.get("targetNamespace", ""), node.get("name", ""))
+    declared = node.get("type", "")
+    spec = ElementSpec(tag=tag, text_type=_TYPES_BACK.get(declared))
+    complex_type = node.find(f"{{{ns.XSD}}}complexType")
+    if complex_type is None:
+        return spec
+    sequence = complex_type.find(f"{{{ns.XSD}}}sequence")
+    if sequence is not None:
+        for child in sequence.element_children():
+            if child.tag == QName(ns.XSD, "any"):
+                spec.open_content = True
+                continue
+            child_spec = xsd_to_elementspec(child)
+            max_text = child.get("maxOccurs", "1")
+            spec.children[child_spec.tag] = (
+                child_spec if (child.find(f"{{{ns.XSD}}}complexType") or child.get("type")) else None,
+                int(child.get("minOccurs", "1")),
+                None if max_text == "unbounded" else int(max_text),
+            )
+    for attr in complex_type.find_all(f"{{{ns.XSD}}}attribute"):
+        if attr.get("use") == "required":
+            spec.required_attributes = spec.required_attributes + (
+                QName(attr.get("targetNamespace", ""), attr.get("name", "")),
+            )
+    return spec

@@ -1,0 +1,28 @@
+"""Stack A part 2: WS-Notification.
+
+WS-BaseNotification (Subscribe/Notify, pause/resume, subscription manager),
+WS-Topics (simple/concrete/full topic expression dialects) and
+WS-BrokeredNotification (broker, publisher registration, demand-based
+publishing — the six-service interaction §3.1 singles out as an order of
+magnitude chattier than anything else in the specs).
+"""
+
+from repro.wsn.topics import TopicDialect, topic_matches
+from repro.wsn.base import (
+    NotificationConsumer,
+    NotificationProducerMixin,
+    SubscriptionManagerService,
+    actions as wsnt_actions,
+)
+from repro.wsn.broker import NotificationBrokerService, actions as broker_actions
+
+__all__ = [
+    "TopicDialect",
+    "topic_matches",
+    "NotificationConsumer",
+    "NotificationProducerMixin",
+    "SubscriptionManagerService",
+    "NotificationBrokerService",
+    "wsnt_actions",
+    "broker_actions",
+]

@@ -1,0 +1,214 @@
+"""WS-BrokeredNotification: intermediaries between producers and consumers.
+
+Implements the machinery §3.1 describes at length: a broker receives
+publisher registrations; for *demand-based* publishers it subscribes back to
+the publisher, then pauses and resumes that upstream subscription as its own
+per-topic subscriber count crosses zero — the interaction the paper counts
+as touching up to six Web services and generating an order of magnitude
+more messages than anything else in the specifications.
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.container.service import MessageContext, web_method
+from repro.wsn.base import (
+    NotificationProducerMixin,
+    SubscriptionManagerService,
+    actions as wsnt_actions,
+)
+from repro.wsn.topics import TopicDialect, topic_matches
+from repro.wsrf.basefaults import base_fault
+from repro.wsrf.lifetime import ResourceLifetimeMixin
+from repro.wsrf.programming import ResourceField, WsResourceService
+from repro.wsrf.properties import ResourcePropertiesMixin
+from repro.wsrf.resource import RESOURCE_ID
+from repro.xmllib import element, ns, parse_xml, serialize, text_of
+from repro.xmllib.element import XmlElement
+
+
+class actions:
+    """Action URIs for WS-BrokeredNotification."""
+
+    REGISTER_PUBLISHER = ns.WSBR + "/RegisterPublisher"
+
+
+class PublisherRegistrationManagerService(
+    ResourcePropertiesMixin, ResourceLifetimeMixin, WsResourceService
+):
+    """Registrations of publishers to brokers, as WS-Resources.
+
+    Like subscriptions, registrations have no spec-defined create — the
+    broker calls in directly (§3.1's interoperability complaint again).
+    """
+
+    service_name = "PublisherRegistrationManager"
+    resource_ns = ns.WSBR
+
+    publisher_address = ResourceField(str, "")
+    topic = ResourceField(str, "")
+    demand = ResourceField(bool, False)
+    upstream_subscription = ResourceField(str, "")  # serialized EPR XML
+    upstream_paused = ResourceField(bool, False)
+
+    def registrations(self) -> list[dict]:
+        out = []
+        for key in self.home.keys():
+            doc = self.home.load(key)
+
+            def field(name: str) -> str:
+                return text_of(doc.find(f"{{http://repro.example.org/wsrf/fields}}{name}"))
+
+            out.append(
+                {
+                    "key": key,
+                    "publisher_address": field("publisher_address"),
+                    "topic": field("topic"),
+                    "demand": field("demand") == "true",
+                    "upstream_subscription": field("upstream_subscription"),
+                    "upstream_paused": field("upstream_paused") == "true",
+                }
+            )
+        return out
+
+    def set_upstream_state(self, key: str, *, subscription_xml: str | None = None, paused: bool | None = None) -> None:
+        doc = self.home.load(key)
+        if subscription_xml is not None:
+            node = doc.find("{http://repro.example.org/wsrf/fields}upstream_subscription")
+            node.children = [subscription_xml] if subscription_xml else []
+        if paused is not None:
+            node = doc.find("{http://repro.example.org/wsrf/fields}upstream_paused")
+            node.children = ["true" if paused else "false"]
+        self.home.save(key, doc)
+
+
+class NotificationBrokerService(NotificationProducerMixin, WsResourceService):
+    """The broker: a producer to its consumers, a consumer to its publishers."""
+
+    service_name = "NotificationBroker"
+    resource_ns = ns.WSBR
+
+    def __init__(
+        self,
+        home,
+        subscription_manager: SubscriptionManagerService,
+        registration_manager: PublisherRegistrationManagerService,
+    ):
+        super().__init__(home)
+        self.subscription_manager = subscription_manager
+        self.registration_manager = registration_manager
+        subscription_manager.on_subscriptions_changed = self.recompute_demand
+        self._recomputing = False
+
+    # -- receiving from publishers ------------------------------------------------
+
+    @web_method(wsnt_actions.NOTIFY)
+    def wsnt_notify(self, context: MessageContext) -> None:
+        """Re-broadcast an incoming notification to our own subscribers."""
+        body = context.body
+        for message_el in body.find_all(f"{{{ns.WSNT}}}NotificationMessage"):
+            topic = text_of(message_el.find(f"{{{ns.WSNT}}}Topic"))
+            wrapper = message_el.find(f"{{{ns.WSNT}}}Message")
+            payload = next(wrapper.element_children(), None) if wrapper is not None else None
+            if payload is not None:
+                self.notify(topic, payload)
+        return None
+
+    # -- publisher registration ------------------------------------------------------
+
+    @web_method(actions.REGISTER_PUBLISHER)
+    def wsbr_register_publisher(self, context: MessageContext) -> XmlElement:
+        body = context.body
+        publisher_el = body.find_local("PublisherReference")
+        if publisher_el is None:
+            raise base_fault("RegisterPublisher has no PublisherReference")
+        publisher = EndpointReference.from_xml(publisher_el)
+        topic = text_of(body.find_local("Topic"))
+        if not topic:
+            raise base_fault("RegisterPublisher names no Topic")
+        demand = text_of(body.find_local("Demand")) == "true"
+        registration_epr = self.registration_manager.create_resource(
+            publisher_address=publisher.address,
+            topic=topic,
+            demand=demand,
+        )
+        registration_key = registration_epr.property(RESOURCE_ID)
+        # The broker always subscribes back so the publisher's notifications
+        # reach it; *demand-based* registrations additionally pause/resume
+        # that upstream subscription with the broker's own subscriber count.
+        self._establish_upstream(registration_key, publisher, topic)
+        if demand:
+            self.recompute_demand()
+        return element(
+            f"{{{ns.WSBR}}}RegisterPublisherResponse",
+            registration_epr.to_xml(f"{{{ns.WSBR}}}PublisherRegistrationReference"),
+        )
+
+    def _establish_upstream(
+        self, registration_key: str, publisher: EndpointReference, topic: str
+    ) -> None:
+        """Subscribe back to a demand-based publisher on its topic."""
+        client = self.container.outcall_client()
+        response = client.invoke(
+            publisher,
+            wsnt_actions.SUBSCRIBE,
+            element(
+                f"{{{ns.WSNT}}}Subscribe",
+                EndpointReference.create(self.address).to_xml(
+                    f"{{{ns.WSNT}}}ConsumerReference"
+                ),
+                element(
+                    f"{{{ns.WSNT}}}TopicExpression",
+                    topic,
+                    attrs={"Dialect": TopicDialect.CONCRETE.value},
+                ),
+            ),
+        )
+        subscription_el = response.find(f"{{{ns.WSNT}}}SubscriptionReference")
+        self.registration_manager.set_upstream_state(
+            registration_key, subscription_xml=serialize(subscription_el)
+        )
+
+    # -- demand-based pause/resume --------------------------------------------------
+
+    def recompute_demand(self) -> None:
+        """Pause upstream subscriptions for topics nobody is listening to.
+
+        "If no subscriptions currently exist to the broker on a given topic,
+        then all subscriptions for demand based publishers on the same topic
+        must according to the spec be paused."
+        """
+        if self._recomputing or self.container is None:
+            return
+        self._recomputing = True
+        try:
+            consumer_views = self.subscription_manager.active_subscriptions(self.address)
+            for registration in self.registration_manager.registrations():
+                if not registration["demand"] or not registration["upstream_subscription"]:
+                    continue
+                wanted = any(
+                    not view.paused
+                    and topic_matches(
+                        view.topic_expression or registration["topic"],
+                        view.dialect,
+                        registration["topic"],
+                    )
+                    for view in consumer_views
+                )
+                should_pause = not wanted
+                if should_pause == registration["upstream_paused"]:
+                    continue
+                subscription_epr = EndpointReference.from_xml(
+                    parse_xml(registration["upstream_subscription"])
+                )
+                action = wsnt_actions.PAUSE if should_pause else wsnt_actions.RESUME
+                payload_tag = "PauseSubscription" if should_pause else "ResumeSubscription"
+                client = self.container.outcall_client()
+                client.invoke(
+                    subscription_epr, action, element(f"{{{ns.WSNT}}}{payload_tag}")
+                )
+                self.registration_manager.set_upstream_state(
+                    registration["key"], paused=should_pause
+                )
+        finally:
+            self._recomputing = False

@@ -1,0 +1,85 @@
+"""WS-Topics: topic trees and the three expression dialects.
+
+Topics are hierarchical, written as "/"-separated paths (``job/status/done``).
+The dialects:
+
+* **Simple** — a single root topic name; matches that root topic only.
+* **Concrete** — a full path; matches exactly that topic node.
+* **Full** — a path that may use ``*`` (exactly one level) and ``//``
+  (any number of levels, including zero at the tail); the wildcard forms
+  the paper's "wildcard expressions".
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TopicDialect(enum.Enum):
+    SIMPLE = "http://docs.oasis-open.org/wsn/2004/06/TopicExpression/Simple"
+    CONCRETE = "http://docs.oasis-open.org/wsn/2004/06/TopicExpression/Concrete"
+    FULL = "http://docs.oasis-open.org/wsn/2004/06/TopicExpression/Full"
+
+    @classmethod
+    def from_uri(cls, uri: str) -> "TopicDialect":
+        for dialect in cls:
+            if dialect.value == uri:
+                return dialect
+        raise ValueError(f"unknown topic dialect: {uri}")
+
+
+def _segments(path: str) -> list[str]:
+    return [seg for seg in path.strip().strip("/").split("/") if seg]
+
+
+def topic_matches(expression: str, dialect: TopicDialect, topic: str) -> bool:
+    """Does ``expression`` (in ``dialect``) select ``topic`` (a concrete path)?"""
+    topic_segments = _segments(topic)
+    if not topic_segments:
+        return False
+    if dialect is TopicDialect.SIMPLE:
+        expr_segments = _segments(expression)
+        return len(expr_segments) == 1 and topic_segments[0] == expr_segments[0] and len(topic_segments) == 1
+    if dialect is TopicDialect.CONCRETE:
+        return _segments(expression) == topic_segments
+    return _match_full(expression, topic_segments)
+
+
+def _match_full(expression: str, topic: list[str]) -> bool:
+    # Translate the Full dialect into a segment pattern: "//" becomes a
+    # match-any-depth marker.
+    pattern: list[str] = []
+    expr = expression.strip()
+    if expr.startswith("//"):
+        pattern.append("**")
+        expr = expr[2:]
+    while expr:
+        if expr.startswith("/"):
+            if expr.startswith("//"):
+                pattern.append("**")
+                expr = expr[2:]
+                continue
+            expr = expr[1:]
+            continue
+        end_slash = expr.find("/")
+        seg = expr if end_slash < 0 else expr[:end_slash]
+        pattern.append(seg)
+        expr = "" if end_slash < 0 else expr[end_slash:]
+    return _match_segments(pattern, topic)
+
+
+def _match_segments(pattern: list[str], topic: list[str]) -> bool:
+    if not pattern:
+        return not topic
+    head, rest = pattern[0], pattern[1:]
+    if head == "**":
+        # Zero or more levels.
+        for skip in range(len(topic) + 1):
+            if _match_segments(rest, topic[skip:]):
+                return True
+        return False
+    if not topic:
+        return False
+    if head == "*" or head == topic[0]:
+        return _match_segments(rest, topic[1:])
+    return False

@@ -1,0 +1,42 @@
+"""Stack A part 1: the WS-Resource Framework (WSRF.NET's feature set).
+
+Implements the four OASIS WSRF specifications the paper evaluates —
+WS-ResourceProperties, WS-ResourceLifetime, WS-ServiceGroup and
+WS-BaseFaults — plus the WSRF.NET attribute-based programming model
+(``ResourceField`` descriptors standing in for C#'s ``[Resource]``,
+``@resource_property`` for ``[ResourceProperty]``, and port-type mixins for
+``[WSRFPortType]`` + the PortTypeAggregator).
+"""
+
+from repro.wsrf.basefaults import base_fault, fault_detail
+from repro.wsrf.resource import RESOURCE_ID, ResourceHome, ResourceUnknownError
+from repro.wsrf.programming import (
+    ResourceField,
+    WsResourceService,
+    aggregate_port_types,
+    resource_property,
+)
+from repro.wsrf.properties import ResourcePropertiesMixin, actions as rp_actions
+from repro.wsrf.lifetime import ResourceLifetimeMixin, actions as rl_actions
+from repro.wsrf.servicegroup import ServiceGroupService, actions as sg_actions
+from repro.wsrf.queries import ResourceQueryMixin, actions as query_actions
+
+__all__ = [
+    "base_fault",
+    "fault_detail",
+    "RESOURCE_ID",
+    "ResourceHome",
+    "ResourceUnknownError",
+    "ResourceField",
+    "WsResourceService",
+    "aggregate_port_types",
+    "resource_property",
+    "ResourcePropertiesMixin",
+    "ResourceLifetimeMixin",
+    "ServiceGroupService",
+    "ResourceQueryMixin",
+    "query_actions",
+    "rp_actions",
+    "rl_actions",
+    "sg_actions",
+]

@@ -1,0 +1,54 @@
+"""WS-BaseFaults: the standard exception reporting format."""
+
+from __future__ import annotations
+
+from repro.soap.envelope import SoapFault
+from repro.xmllib import element, ns
+from repro.xmllib.element import XmlElement
+
+_BASE_FAULT = f"{{{ns.WSRF_BF}}}BaseFault"
+
+
+def fault_detail(
+    description: str,
+    *,
+    timestamp: float = 0.0,
+    originator: str = "",
+    error_code: str = "",
+) -> XmlElement:
+    """Build a wsbf:BaseFault detail element."""
+    detail = element(
+        _BASE_FAULT,
+        element(f"{{{ns.WSRF_BF}}}Timestamp", repr(timestamp)),
+        element(f"{{{ns.WSRF_BF}}}Description", description),
+    )
+    if originator:
+        detail.append(element(f"{{{ns.WSRF_BF}}}Originator", originator))
+    if error_code:
+        detail.append(element(f"{{{ns.WSRF_BF}}}ErrorCode", error_code))
+    return detail
+
+
+def base_fault(
+    description: str,
+    *,
+    code: str = "Client",
+    timestamp: float = 0.0,
+    originator: str = "",
+    error_code: str = "",
+) -> SoapFault:
+    """A SOAP fault whose detail follows WS-BaseFaults."""
+    return SoapFault(
+        code,
+        description,
+        fault_detail(
+            description,
+            timestamp=timestamp,
+            originator=originator,
+            error_code=error_code,
+        ),
+    )
+
+
+def is_base_fault(fault: SoapFault) -> bool:
+    return fault.detail is not None and fault.detail.tag.namespace == ns.WSRF_BF

@@ -1,0 +1,49 @@
+"""Generic Create exposure (WSRF.NET's "option one", §3.1).
+
+WSRF leaves creation undefined; WSRF.NET gives authors a library
+``Create()`` and two exposure options: "the direct exposure of this method
+in the Web Service interface" or wrapping it inside some other method.
+The counter and Grid-in-a-Box services take option two (application-named
+operations); this mixin is option one — a spec-less but reusable
+``Create`` operation that accepts initial field values by name.
+"""
+
+from __future__ import annotations
+
+from repro.container.service import MessageContext, web_method
+from repro.wsrf.basefaults import base_fault
+from repro.xmllib import element
+from repro.xmllib.element import XmlElement
+
+WSRFNET_NS = "http://repro.example.org/wsrf.net"
+
+
+class actions:
+    CREATE = WSRFNET_NS + "/Create"
+
+
+class DirectCreateMixin:
+    """Port type exposing ``ServiceBase.Create()`` directly.
+
+    The request body's children name resource fields by local name::
+
+        <wsrfnet:Create>
+          <cv>5</cv>
+          <label>mine</label>
+        </wsrfnet:Create>
+
+    Exactly the idiosyncrasy §2.3 warns about: every service that exposes
+    creation this way invents its own vocabulary, and two services'
+    "Create" operations need not interoperate.
+    """
+
+    @web_method(actions.CREATE)
+    def wsrfnet_create(self, context: MessageContext) -> XmlElement:
+        values = {}
+        for child in context.body.element_children():
+            name = child.tag.local
+            if name not in self._fields:
+                raise base_fault(f"service has no resource field {name!r}")
+            values[name] = self._fields[name].from_text(child.text())
+        epr = self.create_resource(**values)
+        return element(f"{{{WSRFNET_NS}}}CreateResponse", epr.to_xml())

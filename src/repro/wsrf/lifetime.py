@@ -1,0 +1,84 @@
+"""WS-ResourceLifetime: Destroy and scheduled termination.
+
+("Create" is famously *not* defined — §2.1.)  Grid-in-a-Box leans on this
+port type: reservations get an initial termination time, the ExecService
+"claims" a reservation by lengthening it, and Destroy kills jobs / removes
+directories.
+"""
+
+from __future__ import annotations
+
+from repro.container.service import MessageContext, web_method
+from repro.wsrf.basefaults import base_fault
+from repro.wsrf.programming import resource_property
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+
+class actions:
+    """Action URIs of the WS-ResourceLifetime port types."""
+
+    DESTROY = ns.WSRF_RL + "/Destroy"
+    SET_TERMINATION_TIME = ns.WSRF_RL + "/SetTerminationTime"
+
+
+def parse_termination_time(text: str) -> float | None:
+    """Parse a termination time: a float of virtual ms, or empty/"infinity"
+    for unlimited lifetime."""
+    text = text.strip()
+    if not text or text.lower() in ("infinity", "inf", "never"):
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        raise base_fault(
+            f"unintelligible termination time: {text!r}",
+            error_code="UnableToSetTerminationTimeFault",
+        )
+
+
+class ResourceLifetimeMixin:
+    """Port type mixin providing Destroy/SetTerminationTime + lifetime RPs."""
+
+    @web_method(actions.DESTROY)
+    def wsrl_destroy(self, context: MessageContext) -> XmlElement:
+        key = self.current_resource
+        self.on_resource_destroyed(key)
+        self.home.destroy(key)
+        self.forget_current_resource()
+        self.after_resource_destroyed(key)
+        return element(f"{{{ns.WSRF_RL}}}DestroyResponse")
+
+    @web_method(actions.SET_TERMINATION_TIME)
+    def wsrl_set_termination_time(self, context: MessageContext) -> XmlElement:
+        key = self.current_resource
+        requested = context.body.find_local("RequestedTerminationTime")
+        if requested is None:
+            raise base_fault("SetTerminationTime has no RequestedTerminationTime")
+        at = parse_termination_time(text_of(requested))
+        now = self.network.clock.now
+        if at is not None and at < now:
+            raise base_fault(
+                f"termination time {at} is in the past (now={now})",
+                error_code="UnableToSetTerminationTimeFault",
+            )
+        self.home.set_termination_time(key, at)
+        return element(
+            f"{{{ns.WSRF_RL}}}SetTerminationTimeResponse",
+            element(f"{{{ns.WSRF_RL}}}NewTerminationTime", _format_time(at)),
+            element(f"{{{ns.WSRF_RL}}}CurrentTime", repr(now)),
+        )
+
+    # -- spec-defined resource properties -------------------------------------
+
+    @resource_property(f"{{{ns.WSRF_RL}}}CurrentTime")
+    def wsrl_current_time(self):
+        return repr(self.network.clock.now)
+
+    @resource_property(f"{{{ns.WSRF_RL}}}TerminationTime")
+    def wsrl_termination_time(self):
+        return _format_time(self.home.termination_time(self.current_resource))
+
+
+def _format_time(at: float | None) -> str:
+    return "infinity" if at is None else repr(at)

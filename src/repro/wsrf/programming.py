@@ -1,0 +1,327 @@
+"""The WSRF.NET attribute-based programming model, in Python.
+
+The paper's C# fragment:
+
+.. code-block:: csharp
+
+    [WSRFPortType(typeof(GetResourcePropertyPortType))]
+    public class MyService : ServiceSkeleton {
+        [Resource] int v;
+        [ResourceProperty] public int DoubleValue { get { return v * 2; } }
+    }
+
+maps to:
+
+.. code-block:: python
+
+    class MyService(ResourcePropertiesMixin, WsResourceService):
+        v = ResourceField(int, 0)
+
+        @resource_property("{urn:app}DoubleValue")
+        def double_value(self):
+            return self.v * 2
+
+``ResourceField`` members are loaded from the backing store before each
+method invocation (based on the EPR in the request headers) and saved back
+afterwards — exactly the run-time processing §3.1 describes.  Port types
+are mixins; :func:`aggregate_port_types` plays the PortTypeAggregator for
+dynamic composition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.addressing.epr import EndpointReference
+from repro.container.service import MessageContext, ServiceSkeleton
+from repro.soap.envelope import SoapFault
+from repro.wsrf.basefaults import base_fault
+from repro.wsrf.resource import RESOURCE_ID, ResourceHome, ResourceUnknownError
+from repro.xmllib import QName, element
+from repro.xmllib.element import XmlElement
+
+_RESOURCE_DOC = QName("http://repro.example.org/wsrf", "Resource")
+_FIELD_NS = "http://repro.example.org/wsrf/fields"
+
+
+class ResourceField:
+    """A data member persisted as part of the WS-Resource (``[Resource]``)."""
+
+    def __init__(self, field_type: type = str, default: Any = None):
+        if field_type not in (str, int, float, bool):
+            raise TypeError(f"unsupported resource field type: {field_type!r}")
+        self.field_type = field_type
+        self.default = default if default is not None else field_type()
+        self.name = ""
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        return instance.__dict__.get(self.name, self.default)
+
+    def __set__(self, instance, value) -> None:
+        instance.__dict__[self.name] = self.field_type(value)
+        # Dirty-tracking lets the dispatch wrapper skip the write-back for
+        # read-only operations (a Get costs one DB read, not read+update).
+        instance.__dict__["_fields_dirty"] = True
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_text(self, value: Any) -> str:
+        if self.field_type is bool:
+            return "true" if value else "false"
+        if self.field_type is float:
+            return repr(float(value))
+        return str(value)
+
+    def from_text(self, text: str) -> Any:
+        if self.field_type is bool:
+            return text.strip() == "true"
+        return self.field_type(text.strip())
+
+
+def resource_property(
+    qname: str | QName, *, settable: bool = False
+) -> Callable[[Callable], Callable]:
+    """Mark a zero-argument method as a ResourceProperty getter
+    (``[ResourceProperty]``).
+
+    The method may return an :class:`XmlElement` (used as-is), a list of
+    them, or a plain value (wrapped in an element named ``qname``).  With
+    ``settable=True`` the service must also define ``set_<method-name>``
+    taking the replacement element, used by SetResourceProperties.
+    """
+    parsed = QName.parse(qname)
+
+    def mark(func: Callable) -> Callable:
+        func.__rp_qname__ = parsed
+        func.__rp_settable__ = settable
+        return func
+
+    return mark
+
+
+class WsResourceService(ServiceSkeleton):
+    """Base class of every WSRF.NET-style service (the "wrapper service").
+
+    Subclasses declare :class:`ResourceField` members and RP getters; the
+    dispatch wrapper resolves the EPR, loads fields from the home, runs the
+    operation, and saves fields back.
+    """
+
+    #: Namespace of this service's ResourceProperties document.
+    resource_ns: str = "http://repro.example.org/wsrf/app"
+
+    def __init__(self, home: ResourceHome) -> None:
+        super().__init__()
+        self.home = home
+        self.home.on_terminate = self._on_scheduled_termination
+        self.home.after_terminate = self.after_resource_destroyed
+        self._fields: dict[str, ResourceField] = {}
+        self._rp_getters: dict[QName, str] = {}
+        for klass in type(self).__mro__:
+            for name, member in vars(klass).items():
+                if isinstance(member, ResourceField) and name not in self._fields:
+                    self._fields[name] = member
+                qname = getattr(member, "__rp_qname__", None)
+                if qname is not None and qname not in self._rp_getters:
+                    self._rp_getters[qname] = name
+        self._current_key: str | None = None
+
+    # -- the wrapper: EPR resolution + load/save -----------------------------
+
+    def dispatch(self, context: MessageContext) -> XmlElement | None:
+        key = context.headers.target_epr().property(RESOURCE_ID)
+        # Timers firing mid-dispatch can trigger *nested* dispatches on this
+        # same instance (a job-exit callback out-calling another of our own
+        # operations), so the per-invocation execution context is saved and
+        # restored rather than simply reset.
+        saved = (
+            self._current_key,
+            {name: self.__dict__.get(name) for name in self._fields},
+            self.__dict__.get("_fields_dirty", False),
+        )
+        self._current_key = None
+        if key is not None:
+            try:
+                self._load_fields(self.home.load(key))
+            except ResourceUnknownError:
+                self._restore_context(saved)
+                raise base_fault(
+                    f"resource {key} unknown to {self.service_name}",
+                    error_code="ResourceUnknownFault",
+                    originator=self.address,
+                    timestamp=self.network.clock.now,
+                )
+            self._current_key = key
+        try:
+            result = super().dispatch(context)
+            if (
+                self._current_key is not None
+                and self.__dict__.get("_fields_dirty")
+                and self.home.contains(self._current_key)
+            ):
+                self.save_current()
+            return result
+        finally:
+            self._restore_context(saved)
+
+    def _restore_context(self, saved) -> None:
+        self._current_key, field_values, dirty = saved
+        for name, value in field_values.items():
+            if value is None:
+                self.__dict__.pop(name, None)
+            else:
+                self.__dict__[name] = value
+        self.__dict__["_fields_dirty"] = dirty
+
+    def save_current(self) -> None:
+        """Persist the loaded fields now (and mark them clean), so later
+        work in the same invocation — a notification, an out-call — sees
+        the new state without a second write-back at dispatch exit."""
+        self.home.save(self.current_resource, self._dump_fields())
+        self.__dict__["_fields_dirty"] = False
+
+    @property
+    def current_resource(self) -> str:
+        """Key of the resource the current invocation addresses."""
+        if self._current_key is None:
+            raise base_fault(
+                f"{self.service_name}: operation requires a WS-Resource EPR",
+                error_code="ResourceUnknownFault",
+            )
+        return self._current_key
+
+    def forget_current_resource(self) -> None:
+        """Stop the wrapper saving state back (used after Destroy)."""
+        self._current_key = None
+
+    # -- ServiceBase.Create() ------------------------------------------------
+
+    def create_resource(self, key: str | None = None, **field_values: Any) -> EndpointReference:
+        """The WSRF.NET ``Create()`` library method: persist a new resource
+        document and mint its EPR.  WSRF leaves *exposure* of creation to the
+        service author — services call this from whatever operation they
+        choose (the paper's "lack of Create in WSRF" observation)."""
+        for name in field_values:
+            if name not in self._fields:
+                raise ValueError(f"unknown resource field: {name}")
+        values = {
+            name: field_values.get(name, field.default)
+            for name, field in self._fields.items()
+        }
+        document = self._document_from_values(values)
+        key = self.home.create(document, key)
+        return self.resource_epr(key)
+
+    def resource_epr(self, key: str) -> EndpointReference:
+        return self.epr({RESOURCE_ID: key})
+
+    # -- field (de)serialization ------------------------------------------------
+
+    def _load_fields(self, document: XmlElement) -> None:
+        for name, field in self._fields.items():
+            child = document.find(QName(_FIELD_NS, name))
+            if child is not None:
+                self.__dict__[name] = field.from_text(child.text())
+            else:
+                self.__dict__[name] = field.default
+        self.__dict__["_fields_dirty"] = False
+
+    def _dump_fields(self) -> XmlElement:
+        return self._document_from_values(
+            {name: getattr(self, name) for name in self._fields}
+        )
+
+    def _document_from_values(self, values: dict[str, Any]) -> XmlElement:
+        document = element(_RESOURCE_DOC)
+        for name, field in self._fields.items():
+            document.append(element(QName(_FIELD_NS, name), field.to_text(values[name])))
+        return document
+
+    # -- ResourceProperties document ----------------------------------------------
+
+    def rp_document(self) -> XmlElement:
+        """Materialize the ResourceProperties view of the current resource.
+
+        "This document is a view or projection of the state of the
+        WS-Resource and is typically not equivalent to the state" — getters
+        may compute values dynamically from fields.
+        """
+        doc = element(QName(self.resource_ns, "ResourceProperties"))
+        for qname, getter_name in sorted(
+            self._rp_getters.items(), key=lambda kv: kv[0].sort_key()
+        ):
+            value = getattr(self, getter_name)()
+            for node in _as_rp_elements(qname, value):
+                doc.append(node)
+        return doc
+
+    def rp_getter(self, qname: QName) -> Callable | None:
+        name = self._rp_getters.get(qname)
+        if name is None:
+            # Fall back to local-name match (clients often omit namespaces).
+            for known, getter in self._rp_getters.items():
+                if known.local == qname.local:
+                    return getattr(self, getter)
+            return None
+        return getattr(self, name)
+
+    def rp_setter(self, qname: QName) -> Callable | None:
+        for known, getter_name in self._rp_getters.items():
+            if known == qname or known.local == qname.local:
+                getter = getattr(type(self), getter_name, None)
+                if getter is not None and getattr(getter, "__rp_settable__", False):
+                    return getattr(self, f"set_{getter_name}", None)
+        return None
+
+    def rp_names(self) -> list[QName]:
+        return sorted(self._rp_getters, key=QName.sort_key)
+
+    # -- hooks ------------------------------------------------------------------
+
+    def _on_scheduled_termination(self, key: str) -> None:
+        """Called by the home when a scheduled termination fires."""
+        self.on_resource_destroyed(key)
+
+    def on_resource_destroyed(self, key: str) -> None:
+        """Subclass hook, fired *before* destruction: the resource document
+        is still readable (and, on an explicit Destroy, loaded into the
+        service's ResourceFields)."""
+
+    def after_resource_destroyed(self, key: str) -> None:
+        """Subclass hook, fired *after* destruction completed — the point
+        where "membership changed" style bookkeeping belongs."""
+
+
+def _as_rp_elements(qname: QName, value: Any) -> list[XmlElement]:
+    if value is None:
+        return []
+    if isinstance(value, XmlElement):
+        # A getter may return a foreign element (say an EPR); it still must
+        # appear in the RP document under the property's own name.
+        if value.tag == qname:
+            return [value]
+        return [element(qname, value)]
+    if isinstance(value, (list, tuple)):
+        out: list[XmlElement] = []
+        for item in value:
+            out.extend(_as_rp_elements(qname, item))
+        return out
+    if isinstance(value, bool):
+        value = "true" if value else "false"
+    return [element(qname, str(value))]
+
+
+def aggregate_port_types(
+    name: str, base: type, *port_types: type
+) -> type:
+    """The PortTypeAggregator: compose a deployable service class from a
+    user-defined service and imported port-type mixins."""
+    for port_type in port_types:
+        if not issubclass(port_type, object):  # pragma: no cover - defensive
+            raise TypeError(f"not a port type: {port_type!r}")
+    return type(name, (*port_types, base), {})

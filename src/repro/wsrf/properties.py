@@ -1,0 +1,156 @@
+"""WS-ResourceProperties: query and modify the RP document.
+
+The four operations the spec defines and the paper's services use:
+GetResourceProperty, GetMultipleResourceProperties, SetResourceProperties
+(Insert/Update/Delete modifiers) and QueryResourceProperties (XPath
+dialect).
+"""
+
+from __future__ import annotations
+
+from repro.container.service import MessageContext, web_method
+from repro.wsrf.basefaults import base_fault
+from repro.xmllib import QName, element, ns, text_of
+from repro.xmllib.element import XmlElement
+from repro.xmllib.xpath import XPath, XPathError
+
+
+class actions:
+    """Action URIs of the WS-ResourceProperties port types."""
+
+    GET = ns.WSRF_RP + "/GetResourceProperty"
+    GET_MULTIPLE = ns.WSRF_RP + "/GetMultipleResourceProperties"
+    SET = ns.WSRF_RP + "/SetResourceProperties"
+    QUERY = ns.WSRF_RP + "/QueryResourceProperties"
+
+
+_XPATH_DIALECT = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+
+
+def _parse_rp_name(text: str) -> QName:
+    text = text.strip()
+    if not text:
+        raise base_fault("empty ResourceProperty name", error_code="InvalidResourcePropertyQNameFault")
+    if text.startswith("{"):
+        return QName.parse(text)
+    if ":" in text:  # prefixed form — match on local name
+        text = text.rsplit(":", 1)[1]
+    return QName("", text)
+
+
+class ResourcePropertiesMixin:
+    """Port type mixin: import with ``class S(ResourcePropertiesMixin, WsResourceService)``."""
+
+    @web_method(actions.GET)
+    def wsrp_get_resource_property(self, context: MessageContext) -> XmlElement:
+        self.current_resource  # fault if no resource in EPR
+        name = _parse_rp_name(context.body.text())
+        getter = self.rp_getter(name)
+        if getter is None:
+            raise base_fault(
+                f"{self.service_name} has no ResourceProperty {name.clark()}",
+                error_code="InvalidResourcePropertyQNameFault",
+            )
+        response = element(f"{{{ns.WSRF_RP}}}GetResourcePropertyResponse")
+        doc = self.rp_document()
+        for child in doc.element_children():
+            if child.tag.local == name.local and (
+                not name.namespace or child.tag.namespace == name.namespace
+            ):
+                response.append(child)
+        return response
+
+    @web_method(actions.GET_MULTIPLE)
+    def wsrp_get_multiple(self, context: MessageContext) -> XmlElement:
+        self.current_resource
+        wanted = [
+            _parse_rp_name(child.text())
+            for child in context.body.element_children()
+            if child.tag.local == "ResourceProperty"
+        ]
+        if not wanted:
+            raise base_fault("GetMultipleResourceProperties names no properties")
+        response = element(f"{{{ns.WSRF_RP}}}GetMultipleResourcePropertiesResponse")
+        doc = self.rp_document()
+        for name in wanted:
+            if self.rp_getter(name) is None:
+                raise base_fault(
+                    f"no ResourceProperty {name.clark()}",
+                    error_code="InvalidResourcePropertyQNameFault",
+                )
+            for child in doc.element_children():
+                if child.tag.local == name.local:
+                    response.append(child)
+        return response
+
+    @web_method(actions.SET)
+    def wsrp_set_resource_properties(self, context: MessageContext) -> XmlElement:
+        self.current_resource
+        changed = 0
+        for modifier in context.body.element_children():
+            kind = modifier.tag.local
+            if kind == "Update":
+                for replacement in modifier.element_children():
+                    self._apply_rp_update(replacement)
+                    changed += 1
+            elif kind == "Delete":
+                name = _parse_rp_name(modifier.get("ResourceProperty", "") or "")
+                setter = self.rp_setter(name)
+                if setter is None:
+                    raise base_fault(
+                        f"ResourceProperty {name.clark()} is not modifiable",
+                        error_code="UnableToModifyResourcePropertyFault",
+                    )
+                setter(None)
+                changed += 1
+            elif kind == "Insert":
+                # Our RP values are single-valued projections of fields;
+                # Insert degenerates to Update (multiplicity is a schema
+                # concern WSRF.NET also punted to the service author).
+                for replacement in modifier.element_children():
+                    self._apply_rp_update(replacement)
+                    changed += 1
+            else:
+                raise base_fault(f"unknown SetResourceProperties modifier: {kind}")
+        if changed == 0:
+            raise base_fault("SetResourceProperties carried no modifications")
+        return element(f"{{{ns.WSRF_RP}}}SetResourcePropertiesResponse")
+
+    def _apply_rp_update(self, replacement: XmlElement) -> None:
+        setter = self.rp_setter(replacement.tag)
+        if setter is None:
+            raise base_fault(
+                f"ResourceProperty {replacement.tag.clark()} is not modifiable",
+                error_code="UnableToModifyResourcePropertyFault",
+            )
+        setter(replacement)
+
+    @web_method(actions.QUERY)
+    def wsrp_query_resource_properties(self, context: MessageContext) -> XmlElement:
+        self.current_resource
+        query_el = context.body.find_local("QueryExpression")
+        if query_el is None:
+            raise base_fault("QueryResourceProperties has no QueryExpression")
+        dialect = query_el.get("Dialect", _XPATH_DIALECT)
+        if dialect != _XPATH_DIALECT:
+            raise base_fault(
+                f"unknown query dialect {dialect}", error_code="UnknownQueryExpressionDialectFault"
+            )
+        expression = text_of(query_el)
+        try:
+            xpath = XPath(expression)
+            hits = xpath.evaluate(self.rp_document())
+        except XPathError as exc:
+            raise base_fault(
+                f"invalid query: {exc}", error_code="InvalidQueryExpressionFault"
+            )
+        response = element(f"{{{ns.WSRF_RP}}}QueryResourcePropertiesResponse")
+        if isinstance(hits, list):
+            for hit in hits:
+                if hit.kind == "element":
+                    response.append(hit.node.copy())
+                else:
+                    response.append(hit.string_value())
+        else:
+            response.append(str(hits))
+        return response

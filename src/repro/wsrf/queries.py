@@ -1,0 +1,63 @@
+"""WSRF.NET's cross-resource queries (implementation feature, not spec).
+
+"This model of Resources allows WSRF.NET to perform rich queries over that
+state of multiple resources using query languages such as XPath or XQuery"
+(§3.1).  The mixin exposes one operation that evaluates an XPath across
+*every* resource document of the service, returning matching resource EPRs
+with their hits — the way an administrator finds, say, all reservations
+held by one user.
+"""
+
+from __future__ import annotations
+
+from repro.container.service import MessageContext, web_method
+from repro.wsrf.basefaults import base_fault
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+from repro.xmllib.xpath import XPathError
+
+WSRFNET_NS = "http://repro.example.org/wsrf.net"
+_XPATH_DIALECT = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+
+
+class actions:
+    QUERY_RESOURCES = WSRFNET_NS + "/QueryResources"
+
+
+class ResourceQueryMixin:
+    """Port type: query across all WS-Resources of the service."""
+
+    @web_method(actions.QUERY_RESOURCES)
+    def wsrfnet_query_resources(self, context: MessageContext) -> XmlElement:
+        query_el = context.body.find_local("QueryExpression")
+        if query_el is None:
+            raise base_fault("QueryResources has no QueryExpression")
+        dialect = query_el.get("Dialect", _XPATH_DIALECT)
+        if dialect != _XPATH_DIALECT:
+            raise base_fault(
+                f"unknown query dialect {dialect}",
+                error_code="UnknownQueryExpressionDialectFault",
+            )
+        expression = text_of(query_el)
+        try:
+            hits = self.home.query(expression)
+        except XPathError as exc:
+            raise base_fault(
+                f"invalid query: {exc}", error_code="InvalidQueryExpressionFault"
+            )
+        response = element(f"{{{WSRFNET_NS}}}QueryResourcesResponse")
+        by_key: dict[str, XmlElement] = {}
+        for key, node in hits:
+            entry = by_key.get(key)
+            if entry is None:
+                entry = element(
+                    f"{{{WSRFNET_NS}}}MatchedResource",
+                    self.resource_epr(key).to_xml(),
+                )
+                by_key[key] = entry
+                response.append(entry)
+            if node.kind == "element":
+                entry.append(node.node.copy())
+            else:
+                entry.append(element(f"{{{WSRFNET_NS}}}Value", node.string_value()))
+        return response

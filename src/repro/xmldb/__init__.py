@@ -1,0 +1,24 @@
+"""Xindice-like XML document database.
+
+Both of the paper's implementations persist resources in the same XML
+database (Apache Xindice), and "both counter implementations' performance is
+dominated by Xindice".  This package provides that substrate: named
+collections of XML documents keyed by id, XPath queries, pluggable backends
+(in-memory, file, custom — WSRF.NET's "interface to allow custom backends"),
+and the write-through resource cache behind WSRF.NET's faster Set.
+"""
+
+from repro.xmldb.backends import Backend, FileBackend, MemoryBackend
+from repro.xmldb.collection import Collection, DocumentNotFound
+from repro.xmldb.database import XmlDatabase
+from repro.xmldb.cache import WriteThroughCache
+
+__all__ = [
+    "Backend",
+    "FileBackend",
+    "MemoryBackend",
+    "Collection",
+    "DocumentNotFound",
+    "XmlDatabase",
+    "WriteThroughCache",
+]

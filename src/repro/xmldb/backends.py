@@ -1,0 +1,86 @@
+"""Storage backends for the XML database.
+
+The backend interface is deliberately tiny (the paper: "An interface to
+allow custom backends to be used (useful for legacy systems) is also
+provided").  Documents cross the backend boundary as serialized XML text so
+a backend never needs to understand the tree model.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Keyed storage of serialized XML documents."""
+
+    def load(self, key: str) -> str | None:  # pragma: no cover - protocol
+        ...
+
+    def store(self, key: str, text: str) -> None:  # pragma: no cover - protocol
+        ...
+
+    def remove(self, key: str) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def keys(self) -> Iterator[str]:  # pragma: no cover - protocol
+        ...
+
+
+class MemoryBackend:
+    """The in-memory document collection backend."""
+
+    def __init__(self) -> None:
+        self._docs: dict[str, str] = {}
+
+    def load(self, key: str) -> str | None:
+        return self._docs.get(key)
+
+    def store(self, key: str, text: str) -> None:
+        self._docs[key] = text
+
+    def remove(self, key: str) -> bool:
+        return self._docs.pop(key, None) is not None
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._docs))
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+
+class FileBackend:
+    """One file per document under a directory (Xindice's filer, roughly)."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        safe = key.replace("/", "_").replace("..", "_")
+        return os.path.join(self.directory, f"{safe}.xml")
+
+    def load(self, key: str) -> str | None:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def store(self, key: str, text: str) -> None:
+        with open(self._path(key), "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+    def remove(self, key: str) -> bool:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return False
+        os.remove(path)
+        return True
+
+    def keys(self) -> Iterator[str]:
+        for entry in sorted(os.listdir(self.directory)):
+            if entry.endswith(".xml"):
+                yield entry[: -len(".xml")]

@@ -1,0 +1,142 @@
+"""Collections: the unit of storage and query.
+
+Every operation charges its calibrated virtual cost (reads are cheap,
+inserts expensive — "Creating resources (and adding them to the database) in
+particular is always slower than reading or updating them") and counts as a
+``db_op`` in the metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.sim.network import Network
+from repro.xmldb.backends import Backend, MemoryBackend
+from repro.xmllib import parse_xml, serialize
+from repro.xmllib.element import XmlElement
+from repro.xmllib.xpath import NodeResult, compile_xpath
+
+
+class DocumentNotFound(KeyError):
+    """Raised when a document id does not exist in the collection."""
+
+    def __init__(self, collection: str, key: str):
+        super().__init__(f"{collection}/{key}")
+        self.collection = collection
+        self.key = key
+
+
+class Collection:
+    """A named set of XML documents keyed by resource id."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        backend: Backend | None = None,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.backend: Backend = backend if backend is not None else MemoryBackend()
+        self._guid = itertools.count(1)
+
+    # -- key generation ---------------------------------------------------
+
+    def new_id(self) -> str:
+        """Deterministic GUID-style resource ids (paper §3.2: "by default,
+        GUID").  Skips ids already present so a collection reopened over a
+        persistent backend (file/custom) never re-issues a taken name."""
+        while True:
+            candidate = f"{self.name}-{next(self._guid):08d}"
+            if self.backend.load(candidate) is None:
+                return candidate
+
+    # -- CRUD ----------------------------------------------------------------
+
+    def insert(self, document: XmlElement, key: str | None = None) -> str:
+        """Store a new document; returns its id.  Inserting over an existing
+        id is an error — that is what :meth:`update` is for."""
+        key = key if key is not None else self.new_id()
+        if self.backend.load(key) is not None:
+            raise ValueError(f"document already exists: {self.name}/{key}")
+        self._charge(self.network.costs.db_insert)
+        self.backend.store(key, serialize(document))
+        return key
+
+    def read(self, key: str) -> XmlElement:
+        self._charge(self.network.costs.db_read)
+        text = self.backend.load(key)
+        if text is None:
+            raise DocumentNotFound(self.name, key)
+        return parse_xml(text)
+
+    def update(self, key: str, document: XmlElement) -> None:
+        self._charge(self.network.costs.db_update)
+        if self.backend.load(key) is None:
+            raise DocumentNotFound(self.name, key)
+        self.backend.store(key, serialize(document))
+
+    def upsert(self, key: str, document: XmlElement) -> None:
+        """Store whether or not the key exists (out-of-band resource
+        creation support — paper §3.2's second implementation issue)."""
+        if self.backend.load(key) is None:
+            self._charge(self.network.costs.db_insert)
+        else:
+            self._charge(self.network.costs.db_update)
+        self.backend.store(key, serialize(document))
+
+    def delete(self, key: str) -> None:
+        self._charge(self.network.costs.db_delete)
+        if not self.backend.remove(key):
+            raise DocumentNotFound(self.name, key)
+
+    def contains(self, key: str) -> bool:
+        return self.backend.load(key) is not None
+
+    def keys(self) -> list[str]:
+        return sorted(self.backend.keys())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- query -----------------------------------------------------------------
+
+    def documents(self) -> Iterator[tuple[str, XmlElement]]:
+        for key in self.keys():
+            text = self.backend.load(key)
+            if text is not None:
+                yield key, parse_xml(text)
+
+    def query(
+        self, expression: str, prefixes: dict[str, str] | None = None
+    ) -> list[tuple[str, NodeResult]]:
+        """Evaluate an XPath across every document; returns (key, hit) pairs."""
+        compiled = compile_xpath(expression, prefixes)
+        keys = self.keys()
+        self._charge(
+            self.network.costs.db_query_base
+            + self.network.costs.db_query_per_doc * len(keys)
+        )
+        hits: list[tuple[str, NodeResult]] = []
+        for key in keys:
+            text = self.backend.load(key)
+            if text is None:
+                continue
+            for node in compiled.select(parse_xml(text)):
+                hits.append((key, node))
+        return hits
+
+    def query_keys(self, expression: str, prefixes: dict[str, str] | None = None) -> list[str]:
+        """Ids of documents with at least one hit for the expression."""
+        seen: list[str] = []
+        for key, _ in self.query(expression, prefixes):
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    # -- internals ---------------------------------------------------------------
+
+    def _charge(self, ms: float) -> None:
+        self.network.charge(ms, "db")
+        self.network.metrics.db_op()

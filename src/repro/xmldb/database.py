@@ -1,0 +1,45 @@
+"""The database: a namespace of collections."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.network import Network
+from repro.xmldb.backends import Backend, MemoryBackend
+from repro.xmldb.collection import Collection
+
+
+class XmlDatabase:
+    """Named collections sharing one cost/metrics context.
+
+    ``backend_factory`` lets a deployment choose storage per collection
+    (memory by default; a file backend for durability tests; or any custom
+    :class:`~repro.xmldb.backends.Backend`).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        backend_factory: Callable[[str], Backend] | None = None,
+    ) -> None:
+        self.network = network
+        self._backend_factory = backend_factory or (lambda _name: MemoryBackend())
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create a collection."""
+        existing = self._collections.get(name)
+        if existing is None:
+            existing = Collection(name, self.network, self._backend_factory(name))
+            self._collections[name] = existing
+        return existing
+
+    def drop(self, name: str) -> None:
+        collection = self._collections.pop(name, None)
+        if collection is None:
+            raise KeyError(f"no such collection: {name}")
+        for key in collection.keys():
+            collection.backend.remove(key)
+
+    def names(self) -> list[str]:
+        return sorted(self._collections)

@@ -1,0 +1,39 @@
+"""Namespace-aware XML infoset used by every layer of the stacks.
+
+This package is a from-scratch substrate (see DESIGN.md §3): a qualified-name
+model, an element tree with mixed content, a parser, serializers (compact and
+canonical/exclusive-c14n), an XPath-lite query engine and a light structural
+schema checker.
+
+The canonicalizer is what XML-DSig signs over; the XPath engine is shared by
+WSRF ``QueryResourceProperties``, WS-Notification/WS-Eventing filters and the
+Xindice-like XML database.
+"""
+
+from repro.xmllib.qname import QName
+from repro.xmllib import ns
+from repro.xmllib.element import XmlElement, element, text_of
+from repro.xmllib.parse import parse_xml, XmlParseError
+from repro.xmllib.serialize import serialize
+from repro.xmllib.c14n import canonicalize
+from repro.xmllib.xpath import XPath, XPathError, xpath_select, xpath_matches
+from repro.xmllib.schema import Schema, ElementSpec, SchemaError
+
+__all__ = [
+    "QName",
+    "ns",
+    "XmlElement",
+    "element",
+    "text_of",
+    "parse_xml",
+    "XmlParseError",
+    "serialize",
+    "canonicalize",
+    "XPath",
+    "XPathError",
+    "xpath_select",
+    "xpath_matches",
+    "Schema",
+    "ElementSpec",
+    "SchemaError",
+]

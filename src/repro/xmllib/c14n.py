@@ -1,0 +1,108 @@
+"""Exclusive-style XML canonicalization.
+
+XML-DSig signs a byte stream, so both signer and verifier must serialize a
+tree to *exactly* the same bytes even after the tree has been re-parsed
+(which loses original prefixes and attribute order).  The canonical form
+implemented here follows the spirit of Exclusive XML Canonicalization:
+
+* prefixes are derived solely from the set of namespace URIs in the subtree,
+  assigned in first-use document order (so they survive a parse round-trip);
+* a namespace is declared on the outermost element where it becomes visibly
+  used, never redeclared below;
+* namespace declarations come first (sorted by prefix), then attributes
+  sorted by (namespace URI, local name);
+* text is escaped with the canonical replacements and carriage returns are
+  normalized;
+* empty elements use an explicit start/end tag pair (never ``<a/>``).
+
+Two structurally-equal trees therefore canonicalize to identical bytes.
+"""
+
+from __future__ import annotations
+
+from repro.xmllib.element import XmlElement
+from repro.xmllib.qname import QName
+from repro.xmllib.serialize import collect_namespaces
+
+
+def canonicalize(root: XmlElement) -> str:
+    """Render ``root`` in the canonical form described above."""
+    uris = collect_namespaces(root)
+    prefixes = _canonical_prefixes(uris)
+    parts: list[str] = []
+    _write(root, prefixes, set(), parts)
+    return "".join(parts)
+
+
+def _canonical_prefixes(uris: list[str]) -> dict[str, str]:
+    # Prefixes are a pure function of the *sorted* URI set: independent of the
+    # cosmetic PREFERRED_PREFIXES table, of attribute insertion order, and of
+    # whatever prefixes a parsed document happened to use — otherwise a
+    # re-parsed tree could canonicalize to different bytes and break
+    # signature verification.
+    return {uri: f"c{i}" for i, uri in enumerate(sorted(uris))}
+
+
+def _canon_text(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace("\r", "&#xD;")
+    )
+
+
+def _canon_attr(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\t", "&#x9;")
+        .replace("\n", "&#xA;")
+        .replace("\r", "&#xD;")
+    )
+
+
+def _visibly_used(node: XmlElement) -> set[str]:
+    used = set()
+    if node.tag.namespace:
+        used.add(node.tag.namespace)
+    for attr in node.attributes:
+        if attr.namespace:
+            used.add(attr.namespace)
+    return used
+
+
+def _qname_str(name: QName, prefixes: dict[str, str]) -> str:
+    if not name.namespace:
+        return name.local
+    return f"{prefixes[name.namespace]}:{name.local}"
+
+
+def _write(
+    node: XmlElement,
+    prefixes: dict[str, str],
+    declared: set[str],
+    parts: list[str],
+) -> None:
+    tag = _qname_str(node.tag, prefixes)
+    parts.append(f"<{tag}")
+
+    newly = sorted(
+        (prefixes[uri], uri) for uri in _visibly_used(node) if uri not in declared
+    )
+    child_declared = declared | {uri for _, uri in newly}
+    for prefix, uri in newly:
+        parts.append(f' xmlns:{prefix}="{_canon_attr(uri)}"')
+
+    for attr in sorted(node.attributes, key=QName.sort_key):
+        parts.append(f' {_qname_str(attr, prefixes)}="{_canon_attr(node.attributes[attr])}"')
+    parts.append(">")
+
+    for child in node.children:
+        if isinstance(child, str):
+            parts.append(_canon_text(child))
+        else:
+            _write(child, prefixes, child_declared, parts)
+
+    parts.append(f"</{tag}>")

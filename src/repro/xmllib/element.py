@@ -1,0 +1,174 @@
+"""Element tree with mixed content.
+
+An :class:`XmlElement` owns a qualified tag, an attribute map keyed by
+:class:`~repro.xmllib.qname.QName`, and an ordered list of children where each
+child is either another element or a text string (mixed content).  Keeping
+text as ordinary list entries (rather than ElementTree's text/tail split)
+makes canonicalization and XPath ``text()`` handling straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.xmllib.qname import QName
+
+Child = "XmlElement | str"
+
+
+class XmlElement:
+    """A namespace-aware XML element node."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(
+        self,
+        tag: str | QName,
+        attributes: dict[str | QName, str] | None = None,
+        children: Iterable["XmlElement | str"] | None = None,
+    ) -> None:
+        self.tag = QName.parse(tag)
+        self.attributes: dict[QName, str] = {}
+        if attributes:
+            for key, value in attributes.items():
+                self.attributes[QName.parse(key)] = str(value)
+        self.children: list[XmlElement | str] = []
+        if children is not None:
+            for child in children:
+                self.append(child)
+
+    # -- construction -----------------------------------------------------
+
+    def append(self, child: "XmlElement | str | int | float") -> "XmlElement":
+        """Append a child element or text node; returns self for chaining."""
+        if isinstance(child, XmlElement):
+            self.children.append(child)
+        elif isinstance(child, (str, int, float)):
+            text = str(child)
+            if text:
+                self.children.append(text)
+        else:
+            raise TypeError(f"cannot append {type(child).__name__} to XmlElement")
+        return self
+
+    def extend(self, children: Iterable["XmlElement | str"]) -> "XmlElement":
+        for child in children:
+            self.append(child)
+        return self
+
+    def set(self, key: str | QName, value: str) -> "XmlElement":
+        self.attributes[QName.parse(key)] = str(value)
+        return self
+
+    def get(self, key: str | QName, default: str | None = None) -> str | None:
+        return self.attributes.get(QName.parse(key), default)
+
+    # -- navigation -------------------------------------------------------
+
+    def element_children(self) -> Iterator["XmlElement"]:
+        """Iterate child elements, skipping text nodes."""
+        for child in self.children:
+            if isinstance(child, XmlElement):
+                yield child
+
+    def find(self, tag: str | QName) -> "XmlElement | None":
+        """First child element with the given qualified tag, or None."""
+        want = QName.parse(tag)
+        for child in self.element_children():
+            if child.tag == want:
+                return child
+        return None
+
+    def find_all(self, tag: str | QName) -> list["XmlElement"]:
+        """All child elements with the given qualified tag."""
+        want = QName.parse(tag)
+        return [c for c in self.element_children() if c.tag == want]
+
+    def find_local(self, local: str) -> "XmlElement | None":
+        """First child element matching on local name only (any namespace)."""
+        for child in self.element_children():
+            if child.tag.local == local:
+                return child
+        return None
+
+    def descendants(self) -> Iterator["XmlElement"]:
+        """Depth-first iteration over all descendant elements (self last out)."""
+        for child in self.element_children():
+            yield child
+            yield from child.descendants()
+
+    def text(self) -> str:
+        """Concatenated text content of this element and all descendants."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, str):
+                parts.append(child)
+            else:
+                parts.append(child.text())
+        return "".join(parts)
+
+    # -- structural equality ----------------------------------------------
+
+    def structurally_equal(self, other: "XmlElement") -> bool:
+        """Deep equality on tag, attributes and normalized mixed content.
+
+        Adjacent text nodes are coalesced and empty text ignored, so two
+        trees that canonicalize identically compare equal.
+        """
+        if self.tag != other.tag or self.attributes != other.attributes:
+            return False
+        mine = _normalized_children(self)
+        theirs = _normalized_children(other)
+        if len(mine) != len(theirs):
+            return False
+        for a, b in zip(mine, theirs):
+            if isinstance(a, str) or isinstance(b, str):
+                if a != b:
+                    return False
+            elif not a.structurally_equal(b):
+                return False
+        return True
+
+    def copy(self) -> "XmlElement":
+        """Deep copy."""
+        clone = XmlElement(self.tag, dict(self.attributes))
+        for child in self.children:
+            clone.children.append(child.copy() if isinstance(child, XmlElement) else child)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XmlElement {self.tag.clark()} attrs={len(self.attributes)} children={len(self.children)}>"
+
+
+def _normalized_children(node: XmlElement) -> list["XmlElement | str"]:
+    out: list[XmlElement | str] = []
+    for child in node.children:
+        if isinstance(child, str):
+            if not child:
+                continue
+            if out and isinstance(out[-1], str):
+                out[-1] = out[-1] + child
+            else:
+                out.append(child)
+        else:
+            out.append(child)
+    return out
+
+
+def element(
+    tag: str | QName,
+    *children: "XmlElement | str | int | float",
+    attrs: dict[str | QName, str] | None = None,
+) -> XmlElement:
+    """Terse element constructor: ``element(q, child1, "text", attrs={...})``."""
+    node = XmlElement(tag, attrs)
+    for child in children:
+        node.append(child)
+    return node
+
+
+def text_of(node: XmlElement | None, default: str = "") -> str:
+    """Stripped text content of ``node``, or ``default`` when node is None."""
+    if node is None:
+        return default
+    return node.text().strip()

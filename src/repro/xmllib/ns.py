@@ -1,0 +1,55 @@
+"""Namespace URIs for every specification in the two stacks.
+
+The URIs are the historical 2004/2005-era ones that the paper's
+implementations used, so serialized messages read like period traffic.
+"""
+
+# Core Web services plumbing
+SOAP = "http://schemas.xmlsoap.org/soap/envelope/"
+WSA = "http://schemas.xmlsoap.org/ws/2004/08/addressing"
+XSD = "http://www.w3.org/2001/XMLSchema"
+XSI = "http://www.w3.org/2001/XMLSchema-instance"
+DS = "http://www.w3.org/2000/09/xmldsig#"
+WSSE = "http://docs.oasis-open.org/wss/2004/01/oasis-200401-wss-wssecurity-secext-1.0.xsd"
+WSU = "http://docs.oasis-open.org/wss/2004/01/oasis-200401-wss-wssecurity-utility-1.0.xsd"
+
+# Stack A: WSRF + WS-Notification (OASIS drafts contemporaneous with the paper)
+WSRF_RP = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd"
+WSRF_RL = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceLifetime-1.2-draft-01.xsd"
+WSRF_SG = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ServiceGroup-1.2-draft-01.xsd"
+WSRF_BF = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-BaseFaults-1.2-draft-01.xsd"
+WSNT = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BaseNotification-1.2-draft-01.xsd"
+WSTOP = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-Topics-1.2-draft-01.xsd"
+WSBR = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BrokeredNotification-1.2-draft-01.xsd"
+
+# Stack B: WS-Transfer + WS-Eventing (Microsoft/BEA member submissions)
+WXF = "http://schemas.xmlsoap.org/ws/2004/09/transfer"
+WSE = "http://schemas.xmlsoap.org/ws/2004/08/eventing"
+MEX = "http://schemas.xmlsoap.org/ws/2004/09/mex"
+
+# This reproduction's application namespaces
+COUNTER = "http://repro.example.org/counter"
+GIAB = "http://repro.example.org/grid-in-a-box"
+
+#: Preferred prefixes used by the serializers (purely cosmetic).
+PREFERRED_PREFIXES = {
+    SOAP: "soap",
+    WSA: "wsa",
+    XSD: "xsd",
+    XSI: "xsi",
+    DS: "ds",
+    WSSE: "wsse",
+    WSU: "wsu",
+    WSRF_RP: "wsrp",
+    WSRF_RL: "wsrl",
+    WSRF_SG: "wssg",
+    WSRF_BF: "wsbf",
+    WSNT: "wsnt",
+    WSTOP: "wstop",
+    WSBR: "wsbr",
+    WXF: "wxf",
+    WSE: "wse",
+    MEX: "mex",
+    COUNTER: "cnt",
+    GIAB: "giab",
+}

@@ -1,0 +1,46 @@
+"""Parsing XML text into :class:`~repro.xmllib.element.XmlElement` trees.
+
+We lean on the standard library's expat-backed ``xml.etree.ElementTree`` for
+tokenization and namespace resolution (it emits Clark-notation tags), then
+rebuild the tree in our own mixed-content representation.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.xmllib.element import XmlElement
+from repro.xmllib.qname import QName
+
+
+class XmlParseError(ValueError):
+    """Raised when input text is not well-formed XML."""
+
+
+def parse_xml(text: str | bytes) -> XmlElement:
+    """Parse an XML document and return its root element.
+
+    Raises :class:`XmlParseError` on malformed input.
+    """
+    if isinstance(text, bytes):
+        text = text.decode("utf-8")
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlParseError(f"malformed XML: {exc}") from exc
+    return _convert(root)
+
+
+def _convert(node: ET.Element) -> XmlElement:
+    tag = QName.parse(node.tag)
+    attributes: dict[QName, str] = {}
+    for key, value in node.attrib.items():
+        attributes[QName.parse(key)] = value
+    out = XmlElement(tag, attributes)
+    if node.text:
+        out.append(node.text)
+    for child in node:
+        out.append(_convert(child))
+        if child.tail:
+            out.append(child.tail)
+    return out

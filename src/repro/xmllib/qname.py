@@ -1,0 +1,49 @@
+"""Qualified names (namespace URI + local part)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class QName:
+    """An XML qualified name.
+
+    ``namespace`` is the full namespace URI ("" for no namespace) and
+    ``local`` the local part.  The Clark notation ``{uri}local`` is accepted
+    by :meth:`parse` and produced by :meth:`clark`.
+    """
+
+    namespace: str
+    local: str
+
+    def __post_init__(self) -> None:
+        if not self.local:
+            raise ValueError("QName local part must be non-empty")
+        if "{" in self.local or "}" in self.local:
+            raise ValueError(f"invalid local part: {self.local!r}")
+
+    @classmethod
+    def parse(cls, name: "str | QName") -> "QName":
+        """Accept a QName, a Clark-notation string, or a bare local name."""
+        if isinstance(name, QName):
+            return name
+        if name.startswith("{"):
+            end = name.find("}")
+            if end < 0:
+                raise ValueError(f"malformed Clark name: {name!r}")
+            return cls(name[1:end], name[end + 1 :])
+        return cls("", name)
+
+    def clark(self) -> str:
+        """Render in Clark notation (``{uri}local``; bare local if no ns)."""
+        if self.namespace:
+            return "{%s}%s" % (self.namespace, self.local)
+        return self.local
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.clark()
+
+    def sort_key(self) -> tuple[str, str]:
+        """Canonical ordering key: namespace URI first, then local part."""
+        return (self.namespace, self.local)

@@ -1,0 +1,127 @@
+"""Lightweight structural schema checking.
+
+WSRF carries schemas in WSDL; WS-Transfer famously does not (the paper calls
+the resulting hard-coded client/service schema coupling a real problem).  We
+model the WSRF side with a small structural validator: an
+:class:`ElementSpec` names the expected root, its typed text content and its
+child occurrence constraints.  The WS-Transfer services deliberately skip
+validation, mirroring the ``<xsd:any>`` behaviour the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.xmllib.element import XmlElement
+from repro.xmllib.qname import QName
+
+
+class SchemaError(ValueError):
+    """Raised when a document violates its declared schema."""
+
+
+def _check_int(text: str) -> bool:
+    try:
+        int(text.strip())
+        return True
+    except ValueError:
+        return False
+
+
+def _check_float(text: str) -> bool:
+    try:
+        float(text.strip())
+        return True
+    except ValueError:
+        return False
+
+
+_TYPE_CHECKS: dict[str, Callable[[str], bool]] = {
+    "string": lambda _text: True,
+    "int": _check_int,
+    "float": _check_float,
+    "boolean": lambda text: text.strip() in ("true", "false", "0", "1"),
+    "anyURI": lambda text: bool(text.strip()),
+}
+
+
+@dataclass
+class ElementSpec:
+    """Schema for one element.
+
+    ``children`` maps child tags to ``(spec, min_occurs, max_occurs)``;
+    ``max_occurs`` of ``None`` means unbounded.  ``text_type`` of ``None``
+    means no constraint on character content; ``"empty"`` forbids non-space
+    text.  ``open_content`` allows children not named in ``children``
+    (xsd:any-style), which WS-Transfer resources rely on.
+    """
+
+    tag: QName
+    text_type: str | None = None
+    required_attributes: tuple[QName, ...] = ()
+    children: dict[QName, tuple["ElementSpec | None", int, int | None]] = field(default_factory=dict)
+    open_content: bool = False
+
+    def validate(self, node: XmlElement, path: str = "") -> None:
+        here = f"{path}/{self.tag.local}"
+        if node.tag != self.tag:
+            raise SchemaError(f"{here}: expected element {self.tag.clark()}, got {node.tag.clark()}")
+        for attr in self.required_attributes:
+            if attr not in node.attributes:
+                raise SchemaError(f"{here}: missing required attribute {attr.clark()}")
+        if self.text_type == "empty":
+            own_text = "".join(c for c in node.children if isinstance(c, str))
+            if own_text.strip():
+                raise SchemaError(f"{here}: element must not carry text content")
+        elif self.text_type is not None:
+            check = _TYPE_CHECKS.get(self.text_type)
+            if check is None:
+                raise SchemaError(f"{here}: unknown text type {self.text_type!r}")
+            if not check(node.text()):
+                raise SchemaError(
+                    f"{here}: text {node.text()!r} is not a valid {self.text_type}"
+                )
+        counts: dict[QName, int] = {}
+        for child in node.element_children():
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+            entry = self.children.get(child.tag)
+            if entry is None:
+                if not self.open_content:
+                    raise SchemaError(f"{here}: unexpected child {child.tag.clark()}")
+                continue
+            spec = entry[0]
+            if spec is not None:
+                spec.validate(child, here)
+        for tag, (_, min_occurs, max_occurs) in self.children.items():
+            seen = counts.get(tag, 0)
+            if seen < min_occurs:
+                raise SchemaError(
+                    f"{here}: child {tag.clark()} occurs {seen} times, minimum {min_occurs}"
+                )
+            if max_occurs is not None and seen > max_occurs:
+                raise SchemaError(
+                    f"{here}: child {tag.clark()} occurs {seen} times, maximum {max_occurs}"
+                )
+
+
+class Schema:
+    """A set of element specs keyed by root tag."""
+
+    def __init__(self, specs: list[ElementSpec] | None = None) -> None:
+        self._specs: dict[QName, ElementSpec] = {}
+        for spec in specs or []:
+            self.add(spec)
+
+    def add(self, spec: ElementSpec) -> "Schema":
+        self._specs[spec.tag] = spec
+        return self
+
+    def validate(self, node: XmlElement) -> None:
+        spec = self._specs.get(node.tag)
+        if spec is None:
+            raise SchemaError(f"no schema registered for element {node.tag.clark()}")
+        spec.validate(node)
+
+    def knows(self, tag: QName | str) -> bool:
+        return QName.parse(tag) in self._specs

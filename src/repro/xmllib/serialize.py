@@ -1,0 +1,114 @@
+"""Serialization of element trees back to XML text.
+
+Prefixes are allocated deterministically (preferred prefixes from
+:mod:`repro.xmllib.ns`, then ``n0``, ``n1``, ... in first-use document
+order) and every namespace is declared on the root, which keeps output
+stable and easy to read in logs.  The canonical form used for signing
+lives in :mod:`repro.xmllib.c14n`.
+"""
+
+from __future__ import annotations
+
+from repro.xmllib import ns as nsmod
+from repro.xmllib.element import XmlElement
+from repro.xmllib.qname import QName
+
+
+def escape_text(value: str) -> str:
+    # \r must be escaped or the receiving parser will normalize it to \n.
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace("\r", "&#xD;")
+    )
+
+
+def escape_attr(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\t", "&#x9;")
+        .replace("\n", "&#xA;")
+        .replace("\r", "&#xD;")
+    )
+
+
+def collect_namespaces(root: XmlElement) -> list[str]:
+    """Namespace URIs used anywhere in the tree, in first-use document order."""
+    seen: dict[str, None] = {}
+
+    def visit(node: XmlElement) -> None:
+        if node.tag.namespace:
+            seen.setdefault(node.tag.namespace, None)
+        for attr in node.attributes:
+            if attr.namespace:
+                seen.setdefault(attr.namespace, None)
+        for child in node.element_children():
+            visit(child)
+
+    visit(root)
+    return list(seen)
+
+
+def allocate_prefixes(uris: list[str]) -> dict[str, str]:
+    """Deterministic URI -> prefix map."""
+    out: dict[str, str] = {}
+    used: set[str] = set()
+    counter = 0
+    for uri in uris:
+        preferred = nsmod.PREFERRED_PREFIXES.get(uri)
+        if preferred and preferred not in used:
+            prefix = preferred
+        else:
+            while f"n{counter}" in used:
+                counter += 1
+            prefix = f"n{counter}"
+            counter += 1
+        out[uri] = prefix
+        used.add(prefix)
+    return out
+
+
+def serialize(root: XmlElement, *, xml_declaration: bool = False) -> str:
+    """Serialize to compact XML with all namespaces declared on the root."""
+    uris = collect_namespaces(root)
+    prefixes = allocate_prefixes(uris)
+    parts: list[str] = []
+    if xml_declaration:
+        parts.append('<?xml version="1.0" encoding="utf-8"?>')
+    _write(root, prefixes, parts, declare=True)
+    return "".join(parts)
+
+
+def _qname_str(name: QName, prefixes: dict[str, str]) -> str:
+    if not name.namespace:
+        return name.local
+    return f"{prefixes[name.namespace]}:{name.local}"
+
+
+def _write(
+    node: XmlElement,
+    prefixes: dict[str, str],
+    parts: list[str],
+    *,
+    declare: bool,
+) -> None:
+    tag = _qname_str(node.tag, prefixes)
+    parts.append(f"<{tag}")
+    if declare:
+        for uri, prefix in prefixes.items():
+            parts.append(f' xmlns:{prefix}="{escape_attr(uri)}"')
+    for attr in sorted(node.attributes, key=QName.sort_key):
+        parts.append(f' {_qname_str(attr, prefixes)}="{escape_attr(node.attributes[attr])}"')
+    if not node.children:
+        parts.append("/>")
+        return
+    parts.append(">")
+    for child in node.children:
+        if isinstance(child, str):
+            parts.append(escape_text(child))
+        else:
+            _write(child, prefixes, parts, declare=False)
+    parts.append(f"</{tag}>")

@@ -1,0 +1,692 @@
+"""XPath-lite: the query-language subset shared across both stacks.
+
+Supported grammar (a practical subset of XPath 1.0):
+
+* absolute and relative location paths: ``/a/b``, ``a/b``, ``//a``, ``.``,
+  ``..``, ``a//b``
+* node tests: qualified names (resolved against a caller-supplied prefix
+  map), ``*``, ``prefix:*``, ``text()``, ``node()``
+* the attribute axis: ``@attr``, ``@*``
+* predicates: positions (``[2]``), comparisons (``[price > 3]``,
+  ``[@id='x']``), nested relative paths (``[child/grand]``), boolean
+  ``and`` / ``or``
+* union: ``a | b``
+* functions: ``count``, ``contains``, ``starts-with``, ``not``, ``true``,
+  ``false``, ``position``, ``last``, ``local-name``, ``name``, ``string``,
+  ``number``, ``boolean``, ``concat``, ``string-length``, ``normalize-space``
+
+Results follow XPath 1.0 typing: node-sets (lists of :class:`NodeResult`),
+strings, numbers or booleans, with the standard coercions for comparisons.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.xmllib.element import XmlElement
+from repro.xmllib.qname import QName
+
+
+class XPathError(ValueError):
+    """Raised on syntax errors or unsupported constructs."""
+
+
+# ---------------------------------------------------------------------------
+# Node wrappers.  The engine tracks parentage externally (XmlElement nodes do
+# not carry parent pointers) by wrapping every selected node.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeResult:
+    """A node in a node-set: an element, attribute or text node."""
+
+    kind: str  # "element" | "attribute" | "text" | "root"
+    node: Any  # XmlElement for elements/root; str value for text
+    parent: "NodeResult | None"
+    name: QName | None = None  # attribute name when kind == "attribute"
+
+    def string_value(self) -> str:
+        if self.kind in ("element", "root"):
+            return self.node.text() if isinstance(self.node, XmlElement) else ""
+        return str(self.node)
+
+
+def _root_result(root: XmlElement) -> NodeResult:
+    """Wrap ``root`` as the document node containing one element."""
+    return NodeResult("root", root, None)
+
+
+def _children_of(ctx: NodeResult) -> list[NodeResult]:
+    if ctx.kind == "root":
+        return [NodeResult("element", ctx.node, ctx)]
+    if ctx.kind != "element":
+        return []
+    out: list[NodeResult] = []
+    for child in ctx.node.children:
+        if isinstance(child, XmlElement):
+            out.append(NodeResult("element", child, ctx))
+        elif child:
+            out.append(NodeResult("text", child, ctx))
+    return out
+
+
+def _document_order_key(result: NodeResult) -> tuple:
+    """Sort key placing node-set members in document order.
+
+    Attributes sort just after their owner element and before its children
+    (the "a" < "c" tuple trick); positions are found by identity so text
+    nodes and repeated tags order correctly.
+    """
+    key: list[tuple[str, int]] = []
+    node = result
+    while node.parent is not None:
+        parent = node.parent
+        if node.kind == "attribute":
+            attrs = sorted(parent.node.attributes, key=QName.sort_key)
+            key.append(("a", attrs.index(node.name)))
+        elif parent.kind == "root":
+            key.append(("c", 0))
+        else:
+            children = parent.node.children
+            idx = next(
+                (i for i, child in enumerate(children) if child is node.node), 0
+            )
+            key.append(("c", idx))
+        node = parent
+    return tuple(reversed(key))
+
+
+def _descendants_or_self(ctx: NodeResult) -> list[NodeResult]:
+    out = [ctx]
+    for child in _children_of(ctx):
+        if child.kind == "element":
+            out.extend(_descendants_or_self(child))
+        else:
+            out.append(child)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>\d+(?:\.\d+)?)
+      | (?P<literal>'[^']*'|"[^"]*")
+      | (?P<dslash>//)
+      | (?P<dotdot>\.\.)
+      | (?P<op><=|>=|!=|=|<|>|\||/|\[|\]|\(|\)|@|,|\.|\*)
+      | (?P<name>[A-Za-z_][\w.\-]*)
+      | (?P<colon>:)
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(expr: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(expr):
+        match = _TOKEN_RE.match(expr, pos)
+        if not match or match.end() == pos:
+            rest = expr[pos:].lstrip()
+            if not rest:
+                break
+            raise XPathError(f"cannot tokenize XPath at: {rest!r}")
+        pos = match.end()
+        for kind in ("number", "literal", "dslash", "dotdot", "op", "name", "colon"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Step:
+    axis: str  # "child" | "attribute" | "descendant-or-self" | "self" | "parent"
+    test: str  # "name" | "wildcard" | "ns-wildcard" | "text" | "node"
+    name: tuple[str, str] | None  # (prefix, local) for name/ns-wildcard tests
+    predicates: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    absolute: bool
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True)
+class UnionExpr:
+    paths: tuple[PathExpr, ...]
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class LiteralExpr:
+    value: str
+
+
+@dataclass(frozen=True)
+class NumberExpr:
+    value: float
+
+
+Expr = "UnionExpr | PathExpr | BinaryExpr | FunctionCall | LiteralExpr | NumberExpr"
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise XPathError("unexpected end of XPath expression")
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token and token[0] == kind and (value is None or token[1] == value):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: str | None = None) -> tuple[str, str]:
+        token = self.peek()
+        if token is None or token[0] != kind or (value is not None and token[1] != value):
+            raise XPathError(f"expected {value or kind}, got {token}")
+        self.pos += 1
+        return token
+
+    # expr := or-expr
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self._at_keyword("or"):
+            self.pos += 1
+            left = BinaryExpr("or", left, self.parse_and())
+        return left
+
+    def parse_and(self):
+        left = self.parse_comparison()
+        while self._at_keyword("and"):
+            self.pos += 1
+            left = BinaryExpr("and", left, self.parse_comparison())
+        return left
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return bool(token and token[0] == "name" and token[1] == word)
+
+    def parse_comparison(self):
+        left = self.parse_union()
+        token = self.peek()
+        if token and token[0] == "op" and token[1] in ("=", "!=", "<", ">", "<=", ">="):
+            self.pos += 1
+            right = self.parse_union()
+            return BinaryExpr(token[1], left, right)
+        return left
+
+    def parse_union(self):
+        first = self.parse_value()
+        paths = [first]
+        while self.accept("op", "|"):
+            paths.append(self.parse_value())
+        if len(paths) == 1:
+            return first
+        for path in paths:
+            if not isinstance(path, PathExpr):
+                raise XPathError("union '|' requires location paths")
+        return UnionExpr(tuple(paths))
+
+    def parse_value(self):
+        token = self.peek()
+        if token is None:
+            raise XPathError("unexpected end of expression")
+        kind, value = token
+        if kind == "literal":
+            self.pos += 1
+            return LiteralExpr(value[1:-1])
+        if kind == "number":
+            self.pos += 1
+            return NumberExpr(float(value))
+        if kind == "op" and value == "(":
+            self.pos += 1
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if kind == "name" and self._is_function_call():
+            return self.parse_function()
+        return self.parse_path()
+
+    def _is_function_call(self) -> bool:
+        # A name followed immediately by "(" that isn't a node-type test
+        # handled inside path parsing (text()/node() appear via parse_path).
+        token = self.peek()
+        after = self.tokens[self.pos + 1] if self.pos + 1 < len(self.tokens) else None
+        if token and token[0] == "name" and after == ("op", "("):
+            return token[1] not in ("text", "node")
+        return False
+
+    def parse_function(self):
+        name = self.expect("name")[1]
+        self.expect("op", "(")
+        args: list[Any] = []
+        if not self.accept("op", ")"):
+            args.append(self.parse_expr())
+            while self.accept("op", ","):
+                args.append(self.parse_expr())
+            self.expect("op", ")")
+        return FunctionCall(name, tuple(args))
+
+    def parse_path(self) -> PathExpr:
+        absolute = False
+        steps: list[Step] = []
+        token = self.peek()
+        if token and token[0] == "dslash":
+            absolute = True
+            self.pos += 1
+            steps.append(Step("descendant-or-self", "node", None, ()))
+        elif token and token == ("op", "/"):
+            absolute = True
+            self.pos += 1
+        steps.append(self.parse_step())
+        while True:
+            token = self.peek()
+            if token and token[0] == "dslash":
+                self.pos += 1
+                steps.append(Step("descendant-or-self", "node", None, ()))
+                steps.append(self.parse_step())
+            elif token == ("op", "/"):
+                self.pos += 1
+                steps.append(self.parse_step())
+            else:
+                break
+        return PathExpr(absolute, tuple(steps))
+
+    def parse_step(self) -> Step:
+        token = self.peek()
+        if token is None:
+            raise XPathError("expected a step")
+        axis = "child"
+        if token == ("op", "@"):
+            axis = "attribute"
+            self.pos += 1
+        elif token[0] == "dotdot":
+            self.pos += 1
+            return Step("parent", "node", None, ())
+        elif token == ("op", "."):
+            self.pos += 1
+            return Step("self", "node", None, ())
+
+        test, name = self.parse_node_test(axis)
+        predicates: list[Any] = []
+        while self.accept("op", "["):
+            predicates.append(self.parse_expr())
+            self.expect("op", "]")
+        return Step(axis, test, name, tuple(predicates))
+
+    def parse_node_test(self, axis: str) -> tuple[str, tuple[str, str] | None]:
+        token = self.peek()
+        if token is None:
+            raise XPathError("expected a node test")
+        if token == ("op", "*"):
+            self.pos += 1
+            return "wildcard", None
+        if token[0] != "name":
+            raise XPathError(f"expected a node test, got {token}")
+        first = self.next()[1]
+        if self.accept("colon"):
+            nxt = self.peek()
+            if nxt == ("op", "*"):
+                self.pos += 1
+                return "ns-wildcard", (first, "*")
+            local = self.expect("name")[1]
+            return "name", (first, local)
+        if first in ("text", "node") and self.accept("op", "("):
+            self.expect("op", ")")
+            if axis == "attribute":
+                raise XPathError(f"{first}() not valid on attribute axis")
+            return first, None
+        return "name", ("", first)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def _to_number(value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return float("nan")
+    if isinstance(value, list):
+        return _to_number(_to_string(value))
+    return float("nan")
+
+
+def _to_string(value: Any) -> str:
+    if isinstance(value, list):
+        return value[0].string_value() if value else ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == int(value):
+            return str(int(value))
+        return str(value)
+    return str(value)
+
+
+def _to_bool(value: Any) -> bool:
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0 and value == value
+    return bool(value)
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    # Node-set comparisons follow XPath's existential semantics.
+    if isinstance(left, list) and isinstance(right, list):
+        return any(
+            _compare(op, a.string_value(), b.string_value()) for a in left for b in right
+        )
+    if isinstance(left, list):
+        return any(_compare(op, a.string_value(), right) for a in left)
+    if isinstance(right, list):
+        return any(_compare(op, left, b) for b in right)
+
+    if op in ("<", ">", "<=", ">="):
+        ln, rn = _to_number(left), _to_number(right)
+        if ln != ln or rn != rn:  # NaN
+            return False
+        return {"<": ln < rn, ">": ln > rn, "<=": ln <= rn, ">=": ln >= rn}[op]
+
+    if isinstance(left, bool) or isinstance(right, bool):
+        result = _to_bool(left) == _to_bool(right)
+    elif isinstance(left, float) or isinstance(right, float):
+        result = _to_number(left) == _to_number(right)
+    else:
+        result = _to_string(left) == _to_string(right)
+    return result if op == "=" else not result
+
+
+class XPath:
+    """A compiled XPath-lite expression.
+
+    ``prefixes`` maps XML prefixes used in the expression to namespace URIs.
+    An unprefixed name test matches that local name in *any* namespace — the
+    pragmatic choice for SOAP processing, where property documents routinely
+    move between namespaces (the paper's QueryResourceProperties usage does
+    the same).  Bind the empty prefix explicitly to pin a namespace.
+    """
+
+    def __init__(self, expression: str, prefixes: dict[str, str] | None = None) -> None:
+        self.expression = expression
+        self.prefixes = dict(prefixes or {})
+        parser = _Parser(_tokenize(expression))
+        self.ast = parser.parse_expr()
+        if parser.peek() is not None:
+            raise XPathError(f"trailing tokens in XPath: {expression!r}")
+
+    # -- public API --------------------------------------------------------
+
+    @staticmethod
+    def _context(root: XmlElement) -> NodeResult:
+        # Relative paths start at the root *element*; "/" climbs to the
+        # document node above it (lxml's Element.xpath semantics).
+        return NodeResult("element", root, _root_result(root))
+
+    def select(self, root: XmlElement) -> list[NodeResult]:
+        """Evaluate and return a node-set (raises if result is not one)."""
+        result = self._eval(self.ast, self._context(root), 1, 1)
+        if not isinstance(result, list):
+            raise XPathError(
+                f"XPath {self.expression!r} evaluates to {type(result).__name__}, not a node-set"
+            )
+        return result
+
+    def evaluate(self, root: XmlElement) -> Any:
+        """Evaluate to whatever the expression yields (node-set/str/num/bool)."""
+        return self._eval(self.ast, self._context(root), 1, 1)
+
+    def matches(self, root: XmlElement) -> bool:
+        """Effective boolean value of the result — the filter entry point."""
+        return _to_bool(self.evaluate(root))
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve(self, name: tuple[str, str]) -> tuple[str | None, str]:
+        prefix, local = name
+        if prefix:
+            if prefix not in self.prefixes:
+                raise XPathError(f"undeclared XPath prefix: {prefix!r}")
+            return self.prefixes[prefix], local
+        if "" in self.prefixes:
+            return self.prefixes[""], local
+        return None, local  # any-namespace match
+
+    def _eval(self, expr: Any, ctx: NodeResult, position: int, size: int) -> Any:
+        if isinstance(expr, LiteralExpr):
+            return expr.value
+        if isinstance(expr, NumberExpr):
+            return expr.value
+        if isinstance(expr, BinaryExpr):
+            if expr.op == "and":
+                return _to_bool(self._eval(expr.left, ctx, position, size)) and _to_bool(
+                    self._eval(expr.right, ctx, position, size)
+                )
+            if expr.op == "or":
+                return _to_bool(self._eval(expr.left, ctx, position, size)) or _to_bool(
+                    self._eval(expr.right, ctx, position, size)
+                )
+            left = self._eval(expr.left, ctx, position, size)
+            right = self._eval(expr.right, ctx, position, size)
+            return _compare(expr.op, left, right)
+        if isinstance(expr, FunctionCall):
+            return self._eval_function(expr, ctx, position, size)
+        if isinstance(expr, UnionExpr):
+            seen: list[NodeResult] = []
+            for path in expr.paths:
+                for node in self._eval_path(path, ctx):
+                    if node not in seen:
+                        seen.append(node)
+            return seen
+        if isinstance(expr, PathExpr):
+            return self._eval_path(expr, ctx)
+        raise XPathError(f"unsupported expression node: {expr!r}")
+
+    def _eval_function(self, call: FunctionCall, ctx: NodeResult, position: int, size: int) -> Any:
+        args = [self._eval(a, ctx, position, size) for a in call.args]
+        name = call.name
+        if name == "count":
+            if len(args) != 1 or not isinstance(args[0], list):
+                raise XPathError("count() takes one node-set argument")
+            return float(len(args[0]))
+        if name == "contains":
+            return _to_string(args[0]).find(_to_string(args[1])) >= 0
+        if name == "starts-with":
+            return _to_string(args[0]).startswith(_to_string(args[1]))
+        if name == "not":
+            return not _to_bool(args[0])
+        if name == "true":
+            return True
+        if name == "false":
+            return False
+        if name == "position":
+            return float(position)
+        if name == "last":
+            return float(size)
+        if name in ("local-name", "name"):
+            target = args[0] if args else [ctx]
+            if not isinstance(target, list) or not target:
+                return ""
+            node = target[0]
+            qn: QName | None
+            if node.kind == "attribute":
+                qn = node.name
+            elif node.kind == "element":
+                qn = node.node.tag
+            else:
+                qn = None
+            if qn is None:
+                return ""
+            return qn.local  # prefixes are serialization artifacts here
+        if name == "string":
+            return _to_string(args[0] if args else [ctx])
+        if name == "number":
+            return _to_number(args[0] if args else _to_string([ctx]))
+        if name == "boolean":
+            return _to_bool(args[0])
+        if name == "concat":
+            return "".join(_to_string(a) for a in args)
+        if name == "string-length":
+            return float(len(_to_string(args[0] if args else [ctx])))
+        if name == "normalize-space":
+            return " ".join(_to_string(args[0] if args else [ctx]).split())
+        raise XPathError(f"unsupported XPath function: {name}()")
+
+    def _eval_path(self, path: PathExpr, ctx: NodeResult) -> list[NodeResult]:
+        if path.absolute:
+            node = ctx
+            while node.parent is not None:
+                node = node.parent
+            current = [node]
+        else:
+            current = [ctx]
+        for step in path.steps:
+            current = self._eval_step(step, current)
+        return current
+
+    def _eval_step(self, step: Step, nodes: list[NodeResult]) -> list[NodeResult]:
+        gathered: list[NodeResult] = []
+        for node in nodes:
+            candidates = self._axis_nodes(step, node)
+            candidates = [c for c in candidates if self._node_test(step, c)]
+            for predicate in step.predicates:
+                kept = []
+                size = len(candidates)
+                for idx, candidate in enumerate(candidates, start=1):
+                    value = self._eval(predicate, candidate, idx, size)
+                    if isinstance(value, float):
+                        if value == idx:
+                            kept.append(candidate)
+                    elif _to_bool(value):
+                        kept.append(candidate)
+                candidates = kept
+            for candidate in candidates:
+                if candidate not in gathered:
+                    gathered.append(candidate)
+        # XPath 1.0 node-sets are document-ordered — observable through
+        # positional predicates and query results, so sort, don't assume.
+        gathered.sort(key=_document_order_key)
+        return gathered
+
+    def _axis_nodes(self, step: Step, ctx: NodeResult) -> list[NodeResult]:
+        if step.axis == "child":
+            return _children_of(ctx)
+        if step.axis == "self":
+            return [ctx]
+        if step.axis == "parent":
+            return [ctx.parent] if ctx.parent is not None else []
+        if step.axis == "descendant-or-self":
+            return _descendants_or_self(ctx)
+        if step.axis == "attribute":
+            if ctx.kind != "element":
+                return []
+            return [
+                NodeResult("attribute", value, ctx, name=key)
+                for key, value in sorted(ctx.node.attributes.items(), key=lambda kv: kv[0].sort_key())
+            ]
+        raise XPathError(f"unsupported axis: {step.axis}")
+
+    def _node_test(self, step: Step, node: NodeResult) -> bool:
+        if step.test == "node":
+            return True
+        if step.test == "text":
+            return node.kind == "text"
+        if step.axis == "attribute":
+            if node.kind != "attribute":
+                return False
+            qn = node.name
+        else:
+            if node.kind != "element":
+                return False
+            qn = node.node.tag
+        assert qn is not None
+        if step.test == "wildcard":
+            return True
+        if step.test == "ns-wildcard":
+            uri, _ = self._resolve(step.name)  # type: ignore[arg-type]
+            return uri is None or qn.namespace == uri
+        uri, local = self._resolve(step.name)  # type: ignore[arg-type]
+        if qn.local != local:
+            return False
+        return uri is None or qn.namespace == uri
+
+
+# Simple compiled-expression cache: filter expressions are evaluated per
+# notification, so recompiling each time would dominate profile output.
+_CACHE: dict[tuple[str, tuple[tuple[str, str], ...]], XPath] = {}
+_CACHE_LIMIT = 512
+
+
+def compile_xpath(expression: str, prefixes: dict[str, str] | None = None) -> XPath:
+    key = (expression, tuple(sorted((prefixes or {}).items())))
+    hit = _CACHE.get(key)
+    if hit is None:
+        hit = XPath(expression, prefixes)
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.clear()
+        _CACHE[key] = hit
+    return hit
+
+
+def xpath_select(root: XmlElement, expression: str, prefixes: dict[str, str] | None = None) -> list[NodeResult]:
+    """One-shot select helper (uses the compiled-expression cache)."""
+    return compile_xpath(expression, prefixes).select(root)
+
+
+def xpath_matches(root: XmlElement, expression: str, prefixes: dict[str, str] | None = None) -> bool:
+    """One-shot boolean filter helper (uses the compiled-expression cache)."""
+    return compile_xpath(expression, prefixes).matches(root)

@@ -1,0 +1,160 @@
+"""Integration tests: the counter application on both stacks, all scenarios."""
+
+import pytest
+
+from repro.apps.counter import (
+    CounterScenario,
+    build_transfer_rig,
+    build_wsrf_rig,
+)
+from repro.container import SecurityMode
+from repro.soap import SoapFault
+
+ALL_SCENARIOS = CounterScenario.all_six()
+SCENARIO_IDS = [s.label for s in ALL_SCENARIOS]
+
+
+class TestWsrfCounter:
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS, ids=SCENARIO_IDS)
+    def test_full_lifecycle(self, scenario):
+        rig = build_wsrf_rig(scenario)
+        counter = rig.client.create(initial=5)
+        assert rig.client.get(counter) == 5
+        rig.client.set(counter, 9)
+        assert rig.client.get(counter) == 9
+        rig.client.destroy(counter)
+        with pytest.raises(SoapFault):
+            rig.client.get(counter)
+
+    def test_notification_on_set(self):
+        rig = build_wsrf_rig(CounterScenario())
+        counter = rig.client.create()
+        rig.client.subscribe(counter, rig.consumer)
+        rig.client.set(counter, 3)
+        assert len(rig.consumer.received) == 1
+        topic, payload = rig.consumer.received[0]
+        assert topic == "CounterValueChanged"
+        assert payload.find_local("NewValue").text() == "3"
+
+    def test_notification_only_for_subscribed_counter(self):
+        rig = build_wsrf_rig(CounterScenario())
+        counter_a = rig.client.create()
+        counter_b = rig.client.create()
+        rig.client.subscribe(counter_a, rig.consumer)
+        rig.client.set(counter_b, 1)
+        assert rig.consumer.received == []
+        rig.client.set(counter_a, 1)
+        assert len(rig.consumer.received) == 1
+
+    def test_notification_under_signing(self):
+        rig = build_wsrf_rig(CounterScenario(mode=SecurityMode.X509))
+        counter = rig.client.create()
+        rig.client.subscribe(counter, rig.consumer)
+        rig.client.set(counter, 7)
+        assert len(rig.consumer.received) == 1
+
+    def test_counters_are_independent(self):
+        rig = build_wsrf_rig(CounterScenario())
+        a = rig.client.create(initial=1)
+        b = rig.client.create(initial=100)
+        rig.client.set(a, 2)
+        assert rig.client.get(b) == 100
+
+
+class TestTransferCounter:
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS, ids=SCENARIO_IDS)
+    def test_full_lifecycle(self, scenario):
+        rig = build_transfer_rig(scenario)
+        counter = rig.client.create(initial=5)
+        assert rig.client.get(counter) == 5
+        rig.client.set(counter, 9)
+        assert rig.client.get(counter) == 9
+        rig.client.delete(counter)
+        with pytest.raises(SoapFault):
+            rig.client.get(counter)
+
+    def test_notification_on_set(self):
+        rig = build_transfer_rig(CounterScenario())
+        counter = rig.client.create()
+        rig.client.subscribe(counter, rig.consumer)
+        rig.client.set(counter, 3)
+        assert len(rig.consumer.received) == 1
+        assert rig.consumer.received[0].find_local("NewValue").text() == "3"
+
+    def test_notification_filtered_per_counter(self):
+        rig = build_transfer_rig(CounterScenario())
+        counter_a = rig.client.create()
+        counter_b = rig.client.create()
+        rig.client.subscribe(counter_a, rig.consumer)
+        rig.client.set(counter_b, 1)
+        assert rig.consumer.received == []
+        rig.client.set(counter_a, 1)
+        assert len(rig.consumer.received) == 1
+
+    def test_notification_under_signing(self):
+        rig = build_transfer_rig(CounterScenario(mode=SecurityMode.X509))
+        counter = rig.client.create()
+        rig.client.subscribe(counter, rig.consumer)
+        rig.client.set(counter, 7)
+        assert len(rig.consumer.received) == 1
+
+
+class TestCrossStackBehaviour:
+    """§4.1.3 behavioural comparisons, asserted rather than eyeballed."""
+
+    def test_functional_equivalence(self):
+        """The same client workload produces the same observable results."""
+        wsrf = build_wsrf_rig(CounterScenario())
+        wxf = build_transfer_rig(CounterScenario())
+        for rig, get, set_, create in (
+            (wsrf, wsrf.client.get, wsrf.client.set, wsrf.client.create),
+            (wxf, wxf.client.get, wxf.client.set, wxf.client.create),
+        ):
+            counter = create(10)
+            set_(counter, 20)
+            assert get(counter) == 20
+
+    def test_wsrf_set_avoids_read_before_write(self):
+        """WSRF.NET's cache vs the WS-Transfer read-modify-write on Set."""
+        wsrf = build_wsrf_rig(CounterScenario())
+        wxf = build_transfer_rig(CounterScenario())
+        wsrf_counter = wsrf.client.create()
+        wxf_counter = wxf.client.create()
+
+        wsrf.deployment.network.metrics.begin("set", wsrf.deployment.network.clock.now)
+        wsrf.client.set(wsrf_counter, 1)
+        wsrf_trace = wsrf.deployment.network.metrics.end(wsrf.deployment.network.clock.now)
+
+        wxf.deployment.network.metrics.begin("set", wxf.deployment.network.clock.now)
+        wxf.client.set(wxf_counter, 1)
+        wxf_trace = wxf.deployment.network.metrics.end(wxf.deployment.network.clock.now)
+
+        assert wxf_trace.db_ops > wsrf_trace.db_ops - 1  # wxf pays the extra read
+        assert wsrf_trace.elapsed_ms < wxf_trace.elapsed_ms
+
+    def test_notify_faster_on_eventing(self):
+        """TCP SoapReceiver vs WSRF.NET's per-delivery HTTP server."""
+
+        def notify_time(rig, subscribe, set_, create):
+            counter = create(0)
+            subscribe(counter, rig.consumer)
+            network = rig.deployment.network
+            t0 = network.clock.now
+            set_(counter, 1)
+            return network.clock.now - t0
+
+        wsrf = build_wsrf_rig(CounterScenario())
+        wxf = build_transfer_rig(CounterScenario())
+        wsrf_time = notify_time(wsrf, wsrf.client.subscribe, wsrf.client.set, wsrf.client.create)
+        wxf_time = notify_time(wxf, wxf.client.subscribe, wxf.client.set, wxf.client.create)
+        assert wxf_time < wsrf_time
+
+    def test_wsrf_client_cannot_drive_transfer_service(self):
+        """Interop negative test (§5): an existing WSRF-speaking client
+        cannot simply be aimed at the corresponding WS-Transfer service."""
+        from repro.apps.counter.clients import WsrfCounterClient
+
+        wxf = build_transfer_rig(CounterScenario())
+        confused = WsrfCounterClient(wxf.client.soap, wxf.service.address)
+        with pytest.raises(SoapFault, match="does not support action"):
+            confused.create()

@@ -1,0 +1,138 @@
+"""Differential property testing: the two stacks must behave identically.
+
+The paper's core claim — "overwhelmingly equivalent in their functionality"
+— as an executable property: for any sequence of counter operations, the
+WSRF stack, the WS-Transfer stack and a plain Python model must agree on
+every observable result.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.apps.counter import CounterScenario, build_transfer_rig, build_wsrf_rig
+from repro.soap import SoapFault
+
+
+class ModelCounterFarm:
+    """The oracle: plain dict semantics."""
+
+    def __init__(self):
+        self.counters = {}
+        self.next_id = 0
+
+    def create(self, initial):
+        self.next_id += 1
+        self.counters[self.next_id] = initial
+        return self.next_id
+
+    def get(self, cid):
+        return self.counters[cid]
+
+    def set(self, cid, value):
+        if cid not in self.counters:
+            raise KeyError(cid)
+        self.counters[cid] = value
+
+    def destroy(self, cid):
+        del self.counters[cid]
+
+
+class CounterEquivalence(RuleBasedStateMachine):
+    """Drive all three implementations with the same operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.model = ModelCounterFarm()
+        self.wsrf = build_wsrf_rig(CounterScenario())
+        self.transfer = build_transfer_rig(CounterScenario())
+        # model id -> (wsrf EPR, transfer EPR)
+        self.eprs = {}
+        self.live = []
+
+    @rule(initial=st.integers(min_value=-1000, max_value=1000))
+    def create(self, initial):
+        cid = self.model.create(initial)
+        self.eprs[cid] = (
+            self.wsrf.client.create(initial),
+            self.transfer.client.create(initial),
+        )
+        self.live.append(cid)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data(), value=st.integers(min_value=-1000, max_value=1000))
+    def set_value(self, data, value):
+        cid = data.draw(st.sampled_from(self.live))
+        self.model.set(cid, value)
+        wsrf_epr, transfer_epr = self.eprs[cid]
+        self.wsrf.client.set(wsrf_epr, value)
+        self.transfer.client.set(transfer_epr, value)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def get_value(self, data):
+        cid = data.draw(st.sampled_from(self.live))
+        expected = self.model.get(cid)
+        wsrf_epr, transfer_epr = self.eprs[cid]
+        assert self.wsrf.client.get(wsrf_epr) == expected
+        assert self.transfer.client.get(transfer_epr) == expected
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def destroy(self, data):
+        cid = data.draw(st.sampled_from(self.live))
+        self.model.destroy(cid)
+        self.live.remove(cid)
+        wsrf_epr, transfer_epr = self.eprs.pop(cid)
+        self.wsrf.client.destroy(wsrf_epr)
+        self.transfer.client.delete(transfer_epr)
+        with pytest.raises(SoapFault):
+            self.wsrf.client.get(wsrf_epr)
+        with pytest.raises(SoapFault):
+            self.transfer.client.get(transfer_epr)
+
+    @invariant()
+    def same_population(self):
+        assert len(self.live) == len(self.model.counters)
+
+
+TestCounterEquivalence = CounterEquivalence.TestCase
+TestCounterEquivalence.settings = settings(
+    max_examples=12,
+    stateful_step_count=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestVirtualTimeDeterminism:
+    """Identical workloads must produce identical virtual timings — the
+    property the benchmark figures rely on."""
+
+    def run_workload(self):
+        rig = build_wsrf_rig(CounterScenario())
+        counter = rig.client.create(3)
+        rig.client.set(counter, 9)
+        rig.client.get(counter)
+        rig.client.destroy(counter)
+        return rig.deployment.network.clock.now
+
+    def test_deterministic(self):
+        assert self.run_workload() == self.run_workload()
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_elapsed_independent_of_values(self, values):
+        """Virtual cost depends on message *sizes*, so same-width values
+        must cost exactly the same regardless of content."""
+
+        def run(vals):
+            rig = build_wsrf_rig(CounterScenario())
+            counter = rig.client.create(0)
+            for v in vals:
+                rig.client.set(counter, v)
+            return rig.deployment.network.clock.now
+
+        same_width = [v % 10 for v in values]  # all single-digit
+        assert run(same_width) == run([(v + 3) % 10 for v in same_width])

@@ -1,0 +1,131 @@
+"""Administrative authorization on both Grid-in-a-Box stacks."""
+
+import pytest
+
+from repro.apps.giab import build_transfer_vo, build_wsrf_vo
+from repro.soap import SoapFault
+
+
+class TestWsrfAdmin:
+    def test_non_admin_cannot_add_accounts(self):
+        from repro.apps.giab.wsrf import WsrfGridAdmin
+
+        vo = build_wsrf_vo()
+        impostor = WsrfGridAdmin(vo.client.soap, vo.account.address, vo.allocation.address)
+        with pytest.raises(SoapFault, match="not a VO administrator"):
+            impostor.add_account("CN=eve")
+
+    def test_non_admin_cannot_register_hosts(self):
+        from repro.apps.giab.wsrf import WsrfGridAdmin
+
+        vo = build_wsrf_vo()
+        impostor = WsrfGridAdmin(vo.client.soap, vo.account.address, vo.allocation.address)
+        with pytest.raises(SoapFault, match="not a VO administrator"):
+            impostor.register_host("rogue", "soap://x/E", "soap://x/D", ["sort"])
+
+    def test_admin_lifecycle_accounts(self):
+        vo = build_wsrf_vo()
+        vo.admin.add_account("CN=bob, O=Repro VO", privileges=["run-jobs"])
+        vo.admin.remove_account("CN=bob, O=Repro VO")
+        with pytest.raises(SoapFault, match="no account"):
+            vo.admin.remove_account("CN=bob, O=Repro VO")
+
+    def test_duplicate_account_rejected(self):
+        vo = build_wsrf_vo()
+        with pytest.raises(SoapFault, match="already exists"):
+            vo.admin.add_account(vo.user_dn)
+
+    def test_unregister_host_removes_availability(self):
+        from repro.apps.giab.common import wsrf_actions
+        from repro.addressing import EndpointReference
+        from repro.xmllib import element, ns
+
+        vo = build_wsrf_vo()
+        vo.admin.soap.invoke(
+            EndpointReference.create(vo.allocation.address),
+            wsrf_actions.UNREGISTER_HOST,
+            element(f"{{{ns.GIAB}}}unregisterHost", element(f"{{{ns.GIAB}}}Host", "node1")),
+        )
+        assert {s["host"] for s in vo.client.get_available_resources("sort")} == {"node2"}
+
+    def test_unregister_unknown_host_faults(self):
+        from repro.apps.giab.common import wsrf_actions
+        from repro.addressing import EndpointReference
+        from repro.xmllib import element, ns
+
+        vo = build_wsrf_vo()
+        with pytest.raises(SoapFault, match="unknown host"):
+            vo.admin.soap.invoke(
+                EndpointReference.create(vo.allocation.address),
+                wsrf_actions.UNREGISTER_HOST,
+                element(f"{{{ns.GIAB}}}unregisterHost", element(f"{{{ns.GIAB}}}Host", "ghost")),
+            )
+
+    def test_privilege_check(self):
+        from repro.apps.giab.common import wsrf_actions
+        from repro.addressing import EndpointReference
+        from repro.xmllib import element, ns
+
+        vo = build_wsrf_vo()  # alice has run-jobs
+
+        def check(privilege):
+            response = vo.client.soap.invoke(
+                EndpointReference.create(vo.account.address),
+                wsrf_actions.CHECK_PRIVILEGE,
+                element(
+                    f"{{{ns.GIAB}}}checkPrivilege",
+                    element(f"{{{ns.GIAB}}}DN", vo.user_dn),
+                    element(f"{{{ns.GIAB}}}Privilege", privilege),
+                ),
+            )
+            return response.text().strip() == "true"
+
+        assert check("run-jobs")
+        assert not check("administer")
+
+
+class TestTransferAdmin:
+    def test_non_admin_cannot_register_sites(self):
+        from repro.apps.giab.transfer import TransferGridAdmin
+
+        vo = build_transfer_vo()
+        impostor = TransferGridAdmin(vo.client.soap, vo.account.address, vo.allocation.address)
+        with pytest.raises(SoapFault, match="may not register"):
+            impostor.register_site("rogue", "x", "y", ["sort"])
+
+    def test_non_admin_cannot_remove_sites(self):
+        from repro.apps.giab.transfer import TransferGridAdmin
+
+        vo = build_transfer_vo()
+        impostor = TransferGridAdmin(vo.client.soap, vo.account.address, vo.allocation.address)
+        with pytest.raises(SoapFault, match="may not remove"):
+            impostor.remove_site("node1")
+
+    def test_admin_site_lifecycle(self):
+        vo = build_transfer_vo()
+        vo.admin.register_site("node9", "soap://node9/E", "soap://node9/D", ["sort"])
+        assert "node9" in {s["host"] for s in vo.client.get_available_resources("sort")}
+        vo.admin.remove_site("node9")
+        assert "node9" not in {s["host"] for s in vo.client.get_available_resources("sort")}
+
+    def test_account_get_answers_privilege_question(self):
+        """Get on the Account service with an Action in the body asks
+        "can this user perform this action" (§4.2.2)."""
+        from repro.addressing import EndpointReference
+        from repro.transfer.service import TRANSFER_RESOURCE_ID, actions
+        from repro.xmllib import element, ns
+
+        vo = build_transfer_vo()
+        epr = EndpointReference.create(vo.account.address).with_property(
+            TRANSFER_RESOURCE_ID, vo.user_dn
+        )
+        yes = vo.client.soap.invoke(
+            epr, actions.GET,
+            element(f"{{{ns.WXF}}}Get", element(f"{{{ns.GIAB}}}Action", "run-jobs")),
+        )
+        assert yes.text().strip() == "true"
+        no = vo.client.soap.invoke(
+            epr, actions.GET,
+            element(f"{{{ns.WXF}}}Get", element(f"{{{ns.GIAB}}}Action", "administer")),
+        )
+        assert no.text().strip() == "false"

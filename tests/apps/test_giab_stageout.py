@@ -1,0 +1,69 @@
+"""Stage-out: job output files appear in the data directory (Figure 5,
+arrows 10a/10b "Data input/output"), surveyable by the client."""
+
+import pytest
+
+from repro.apps.giab import build_transfer_vo, build_wsrf_vo
+from repro.apps.giab.jobs import JobSpec
+
+
+class TestWsrfStageOut:
+    def run_job(self, vo, exit_code=0):
+        site = vo.client.get_available_resources("sort")[0]
+        reservation = vo.client.make_reservation(site["host"])
+        directory = vo.client.create_data_directory(site["data_address"])
+        vo.client.upload_file(directory, "input.dat", "data")
+        vo.client.start_job(
+            site["exec_address"], reservation, directory,
+            JobSpec("sort", ("input.dat",), 100.0, exit_code, output_files=("output.dat", "log.txt")),
+        )
+        vo.deployment.network.clock.charge(200)
+        return directory
+
+    def test_outputs_visible_via_file_list_rp(self):
+        vo = build_wsrf_vo()
+        directory = self.run_job(vo)
+        assert vo.client.list_files(directory) == ["input.dat", "log.txt", "output.dat"]
+
+    def test_output_downloadable(self):
+        vo = build_wsrf_vo()
+        directory = self.run_job(vo)
+        content = vo.client.download_file(directory, "output.dat")
+        assert content.startswith("output of sort")
+
+    def test_failed_job_leaves_no_outputs(self):
+        vo = build_wsrf_vo()
+        directory = self.run_job(vo, exit_code=1)
+        assert vo.client.list_files(directory) == ["input.dat"]
+
+    def test_destroyed_directory_tolerated(self):
+        """The client destroys the directory while the job runs; the exit
+        path must not blow up."""
+        vo = build_wsrf_vo()
+        site = vo.client.get_available_resources("sort")[0]
+        reservation = vo.client.make_reservation(site["host"])
+        directory = vo.client.create_data_directory(site["data_address"])
+        vo.client.upload_file(directory, "in", "x")
+        vo.client.start_job(
+            site["exec_address"], reservation, directory,
+            JobSpec("sort", (), 500.0, output_files=("out",)),
+        )
+        vo.client.destroy(directory)
+        vo.deployment.network.clock.charge(600)  # job exits; no crash
+
+
+class TestTransferStageOut:
+    def test_outputs_visible_in_user_directory(self):
+        vo = build_transfer_vo()
+        site = vo.client.get_available_resources("sort")[0]
+        vo.client.make_reservation(site["host"])
+        vo.client.upload_file(site["data_address"], "input.dat", "data")
+        vo.client.start_job(
+            site["exec_address"],
+            JobSpec("sort", ("input.dat",), 100.0, output_files=("output.dat",)),
+        )
+        vo.deployment.network.clock.charge(200)
+        assert vo.client.list_files(site["data_address"]) == ["input.dat", "output.dat"]
+        assert vo.client.download_file(site["data_address"], "output.dat").startswith(
+            "output of sort"
+        )

@@ -1,0 +1,214 @@
+"""Grid-in-a-Box on WS-Transfer/WS-Eventing: the CRUD-everything version."""
+
+import pytest
+
+from repro.apps.giab import build_transfer_vo
+from repro.apps.giab.jobs import JobSpec
+from repro.container import SecurityMode
+from repro.soap import SoapFault
+
+
+@pytest.fixture()
+def vo():
+    return build_transfer_vo()
+
+
+class TestAccounts:
+    def test_account_check_modes(self, vo):
+        # Get on the user's DN answers account existence / privilege.
+        assert vo.client.reservation_holder("node1") == ""
+
+    def test_non_admin_cannot_create_accounts(self, vo):
+        from repro.apps.giab.transfer import TransferGridAdmin
+
+        impostor = TransferGridAdmin(
+            vo.client.soap, vo.account.address, vo.allocation.address
+        )
+        with pytest.raises(SoapFault, match="may not administer"):
+            impostor.add_account("CN=eve")
+
+    def test_removed_account_cannot_reserve(self, vo):
+        vo.admin.remove_account(vo.user_dn)
+        with pytest.raises(SoapFault, match="no VO account"):
+            vo.client.make_reservation("node1")
+
+
+class TestEprModeDispatch:
+    """§4.2.2: Get/Put behaviour depends on the shape of the EPR."""
+
+    def test_mode_1_lists_available(self, vo):
+        sites = vo.client.get_available_resources("sort")
+        assert {s["host"] for s in sites} == {"node1", "node2"}
+
+    def test_get_site_reports_holder(self, vo):
+        vo.client.make_reservation("node1")
+        assert vo.client.reservation_holder("node1") == vo.user_dn
+
+    def test_put_mode_r_reserves(self, vo):
+        vo.client.make_reservation("node1")
+        sites = vo.client.get_available_resources("sort")
+        assert {s["host"] for s in sites} == {"node2"}
+
+    def test_put_mode_u_unreserves(self, vo):
+        vo.client.make_reservation("node1")
+        vo.client.unreserve("node1")
+        sites = vo.client.get_available_resources("sort")
+        assert {s["host"] for s in sites} == {"node1", "node2"}
+
+    def test_put_mode_t_changes_time(self, vo):
+        vo.client.make_reservation("node1", until="5000")
+        vo.client.change_reservation_time("node1", "9000")
+        # visible via the raw site document
+        site = vo.allocation.collection.read("node1")
+        assert site.find_local("ReservedUntil").text() == "9000"
+
+    def test_mode_t_without_reservation_faults(self, vo):
+        with pytest.raises(SoapFault, match="unreserved site"):
+            vo.client.change_reservation_time("node1", "9000")
+
+    def test_double_reservation_rejected(self, vo):
+        vo.client.make_reservation("node1")
+        with pytest.raises(SoapFault, match="already reserved"):
+            vo.client.make_reservation("node1")
+
+    def test_unreserve_foreign_reservation_rejected(self, vo):
+        other = vo.deployment.issue_credentials("bob", seed=970)
+        vo.admin.add_account(str(other.subject))
+        from repro.apps.giab.transfer import TransferGridClient
+        from repro.container.client import SoapClient
+
+        bob = TransferGridClient(
+            SoapClient(vo.deployment, "workstation", other),
+            vo.allocation.address,
+            str(other.subject),
+        )
+        vo.client.make_reservation("node1")
+        with pytest.raises(SoapFault, match="belongs to"):
+            bob.unreserve("node1")
+
+    def test_site_name_mode_prefix_collision_rejected(self, vo):
+        with pytest.raises(SoapFault, match="mode prefix"):
+            vo.admin.register_site("Renamed", "x", "y", ["sort"])
+
+    def test_manual_lifetime_failure_mode(self, vo):
+        """§4.2.3: "A failure to destroy a reservation after a job is
+        finished would prevent the subsequent use of that execution
+        resource."  No lifetime machinery exists to save you."""
+        vo.client.make_reservation("node1")
+        vo.deployment.network.clock.charge(100 * 3600 * 1000.0)  # 100 hours
+        sites = vo.client.get_available_resources("sort")
+        assert {s["host"] for s in sites} == {"node2"}  # still blocked
+
+
+class TestFiles:
+    def test_upload_list_download_delete(self, vo):
+        vo.client.make_reservation("node1")
+        data_address = vo.nodes["node1"].data_service.address
+        vo.client.upload_file(data_address, "input.dat", "payload " * 100)
+        assert vo.client.list_files(data_address) == ["input.dat"]
+        assert vo.client.download_file(data_address, "input.dat").startswith("payload")
+        vo.client.delete_file(data_address, "input.dat")
+        assert vo.client.list_files(data_address) == []
+
+    def test_file_epr_is_dn_slash_filename(self, vo):
+        from repro.crypto.x509 import DistinguishedName
+        from repro.transfer.service import TRANSFER_RESOURCE_ID
+
+        vo.client.make_reservation("node1")
+        epr = vo.client.upload_file(vo.nodes["node1"].data_service.address, "f.txt", "x")
+        key = epr.property(TRANSFER_RESOURCE_ID)
+        assert key == f"{DistinguishedName.parse(vo.user_dn).hashed()}/f.txt"
+
+    def test_upload_without_reservation_rejected(self, vo):
+        with pytest.raises(SoapFault, match="no reservation"):
+            vo.client.upload_file(vo.nodes["node1"].data_service.address, "x", "y")
+
+    def test_put_overwrites_existing_file(self, vo):
+        vo.client.make_reservation("node1")
+        data_address = vo.nodes["node1"].data_service.address
+        vo.client.upload_file(data_address, "f", "v1")
+        vo.client.overwrite_file(data_address, "f", "v2")
+        assert vo.client.download_file(data_address, "f") == "v2"
+
+    def test_put_missing_file_faults(self, vo):
+        vo.client.make_reservation("node1")
+        with pytest.raises(SoapFault, match="no such file"):
+            vo.client.overwrite_file(vo.nodes["node1"].data_service.address, "ghost", "x")
+
+    def test_download_missing_faults(self, vo):
+        with pytest.raises(SoapFault, match="no such file"):
+            vo.client.download_file(vo.nodes["node1"].data_service.address, "ghost")
+
+
+class TestJobs:
+    def start(self, vo, run_time=500.0, exit_code=0, subscribe=True):
+        sites = vo.client.get_available_resources("sort")
+        site = sites[0]
+        vo.client.make_reservation(site["host"])
+        vo.client.upload_file(site["data_address"], "input.dat", "data " * 50)
+        job = vo.client.start_job(
+            site["exec_address"], JobSpec("sort", ("input.dat",), run_time, exit_code)
+        )
+        if subscribe:
+            vo.client.subscribe_job_exit(site["exec_address"], job, vo.consumer)
+        return site, job
+
+    def test_full_flow_with_event(self, vo):
+        site, job = self.start(vo)
+        assert vo.client.job_status(job) == "Running"
+        vo.deployment.network.clock.charge(600)
+        assert vo.client.job_status(job) == "Exited"
+        assert len(vo.consumer.received) == 1
+        event = vo.consumer.received[0]
+        assert event.tag.local == "JobExited"
+        assert event.find_local("ExitCode").text() == "0"
+
+    def test_manual_unreserve_needed_after_job(self, vo):
+        """Un-reserving is an explicit client call on this stack."""
+        site, job = self.start(vo, subscribe=False)
+        vo.deployment.network.clock.charge(600)
+        assert vo.client.get_available_resources("sort") == [] or (
+            site["host"] not in {s["host"] for s in vo.client.get_available_resources("sort")}
+        )
+        vo.client.unreserve(site["host"])
+        assert site["host"] in {s["host"] for s in vo.client.get_available_resources("sort")}
+
+    def test_job_without_reservation_rejected(self, vo):
+        with pytest.raises(SoapFault, match="no reservation"):
+            vo.client.start_job(vo.nodes["node1"].exec_service.address, JobSpec("sort"))
+
+    def test_delete_kills_job_and_representation(self, vo):
+        site, job = self.start(vo, run_time=1e9, subscribe=False)
+        vo.client.kill_job(job)
+        with pytest.raises(SoapFault):
+            vo.client.job_status(job)
+
+    def test_representation_outlives_process(self, vo):
+        """§3.2: the representation may remain when the process is gone."""
+        site, job = self.start(vo, subscribe=False)
+        vo.deployment.network.clock.charge(600)
+        exec_service = vo.nodes[site["host"]].exec_service
+        from repro.transfer.service import TRANSFER_RESOURCE_ID
+
+        key = job.property(TRANSFER_RESOURCE_ID)
+        pid = exec_service._pids[key]
+        exec_service.spawner.reap(pid)  # the OS forgets the process
+        assert vo.client.job_status(job) == "Unknown"  # representation remains
+
+    def test_event_filtered_to_own_job(self, vo):
+        site, job = self.start(vo, run_time=500)
+        # another job on the other node, not subscribed
+        other_site = [s for s in [
+            {"host": h, "exec_address": p.exec_service.address, "data_address": p.data_service.address}
+            for h, p in vo.nodes.items()
+        ] if s["host"] != site["host"]][0]
+        vo.client.make_reservation(other_site["host"])
+        vo.client.start_job(other_site["exec_address"], JobSpec("sort", (), 400))
+        vo.deployment.network.clock.charge(700)
+        assert len(vo.consumer.received) == 1
+
+
+class TestSecurityModes:
+    def test_unsigned_vo_works(self):
+        vo = build_transfer_vo(mode=SecurityMode.NONE)
+        assert vo.client.get_available_resources("sort")

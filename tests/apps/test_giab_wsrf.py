@@ -1,0 +1,284 @@
+"""Grid-in-a-Box on WSRF/WS-Notification: the full Figure 5 flow."""
+
+import pytest
+
+from repro.apps.giab import build_wsrf_vo
+from repro.apps.giab.jobs import JobSpec
+from repro.container import SecurityMode
+from repro.soap import SoapFault
+
+
+@pytest.fixture(scope="module")
+def vo():
+    return build_wsrf_vo()
+
+
+@pytest.fixture()
+def fresh_vo():
+    return build_wsrf_vo()
+
+
+class TestDiscovery:
+    def test_available_resources_by_application(self, vo):
+        sites = vo.client.get_available_resources("sort")
+        assert {s["host"] for s in sites} == {"node1", "node2"}
+        sites = vo.client.get_available_resources("blast")
+        assert {s["host"] for s in sites} == {"node1"}
+
+    def test_unknown_application_yields_nothing(self, vo):
+        assert vo.client.get_available_resources("quake") == []
+
+
+class TestReservations:
+    def test_reserved_host_disappears_from_availability(self, fresh_vo):
+        vo = fresh_vo
+        reservation = vo.client.make_reservation("node1")
+        sites = vo.client.get_available_resources("sort")
+        assert {s["host"] for s in sites} == {"node2"}
+        vo.client.destroy(reservation)
+        sites = vo.client.get_available_resources("sort")
+        assert {s["host"] for s in sites} == {"node1", "node2"}
+
+    def test_double_reservation_rejected(self, fresh_vo):
+        vo = fresh_vo
+        vo.client.make_reservation("node1")
+        with pytest.raises(SoapFault, match="already reserved"):
+            vo.client.make_reservation("node1")
+
+    def test_reservation_requires_account(self, fresh_vo):
+        """Figure 5 step 4: reservation checks the VO account."""
+        vo = fresh_vo
+        vo.admin.remove_account(vo.user_dn)
+        with pytest.raises(SoapFault, match="no VO account"):
+            vo.client.make_reservation("node1")
+
+    def test_unclaimed_reservation_expires(self, fresh_vo):
+        """Scheduled termination: an unclaimed reservation dies after the
+        administrator delta and the host becomes available again."""
+        vo = fresh_vo
+        vo.client.make_reservation("node1")
+        vo.deployment.network.clock.charge(4 * 3600 * 1000.0 + 1)
+        sites = vo.client.get_available_resources("sort")
+        assert {s["host"] for s in sites} == {"node1", "node2"}
+
+
+class TestDataStaging:
+    def test_upload_list_download_delete(self, fresh_vo):
+        vo = fresh_vo
+        vo.client.make_reservation("node1")
+        data_address = vo.nodes["node1"].data_service.address
+        directory = vo.client.create_data_directory(data_address)
+        vo.client.upload_file(directory, "input.dat", "payload " * 100)
+        assert vo.client.list_files(directory) == ["input.dat"]
+        assert vo.client.download_file(directory, "input.dat").startswith("payload")
+        vo.client.delete_file(directory, "input.dat")
+        assert vo.client.list_files(directory) == []
+
+    def test_upload_without_reservation_rejected(self, fresh_vo):
+        vo = fresh_vo
+        data_address = vo.nodes["node1"].data_service.address
+        directory = vo.client.create_data_directory(data_address)
+        with pytest.raises(SoapFault, match="no reservation"):
+            vo.client.upload_file(directory, "x", "y")
+
+    def test_destroy_directory_removes_contents(self, fresh_vo):
+        vo = fresh_vo
+        vo.client.make_reservation("node1")
+        data_service = vo.nodes["node1"].data_service
+        directory = vo.client.create_data_directory(data_service.address)
+        vo.client.upload_file(directory, "a", "1")
+        assert len(data_service.filesystem.directories()) == 1
+        vo.client.destroy(directory)
+        assert data_service.filesystem.directories() == []
+
+
+class TestJobExecution:
+    def run_flow(self, vo, run_time=500.0, exit_code=0, subscribe=True):
+        sites = vo.client.get_available_resources("sort")
+        site = sites[0]
+        reservation = vo.client.make_reservation(site["host"])
+        directory = vo.client.create_data_directory(site["data_address"])
+        vo.client.upload_file(directory, "input.dat", "data " * 50)
+        job = vo.client.start_job(
+            site["exec_address"],
+            reservation,
+            directory,
+            JobSpec("sort", ("input.dat",), run_time, exit_code),
+        )
+        if subscribe:
+            vo.client.subscribe_job_exit(job, vo.consumer)
+        return site, reservation, directory, job
+
+    def test_full_flow_with_notification(self, fresh_vo):
+        vo = fresh_vo
+        site, reservation, directory, job = self.run_flow(vo)
+        assert vo.client.job_status(job) == "Running"
+        vo.deployment.network.clock.charge(600)
+        assert vo.client.job_status(job) == "Exited"
+        assert len(vo.consumer.received) == 1
+        topic, payload = vo.consumer.received[0]
+        assert topic == "job/exited"
+        # "This notification message will contain the job's EPR."
+        assert payload.find_local("JobEPR") is not None
+        assert payload.find_local("ExitCode").text() == "0"
+
+    def test_reservation_autodestroyed_after_job(self, fresh_vo):
+        """Un-reserving happens automatically in the WSRF version —
+        Figure 6 reports no WSRF bar for Unreserve Resource."""
+        vo = fresh_vo
+        site, reservation, directory, job = self.run_flow(vo, subscribe=False)
+        vo.deployment.network.clock.charge(600)
+        sites = vo.client.get_available_resources("sort")
+        assert site["host"] in {s["host"] for s in sites}
+
+    def test_wrong_owner_rejected(self, fresh_vo):
+        vo = fresh_vo
+        other_creds = vo.deployment.issue_credentials("mallory", seed=950)
+        from repro.apps.giab.wsrf import WsrfGridClient
+        from repro.container.client import SoapClient
+
+        vo.admin.add_account(str(other_creds.subject))
+        mallory = WsrfGridClient(
+            SoapClient(vo.deployment, "workstation", other_creds),
+            vo.allocation.address,
+            vo.reservation.address,
+        )
+        reservation = vo.client.make_reservation("node1")
+        directory = mallory.create_data_directory(vo.nodes["node1"].data_service.address)
+        with pytest.raises(SoapFault, match="belongs to"):
+            mallory.start_job(
+                vo.nodes["node1"].exec_service.address,
+                reservation,
+                directory,
+                JobSpec("sort"),
+            )
+
+    def test_wrong_host_rejected(self, fresh_vo):
+        vo = fresh_vo
+        reservation = vo.client.make_reservation("node1")
+        directory = vo.client.create_data_directory(vo.nodes["node2"].data_service.address)
+        with pytest.raises(SoapFault, match="not this ExecService's host"):
+            vo.client.start_job(
+                vo.nodes["node2"].exec_service.address,
+                reservation,
+                directory,
+                JobSpec("sort"),
+            )
+
+    def test_destroy_kills_running_job(self, fresh_vo):
+        vo = fresh_vo
+        site, reservation, directory, job = self.run_flow(vo, run_time=1e9, subscribe=False)
+        assert vo.client.job_status(job) == "Running"
+        vo.client.destroy(job)
+        with pytest.raises(SoapFault):
+            vo.client.job_status(job)
+        spawner = vo.nodes[site["host"]].exec_service.spawner
+        assert all(h.state.value != "Running" for h in spawner.processes.values())
+
+    def test_nonzero_exit_code_reported(self, fresh_vo):
+        vo = fresh_vo
+        site, reservation, directory, job = self.run_flow(vo, exit_code=3)
+        vo.deployment.network.clock.charge(600)
+        _, payload = vo.consumer.received[0]
+        assert payload.find_local("ExitCode").text() == "3"
+
+
+class TestSecurityModes:
+    def test_unsigned_vo_works_without_identity_checks(self):
+        vo = build_wsrf_vo(mode=SecurityMode.NONE)
+        sites = vo.client.get_available_resources("sort")
+        assert sites
+
+
+class TestAllSecurityModes:
+    @pytest.mark.parametrize("mode", list(SecurityMode))
+    def test_job_flow_under_each_policy(self, mode):
+        """Smoke: the whole Figure 5 flow under every security scenario."""
+        from repro.apps.giab.jobs import JobSpec as Spec
+
+        vo = build_wsrf_vo(mode=mode)
+        site = vo.client.get_available_resources("sort")[0]
+        reservation = vo.client.make_reservation(site["host"])
+        directory = vo.client.create_data_directory(site["data_address"])
+        vo.client.upload_file(directory, "in", "x" * 512)
+        job = vo.client.start_job(
+            site["exec_address"], reservation, directory, Spec("sort", (), 50.0)
+        )
+        vo.deployment.network.clock.charge(100)
+        assert vo.client.job_status(job) == "Exited"
+
+
+class TestJobResourceProperties:
+    """"Clients can ... either poll for or subscribe to receive
+    asynchronous notifications of job status" — the polling side."""
+
+    def test_poll_job_rps_through_lifecycle(self, fresh_vo):
+        from repro.wsrf.properties import actions as rp_actions
+        from repro.xmllib import element, ns
+
+        vo = fresh_vo
+        site = vo.client.get_available_resources("sort")[0]
+        reservation = vo.client.make_reservation(site["host"])
+        directory = vo.client.create_data_directory(site["data_address"])
+        vo.client.upload_file(directory, "in", "x")
+        job = vo.client.start_job(
+            site["exec_address"], reservation, directory, JobSpec("sort", (), 400.0, 5)
+        )
+
+        def rps():
+            response = vo.client.soap.invoke(
+                job,
+                rp_actions.GET_MULTIPLE,
+                element(
+                    f"{{{ns.WSRF_RP}}}GetMultipleResourceProperties",
+                    element(f"{{{ns.WSRF_RP}}}ResourceProperty", "Status"),
+                    element(f"{{{ns.WSRF_RP}}}ResourceProperty", "ExitCode"),
+                    element(f"{{{ns.WSRF_RP}}}ResourceProperty", "RunningTime"),
+                ),
+            )
+            status = response.find(f"{{{ns.GIAB}}}Status")
+            exit_code = response.find(f"{{{ns.GIAB}}}ExitCode")
+            running = response.find(f"{{{ns.GIAB}}}RunningTime")
+            return (
+                status.text() if status is not None else None,
+                exit_code.text() if exit_code is not None else None,
+                float(running.text()) if running is not None else None,
+            )
+
+        status, exit_code, running1 = rps()
+        assert status == "Running" and exit_code is None
+        vo.deployment.network.clock.charge(100)
+        _, _, running2 = rps()
+        assert running2 > running1  # RunningTime advances with the clock
+        vo.deployment.network.clock.charge(400)
+        status, exit_code, running3 = rps()
+        assert status == "Exited" and exit_code == "5"
+        assert running3 == pytest.approx(400.0)  # frozen at exit
+
+    def test_query_job_resource_properties(self, fresh_vo):
+        """QueryResourceProperties over a job's RP document."""
+        from repro.wsrf.properties import actions as rp_actions
+        from repro.xmllib import element, ns
+
+        vo = fresh_vo
+        site = vo.client.get_available_resources("sort")[0]
+        reservation = vo.client.make_reservation(site["host"])
+        directory = vo.client.create_data_directory(site["data_address"])
+        vo.client.upload_file(directory, "in", "x")
+        job = vo.client.start_job(
+            site["exec_address"], reservation, directory, JobSpec("sort", (), 100.0)
+        )
+        vo.deployment.network.clock.charge(150)
+        response = vo.client.soap.invoke(
+            job,
+            rp_actions.QUERY,
+            element(
+                f"{{{ns.WSRF_RP}}}QueryResourceProperties",
+                element(
+                    f"{{{ns.WSRF_RP}}}QueryExpression",
+                    "count(//Status[. = 'Exited']) = 1",
+                    attrs={"Dialect": "http://www.w3.org/TR/1999/REC-xpath-19991116"},
+                ),
+            ),
+        )
+        assert response.text().strip() in ("True", "true")

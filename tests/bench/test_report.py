@@ -1,0 +1,88 @@
+"""Unit tests for the bench harness: reporting + measurement plumbing."""
+
+import pytest
+
+from repro.bench import figure_to_csv, format_bar_chart, format_figure_table
+from repro.bench.runner import measure_virtual
+
+
+FIGURE = {
+    "series A": {"Get": 1.0, "Set": 2.5},
+    "series B": {"Get": 3.0, "Set": 4.0, "Extra": 9.0},
+}
+
+
+class TestFigureTable:
+    def test_all_ops_in_header(self):
+        text = format_figure_table("T", FIGURE)
+        assert "Get" in text and "Set" in text and "Extra" in text
+
+    def test_missing_cells_dashed(self):
+        text = format_figure_table("T", FIGURE)
+        row = next(line for line in text.splitlines() if line.startswith("series A"))
+        assert row.rstrip().endswith("-")
+
+    def test_values_formatted(self):
+        text = format_figure_table("T", FIGURE)
+        assert "2.5" in text and "9.0" in text
+
+    def test_title_underlined(self):
+        text = format_figure_table("My Title", FIGURE)
+        lines = text.splitlines()
+        assert lines[0] == "My Title"
+        assert lines[1] == "=" * len("My Title")
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv = figure_to_csv(FIGURE)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,Get,Set,Extra"
+        assert lines[1].startswith("series A,1.000,2.500,")
+        assert lines[1].endswith(",")  # missing Extra is empty
+
+    def test_round_trips_through_split(self):
+        csv = figure_to_csv(FIGURE)
+        rows = [line.split(",") for line in csv.strip().splitlines()]
+        assert float(rows[2][3]) == 9.0
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = format_bar_chart("C", {"small": 10.0, "big": 50.0}, width=50)
+        lines = chart.splitlines()
+        small_bar = lines[1].count("#")
+        big_bar = lines[2].count("#")
+        assert big_bar == 50 and small_bar == 10
+
+    def test_zero_values_no_bar(self):
+        chart = format_bar_chart("C", {"nil": 0.0, "one": 1.0})
+        assert "|" in chart
+
+    def test_empty_ok(self):
+        assert format_bar_chart("C", {}) == "C"
+
+
+class TestMeasureVirtual:
+    def test_trace_covers_exactly_the_operation(self):
+        from repro.apps.counter import CounterScenario, build_wsrf_rig
+
+        rig = build_wsrf_rig(CounterScenario())
+        counter = rig.client.create(0)
+        before = rig.deployment.network.clock.now
+        trace = measure_virtual(rig.deployment, "get", lambda: rig.client.get(counter))
+        after = rig.deployment.network.clock.now
+        assert trace.started_at == before
+        assert trace.ended_at == after
+        assert trace.elapsed_ms == after - before
+        assert trace.messages == 2
+
+    def test_exception_does_not_leak_open_trace(self):
+        from repro.apps.counter import CounterScenario, build_wsrf_rig
+
+        rig = build_wsrf_rig(CounterScenario())
+        with pytest.raises(ZeroDivisionError):
+            measure_virtual(rig.deployment, "boom", lambda: 1 / 0)
+        # The recorder is stuck with an active trace; document the contract:
+        with pytest.raises(RuntimeError):
+            rig.deployment.network.metrics.begin("next", 0)

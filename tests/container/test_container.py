@@ -1,0 +1,225 @@
+"""Integration tests: the generic container end-to-end under each policy."""
+
+import pytest
+
+from repro.container import (
+    Deployment,
+    MessageContext,
+    SecurityMode,
+    SecurityPolicy,
+    ServiceSkeleton,
+    SoapClient,
+    web_method,
+)
+from repro.crypto import CertificateAuthority
+from repro.sim import CostModel
+from repro.soap import SoapFault
+from repro.xmllib import element, text_of
+
+ECHO_ACTION = "urn:test/Echo"
+WHO_ACTION = "urn:test/Who"
+BOOM_ACTION = "urn:test/Boom"
+KEYED_ACTION = "urn:test/Keyed"
+
+
+class EchoService(ServiceSkeleton):
+    service_name = "Echo"
+
+    @web_method(ECHO_ACTION)
+    def echo(self, context: MessageContext):
+        return element("{urn:test}EchoResponse", context.body.text())
+
+    @web_method(WHO_ACTION)
+    def who(self, context: MessageContext):
+        sender = str(context.sender) if context.sender else "anonymous"
+        return element("{urn:test}WhoResponse", sender)
+
+    @web_method(BOOM_ACTION)
+    def boom(self, context: MessageContext):
+        raise SoapFault("Server", "exploded on purpose")
+
+    @web_method(KEYED_ACTION)
+    def keyed(self, context: MessageContext):
+        return element("{urn:test}KeyedResponse", context.resource_key or "none")
+
+
+def make_deployment(mode=SecurityMode.NONE, costs=None):
+    ca = CertificateAuthority.create(seed=7)
+    deployment = Deployment(SecurityPolicy(mode), costs or CostModel(), ca)
+    server_creds = deployment.issue_credentials("server", seed=20)
+    container = deployment.add_container("serverhost", "App", server_creds)
+    service = EchoService()
+    container.add_service(service)
+    client_creds = deployment.issue_credentials("alice", seed=21)
+    client = SoapClient(deployment, "clienthost", client_creds)
+    return deployment, service, client
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("mode", list(SecurityMode))
+    def test_echo_under_each_policy(self, mode):
+        _, service, client = make_deployment(mode)
+        response = client.invoke(service.epr(), ECHO_ACTION, element("{urn:test}Echo", "hi"))
+        assert response.text() == "hi"
+
+    def test_sender_identity_with_x509(self):
+        _, service, client = make_deployment(SecurityMode.X509)
+        response = client.invoke(service.epr(), WHO_ACTION, element("{urn:test}Who"))
+        assert "CN=alice" in response.text()
+
+    def test_sender_anonymous_without_signing(self):
+        _, service, client = make_deployment(SecurityMode.NONE)
+        response = client.invoke(service.epr(), WHO_ACTION, element("{urn:test}Who"))
+        assert response.text() == "anonymous"
+
+    def test_fault_propagates_to_client(self):
+        _, service, client = make_deployment()
+        with pytest.raises(SoapFault, match="exploded"):
+            client.invoke(service.epr(), BOOM_ACTION, element("{urn:test}Boom"))
+
+    def test_unknown_action_faults(self):
+        _, service, client = make_deployment()
+        with pytest.raises(SoapFault, match="does not support action"):
+            client.invoke(service.epr(), "urn:test/Nope", element("x"))
+
+    def test_unknown_address_raises(self):
+        deployment, _, client = make_deployment()
+        from repro.addressing import EndpointReference
+
+        with pytest.raises(LookupError):
+            client.invoke(
+                EndpointReference.create("soap://nowhere/X"), ECHO_ACTION, element("x")
+            )
+
+    def test_reference_properties_reach_service(self):
+        _, service, client = make_deployment()
+        epr = service.epr({"{urn:test}ResourceID": "r-77"})
+        response = client.invoke(epr, KEYED_ACTION, element("{urn:test}Keyed"))
+        assert response.text() == "r-77"
+
+    def test_time_advances_per_call(self):
+        deployment, service, client = make_deployment()
+        t0 = deployment.network.clock.now
+        client.invoke(service.epr(), ECHO_ACTION, element("{urn:test}Echo", "x"))
+        assert deployment.network.clock.now > t0
+
+
+class TestSecurityScenarios:
+    def test_x509_slower_than_none(self):
+        base_elapsed = {}
+        for mode in (SecurityMode.NONE, SecurityMode.X509):
+            deployment, service, client = make_deployment(mode)
+            t0 = deployment.network.clock.now
+            client.invoke(service.epr(), ECHO_ACTION, element("{urn:test}Echo", "x"))
+            base_elapsed[mode] = deployment.network.clock.now - t0
+        assert base_elapsed[SecurityMode.X509] > 3 * base_elapsed[SecurityMode.NONE]
+
+    def test_https_second_call_cheaper(self):
+        deployment, service, client = make_deployment(SecurityMode.HTTPS)
+        t0 = deployment.network.clock.now
+        client.invoke(service.epr(), ECHO_ACTION, element("{urn:test}Echo", "x"))
+        cold = deployment.network.clock.now - t0
+        t1 = deployment.network.clock.now
+        client.invoke(service.epr(), ECHO_ACTION, element("{urn:test}Echo", "x"))
+        warm = deployment.network.clock.now - t1
+        assert warm < cold - deployment.network.costs.tls_handshake / 2
+
+    def test_unsigned_message_rejected_under_x509(self):
+        deployment, service, _ = make_deployment(SecurityMode.X509)
+        unsigned_client = SoapClient(deployment, "clienthost", credentials=None)
+        # Client cannot even sign; server must fault the unsigned request...
+        with pytest.raises((SoapFault, Exception)):
+            unsigned_client.invoke(service.epr(), ECHO_ACTION, element("x"))
+
+    def test_unknown_signer_rejected(self):
+        deployment, service, _ = make_deployment(SecurityMode.X509)
+        rogue_ca = CertificateAuthority.create(common_name="Rogue", seed=99)
+        cert, keypair = rogue_ca.issue_identity("mallory", seed=31)
+        from repro.container import Credentials
+
+        rogue = SoapClient(deployment, "clienthost", Credentials(cert, keypair))
+        with pytest.raises(SoapFault, match="security failure"):
+            rogue.invoke(service.epr(), ECHO_ACTION, element("x"))
+
+    def test_signatures_counted_in_metrics(self):
+        deployment, service, client = make_deployment(SecurityMode.X509)
+        deployment.network.metrics.begin("op", deployment.network.clock.now)
+        client.invoke(service.epr(), ECHO_ACTION, element("{urn:test}Echo", "x"))
+        trace = deployment.network.metrics.end(deployment.network.clock.now)
+        assert trace.signatures == 2  # request + response
+        assert trace.verifications == 2
+        assert trace.messages == 2
+
+
+class TestServiceSkeleton:
+    def test_duplicate_action_rejected(self):
+        class Bad(ServiceSkeleton):
+            @web_method("urn:same")
+            def a(self, context):
+                return None
+
+            @web_method("urn:same")
+            def b(self, context):
+                return None
+
+        with pytest.raises(ValueError, match="duplicate operation"):
+            Bad()
+
+    def test_epr_requires_attachment(self):
+        with pytest.raises(RuntimeError, match="not attached"):
+            EchoService().epr()
+
+    def test_operations_listing(self):
+        ops = EchoService().operations()
+        assert ECHO_ACTION in ops and BOOM_ACTION in ops
+
+    def test_duplicate_service_address_rejected(self):
+        deployment, service, _ = make_deployment()
+        with pytest.raises(ValueError, match="duplicate"):
+            service.container.add_service(EchoService())
+
+
+class TestNotificationSinks:
+    def test_sink_delivery_and_overhead_difference(self):
+        from repro.soap.envelope import build_envelope
+
+        deployment, service, client = make_deployment()
+        received = []
+        http_sink = deployment.add_sink("clienthost", lambda env: received.append("http"), "http-server")
+        tcp_sink = deployment.add_sink("clienthost", lambda env: received.append("tcp"), "tcp-receiver")
+
+        producer_host = deployment.host("serverhost")
+        envelope = build_envelope([], [element("{urn:test}Event", "fired")])
+        t0 = deployment.network.clock.now
+        assert deployment.deliver_notification(producer_host, http_sink.address, envelope)
+        http_cost = deployment.network.clock.now - t0
+
+        envelope2 = build_envelope([], [element("{urn:test}Event", "fired")])
+        t1 = deployment.network.clock.now
+        assert deployment.deliver_notification(producer_host, tcp_sink.address, envelope2)
+        tcp_cost = deployment.network.clock.now - t1
+
+        assert received == ["http", "tcp"]
+        assert tcp_cost < http_cost  # the paper's TCP-vs-HTTP notify gap
+
+    def test_unknown_sink_returns_false(self):
+        from repro.soap.envelope import build_envelope
+
+        deployment, _, _ = make_deployment()
+        ok = deployment.deliver_notification(
+            deployment.host("serverhost"), "soap://gone/sink", build_envelope([], [element("e")])
+        )
+        assert not ok
+
+    def test_signed_notification_verifies(self):
+        from repro.soap.envelope import build_envelope
+
+        deployment, service, client = make_deployment(SecurityMode.X509)
+        received = []
+        sink = deployment.add_sink("clienthost", received.append, "tcp-receiver")
+        creds = service.container.credentials
+        envelope = build_envelope([], [element("{urn:test}Event", "fired")])
+        assert deployment.deliver_notification(
+            deployment.host("serverhost"), sink.address, envelope, creds
+        )
+        assert len(received) == 1

@@ -1,0 +1,25 @@
+"""Shared fixtures/helpers for stack tests: a one-call VO deployment."""
+
+from __future__ import annotations
+
+from repro.container import Deployment, SecurityMode, SecurityPolicy, SoapClient
+from repro.crypto import CertificateAuthority
+from repro.sim import CostModel
+
+
+def make_deployment(
+    mode: SecurityMode = SecurityMode.NONE,
+    costs: CostModel | None = None,
+) -> Deployment:
+    ca = CertificateAuthority.create(seed=7)
+    return Deployment(SecurityPolicy(mode), costs or CostModel(), ca)
+
+
+def server_container(deployment: Deployment, host: str = "server", name: str = "App"):
+    creds = deployment.issue_credentials(f"container-{host}-{name}", seed=hash((host, name)) % 10_000 + 100)
+    return deployment.add_container(host, name, creds)
+
+
+def make_client(deployment: Deployment, host: str = "client", cn: str = "alice", seed: int = 77):
+    creds = deployment.issue_credentials(cn, seed=seed)
+    return SoapClient(deployment, host, creds)

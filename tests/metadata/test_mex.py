@@ -1,0 +1,206 @@
+"""WS-MetadataExchange: schema discovery end-to-end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.container import ServiceSkeleton, web_method
+from repro.metadata import (
+    DIALECT_OPERATIONS,
+    DIALECT_RESOURCE_PROPERTIES,
+    DIALECT_SCHEMA,
+    MetadataExchangeMixin,
+    fetch_metadata,
+    schema_from_xml,
+    schema_to_xml,
+)
+from repro.xmllib import ElementSpec, QName, SchemaError, element, parse_xml, serialize
+
+from tests.helpers import make_client, make_deployment, server_container
+
+
+def counter_schema() -> ElementSpec:
+    return ElementSpec(
+        tag=QName("urn:c", "Counter"),
+        children={
+            QName("urn:c", "Value"): (
+                ElementSpec(QName("urn:c", "Value"), text_type="int"),
+                1,
+                1,
+            )
+        },
+    )
+
+
+class DescribedService(MetadataExchangeMixin, ServiceSkeleton):
+    service_name = "Described"
+
+    @web_method("urn:app/DoThing")
+    def do_thing(self, context):
+        return element("{urn:app}Done")
+
+
+@pytest.fixture()
+def rig():
+    deployment = make_deployment()
+    container = server_container(deployment)
+    service = DescribedService()
+    service.advertise_schema(counter_schema())
+    container.add_service(service)
+    client = make_client(deployment)
+    return deployment, service, client
+
+
+class TestSchemaXml:
+    def test_roundtrip(self):
+        spec = counter_schema()
+        again = schema_from_xml(parse_xml(serialize(schema_to_xml(spec))))
+        assert again.tag == spec.tag
+        assert set(again.children) == set(spec.children)
+        child, lo, hi = again.children[QName("urn:c", "Value")]
+        assert (lo, hi) == (1, 1)
+        assert child.text_type == "int"
+
+    def test_unbounded_roundtrip(self):
+        spec = ElementSpec(
+            tag=QName("", "list"),
+            children={QName("", "item"): (None, 0, None)},
+            open_content=True,
+        )
+        again = schema_from_xml(parse_xml(serialize(schema_to_xml(spec))))
+        assert again.children[QName("", "item")][2] is None
+        assert again.open_content
+
+    def test_required_attributes_roundtrip(self):
+        spec = ElementSpec(
+            tag=QName("u", "a"), required_attributes=(QName("", "id"), QName("v", "x"))
+        )
+        again = schema_from_xml(parse_xml(serialize(schema_to_xml(spec))))
+        assert set(again.required_attributes) == set(spec.required_attributes)
+
+    def test_not_a_schema_rejected(self):
+        with pytest.raises(ValueError, match="not a schema element"):
+            schema_from_xml(element("random"))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,6}", fullmatch=True),
+                st.integers(0, 3),
+                st.one_of(st.none(), st.integers(1, 5)),
+            ),
+            max_size=5,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_any_children(self, children):
+        spec = ElementSpec(tag=QName("urn:x", "Root"))
+        for name, lo, hi in children:
+            if hi is not None and hi < lo:
+                lo, hi = hi, lo
+            spec.children[QName("urn:x", name)] = (None, lo, hi)
+        again = schema_from_xml(parse_xml(serialize(schema_to_xml(spec))))
+        assert again.children == spec.children
+
+
+class TestGetMetadata:
+    def test_operations_dialect(self, rig):
+        _, service, client = rig
+        metadata = fetch_metadata(client, service.address, DIALECT_OPERATIONS)
+        assert metadata.supports("urn:app/DoThing")
+        assert metadata.supports(
+            "http://schemas.xmlsoap.org/ws/2004/09/mex/GetMetadata"
+        )
+        assert metadata.schemas == []
+
+    def test_schema_dialect_enables_client_side_validation(self, rig):
+        """The §3.2 fix: discover the schema instead of hard-coding it."""
+        _, service, client = rig
+        metadata = fetch_metadata(client, service.address, DIALECT_SCHEMA)
+        spec = metadata.schema_for("{urn:c}Counter")
+        assert spec is not None
+        spec.validate(element("{urn:c}Counter", element("{urn:c}Value", "3")))
+        with pytest.raises(SchemaError):
+            spec.validate(element("{urn:c}Counter", element("{urn:c}Value", "NaN")))
+
+    def test_all_dialects_by_default(self, rig):
+        _, service, client = rig
+        metadata = fetch_metadata(client, service.address)
+        assert metadata.operations and metadata.schemas
+
+    def test_wsrf_service_advertises_resource_properties(self):
+        from repro.metadata import MetadataExchangeMixin
+        from repro.wsrf import ResourceHome
+        from tests.wsrf.conftest import CounterService
+
+        class DescribedCounter(MetadataExchangeMixin, CounterService):
+            service_name = "DescribedCounter"
+
+        deployment = make_deployment()
+        container = server_container(deployment)
+        service = DescribedCounter(ResourceHome("c", deployment.network))
+        container.add_service(service)
+        client = make_client(deployment)
+        metadata = fetch_metadata(client, service.address, DIALECT_RESOURCE_PROPERTIES)
+        locals_ = {qn.local for qn in metadata.resource_properties}
+        assert {"Value", "DoubleValue", "Label"} <= locals_
+
+    def test_transfer_counter_discovery_flow(self):
+        """A WS-Transfer client discovers the counter schema via MEX and
+        validates a representation before Create — no hard-coding."""
+        from repro.apps.counter import CounterScenario, build_transfer_rig
+        from repro.apps.counter.transfer_service import counter_representation
+        from repro.metadata import MetadataExchangeMixin
+        from repro.xmllib import ns as nsmod
+
+        rig = build_transfer_rig(CounterScenario())
+        # Upgrade the deployed service in place with MEX support:
+        service = rig.service
+        service.__class__ = type(
+            "MexTransferCounter", (MetadataExchangeMixin, type(service)), {}
+        )
+        service._operations[
+            "http://schemas.xmlsoap.org/ws/2004/09/mex/GetMetadata"
+        ] = service.mex_get_metadata
+        service.advertise_schema(
+            ElementSpec(
+                tag=QName(nsmod.COUNTER, "Counter"),
+                children={
+                    QName(nsmod.COUNTER, "Value"): (
+                        ElementSpec(QName(nsmod.COUNTER, "Value"), text_type="int"),
+                        1,
+                        1,
+                    )
+                },
+            )
+        )
+        metadata = fetch_metadata(rig.client.soap, service.address, DIALECT_SCHEMA)
+        spec = metadata.schema_for(QName(nsmod.COUNTER, "Counter"))
+        spec.validate(counter_representation(5))
+
+
+class TestWsdlDialect:
+    def test_wsdl_served_via_mex(self, rig):
+        """The real-world MEX use: fetch the service's WSDL contract."""
+        from repro.metadata.exchange import DIALECT_WSDL
+
+        _, service, client = rig
+        metadata = fetch_metadata(client, service.address, DIALECT_WSDL)
+        assert metadata.wsdl is not None
+        assert metadata.wsdl.action_supported("urn:app/DoThing")
+        assert metadata.wsdl.address == service.address
+
+    def test_wsdl_carries_advertised_types(self, rig):
+        from repro.metadata.exchange import DIALECT_WSDL
+
+        _, service, client = rig
+        metadata = fetch_metadata(client, service.address, DIALECT_WSDL)
+        spec = metadata.wsdl.schema_for(QName("urn:c", "Counter"))
+        assert spec is not None
+        spec.validate(element("{urn:c}Counter", element("{urn:c}Value", "1")))
+
+    def test_wsdl_included_in_full_fetch(self, rig):
+        _, service, client = rig
+        metadata = fetch_metadata(client, service.address)
+        assert metadata.wsdl is not None and metadata.operations

@@ -1,0 +1,117 @@
+"""Unit and property tests for the virtual clock."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Clock
+
+
+class TestCharge:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_charge_advances(self):
+        clock = Clock()
+        clock.charge(5.0)
+        clock.charge(2.5)
+        assert clock.now == 7.5
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().charge(-1)
+
+    def test_advance_to_backwards_rejected(self):
+        clock = Clock(start=10)
+        with pytest.raises(ValueError):
+            clock.advance_to(5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_monotonic_under_any_charge_sequence(self, charges):
+        clock = Clock()
+        last = clock.now
+        for ms in charges:
+            clock.charge(ms)
+            assert clock.now >= last
+            last = clock.now
+
+
+class TestTimers:
+    def test_timer_fires_during_charge(self):
+        clock = Clock()
+        fired = []
+        clock.schedule(10.0, lambda: fired.append(clock.now))
+        clock.charge(5.0)
+        assert fired == []
+        clock.charge(10.0)
+        assert fired == [10.0]
+        assert clock.now == 15.0
+
+    def test_timers_fire_in_deadline_order(self):
+        clock = Clock()
+        fired = []
+        clock.schedule(20.0, lambda: fired.append("b"))
+        clock.schedule(10.0, lambda: fired.append("a"))
+        clock.schedule(30.0, lambda: fired.append("c"))
+        clock.advance_to(25.0)
+        assert fired == ["a", "b"]
+        clock.advance_to(35.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_deadline_fifo(self):
+        clock = Clock()
+        fired = []
+        clock.schedule(10.0, lambda: fired.append(1))
+        clock.schedule(10.0, lambda: fired.append(2))
+        clock.advance_to(10.0)
+        assert fired == [1, 2]
+
+    def test_cancel(self):
+        clock = Clock()
+        fired = []
+        timer = clock.schedule(10.0, lambda: fired.append(1))
+        clock.cancel(timer)
+        clock.advance_to(20.0)
+        assert fired == []
+        assert clock.pending_timers() == 0
+
+    def test_cancel_idempotent(self):
+        clock = Clock()
+        timer = clock.schedule(10.0, lambda: None)
+        clock.cancel(timer)
+        clock.cancel(timer)
+        clock.advance_to(20.0)
+
+    def test_past_deadline_fires_at_now(self):
+        clock = Clock(start=100)
+        fired = []
+        clock.schedule(5.0, lambda: fired.append(clock.now))
+        clock.charge(0.0)
+        assert fired == [100.0]
+
+    def test_schedule_after(self):
+        clock = Clock(start=10)
+        fired = []
+        clock.schedule_after(5.0, lambda: fired.append(clock.now))
+        clock.charge(10)
+        assert fired == [15.0]
+
+    def test_timer_scheduling_timer(self):
+        clock = Clock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.schedule(clock.now + 1, lambda: fired.append("second"))
+
+        clock.schedule(10, first)
+        clock.advance_to(20)
+        assert fired == ["first", "second"]
+
+    def test_pending_timers_counts_live_only(self):
+        clock = Clock()
+        t1 = clock.schedule(10, lambda: None)
+        clock.schedule(20, lambda: None)
+        clock.cancel(t1)
+        assert clock.pending_timers() == 1

@@ -1,0 +1,72 @@
+"""Invariants of the calibrated cost model itself."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim import CostModel
+
+
+class TestCalibrationInvariants:
+    """The relationships the paper's results depend on, pinned as tests so
+    a recalibration cannot silently break a reproduced mechanism."""
+
+    def test_tls_resume_much_cheaper_than_handshake(self):
+        model = CostModel()
+        assert model.tls_resume < model.tls_handshake / 5
+
+    def test_keepalive_cheaper_than_fresh_connection(self):
+        model = CostModel()
+        assert model.http_connect_cached < model.http_connect
+
+    def test_tcp_notify_much_cheaper_than_http_notify(self):
+        model = CostModel()
+        assert model.notify_tcp_overhead < model.notify_http_overhead / 5
+
+    def test_insert_dominates_other_db_ops(self):
+        model = CostModel()
+        assert model.db_insert > model.db_read + model.db_update
+
+    def test_cache_hit_much_cheaper_than_read(self):
+        model = CostModel()
+        assert model.cache_hit < model.db_read / 5
+
+    def test_signing_dominates_soap_processing(self):
+        model = CostModel()
+        assert model.rsa_sign > 10 * (model.soap_dispatch + model.soap_per_message)
+
+    def test_verify_much_cheaper_than_sign(self):
+        """RSA with e=65537: verification is far cheaper than signing."""
+        model = CostModel()
+        assert model.rsa_verify < model.rsa_sign / 5
+
+    def test_all_costs_non_negative(self):
+        model = CostModel()
+        for field in dataclasses.fields(model):
+            assert getattr(model, field.name) >= 0, field.name
+
+    def test_all_fields_are_floats(self):
+        model = CostModel()
+        for field in dataclasses.fields(model):
+            assert isinstance(getattr(model, field.name), float), field.name
+
+
+class TestModelMechanics:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CostModel().db_read = 1.0  # type: ignore[misc]
+
+    def test_replace_leaves_original_untouched(self):
+        base = CostModel()
+        modified = base.replace(db_read=99.0)
+        assert base.db_read != 99.0
+        assert modified.db_read == 99.0
+
+    def test_replace_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            CostModel().replace(not_a_cost=1.0)
+
+    def test_free_is_all_zero(self):
+        model = CostModel.free()
+        for field in dataclasses.fields(model):
+            assert getattr(model, field.name) == 0.0

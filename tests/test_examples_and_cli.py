@@ -1,0 +1,77 @@
+"""Smoke tests: every example and the figure CLI stay runnable."""
+
+import importlib
+import io
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES = [
+    "quickstart",
+    "grid_job_wsrf",
+    "grid_job_transfer",
+    "brokered_notification",
+    "anatomy_of_a_request",
+    "figure5_sequence",
+    "schema_discovery",
+]
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path():
+    import os
+
+    examples_dir = os.path.join(os.path.dirname(__file__), "..", "examples")
+    sys.path.insert(0, examples_dir)
+    yield
+    sys.path.remove(examples_dir)
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_runs_and_prints(self, name):
+        module = importlib.import_module(name)
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        assert len(buffer.getvalue().strip()) > 50
+
+    def test_quickstart_shows_notification(self):
+        module = importlib.import_module("quickstart")
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        assert "CounterValueChanged" in buffer.getvalue()
+
+    def test_figure5_sequence_shows_outcalls(self):
+        module = importlib.import_module("figure5_sequence")
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        out = buffer.getvalue()
+        assert "server" in out and "out-calls" in out
+
+
+class TestCli:
+    def run_cli(self, *args):
+        from repro.__main__ import main
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(list(args))
+        return code, buffer.getvalue()
+
+    def test_fig2(self):
+        code, out = self.run_cli("fig2")
+        assert code == 0
+        assert "Figure 2" in out and "WSRF.NET" in out
+
+    def test_multiple_figures(self):
+        code, out = self.run_cli("fig2", "fig4")
+        assert code == 0
+        assert "Figure 2" in out and "Figure 4" in out
+
+    def test_unknown_figure_exits_nonzero(self):
+        code, _ = self.run_cli("fig99")
+        assert code == 2

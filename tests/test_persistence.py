@@ -1,0 +1,86 @@
+"""Durability: resources survive a container restart on persistent backends.
+
+WSRF.NET "contains built-in support for using an XML database ... or an
+in-memory document collection backend" — the point of a database backend is
+that WS-Resources outlive the hosting process.  We simulate a restart by
+rebuilding the whole deployment over the same file-backend directory.
+"""
+
+import pytest
+
+from repro.wsrf import RESOURCE_ID, ResourceHome
+from repro.xmldb import FileBackend
+from repro.xmllib import element
+
+from tests.helpers import make_client, make_deployment, server_container
+from tests.wsrf.conftest import BUMP, NS, CounterService, create_counter
+
+
+def build_rig(tmp_path):
+    deployment = make_deployment()
+    container = server_container(deployment)
+    home = ResourceHome(
+        "counters", deployment.network, backend=FileBackend(str(tmp_path))
+    )
+    service = CounterService(home)
+    container.add_service(service)
+    client = make_client(deployment)
+    return deployment, service, client
+
+
+class TestRestart:
+    def test_resource_survives_restart(self, tmp_path):
+        _, service, client = build_rig(tmp_path)
+        epr = create_counter(service, client, initial=7, label="durable")
+        client.invoke(epr, BUMP, element(f"{{{NS}}}Bump"))
+
+        # "Restart": a brand-new deployment over the same backend files.
+        _, service2, client2 = build_rig(tmp_path)
+        epr2 = service2.resource_epr(epr.property(RESOURCE_ID))
+        response = client2.invoke(epr2, BUMP, element(f"{{{NS}}}Bump"))
+        assert response.text() == "9"
+
+    def test_new_ids_do_not_collide_after_restart(self, tmp_path):
+        _, service, client = build_rig(tmp_path)
+        first = create_counter(service, client, initial=1)
+
+        _, service2, client2 = build_rig(tmp_path)
+        second = create_counter(service2, client2, initial=2)
+        assert first.property(RESOURCE_ID) != second.property(RESOURCE_ID)
+        # Both remain independently addressable.
+        assert service2.home.load(first.property(RESOURCE_ID)).text().strip().startswith("1")
+
+    def test_destroyed_resource_stays_destroyed(self, tmp_path):
+        from repro.soap import SoapFault
+        from repro.wsrf.lifetime import actions as rl_actions
+        from repro.xmllib import ns
+
+        _, service, client = build_rig(tmp_path)
+        epr = create_counter(service, client)
+        client.invoke(epr, rl_actions.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy"))
+
+        _, service2, client2 = build_rig(tmp_path)
+        epr2 = service2.resource_epr(epr.property(RESOURCE_ID))
+        with pytest.raises(SoapFault, match="unknown"):
+            client2.invoke(epr2, BUMP, element(f"{{{NS}}}Bump"))
+
+    def test_memory_backend_does_not_survive(self, tmp_path):
+        """The contrast: in-memory resources die with the deployment."""
+        from repro.soap import SoapFault
+
+        deployment, service, client = (None, None, None)
+        d1 = make_deployment()
+        c1 = server_container(d1)
+        s1 = CounterService(ResourceHome("counters", d1.network))
+        c1.add_service(s1)
+        cl1 = make_client(d1)
+        epr = create_counter(s1, cl1, initial=7)
+
+        d2 = make_deployment()
+        c2 = server_container(d2)
+        s2 = CounterService(ResourceHome("counters", d2.network))
+        c2.add_service(s2)
+        cl2 = make_client(d2)
+        epr2 = s2.resource_epr(epr.property(RESOURCE_ID))
+        with pytest.raises(SoapFault, match="unknown"):
+            cl2.invoke(epr2, BUMP, element(f"{{{NS}}}Bump"))

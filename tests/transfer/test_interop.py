@@ -1,0 +1,152 @@
+"""Interoperability between two independent WS-Transfer implementations.
+
+Reproduces §2.3/§3.3's argument: clients that stick to the spec core and
+keep EPRs opaque interoperate across implementations; clients relying on
+custom extensions (EPR naming conventions, out-of-band Put) do not.
+"""
+
+import pytest
+
+from repro.addressing import EndpointReference
+from repro.apps.counter.clients import TransferCounterClient
+from repro.soap import SoapFault
+from repro.transfer import TransferResourceService, actions
+from repro.transfer.alt import AltTransferService
+from repro.xmldb import Collection
+from repro.xmllib import element, ns
+
+from tests.helpers import make_client, make_deployment, server_container
+
+
+@pytest.fixture()
+def rig():
+    """Both implementations deployed side by side in one VO."""
+    deployment = make_deployment()
+    container_a = server_container(deployment, host="team-a")
+    main = TransferResourceService(Collection("main", deployment.network))
+    container_a.add_service(main)
+    container_b = server_container(deployment, host="team-b")
+    alt = AltTransferService()
+    container_b.add_service(alt)
+    client = make_client(deployment)
+    return deployment, main, alt, client
+
+
+def spec_only_workflow(client, service_address):
+    """A client using only spec-defined messages and opaque EPRs."""
+    response = client.invoke(
+        EndpointReference.create(service_address),
+        actions.CREATE,
+        element(f"{{{ns.WXF}}}Create", element("{urn:app}Doc", element("{urn:app}V", "1"))),
+    )
+    created = response.find(f"{{{ns.WXF}}}ResourceCreated")
+    epr = EndpointReference.from_xml(created.find_local("EndpointReference"))
+
+    got = client.invoke(epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+    assert got.find("{urn:app}Doc").find("{urn:app}V").text() == "1"
+
+    client.invoke(
+        epr, actions.PUT,
+        element(f"{{{ns.WXF}}}Put", element("{urn:app}Doc", element("{urn:app}V", "2"))),
+    )
+    got = client.invoke(epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+    assert got.find("{urn:app}Doc").find("{urn:app}V").text() == "2"
+
+    client.invoke(epr, actions.DELETE, element(f"{{{ns.WXF}}}Delete"))
+    with pytest.raises(SoapFault):
+        client.invoke(epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+
+
+class TestSpecCoreInteroperates:
+    def test_spec_only_client_works_on_main(self, rig):
+        _, main, _, client = rig
+        spec_only_workflow(client, main.address)
+
+    def test_spec_only_client_works_on_alt(self, rig):
+        """Same client bytes, the other team's implementation."""
+        _, _, alt, client = rig
+        spec_only_workflow(client, alt.address)
+
+    def test_counter_client_survives_the_swap(self, rig):
+        """The §4.1 counter proxy keeps EPRs opaque, so it can be re-aimed
+        at the alternative implementation and still work (Create/Get/Set/
+        Delete; eventing excluded — Plumbtree implements none)."""
+        _, _, alt, client = rig
+        proxy = TransferCounterClient(client, alt.address)
+        counter = proxy.create(initial=3)
+        assert proxy.get(counter) == 3
+        proxy.set(counter, 8)
+        assert proxy.get(counter) == 8
+        proxy.delete(counter)
+        with pytest.raises(SoapFault):
+            proxy.get(counter)
+
+
+class TestCustomExtensionsBreak:
+    def test_epr_naming_convention_breaks(self, rig):
+        """The Grid-in-a-Box availability query builds an EPR by the
+        "1<app>" convention — service-specific rules the other
+        implementation has never heard of."""
+        from repro.transfer.service import TRANSFER_RESOURCE_ID
+
+        _, _, alt, client = rig
+        convention_epr = EndpointReference.create(alt.address).with_property(
+            TRANSFER_RESOURCE_ID, "1sort"
+        )
+        with pytest.raises(SoapFault, match="unknown resource"):
+            client.invoke(convention_epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+
+    def test_out_of_band_put_breaks(self, rig):
+        """The main implementation lets Put create a resource out of band;
+        Plumbtree (spec-legally) refuses — same message, different fate."""
+        from repro.transfer.service import TRANSFER_RESOURCE_ID
+
+        _, main, alt, client = rig
+        body = element(f"{{{ns.WXF}}}Put", element("{urn:app}Doc", "x"))
+
+        main_epr = EndpointReference.create(main.address).with_property(
+            TRANSFER_RESOURCE_ID, "byput-7"
+        )
+        client.invoke(main_epr, actions.PUT, body)  # works
+
+        alt_epr = EndpointReference.create(alt.address).with_property(
+            TRANSFER_RESOURCE_ID, "byput-7"
+        )
+        with pytest.raises(SoapFault, match="unknown resource"):
+            client.invoke(alt_epr, actions.PUT, body)
+
+    def test_eventing_subscribe_not_universal(self, rig):
+        """The counter client's subscribe relies on WS-Eventing — outside
+        WS-Transfer's scope, absent from the other implementation."""
+        from repro.eventing.source import actions as wse_actions
+
+        _, _, alt, client = rig
+        with pytest.raises(SoapFault, match="does not support action"):
+            client.invoke(
+                EndpointReference.create(alt.address),
+                wse_actions.SUBSCRIBE,
+                element(f"{{{ns.WSE}}}Subscribe"),
+            )
+
+    def test_foreign_id_property_tolerated_by_liberal_parser(self, rig):
+        """Plumbtree is liberal in what it accepts: an EPR carrying the
+        main implementation's ResourceID property name still resolves —
+        one-directional tolerance, not interoperability."""
+        from repro.transfer.service import TRANSFER_RESOURCE_ID
+
+        _, _, alt, client = rig
+        response = client.invoke(
+            EndpointReference.create(alt.address),
+            actions.CREATE,
+            element(f"{{{ns.WXF}}}Create", element("{urn:app}Doc", "x")),
+        )
+        created = response.find(f"{{{ns.WXF}}}ResourceCreated")
+        epr = EndpointReference.from_xml(created.find_local("EndpointReference"))
+        from repro.transfer.alt import ALT_RESOURCE_ID
+
+        key = epr.property(ALT_RESOURCE_ID)
+        relabelled = EndpointReference.create(alt.address).with_property(
+            TRANSFER_RESOURCE_ID, key
+        )
+        got = client.invoke(relabelled, actions.GET, element(f"{{{ns.WXF}}}Get"))
+        assert got.find("{urn:app}Doc") is not None

@@ -1,0 +1,208 @@
+"""WS-Transfer: the four operations end-to-end."""
+
+import pytest
+
+from repro.addressing import EndpointReference
+from repro.soap import SoapFault
+from repro.transfer import TRANSFER_RESOURCE_ID, TransferResourceService, actions
+from repro.xmldb import Collection
+from repro.xmllib import element, ns
+
+from tests.helpers import make_client, make_deployment, server_container
+
+
+@pytest.fixture()
+def rig():
+    deployment = make_deployment()
+    container = server_container(deployment)
+    service = TransferResourceService(Collection("resources", deployment.network))
+    container.add_service(service)
+    client = make_client(deployment)
+    return deployment, service, client
+
+
+def representation(value="0"):
+    return element("{urn:app}Counter", element("{urn:app}Value", value))
+
+
+def create(client, service, rep=None):
+    response = client.invoke(
+        service.epr(), actions.CREATE, element(f"{{{ns.WXF}}}Create", rep or representation())
+    )
+    created = response.find(f"{{{ns.WXF}}}ResourceCreated")
+    return EndpointReference.from_xml(created.find_local("EndpointReference"))
+
+
+class TestCreate:
+    def test_create_returns_epr_with_guid(self, rig):
+        _, service, client = rig
+        epr = create(client, service)
+        key = epr.property(TRANSFER_RESOURCE_ID)
+        assert key is not None and key.startswith("resources-")
+
+    def test_successive_creates_get_distinct_names(self, rig):
+        _, service, client = rig
+        a = create(client, service)
+        b = create(client, service)
+        assert a.property(TRANSFER_RESOURCE_ID) != b.property(TRANSFER_RESOURCE_ID)
+
+    def test_create_stores_representation_unmodified(self, rig):
+        _, service, client = rig
+        epr = create(client, service, representation("41"))
+        stored = service.collection.read(epr.property(TRANSFER_RESOURCE_ID))
+        assert stored.find("{urn:app}Value").text() == "41"
+
+    def test_create_without_representation_faults(self, rig):
+        _, service, client = rig
+        with pytest.raises(SoapFault, match="no resource representation"):
+            client.invoke(service.epr(), actions.CREATE, element(f"{{{ns.WXF}}}Create"))
+
+    def test_create_modified_representation_returned(self, rig):
+        """A service may alter the representation and must return it then."""
+
+        class Stamping(TransferResourceService):
+            service_name = "Stamping"
+
+            def process_create(self, rep, context):
+                rep.set("stamped", "yes")
+                return rep, rep.copy(), None
+
+        deployment, _, client = rig
+        container = server_container(deployment, host="h2")
+        service = Stamping(Collection("stamped", deployment.network))
+        container.add_service(service)
+        response = client.invoke(
+            service.epr(), actions.CREATE, element(f"{{{ns.WXF}}}Create", representation())
+        )
+        created = response.find(f"{{{ns.WXF}}}ResourceCreated")
+        returned = created.find("{urn:app}Counter")
+        assert returned is not None and returned.get("stamped") == "yes"
+
+
+class TestGet:
+    def test_get_returns_snapshot(self, rig):
+        _, service, client = rig
+        epr = create(client, service, representation("7"))
+        response = client.invoke(epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+        counter = response.find("{urn:app}Counter")
+        assert counter.find("{urn:app}Value").text() == "7"
+
+    def test_get_same_schema_as_create(self, rig):
+        """The client expects Get's schema to equal what it gave Create."""
+        _, service, client = rig
+        original = representation("3")
+        epr = create(client, service, original)
+        response = client.invoke(epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+        assert response.find("{urn:app}Counter").structurally_equal(original)
+
+    def test_get_unknown_resource_faults(self, rig):
+        _, service, client = rig
+        epr = service.resource_epr("resources-99999999")
+        with pytest.raises(SoapFault, match="no resource"):
+            client.invoke(epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+
+    def test_get_without_resource_id_faults(self, rig):
+        _, service, client = rig
+        with pytest.raises(SoapFault, match="names no resource"):
+            client.invoke(service.epr(), actions.GET, element(f"{{{ns.WXF}}}Get"))
+
+    def test_out_of_band_resource_resolved(self, rig):
+        """§3.2: a Get may be legitimate although no Create was issued."""
+
+        class OutOfBand(TransferResourceService):
+            service_name = "OutOfBand"
+
+            def resolve_out_of_band(self, key, context):
+                if key.startswith("wellknown-"):
+                    return element("{urn:app}External", key)
+                return None
+
+        deployment, _, client = rig
+        container = server_container(deployment, host="h3")
+        service = OutOfBand(Collection("oob", deployment.network))
+        container.add_service(service)
+        epr = service.resource_epr("wellknown-42")
+        response = client.invoke(epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+        assert response.find("{urn:app}External").text() == "wellknown-42"
+
+
+class TestPut:
+    def test_put_replaces_representation(self, rig):
+        _, service, client = rig
+        epr = create(client, service, representation("1"))
+        client.invoke(epr, actions.PUT, element(f"{{{ns.WXF}}}Put", representation("99")))
+        response = client.invoke(epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+        assert response.find("{urn:app}Counter").find("{urn:app}Value").text() == "99"
+
+    def test_put_returns_updated_representation(self, rig):
+        _, service, client = rig
+        epr = create(client, service)
+        response = client.invoke(epr, actions.PUT, element(f"{{{ns.WXF}}}Put", representation("5")))
+        assert response.find("{urn:app}Counter") is not None
+
+    def test_put_reads_before_writing(self, rig):
+        """The unoptimized read-before-write the paper measures on Set."""
+        deployment, service, client = rig
+        epr = create(client, service)
+        metrics = deployment.network.metrics
+        metrics.begin("put", deployment.network.clock.now)
+        client.invoke(epr, actions.PUT, element(f"{{{ns.WXF}}}Put", representation("2")))
+        trace = metrics.end(deployment.network.clock.now)
+        assert trace.db_ops == 2  # one read + one update
+
+    def test_put_without_body_faults(self, rig):
+        _, service, client = rig
+        epr = create(client, service)
+        with pytest.raises(SoapFault, match="no replacement"):
+            client.invoke(epr, actions.PUT, element(f"{{{ns.WXF}}}Put"))
+
+    def test_put_can_create_out_of_band(self, rig):
+        _, service, client = rig
+        epr = service.resource_epr("byput-1")
+        client.invoke(epr, actions.PUT, element(f"{{{ns.WXF}}}Put", representation("8")))
+        assert service.collection.contains("byput-1")
+
+
+class TestDelete:
+    def test_delete_invalidates_representation(self, rig):
+        _, service, client = rig
+        epr = create(client, service)
+        client.invoke(epr, actions.DELETE, element(f"{{{ns.WXF}}}Delete"))
+        with pytest.raises(SoapFault):
+            client.invoke(epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+
+    def test_delete_unknown_faults(self, rig):
+        _, service, client = rig
+        epr = service.resource_epr("nothing")
+        with pytest.raises(SoapFault, match="to delete"):
+            client.invoke(epr, actions.DELETE, element(f"{{{ns.WXF}}}Delete"))
+
+    def test_delete_hook_distinguishes_active_resource(self, rig):
+        """§3.2: does Delete kill the process or only the representation?"""
+        killed = []
+
+        class ProcessService(TransferResourceService):
+            service_name = "Proc"
+
+            def process_delete(self, key, context):
+                killed.append(key)
+
+        deployment, _, client = rig
+        container = server_container(deployment, host="h4")
+        service = ProcessService(Collection("procs", deployment.network))
+        container.add_service(service)
+        epr = create(client, service)
+        client.invoke(epr, actions.DELETE, element(f"{{{ns.WXF}}}Delete"))
+        assert killed == [epr.property(TRANSFER_RESOURCE_ID)]
+
+
+class TestMultipleResourceTypes:
+    def test_one_service_many_types(self, rig):
+        """WS-Transfer allows multiple resource types per service (§2.3)."""
+        _, service, client = rig
+        counter_epr = create(client, service, representation("1"))
+        job_epr = create(client, service, element("{urn:app}Job", element("{urn:app}Cmd", "sort")))
+        got_counter = client.invoke(counter_epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+        got_job = client.invoke(job_epr, actions.GET, element(f"{{{ns.WXF}}}Get"))
+        assert got_counter.find("{urn:app}Counter") is not None
+        assert got_job.find("{urn:app}Job") is not None

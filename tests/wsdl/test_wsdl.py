@@ -1,0 +1,154 @@
+"""WSDL generation, parsing, and the §2.3 typing contrast."""
+
+import pytest
+
+from repro.wsdl import (
+    WsdlDescription,
+    elementspec_to_xsd,
+    generate_wsdl,
+    parse_wsdl,
+    xsd_to_elementspec,
+)
+from repro.xmllib import ElementSpec, QName, SchemaError, element, parse_xml, serialize
+
+from tests.helpers import make_client, make_deployment, server_container
+
+
+def counter_spec() -> ElementSpec:
+    return ElementSpec(
+        tag=QName("urn:c", "Counter"),
+        required_attributes=(QName("", "id"),),
+        children={
+            QName("urn:c", "Value"): (
+                ElementSpec(QName("urn:c", "Value"), text_type="int"),
+                1,
+                1,
+            ),
+            QName("urn:c", "Note"): (None, 0, None),
+        },
+    )
+
+
+class TestXsdRoundTrip:
+    def test_complex_type_roundtrip(self):
+        spec = counter_spec()
+        again = xsd_to_elementspec(parse_xml(serialize(elementspec_to_xsd(spec))))
+        assert again.tag == spec.tag
+        assert set(again.children) == set(spec.children)
+        value_spec, lo, hi = again.children[QName("urn:c", "Value")]
+        assert (lo, hi) == (1, 1)
+        assert value_spec.text_type == "int"
+        assert again.children[QName("urn:c", "Note")][2] is None  # unbounded
+        assert QName("", "id") in again.required_attributes
+
+    def test_simple_type_roundtrip(self):
+        spec = ElementSpec(QName("urn:c", "Value"), text_type="boolean")
+        again = xsd_to_elementspec(parse_xml(serialize(elementspec_to_xsd(spec))))
+        assert again.text_type == "boolean"
+        assert not again.children
+
+    def test_open_content_roundtrip(self):
+        spec = ElementSpec(QName("urn:c", "Bag"), open_content=True)
+        again = xsd_to_elementspec(parse_xml(serialize(elementspec_to_xsd(spec))))
+        assert again.open_content
+
+    def test_non_element_rejected(self):
+        with pytest.raises(ValueError, match="not an xsd:element"):
+            xsd_to_elementspec(element("junk"))
+
+    def test_roundtripped_schema_still_validates(self):
+        spec = counter_spec()
+        again = xsd_to_elementspec(parse_xml(serialize(elementspec_to_xsd(spec))))
+        good = element(
+            "{urn:c}Counter", element("{urn:c}Value", "3"), attrs={"id": "c1"}
+        )
+        again.validate(good)
+        with pytest.raises(SchemaError):
+            again.validate(element("{urn:c}Counter", attrs={"id": "c1"}))
+
+
+@pytest.fixture()
+def deployed():
+    """A WSRF counter (typed) and a WS-Transfer counter (untyped)."""
+    from repro.apps.counter import CounterScenario, build_transfer_rig, build_wsrf_rig
+    from repro.xmllib import ns
+
+    wsrf = build_wsrf_rig(CounterScenario())
+    wsrf.service.advertised_schemas = []
+    wsrf.service.advertised_schemas.append(
+        ElementSpec(
+            tag=QName(ns.COUNTER, "Counter"),
+            children={
+                QName(ns.COUNTER, "Value"): (
+                    ElementSpec(QName(ns.COUNTER, "Value"), text_type="int"), 1, 1
+                )
+            },
+        )
+    )
+    transfer = build_transfer_rig(CounterScenario())
+    return wsrf, transfer
+
+
+class TestGeneration:
+    def test_wsrf_contract_carries_types(self, deployed):
+        wsrf, _ = deployed
+        description = parse_wsdl(parse_xml(serialize(generate_wsdl(wsrf.service))))
+        assert not description.untyped
+        assert description.schema_for(QName("http://repro.example.org/counter", "Counter"))
+
+    def test_transfer_contract_is_untyped(self, deployed):
+        """"In WS-Transfer, only an <XSD:any> tag exists" — the generated
+        contract shows exactly that."""
+        _, transfer = deployed
+        description = parse_wsdl(parse_xml(serialize(generate_wsdl(transfer.service))))
+        assert description.untyped
+        assert description.schemas == []
+
+    def test_operations_carry_actions(self, deployed):
+        wsrf, transfer = deployed
+        wsrf_desc = parse_wsdl(generate_wsdl(wsrf.service))
+        assert wsrf_desc.action_supported("http://repro.example.org/counter/Create")
+        transfer_desc = parse_wsdl(generate_wsdl(transfer.service))
+        assert transfer_desc.action_supported(
+            "http://schemas.xmlsoap.org/ws/2004/09/transfer/Get"
+        )
+
+    def test_address_published(self, deployed):
+        wsrf, _ = deployed
+        description = parse_wsdl(generate_wsdl(wsrf.service))
+        assert description.address == wsrf.service.address
+
+    def test_not_wsdl_rejected(self):
+        with pytest.raises(ValueError, match="not a WSDL"):
+            parse_wsdl(element("other"))
+
+
+class TestClientSideUse:
+    def test_typed_contract_catches_bad_body(self, deployed):
+        """A WSDL-aware client rejects a malformed representation before
+        it ever reaches the wire."""
+        from repro.xmllib import ns
+
+        wsrf, _ = deployed
+        description = parse_wsdl(generate_wsdl(wsrf.service))
+        good = element(
+            f"{{{ns.COUNTER}}}Counter", element(f"{{{ns.COUNTER}}}Value", "3")
+        )
+        description.validate_body(good)
+        bad = element(
+            f"{{{ns.COUNTER}}}Counter", element(f"{{{ns.COUNTER}}}Value", "three")
+        )
+        with pytest.raises(SchemaError):
+            description.validate_body(bad)
+
+    def test_untyped_contract_catches_nothing(self, deployed):
+        """The WS-Transfer hole: garbage sails through client-side checks
+        and becomes a run-time surprise."""
+        _, transfer = deployed
+        description = parse_wsdl(generate_wsdl(transfer.service))
+        description.validate_body(element("{urn:junk}Whatever", "zzz"))  # no error!
+
+    def test_unknown_action_refused_before_wire(self, deployed):
+        wsrf, _ = deployed
+        description = parse_wsdl(generate_wsdl(wsrf.service))
+        assert not description.action_supported("urn:not-an-operation")

@@ -1,0 +1,79 @@
+"""A notification-producing sensor service for the WSN tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.container import MessageContext, web_method
+from repro.wsn import NotificationConsumer, SubscriptionManagerService
+from repro.wsn.base import NotificationProducerMixin
+from repro.wsrf import ResourceHome, WsResourceService
+from repro.xmllib import element, text_of
+
+from tests.helpers import make_client, make_deployment, server_container
+
+NS = "urn:test:sensor"
+EMIT = f"{NS}/Emit"
+
+
+class SensorService(NotificationProducerMixin, WsResourceService):
+    """Emits a reading on a topic when poked (service-level producer)."""
+
+    service_name = "Sensor"
+    resource_ns = NS
+
+    @web_method(EMIT)
+    def emit(self, context: MessageContext):
+        topic = text_of(context.body.find_local("Topic"), "readings")
+        value = text_of(context.body.find_local("Value"), "0")
+        delivered = self.notify(topic, element(f"{{{NS}}}Reading", value))
+        return element(f"{{{NS}}}EmitResponse", str(delivered))
+
+
+@pytest.fixture()
+def rig():
+    deployment = make_deployment()
+    container = server_container(deployment)
+    manager = SubscriptionManagerService(ResourceHome("subs", deployment.network))
+    container.add_service(manager)
+    sensor = SensorService(ResourceHome("sensor", deployment.network))
+    sensor.subscription_manager = manager
+    container.add_service(sensor)
+    client = make_client(deployment)
+    consumer = NotificationConsumer(deployment, "client")
+    return deployment, sensor, manager, client, consumer
+
+
+def subscribe(client, sensor, consumer, topic="readings", dialect=None, selector="", termination="", use_raw=False):
+    from repro.wsn.base import actions
+    from repro.wsn.topics import TopicDialect
+    from repro.xmllib import ns
+
+    body = element(
+        f"{{{ns.WSNT}}}Subscribe",
+        consumer.epr.to_xml(f"{{{ns.WSNT}}}ConsumerReference"),
+        element(
+            f"{{{ns.WSNT}}}TopicExpression",
+            topic,
+            attrs={"Dialect": (dialect or TopicDialect.CONCRETE).value},
+        ),
+    )
+    if selector:
+        body.append(element(f"{{{ns.WSNT}}}Selector", selector))
+    if termination:
+        body.append(element(f"{{{ns.WSNT}}}InitialTerminationTime", termination))
+    if use_raw:
+        body.append(element(f"{{{ns.WSNT}}}UseRaw", "true"))
+    response = client.invoke(sensor.epr(), actions.SUBSCRIBE, body)
+    from repro.addressing import EndpointReference
+
+    return EndpointReference.from_xml(next(response.element_children()))
+
+
+def emit(client, sensor, topic="readings", value="1"):
+    response = client.invoke(
+        sensor.epr(),
+        EMIT,
+        element(f"{{{NS}}}Emit", element(f"{{{NS}}}Topic", topic), element(f"{{{NS}}}Value", value)),
+    )
+    return int(response.text())

@@ -1,0 +1,184 @@
+"""WS-BrokeredNotification: brokering and demand-based publishing.
+
+Verifies the paper's §3.1 claims directly: a demand-based publisher
+registration touches six distinct services and generates far more messages
+than a plain subscribe.
+"""
+
+import pytest
+
+from repro.addressing import EndpointReference
+from repro.soap import SoapFault
+from repro.wsn import (
+    NotificationBrokerService,
+    NotificationConsumer,
+    SubscriptionManagerService,
+)
+from repro.wsn.base import actions as wsnt_actions
+from repro.wsn.broker import PublisherRegistrationManagerService, actions as broker_actions
+from repro.wsn.topics import TopicDialect
+from repro.wsrf import ResourceHome
+from repro.wsrf.lifetime import actions as rl_actions
+from repro.xmllib import element, ns
+
+from tests.helpers import make_client, make_deployment, server_container
+from tests.wsn.conftest import SensorService
+
+
+@pytest.fixture()
+def rig():
+    deployment = make_deployment()
+    # Publisher side: its own container with its own subscription manager.
+    pub_container = server_container(deployment, host="pubhost", name="Pub")
+    pub_manager = SubscriptionManagerService(ResourceHome("pub-subs", deployment.network))
+    pub_container.add_service(pub_manager)
+    publisher = SensorService(ResourceHome("pub-sensor", deployment.network))
+    publisher.subscription_manager = pub_manager
+    pub_container.add_service(publisher)
+
+    # Broker side: broker + its subscription manager + registration manager.
+    broker_container = server_container(deployment, host="brokerhost", name="Broker")
+    broker_manager = SubscriptionManagerService(ResourceHome("broker-subs", deployment.network))
+    broker_container.add_service(broker_manager)
+    registrations = PublisherRegistrationManagerService(
+        ResourceHome("registrations", deployment.network)
+    )
+    broker_container.add_service(registrations)
+    broker = NotificationBrokerService(
+        ResourceHome("broker", deployment.network), broker_manager, registrations
+    )
+    broker_container.add_service(broker)
+
+    client = make_client(deployment)
+    consumer = NotificationConsumer(deployment, "client")
+    return deployment, publisher, broker, client, consumer
+
+
+def register_publisher(client, broker, publisher, topic="readings", demand=False):
+    body = element(
+        f"{{{ns.WSBR}}}RegisterPublisher",
+        EndpointReference.create(publisher.address).to_xml(f"{{{ns.WSBR}}}PublisherReference"),
+        element(f"{{{ns.WSBR}}}Topic", topic),
+        element(f"{{{ns.WSBR}}}Demand", "true" if demand else "false"),
+    )
+    response = client.invoke(broker.epr(), broker_actions.REGISTER_PUBLISHER, body)
+    return EndpointReference.from_xml(next(response.element_children()))
+
+
+def subscribe_to_broker(client, broker, consumer, topic="readings"):
+    body = element(
+        f"{{{ns.WSNT}}}Subscribe",
+        consumer.epr.to_xml(f"{{{ns.WSNT}}}ConsumerReference"),
+        element(f"{{{ns.WSNT}}}TopicExpression", topic,
+                attrs={"Dialect": TopicDialect.CONCRETE.value}),
+    )
+    response = client.invoke(broker.epr(), wsnt_actions.SUBSCRIBE, body)
+    return EndpointReference.from_xml(next(response.element_children()))
+
+
+def publish(client, publisher, topic="readings", value="1"):
+    from tests.wsn.conftest import EMIT, NS
+
+    response = client.invoke(
+        publisher.epr(),
+        EMIT,
+        element(f"{{{NS}}}Emit", element(f"{{{NS}}}Topic", topic), element(f"{{{NS}}}Value", value)),
+    )
+    return int(response.text())
+
+
+class TestBrokeredDelivery:
+    def test_end_to_end_through_broker_non_demand(self, rig):
+        """Non-demand: the upstream flows whether or not anyone listens."""
+        _, publisher, broker, client, consumer = rig
+        register_publisher(client, broker, publisher, demand=False)
+        # Even with no consumers, the publisher delivers to the broker:
+        assert publish(client, publisher) == 1
+        subscribe_to_broker(client, broker, consumer)
+        assert publish(client, publisher) == 1
+        assert len(consumer.received) == 1  # only the post-subscribe message arrived
+
+    def test_demand_based_end_to_end(self, rig):
+        _, publisher, broker, client, consumer = rig
+        register_publisher(client, broker, publisher, demand=True)
+        subscribe_to_broker(client, broker, consumer)
+        delivered = publish(client, publisher)
+        assert delivered == 1  # publisher → broker
+        assert len(consumer.received) == 1  # broker → consumer
+        topic, payload = consumer.received[0]
+        assert topic == "readings" and payload.text() == "1"
+
+    def test_demand_publisher_paused_without_consumers(self, rig):
+        _, publisher, broker, client, consumer = rig
+        register_publisher(client, broker, publisher, demand=True)
+        # Nobody subscribed at the broker → upstream must stay paused.
+        assert publish(client, publisher) == 0
+
+    def test_demand_pauses_again_after_last_unsubscribe(self, rig):
+        _, publisher, broker, client, consumer = rig
+        register_publisher(client, broker, publisher, demand=True)
+        subscription = subscribe_to_broker(client, broker, consumer)
+        assert publish(client, publisher) == 1
+        client.invoke(subscription, rl_actions.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy"))
+        assert publish(client, publisher) == 0
+
+    def test_demand_tracks_pause_resume_of_consumer(self, rig):
+        _, publisher, broker, client, consumer = rig
+        register_publisher(client, broker, publisher, demand=True)
+        subscription = subscribe_to_broker(client, broker, consumer)
+        client.invoke(subscription, wsnt_actions.PAUSE, element(f"{{{ns.WSNT}}}PauseSubscription"))
+        assert publish(client, publisher) == 0
+        client.invoke(subscription, wsnt_actions.RESUME, element(f"{{{ns.WSNT}}}ResumeSubscription"))
+        assert publish(client, publisher) == 1
+
+    def test_registration_missing_topic_faults(self, rig):
+        _, publisher, broker, client, _ = rig
+        body = element(
+            f"{{{ns.WSBR}}}RegisterPublisher",
+            EndpointReference.create(publisher.address).to_xml(f"{{{ns.WSBR}}}PublisherReference"),
+        )
+        with pytest.raises(SoapFault, match="names no Topic"):
+            client.invoke(broker.epr(), broker_actions.REGISTER_PUBLISHER, body)
+
+    def test_registration_missing_publisher_faults(self, rig):
+        _, _, broker, client, _ = rig
+        body = element(f"{{{ns.WSBR}}}RegisterPublisher", element(f"{{{ns.WSBR}}}Topic", "t"))
+        with pytest.raises(SoapFault, match="no PublisherReference"):
+            client.invoke(broker.epr(), broker_actions.REGISTER_PUBLISHER, body)
+
+
+class TestPaperClaims:
+    """§3.1: "a demand based publisher registration interaction can involve
+    as many as six separate Web services" and generates ~10x the messages."""
+
+    def test_six_services_touched(self, rig):
+        deployment, publisher, broker, client, consumer = rig
+        metrics = deployment.network.metrics
+        metrics.begin("demand-registration-scenario", deployment.network.clock.now)
+        register_publisher(client, broker, publisher, demand=True)
+        subscribe_to_broker(client, broker, consumer)
+        publish(client, publisher)
+        trace = metrics.end(deployment.network.clock.now)
+        # Publisher, publisher's SubscriptionManager, broker, broker's
+        # SubscriptionManager, PublisherRegistrationManager (in-container
+        # create), consumer sink.
+        assert len(trace.services_touched) >= 4  # distinct wire endpoints
+        assert trace.messages >= 10
+
+    def test_order_of_magnitude_vs_plain_subscribe(self, rig):
+        deployment, publisher, broker, client, consumer = rig
+        metrics = deployment.network.metrics
+
+        metrics.begin("plain-subscribe", deployment.network.clock.now)
+        from tests.wsn.conftest import subscribe as plain_subscribe
+
+        plain_subscribe(client, publisher, consumer)
+        plain = metrics.end(deployment.network.clock.now)
+
+        metrics.begin("demand-scenario", deployment.network.clock.now)
+        register_publisher(client, broker, publisher, demand=True)
+        subscribe_to_broker(client, broker, consumer)
+        publish(client, publisher)
+        demand = metrics.end(deployment.network.clock.now)
+
+        assert demand.messages >= 5 * plain.messages

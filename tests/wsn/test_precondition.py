@@ -1,0 +1,115 @@
+"""Precondition filters: subscriptions gated on producer Resource Properties."""
+
+import pytest
+
+from repro.wsn import NotificationConsumer, SubscriptionManagerService
+from repro.wsn.base import NotificationProducerMixin, actions
+from repro.wsn.topics import TopicDialect
+from repro.wsrf import (
+    ResourceField,
+    ResourceHome,
+    ResourcePropertiesMixin,
+    WsResourceService,
+    resource_property,
+)
+from repro.container import MessageContext, web_method
+from repro.xmllib import element, ns, text_of
+
+from tests.helpers import make_client, make_deployment, server_container
+
+NS = "urn:test:gauge"
+POKE = f"{NS}/Poke"
+
+
+class GaugeService(
+    NotificationProducerMixin, ResourcePropertiesMixin, WsResourceService
+):
+    """A producer whose RP 'Level' gates notifications."""
+
+    service_name = "Gauge"
+    resource_ns = NS
+
+    level = ResourceField(int, 0)
+
+    @resource_property(f"{{{NS}}}Level")
+    def rp_level(self):
+        return self.level
+
+    @web_method(POKE)
+    def poke(self, context: MessageContext):
+        self.level = int(text_of(context.body.find_local("Level"), "0"))
+        self.save_current()
+        delivered = self.notify(
+            "gauge/changed",
+            element(f"{{{NS}}}Changed", self.level),
+            resource_key=self.current_resource,
+        )
+        return element(f"{{{NS}}}PokeResponse", str(delivered))
+
+
+@pytest.fixture()
+def rig():
+    deployment = make_deployment()
+    container = server_container(deployment)
+    manager = SubscriptionManagerService(ResourceHome("subs", deployment.network))
+    container.add_service(manager)
+    gauge = GaugeService(ResourceHome("gauge", deployment.network))
+    gauge.subscription_manager = manager
+    container.add_service(gauge)
+    client = make_client(deployment)
+    consumer = NotificationConsumer(deployment, "client")
+    resource = gauge.create_resource()
+    return deployment, gauge, client, consumer, resource
+
+
+def subscribe(client, gauge, resource, consumer, precondition=""):
+    body = element(
+        f"{{{ns.WSNT}}}Subscribe",
+        consumer.epr.to_xml(f"{{{ns.WSNT}}}ConsumerReference"),
+        element(f"{{{ns.WSNT}}}TopicExpression", "gauge/changed",
+                attrs={"Dialect": TopicDialect.CONCRETE.value}),
+    )
+    if precondition:
+        body.append(element(f"{{{ns.WSNT}}}Precondition", precondition))
+    client.invoke(resource, actions.SUBSCRIBE, body)
+
+
+def poke(client, resource, level):
+    response = client.invoke(
+        resource, POKE, element(f"{{{NS}}}Poke", element(f"{{{NS}}}Level", level))
+    )
+    return int(response.text())
+
+
+class TestPreconditionFilters:
+    def test_precondition_gates_on_producer_state(self, rig):
+        _, gauge, client, consumer, resource = rig
+        subscribe(client, gauge, resource, consumer, precondition="//Level[. > 50]")
+        assert poke(client, resource, 10) == 0
+        assert poke(client, resource, 90) == 1
+        assert len(consumer.received) == 1
+
+    def test_no_precondition_always_delivers(self, rig):
+        _, gauge, client, consumer, resource = rig
+        subscribe(client, gauge, resource, consumer)
+        assert poke(client, resource, 1) == 1
+
+    def test_precondition_and_selector_combine(self, rig):
+        _, gauge, client, consumer, resource = rig
+        body = element(
+            f"{{{ns.WSNT}}}Subscribe",
+            consumer.epr.to_xml(f"{{{ns.WSNT}}}ConsumerReference"),
+            element(f"{{{ns.WSNT}}}TopicExpression", "gauge/changed",
+                    attrs={"Dialect": TopicDialect.CONCRETE.value}),
+            element(f"{{{ns.WSNT}}}Selector", "//Changed[. != 77]"),
+            element(f"{{{ns.WSNT}}}Precondition", "//Level[. > 50]"),
+        )
+        client.invoke(resource, actions.SUBSCRIBE, body)
+        assert poke(client, resource, 40) == 0   # precondition fails
+        assert poke(client, resource, 77) == 0   # selector fails
+        assert poke(client, resource, 88) == 1   # both pass
+
+    def test_invalid_precondition_never_matches(self, rig):
+        _, gauge, client, consumer, resource = rig
+        subscribe(client, gauge, resource, consumer, precondition="//Level[")
+        assert poke(client, resource, 99) == 0

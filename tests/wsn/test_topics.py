@@ -1,0 +1,91 @@
+"""WS-Topics dialect matching, with property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wsn import TopicDialect, topic_matches
+
+
+class TestSimpleDialect:
+    def test_matches_root_topic_only(self):
+        assert topic_matches("job", TopicDialect.SIMPLE, "job")
+        assert not topic_matches("job", TopicDialect.SIMPLE, "job/status")
+        assert not topic_matches("job", TopicDialect.SIMPLE, "other")
+
+    def test_empty_topic_never_matches(self):
+        assert not topic_matches("job", TopicDialect.SIMPLE, "")
+
+
+class TestConcreteDialect:
+    def test_exact_path(self):
+        assert topic_matches("job/status/done", TopicDialect.CONCRETE, "job/status/done")
+        assert not topic_matches("job/status", TopicDialect.CONCRETE, "job/status/done")
+        assert not topic_matches("job/status/done", TopicDialect.CONCRETE, "job/status")
+
+    def test_leading_trailing_slashes_tolerated(self):
+        assert topic_matches("/job/status/", TopicDialect.CONCRETE, "job/status")
+
+
+class TestFullDialect:
+    def test_star_matches_exactly_one_level(self):
+        assert topic_matches("job/*/done", TopicDialect.FULL, "job/status/done")
+        assert not topic_matches("job/*/done", TopicDialect.FULL, "job/done")
+        assert not topic_matches("job/*/done", TopicDialect.FULL, "job/a/b/done")
+
+    def test_double_slash_matches_any_depth(self):
+        assert topic_matches("job//done", TopicDialect.FULL, "job/done")
+        assert topic_matches("job//done", TopicDialect.FULL, "job/status/done")
+        assert topic_matches("job//done", TopicDialect.FULL, "job/a/b/c/done")
+        assert not topic_matches("job//done", TopicDialect.FULL, "job/status")
+
+    def test_leading_double_slash(self):
+        assert topic_matches("//done", TopicDialect.FULL, "done")
+        assert topic_matches("//done", TopicDialect.FULL, "job/status/done")
+
+    def test_plain_path_in_full_dialect(self):
+        assert topic_matches("job/status", TopicDialect.FULL, "job/status")
+        assert not topic_matches("job/status", TopicDialect.FULL, "job")
+
+    def test_star_tail(self):
+        assert topic_matches("job/*", TopicDialect.FULL, "job/anything")
+        assert not topic_matches("job/*", TopicDialect.FULL, "job")
+
+
+class TestDialectParsing:
+    def test_from_uri_roundtrip(self):
+        for dialect in TopicDialect:
+            assert TopicDialect.from_uri(dialect.value) is dialect
+
+    def test_unknown_uri_rejected(self):
+        with pytest.raises(ValueError, match="unknown topic dialect"):
+            TopicDialect.from_uri("urn:mystery")
+
+
+_segment = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True)
+_path = st.lists(_segment, min_size=1, max_size=4).map("/".join)
+
+
+class TestProperties:
+    @given(_path)
+    @settings(max_examples=80, deadline=None)
+    def test_concrete_self_match(self, path):
+        assert topic_matches(path, TopicDialect.CONCRETE, path)
+        assert topic_matches(path, TopicDialect.FULL, path)
+
+    @given(_path, _segment)
+    @settings(max_examples=80, deadline=None)
+    def test_extension_breaks_concrete(self, path, extra):
+        assert not topic_matches(path, TopicDialect.CONCRETE, f"{path}/{extra}")
+
+    @given(_path)
+    @settings(max_examples=80, deadline=None)
+    def test_double_slash_prefix_matches_any_suffix_of_itself(self, path):
+        segments = path.split("/")
+        assert topic_matches(f"//{segments[-1]}", TopicDialect.FULL, path)
+
+    @given(_path)
+    @settings(max_examples=80, deadline=None)
+    def test_star_per_segment_matches(self, path):
+        pattern = "/".join("*" for _ in path.split("/"))
+        assert topic_matches(pattern, TopicDialect.FULL, path)

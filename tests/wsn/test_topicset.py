@@ -1,0 +1,87 @@
+"""Producer-declared topic sets: advertisement and subscribe validation."""
+
+import pytest
+
+from repro.soap import SoapFault
+from repro.wsn import NotificationConsumer, SubscriptionManagerService
+from repro.wsn.topics import TopicDialect
+from repro.wsrf import ResourceHome
+from repro.wsrf.properties import actions as rp_actions
+from repro.xmllib import element, ns
+
+from tests.helpers import make_client, make_deployment, server_container
+from tests.wsn.conftest import SensorService, emit, subscribe
+
+
+class DeclaredSensor(SensorService):
+    service_name = "DeclaredSensor"
+    supported_topics = ("sensor/temp", "sensor/fan", "alerts")
+
+
+@pytest.fixture()
+def rig():
+    deployment = make_deployment()
+    container = server_container(deployment)
+    manager = SubscriptionManagerService(ResourceHome("subs", deployment.network))
+    container.add_service(manager)
+    sensor = DeclaredSensor(ResourceHome("sensor", deployment.network))
+    sensor.subscription_manager = manager
+    container.add_service(sensor)
+    client = make_client(deployment)
+    consumer = NotificationConsumer(deployment, "client")
+    return deployment, sensor, manager, client, consumer
+
+
+class TestTopicSetValidation:
+    def test_subscribe_to_declared_topic_works(self, rig):
+        _, sensor, _, client, consumer = rig
+        subscribe(client, sensor, consumer, topic="sensor/temp")
+        assert emit(client, sensor, topic="sensor/temp") == 1
+
+    def test_subscribe_to_undeclared_topic_refused(self, rig):
+        _, sensor, _, client, consumer = rig
+        with pytest.raises(SoapFault, match="selects none"):
+            subscribe(client, sensor, consumer, topic="weather/rain")
+
+    def test_wildcard_matching_some_declared_topic_accepted(self, rig):
+        _, sensor, _, client, consumer = rig
+        subscribe(client, sensor, consumer, topic="sensor/*", dialect=TopicDialect.FULL)
+        assert emit(client, sensor, topic="sensor/fan") == 1
+
+    def test_wildcard_matching_nothing_refused(self, rig):
+        _, sensor, _, client, consumer = rig
+        with pytest.raises(SoapFault, match="selects none"):
+            subscribe(client, sensor, consumer, topic="weather//*", dialect=TopicDialect.FULL)
+
+    def test_undeclared_producer_accepts_anything(self, rig):
+        deployment, _, manager, client, consumer = rig
+        container = server_container(deployment, host="open-host")
+        open_sensor = SensorService(ResourceHome("open-sensor", deployment.network))
+        open_sensor.subscription_manager = manager
+        container.add_service(open_sensor)
+        subscribe(client, open_sensor, consumer, topic="anything/at/all")
+
+
+class TestTopicSetAdvertisement:
+    def test_topic_set_rp_lists_declared_topics(self, rig):
+        """Consumers discover the tree via GetResourceProperty(TopicSet)."""
+        from repro.wsrf import ResourcePropertiesMixin
+
+        deployment, sensor, _, client, _ = rig
+
+        class RpSensor(ResourcePropertiesMixin, DeclaredSensor):
+            service_name = "RpSensor"
+
+        container = server_container(deployment, host="rp-host")
+        rp_sensor = RpSensor(ResourceHome("rp-sensor", deployment.network))
+        rp_sensor.subscription_manager = sensor.subscription_manager
+        container.add_service(rp_sensor)
+        resource = rp_sensor.create_resource()
+        response = client.invoke(
+            resource,
+            rp_actions.GET,
+            element(f"{{{ns.WSRF_RP}}}GetResourceProperty", "TopicSet"),
+        )
+        topic_set = response.find(f"{{{ns.WSTOP}}}TopicSet")
+        topics = [t.text().strip() for t in topic_set.element_children()]
+        assert topics == ["sensor/temp", "sensor/fan", "alerts"]

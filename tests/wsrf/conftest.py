@@ -1,0 +1,93 @@
+"""A small WSRF counter service used throughout the wsrf tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.container import MessageContext, web_method
+from repro.wsrf import (
+    ResourceField,
+    ResourceHome,
+    ResourceLifetimeMixin,
+    ResourcePropertiesMixin,
+    WsResourceService,
+    resource_property,
+)
+from repro.xmllib import element, text_of
+from tests.helpers import make_client, make_deployment, server_container
+
+NS = "urn:test:counter"
+CREATE = f"{NS}/Create"
+BUMP = f"{NS}/Bump"
+
+
+class CounterService(ResourcePropertiesMixin, ResourceLifetimeMixin, WsResourceService):
+    service_name = "Counter"
+    resource_ns = NS
+
+    cv = ResourceField(int, 0)
+    label = ResourceField(str, "unnamed")
+
+    destroyed: list[str]
+
+    def __init__(self, home):
+        super().__init__(home)
+        self.destroyed = []
+
+    @web_method(CREATE)
+    def create(self, context: MessageContext):
+        initial = text_of(context.body.find_local("Initial"), "0")
+        label = text_of(context.body.find_local("Label"), "unnamed")
+        epr = self.create_resource(cv=int(initial), label=label)
+        return element(f"{{{NS}}}CreateResponse", epr.to_xml())
+
+    @web_method(BUMP)
+    def bump(self, context: MessageContext):
+        self.cv = self.cv + 1
+        return element(f"{{{NS}}}BumpResponse", str(self.cv))
+
+    @resource_property(f"{{{NS}}}Value", settable=True)
+    def value(self):
+        return self.cv
+
+    def set_value(self, replacement):
+        if replacement is None:
+            self.cv = 0
+        else:
+            self.cv = int(replacement.text())
+
+    @resource_property(f"{{{NS}}}DoubleValue")
+    def double_value(self):
+        return self.cv * 2
+
+    @resource_property(f"{{{NS}}}Label")
+    def rp_label(self):
+        return self.label
+
+    def on_resource_destroyed(self, key):
+        self.destroyed.append(key)
+
+
+@pytest.fixture()
+def rig():
+    deployment = make_deployment()
+    container = server_container(deployment)
+    service = CounterService(ResourceHome("counters", deployment.network))
+    container.add_service(service)
+    client = make_client(deployment)
+    return deployment, service, client
+
+
+def create_counter(service, client, initial=0, label="unnamed"):
+    from repro.addressing import EndpointReference
+
+    response = client.invoke(
+        service.epr(),
+        CREATE,
+        element(
+            f"{{{NS}}}Create",
+            element(f"{{{NS}}}Initial", initial),
+            element(f"{{{NS}}}Label", label),
+        ),
+    )
+    return EndpointReference.from_xml(next(response.element_children()))

@@ -1,0 +1,214 @@
+"""WS-ResourceProperties operations over the wire."""
+
+import pytest
+
+from repro.soap import SoapFault
+from repro.wsrf.properties import actions
+from repro.xmllib import element
+
+from tests.wsrf.conftest import NS, create_counter
+
+RP = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd"
+
+
+class TestGetResourceProperty:
+    def test_get_by_local_name(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=21)
+        response = client.invoke(
+            epr, actions.GET, element(f"{{{RP}}}GetResourceProperty", "Value")
+        )
+        assert response.find(f"{{{NS}}}Value").text() == "21"
+
+    def test_get_by_clark_name(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=3)
+        response = client.invoke(
+            epr, actions.GET, element(f"{{{RP}}}GetResourceProperty", f"{{{NS}}}DoubleValue")
+        )
+        assert response.find(f"{{{NS}}}DoubleValue").text() == "6"
+
+    def test_dynamic_property_computed(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=5)
+        response = client.invoke(
+            epr, actions.GET, element(f"{{{RP}}}GetResourceProperty", "DoubleValue")
+        )
+        assert response.find(f"{{{NS}}}DoubleValue").text() == "10"
+
+    def test_unknown_property_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        with pytest.raises(SoapFault, match="no ResourceProperty"):
+            client.invoke(epr, actions.GET, element(f"{{{RP}}}GetResourceProperty", "Missing"))
+
+    def test_empty_name_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        with pytest.raises(SoapFault, match="empty"):
+            client.invoke(epr, actions.GET, element(f"{{{RP}}}GetResourceProperty", ""))
+
+    def test_prefixed_name_matches_local(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=8)
+        response = client.invoke(
+            epr, actions.GET, element(f"{{{RP}}}GetResourceProperty", "tns:Value")
+        )
+        assert response.find(f"{{{NS}}}Value").text() == "8"
+
+
+class TestGetMultiple:
+    def test_multiple_properties(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=2, label="job-counter")
+        body = element(
+            f"{{{RP}}}GetMultipleResourceProperties",
+            element(f"{{{RP}}}ResourceProperty", "Value"),
+            element(f"{{{RP}}}ResourceProperty", "Label"),
+        )
+        response = client.invoke(epr, actions.GET_MULTIPLE, body)
+        assert response.find(f"{{{NS}}}Value").text() == "2"
+        assert response.find(f"{{{NS}}}Label").text() == "job-counter"
+
+    def test_empty_request_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        with pytest.raises(SoapFault, match="names no properties"):
+            client.invoke(epr, actions.GET_MULTIPLE, element(f"{{{RP}}}GetMultipleResourceProperties"))
+
+    def test_one_unknown_in_batch_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        body = element(
+            f"{{{RP}}}GetMultipleResourceProperties",
+            element(f"{{{RP}}}ResourceProperty", "Value"),
+            element(f"{{{RP}}}ResourceProperty", "Nope"),
+        )
+        with pytest.raises(SoapFault):
+            client.invoke(epr, actions.GET_MULTIPLE, body)
+
+
+class TestSetResourceProperties:
+    def test_update_settable_property(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=1)
+        body = element(
+            f"{{{RP}}}SetResourceProperties",
+            element(f"{{{RP}}}Update", element(f"{{{NS}}}Value", "41")),
+        )
+        client.invoke(epr, actions.SET, body)
+        response = client.invoke(epr, actions.GET, element(f"{{{RP}}}GetResourceProperty", "Value"))
+        assert response.find(f"{{{NS}}}Value").text() == "41"
+
+    def test_update_not_settable_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        body = element(
+            f"{{{RP}}}SetResourceProperties",
+            element(f"{{{RP}}}Update", element(f"{{{NS}}}DoubleValue", "10")),
+        )
+        with pytest.raises(SoapFault, match="not modifiable"):
+            client.invoke(epr, actions.SET, body)
+
+    def test_delete_resets_value(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=9)
+        body = element(
+            f"{{{RP}}}SetResourceProperties",
+            element(f"{{{RP}}}Delete", attrs={"ResourceProperty": "Value"}),
+        )
+        client.invoke(epr, actions.SET, body)
+        response = client.invoke(epr, actions.GET, element(f"{{{RP}}}GetResourceProperty", "Value"))
+        assert response.find(f"{{{NS}}}Value").text() == "0"
+
+    def test_insert_degenerates_to_update(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        body = element(
+            f"{{{RP}}}SetResourceProperties",
+            element(f"{{{RP}}}Insert", element(f"{{{NS}}}Value", "5")),
+        )
+        client.invoke(epr, actions.SET, body)
+        response = client.invoke(epr, actions.GET, element(f"{{{RP}}}GetResourceProperty", "Value"))
+        assert response.find(f"{{{NS}}}Value").text() == "5"
+
+    def test_empty_set_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        with pytest.raises(SoapFault, match="no modifications"):
+            client.invoke(epr, actions.SET, element(f"{{{RP}}}SetResourceProperties"))
+
+    def test_unknown_modifier_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        body = element(
+            f"{{{RP}}}SetResourceProperties",
+            element(f"{{{RP}}}Replace", element(f"{{{NS}}}Value", "5")),
+        )
+        with pytest.raises(SoapFault, match="unknown SetResourceProperties modifier"):
+            client.invoke(epr, actions.SET, body)
+
+    def test_set_persists_to_store(self, rig):
+        """The value must actually round-trip through the database."""
+        _, service, client = rig
+        epr = create_counter(service, client, initial=1)
+        body = element(
+            f"{{{RP}}}SetResourceProperties",
+            element(f"{{{RP}}}Update", element(f"{{{NS}}}Value", "77")),
+        )
+        client.invoke(epr, actions.SET, body)
+        from repro.wsrf import RESOURCE_ID
+
+        doc = service.home.load(epr.property(RESOURCE_ID))
+        assert "77" in doc.text()
+
+
+class TestQueryResourceProperties:
+    XPATH_DIALECT = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+
+    def query(self, client, epr, expression, dialect=None):
+        body = element(
+            f"{{{RP}}}QueryResourceProperties",
+            element(
+                f"{{{RP}}}QueryExpression",
+                expression,
+                attrs={"Dialect": dialect or self.XPATH_DIALECT},
+            ),
+        )
+        return client.invoke(epr, actions.QUERY, body)
+
+    def test_query_selects_nodes(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=6)
+        response = self.query(client, epr, "//Value")
+        assert response.find(f"{{{NS}}}Value").text() == "6"
+
+    def test_query_boolean_result(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=6)
+        response = self.query(client, epr, "count(//Value) = 1")
+        assert response.text() == "True" or response.text() == "true"
+
+    def test_query_rich_predicate(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=10, label="high")
+        response = self.query(client, epr, "//Label[../Value > 5]")
+        assert response.find(f"{{{NS}}}Label").text() == "high"
+
+    def test_unknown_dialect_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        with pytest.raises(SoapFault, match="unknown query dialect"):
+            self.query(client, epr, "//Value", dialect="urn:xquery")
+
+    def test_invalid_expression_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        with pytest.raises(SoapFault, match="invalid query"):
+            self.query(client, epr, "//Value[")
+
+    def test_missing_expression_faults(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client)
+        with pytest.raises(SoapFault, match="no QueryExpression"):
+            client.invoke(epr, actions.QUERY, element(f"{{{RP}}}QueryResourceProperties"))

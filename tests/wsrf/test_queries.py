@@ -1,0 +1,114 @@
+"""Cross-resource queries (the WSRF.NET rich-query feature)."""
+
+import pytest
+
+from repro.addressing import EndpointReference
+from repro.soap import SoapFault
+from repro.wsrf import RESOURCE_ID, ResourceHome, ResourceQueryMixin
+from repro.wsrf.queries import WSRFNET_NS, actions
+from repro.xmllib import element
+
+from tests.helpers import make_client, make_deployment, server_container
+from tests.wsrf.conftest import CounterService, create_counter
+
+
+class QueryableCounterService(ResourceQueryMixin, CounterService):
+    service_name = "QueryableCounter"
+
+
+@pytest.fixture()
+def rig():
+    deployment = make_deployment()
+    container = server_container(deployment)
+    service = QueryableCounterService(ResourceHome("counters", deployment.network))
+    container.add_service(service)
+    client = make_client(deployment)
+    return deployment, service, client
+
+
+def query(client, service, expression, dialect=None):
+    body = element(
+        f"{{{WSRFNET_NS}}}QueryResources",
+        element(
+            f"{{{WSRFNET_NS}}}QueryExpression",
+            expression,
+            attrs={"Dialect": dialect or "http://www.w3.org/TR/1999/REC-xpath-19991116"},
+        ),
+    )
+    return client.invoke(service.epr(), actions.QUERY_RESOURCES, body)
+
+
+class TestQueryResources:
+    def test_query_finds_matching_resources(self, rig):
+        _, service, client = rig
+        create_counter(service, client, initial=5, label="small")
+        create_counter(service, client, initial=50, label="big")
+        create_counter(service, client, initial=500, label="huge")
+        response = query(client, service, "//cv[. > 10]")
+        matches = response.find_all(f"{{{WSRFNET_NS}}}MatchedResource")
+        assert len(matches) == 2
+
+    def test_matches_carry_eprs(self, rig):
+        _, service, client = rig
+        epr = create_counter(service, client, initial=7)
+        response = query(client, service, "//cv[. = 7]")
+        match = response.find(f"{{{WSRFNET_NS}}}MatchedResource")
+        found = EndpointReference.from_xml(match.find_local("EndpointReference"))
+        assert found.property(RESOURCE_ID) == epr.property(RESOURCE_ID)
+
+    def test_no_matches_empty_response(self, rig):
+        _, service, client = rig
+        create_counter(service, client, initial=1)
+        response = query(client, service, "//cv[. > 999]")
+        assert response.find_all(f"{{{WSRFNET_NS}}}MatchedResource") == []
+
+    def test_hits_grouped_per_resource(self, rig):
+        _, service, client = rig
+        create_counter(service, client, initial=3, label="x")
+        response = query(client, service, "//cv | //label")
+        matches = response.find_all(f"{{{WSRFNET_NS}}}MatchedResource")
+        assert len(matches) == 1  # one resource, both hits grouped under it
+        assert len(list(matches[0].element_children())) == 3  # EPR + 2 hits
+
+    def test_invalid_query_faults(self, rig):
+        _, service, client = rig
+        with pytest.raises(SoapFault, match="invalid query"):
+            query(client, service, "//cv[")
+
+    def test_unknown_dialect_faults(self, rig):
+        _, service, client = rig
+        with pytest.raises(SoapFault, match="unknown query dialect"):
+            query(client, service, "//cv", dialect="urn:xquery")
+
+    def test_missing_expression_faults(self, rig):
+        _, service, client = rig
+        with pytest.raises(SoapFault, match="no QueryExpression"):
+            client.invoke(
+                service.epr(), actions.QUERY_RESOURCES, element(f"{{{WSRFNET_NS}}}QueryResources")
+            )
+
+
+class TestGridUsage:
+    def test_admin_finds_reservations_by_owner(self):
+        """The administrative use-case: which hosts has alice reserved?"""
+        from repro.apps.giab import build_wsrf_vo
+        from repro.apps.giab.wsrf.reservation import WsrfReservationService
+
+        class QueryableReservations(ResourceQueryMixin, WsrfReservationService):
+            service_name = "Reservation"
+
+        vo = build_wsrf_vo()
+        # Upgrade the deployed reservation service in place:
+        vo.reservation.__class__ = type(
+            "QR", (ResourceQueryMixin, type(vo.reservation)), {}
+        )
+        vo.reservation._operations[actions.QUERY_RESOURCES] = (
+            vo.reservation.wsrfnet_query_resources
+        )
+        vo.client.make_reservation("node1")
+        vo.client.make_reservation("node2")
+        response = query(
+            vo.admin.soap, vo.reservation, f"//owner[. = '{vo.user_dn}']/../host"
+        )
+        matches = response.find_all(f"{{{WSRFNET_NS}}}MatchedResource")
+        assert len(matches) == 2

@@ -1,0 +1,89 @@
+"""Nested dispatch on the same service instance (timer-driven out-calls)."""
+
+import pytest
+
+from repro.container import MessageContext, web_method
+from repro.wsrf import (
+    ResourceField,
+    ResourceHome,
+    ResourcePropertiesMixin,
+    WsResourceService,
+)
+from repro.xmllib import element, text_of
+
+from tests.helpers import make_client, make_deployment, server_container
+
+NS = "urn:test:reentrant"
+OUTER = f"{NS}/Outer"
+INNER = f"{NS}/Inner"
+
+
+class ReentrantService(ResourcePropertiesMixin, WsResourceService):
+    """Outer mutates resource A, then (mid-operation) a nested dispatch on
+    the *same instance* handles resource B — the timer-callback pattern."""
+
+    service_name = "Reentrant"
+    resource_ns = NS
+
+    value = ResourceField(int, 0)
+
+    @web_method(OUTER)
+    def outer(self, context: MessageContext):
+        self.value = self.value + 100  # mutate A, not yet saved
+        inner_key = text_of(context.body.find_local("InnerKey"))
+        # Nested invocation through the wire against resource B:
+        client = self.container.outcall_client()
+        client.invoke(
+            self.resource_epr(inner_key), INNER, element(f"{{{NS}}}Inner")
+        )
+        # After the nested dispatch, A's loaded state must be intact:
+        return element(f"{{{NS}}}OuterResponse", str(self.value))
+
+    @web_method(INNER)
+    def inner(self, context: MessageContext):
+        self.value = self.value + 1
+        return element(f"{{{NS}}}InnerResponse", str(self.value))
+
+
+@pytest.fixture()
+def rig():
+    deployment = make_deployment()
+    container = server_container(deployment)
+    service = ReentrantService(ResourceHome("reentrant", deployment.network))
+    container.add_service(service)
+    client = make_client(deployment)
+    return deployment, service, client
+
+
+class TestNestedDispatch:
+    def test_outer_state_survives_nested_dispatch(self, rig):
+        from repro.wsrf import RESOURCE_ID
+
+        _, service, client = rig
+        epr_a = service.create_resource(value=1)
+        epr_b = service.create_resource(value=50)
+        inner_key = epr_b.property(RESOURCE_ID)
+        response = client.invoke(
+            epr_a, OUTER, element(f"{{{NS}}}Outer", element(f"{{{NS}}}InnerKey", inner_key))
+        )
+        # Outer saw its own mutation (1+100), not B's state.
+        assert response.text() == "101"
+        # Both resources persisted their own changes.
+        doc_a = service.home.load(epr_a.property(RESOURCE_ID))
+        doc_b = service.home.load(inner_key)
+        assert "101" in doc_a.text()
+        assert "51" in doc_b.text()
+
+    def test_nested_fault_leaves_outer_intact(self, rig):
+        from repro.soap import SoapFault
+        from repro.wsrf import RESOURCE_ID
+
+        _, service, client = rig
+        epr_a = service.create_resource(value=1)
+        with pytest.raises(SoapFault):
+            client.invoke(
+                epr_a, OUTER, element(f"{{{NS}}}Outer", element(f"{{{NS}}}InnerKey", "ghost"))
+            )
+        # The outer dispatch faulted (propagated), but the home is coherent:
+        doc_a = service.home.load(epr_a.property(RESOURCE_ID))
+        assert "1" in doc_a.text()

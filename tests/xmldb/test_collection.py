@@ -1,0 +1,227 @@
+"""Unit tests for collections, the database, backends and the cache."""
+
+import pytest
+
+from repro.sim import CostModel, Network
+from repro.xmldb import (
+    Collection,
+    DocumentNotFound,
+    FileBackend,
+    MemoryBackend,
+    WriteThroughCache,
+    XmlDatabase,
+)
+from repro.xmllib import element
+
+
+@pytest.fixture()
+def net():
+    return Network(CostModel())
+
+
+@pytest.fixture()
+def coll(net):
+    return Collection("counters", net)
+
+
+def doc(value: int):
+    return element("{urn:c}Counter", element("{urn:c}Value", value))
+
+
+class TestCrud:
+    def test_insert_read_roundtrip(self, coll):
+        key = coll.insert(doc(3))
+        got = coll.read(key)
+        assert got.find("{urn:c}Value").text() == "3"
+
+    def test_generated_ids_unique_and_deterministic(self, coll):
+        k1 = coll.insert(doc(1))
+        k2 = coll.insert(doc(2))
+        assert k1 != k2
+        assert k1 == "counters-00000001"
+
+    def test_insert_explicit_key(self, coll):
+        coll.insert(doc(1), key="mine")
+        assert coll.contains("mine")
+
+    def test_insert_duplicate_rejected(self, coll):
+        coll.insert(doc(1), key="k")
+        with pytest.raises(ValueError, match="already exists"):
+            coll.insert(doc(2), key="k")
+
+    def test_update(self, coll):
+        key = coll.insert(doc(1))
+        coll.update(key, doc(9))
+        assert coll.read(key).text().strip() == "9"
+
+    def test_update_missing_raises(self, coll):
+        with pytest.raises(DocumentNotFound):
+            coll.update("ghost", doc(1))
+
+    def test_upsert_inserts_then_updates(self, coll, net):
+        coll.upsert("oob", doc(1))  # out-of-band creation path
+        assert coll.contains("oob")
+        coll.upsert("oob", doc(2))
+        assert coll.read("oob").text().strip() == "2"
+
+    def test_delete(self, coll):
+        key = coll.insert(doc(1))
+        coll.delete(key)
+        assert not coll.contains(key)
+        with pytest.raises(DocumentNotFound):
+            coll.read(key)
+
+    def test_delete_missing_raises(self, coll):
+        with pytest.raises(DocumentNotFound):
+            coll.delete("ghost")
+
+    def test_len_and_keys(self, coll):
+        coll.insert(doc(1), key="b")
+        coll.insert(doc(2), key="a")
+        assert len(coll) == 2
+        assert coll.keys() == ["a", "b"]
+
+
+class TestCosts:
+    def test_insert_slower_than_read(self, net):
+        coll = Collection("c", net)
+        t0 = net.clock.now
+        key = coll.insert(doc(1))
+        insert_cost = net.clock.now - t0
+        t1 = net.clock.now
+        coll.read(key)
+        read_cost = net.clock.now - t1
+        assert insert_cost > read_cost
+
+    def test_db_ops_counted(self, net):
+        coll = Collection("c", net)
+        net.metrics.begin("op", net.clock.now)
+        key = coll.insert(doc(1))
+        coll.read(key)
+        coll.update(key, doc(2))
+        trace = net.metrics.end(net.clock.now)
+        assert trace.db_ops == 3
+
+
+class TestQuery:
+    def test_query_across_documents(self, coll):
+        coll.insert(doc(1))
+        coll.insert(doc(5))
+        coll.insert(doc(10))
+        hits = coll.query("//Value[. > 4]")
+        assert len(hits) == 2
+
+    def test_query_keys_dedup(self, coll):
+        coll.insert(element("{urn:c}Counter", element("{urn:c}Value", 1), element("{urn:c}Value", 2)))
+        keys = coll.query_keys("//Value")
+        assert len(keys) == 1
+
+    def test_query_cost_scales_with_collection(self, net):
+        coll = Collection("c", net)
+        for i in range(5):
+            coll.insert(doc(i))
+        t0 = net.clock.now
+        coll.query("//Value")
+        cost5 = net.clock.now - t0
+        for i in range(20):
+            coll.insert(doc(i))
+        t1 = net.clock.now
+        coll.query("//Value")
+        cost25 = net.clock.now - t1
+        assert cost25 > cost5
+
+
+class TestBackends:
+    def test_file_backend_roundtrip(self, tmp_path, net):
+        coll = Collection("c", net, FileBackend(str(tmp_path)))
+        key = coll.insert(doc(7))
+        assert coll.read(key).text().strip() == "7"
+        coll.delete(key)
+        assert not coll.contains(key)
+
+    def test_file_backend_persists_across_instances(self, tmp_path, net):
+        coll = Collection("c", net, FileBackend(str(tmp_path)))
+        coll.insert(doc(7), key="persisted")
+        coll2 = Collection("c", net, FileBackend(str(tmp_path)))
+        assert coll2.read("persisted").text().strip() == "7"
+
+    def test_file_backend_sanitizes_keys(self, tmp_path, net):
+        coll = Collection("c", net, FileBackend(str(tmp_path)))
+        coll.insert(doc(1), key="a/b/../c")
+        assert coll.contains("a/b/../c")
+
+    def test_memory_backend_protocol(self):
+        from repro.xmldb import Backend
+
+        assert isinstance(MemoryBackend(), Backend)
+        assert isinstance(FileBackend.__new__(FileBackend), Backend)
+
+
+class TestDatabase:
+    def test_collection_reuse(self, net):
+        db = XmlDatabase(net)
+        assert db.collection("a") is db.collection("a")
+        assert db.names() == ["a"]
+
+    def test_drop(self, net):
+        db = XmlDatabase(net)
+        db.collection("a").insert(doc(1))
+        db.drop("a")
+        assert db.names() == []
+        with pytest.raises(KeyError):
+            db.drop("a")
+
+    def test_backend_factory_used(self, tmp_path, net):
+        db = XmlDatabase(net, backend_factory=lambda name: FileBackend(str(tmp_path / name)))
+        db.collection("x").insert(doc(1), key="k")
+        assert (tmp_path / "x" / "k.xml").exists()
+
+
+class TestWriteThroughCache:
+    def test_read_hit_cheaper_than_miss(self, net):
+        cache = WriteThroughCache(Collection("c", net))
+        key = cache.insert(doc(1))
+        t0 = net.clock.now
+        cache.read(key)
+        hit_cost = net.clock.now - t0
+        assert hit_cost == pytest.approx(net.costs.cache_hit)
+        assert cache.hits == 1
+
+    def test_set_avoids_read_before_write(self, net):
+        """The WSRF.NET optimization: update without a prior DB read."""
+        cache = WriteThroughCache(Collection("c", net))
+        key = cache.insert(doc(1))
+        t0 = net.clock.now
+        cache.update(key, doc(2))
+        update_cost = net.clock.now - t0
+        assert update_cost == pytest.approx(net.costs.db_update)
+
+    def test_cache_returns_copies(self, net):
+        cache = WriteThroughCache(Collection("c", net))
+        key = cache.insert(doc(1))
+        got = cache.read(key)
+        got.find("{urn:c}Value").children = ["999"]
+        assert cache.read(key).text().strip() == "1"
+
+    def test_delete_evicts(self, net):
+        cache = WriteThroughCache(Collection("c", net))
+        key = cache.insert(doc(1))
+        cache.delete(key)
+        assert not cache.contains(key)
+        with pytest.raises(DocumentNotFound):
+            cache.read(key)
+
+    def test_capacity_eviction(self, net):
+        cache = WriteThroughCache(Collection("c", net), capacity=2)
+        k1 = cache.insert(doc(1))
+        cache.insert(doc(2))
+        cache.insert(doc(3))  # evicts k1
+        cache.read(k1)
+        assert cache.misses == 1
+
+    def test_write_through_keeps_db_fresh_for_queries(self, net):
+        cache = WriteThroughCache(Collection("c", net))
+        key = cache.insert(doc(1))
+        cache.update(key, doc(42))
+        hits = cache.query("//Value[. = 42]")
+        assert len(hits) == 1

@@ -1,0 +1,96 @@
+"""Stateful property tests: the XML database against a dict model."""
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.sim import CostModel, Network
+from repro.xmldb import Collection, DocumentNotFound, WriteThroughCache
+from repro.xmllib import element
+
+
+def doc(value: int):
+    return element("{urn:t}Doc", element("{urn:t}Value", value))
+
+
+class CollectionModel(RuleBasedStateMachine):
+    """CRUD on a Collection must match CRUD on a dict."""
+
+    keys = Bundle("keys")
+
+    def __init__(self):
+        super().__init__()
+        self.network = Network(CostModel.free())
+        self.collection = Collection("c", self.network)
+        self.model: dict[str, int] = {}
+
+    @rule(target=keys, value=st.integers(0, 999))
+    def insert(self, value):
+        key = self.collection.insert(doc(value))
+        assert key not in self.model
+        self.model[key] = value
+        return key
+
+    @rule(key=keys, value=st.integers(0, 999))
+    def update(self, key, value):
+        if key in self.model:
+            self.collection.update(key, doc(value))
+            self.model[key] = value
+        else:
+            try:
+                self.collection.update(key, doc(value))
+                raise AssertionError("update of deleted key must fail")
+            except DocumentNotFound:
+                pass
+
+    @rule(key=keys)
+    def read(self, key):
+        if key in self.model:
+            got = self.collection.read(key)
+            assert int(got.text().strip()) == self.model[key]
+        else:
+            try:
+                self.collection.read(key)
+                raise AssertionError("read of deleted key must fail")
+            except DocumentNotFound:
+                pass
+
+    @rule(key=keys)
+    def delete(self, key):
+        if key in self.model:
+            self.collection.delete(key)
+            del self.model[key]
+        else:
+            try:
+                self.collection.delete(key)
+                raise AssertionError("delete of deleted key must fail")
+            except DocumentNotFound:
+                pass
+
+    @invariant()
+    def same_keys(self):
+        assert set(self.collection.keys()) == set(self.model)
+
+    @invariant()
+    def query_matches_model(self):
+        hits = self.collection.query_keys("//Value[. >= 500]")
+        expected = {k for k, v in self.model.items() if v >= 500}
+        assert set(hits) == expected
+
+
+class CachedCollectionModel(CollectionModel):
+    """The write-through cache must be semantically invisible."""
+
+    def __init__(self):
+        super().__init__()
+        self.collection = WriteThroughCache(Collection("c", self.network))
+
+
+TestCollectionModel = CollectionModel.TestCase
+TestCollectionModel.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestCachedCollectionModel = CachedCollectionModel.TestCase
+TestCachedCollectionModel.settings = TestCollectionModel.settings

@@ -1,0 +1,53 @@
+"""Unit tests for exclusive-style canonicalization."""
+
+from repro.xmllib import canonicalize, element, parse_xml
+
+
+class TestCanonicalForm:
+    def test_attributes_sorted(self):
+        one = element("a", attrs={"z": "1", "b": "2"})
+        two = element("a", attrs={"b": "2", "z": "1"})
+        assert canonicalize(one) == canonicalize(two)
+        text = canonicalize(one)
+        assert text.index('b="2"') < text.index('z="1"')
+
+    def test_empty_element_uses_start_end_pair(self):
+        assert canonicalize(element("a")) == "<a></a>"
+
+    def test_prefix_independent_of_source_prefix(self):
+        one = parse_xml('<p:a xmlns:p="urn:x"/>')
+        two = parse_xml('<q:a xmlns:q="urn:x"/>')
+        assert canonicalize(one) == canonicalize(two)
+
+    def test_namespace_declared_where_first_used(self):
+        tree = element("a", element("{urn:x}b"), element("{urn:x}c"))
+        text = canonicalize(tree)
+        # Both children declare the namespace (exclusive style: at point of use)
+        assert text.count('xmlns:c0="urn:x"') == 2
+
+    def test_no_redeclaration_below_ancestor(self):
+        tree = element("{urn:x}a", element("{urn:x}b"))
+        text = canonicalize(tree)
+        assert text.count("xmlns:c0") == 1
+
+    def test_text_escaping_canonical(self):
+        tree = element("a", 'x < y & "z"')
+        assert canonicalize(tree) == '<a>x &lt; y &amp; "z"</a>'
+
+    def test_carriage_return_normalized(self):
+        tree = element("a")
+        tree.children = ["line\rline"]
+        assert "&#xD;" in canonicalize(tree)
+
+    def test_attr_newline_escaped(self):
+        tree = element("a", attrs={"k": "v\n2"})
+        assert "&#xA;" in canonicalize(tree)
+
+    def test_structural_equality_implies_canonical_equality(self):
+        one = parse_xml('<a xmlns="urn:n"><b attr="1">t</b></a>')
+        two = parse_xml('<x:a xmlns:x="urn:n"><x:b attr="1">t</x:b></x:a>')
+        assert one.structurally_equal(two)
+        assert canonicalize(one) == canonicalize(two)
+
+    def test_different_content_differs(self):
+        assert canonicalize(element("a", "1")) != canonicalize(element("a", "2"))

@@ -1,0 +1,117 @@
+"""Parsing + serialization round-trips, including property-based coverage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmllib import XmlParseError, canonicalize, element, parse_xml, serialize
+from repro.xmllib.element import XmlElement
+
+
+class TestParse:
+    def test_simple_document(self):
+        root = parse_xml('<a xmlns="urn:x"><b>hi</b></a>')
+        assert root.tag.namespace == "urn:x"
+        assert root.find("{urn:x}b").text() == "hi"
+
+    def test_prefixed_attributes(self):
+        root = parse_xml('<a xmlns:p="urn:p" p:x="1" y="2"/>')
+        assert root.get("{urn:p}x") == "1"
+        assert root.get("y") == "2"
+
+    def test_mixed_content_preserved(self):
+        root = parse_xml("<a>one<b/>two</a>")
+        assert root.text() == "onetwo"
+        assert [c for c in root.children if isinstance(c, str)] == ["one", "two"]
+
+    def test_bytes_input(self):
+        assert parse_xml(b"<a>x</a>").text() == "x"
+
+    def test_malformed_raises(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a><b></a>")
+
+    def test_entity_unescaping(self):
+        root = parse_xml("<a>&lt;tag&gt; &amp; more</a>")
+        assert root.text() == "<tag> & more"
+
+
+class TestSerialize:
+    def test_roundtrip_simple(self):
+        original = element("{urn:x}a", element("{urn:x}b", "hi"), attrs={"id": "1"})
+        again = parse_xml(serialize(original))
+        assert original.structurally_equal(again)
+
+    def test_namespaces_declared_once_at_root(self):
+        tree = element("{urn:x}a", element("{urn:y}b", element("{urn:y}c")))
+        text = serialize(tree)
+        assert text.count('xmlns:') == 2
+
+    def test_preferred_prefixes_used(self):
+        from repro.xmllib import ns
+
+        text = serialize(element(f"{{{ns.SOAP}}}Envelope"))
+        assert "soap:Envelope" in text
+
+    def test_special_characters_escaped(self):
+        tree = element("a", '<&>"', attrs={"attr": 'va"l<'})
+        again = parse_xml(serialize(tree))
+        assert again.text() == '<&>"'
+        assert again.get("attr") == 'va"l<'
+
+    def test_xml_declaration(self):
+        assert serialize(element("a"), xml_declaration=True).startswith("<?xml")
+
+
+# --- property-based round-trip ------------------------------------------
+
+_name = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+_nsuri = st.sampled_from(["", "urn:one", "urn:two", "http://x/y"])
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"), blacklist_characters="\r"),
+    max_size=20,
+).filter(lambda s: s.strip() == s or not s)
+
+
+def _qname(draw):
+    uri = draw(_nsuri)
+    local = draw(_name)
+    return f"{{{uri}}}{local}" if uri else local
+
+
+@st.composite
+def xml_trees(draw, depth: int = 3) -> XmlElement:
+    tag = _qname(draw)
+    node = XmlElement(tag)
+    n_attrs = draw(st.integers(0, 3))
+    for _ in range(n_attrs):
+        node.set(_qname(draw), draw(_text))
+    n_children = draw(st.integers(0, 3)) if depth > 0 else 0
+    for _ in range(n_children):
+        if draw(st.booleans()):
+            node.append(draw(xml_trees(depth=depth - 1)))
+        else:
+            node.append(draw(_text))
+    return node
+
+
+class TestPropertyRoundTrip:
+    @given(xml_trees())
+    @settings(max_examples=120, deadline=None)
+    def test_serialize_parse_roundtrip(self, tree):
+        again = parse_xml(serialize(tree))
+        assert tree.structurally_equal(again)
+
+    @given(xml_trees())
+    @settings(max_examples=120, deadline=None)
+    def test_canonical_form_stable_across_reparse(self, tree):
+        """c14n(tree) must equal c14n(parse(serialize(tree))) — the property
+        that makes signature verification possible after transport."""
+        again = parse_xml(serialize(tree))
+        assert canonicalize(tree) == canonicalize(again)
+
+    @given(xml_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_canonicalization_idempotent(self, tree):
+        once = canonicalize(tree)
+        assert canonicalize(parse_xml(once)) == once

@@ -1,0 +1,52 @@
+"""Unit tests for qualified names."""
+
+import pytest
+
+from repro.xmllib import QName
+
+
+class TestParse:
+    def test_clark_notation(self):
+        qn = QName.parse("{http://example.org/ns}local")
+        assert qn.namespace == "http://example.org/ns"
+        assert qn.local == "local"
+
+    def test_bare_local_name(self):
+        qn = QName.parse("counter")
+        assert qn.namespace == ""
+        assert qn.local == "counter"
+
+    def test_parse_passes_through_qname(self):
+        qn = QName("u", "l")
+        assert QName.parse(qn) is qn
+
+    def test_malformed_clark_rejected(self):
+        with pytest.raises(ValueError):
+            QName.parse("{unterminated")
+
+    def test_empty_local_rejected(self):
+        with pytest.raises(ValueError):
+            QName("uri", "")
+
+    def test_braces_in_local_rejected(self):
+        with pytest.raises(ValueError):
+            QName("uri", "bad{name}")
+
+
+class TestRendering:
+    def test_clark_roundtrip(self):
+        qn = QName("http://a/b", "c")
+        assert QName.parse(qn.clark()) == qn
+
+    def test_clark_without_namespace(self):
+        assert QName("", "plain").clark() == "plain"
+
+    def test_equality_and_hash(self):
+        assert QName("u", "l") == QName("u", "l")
+        assert hash(QName("u", "l")) == hash(QName("u", "l"))
+        assert QName("u", "l") != QName("u2", "l")
+
+    def test_sort_key_orders_namespace_first(self):
+        names = [QName("b", "a"), QName("a", "z"), QName("a", "a")]
+        ordered = sorted(names, key=QName.sort_key)
+        assert ordered == [QName("a", "a"), QName("a", "z"), QName("b", "a")]

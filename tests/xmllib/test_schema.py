@@ -1,0 +1,104 @@
+"""Unit tests for the lightweight schema checker."""
+
+import pytest
+
+from repro.xmllib import ElementSpec, QName, Schema, SchemaError, element
+
+
+def counter_spec() -> ElementSpec:
+    return ElementSpec(
+        tag=QName("urn:c", "Counter"),
+        children={
+            QName("urn:c", "Value"): (
+                ElementSpec(QName("urn:c", "Value"), text_type="int"),
+                1,
+                1,
+            ),
+            QName("urn:c", "Note"): (None, 0, None),
+        },
+    )
+
+
+class TestElementSpec:
+    def test_valid_document(self):
+        doc = element("{urn:c}Counter", element("{urn:c}Value", "3"))
+        counter_spec().validate(doc)
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(SchemaError, match="expected element"):
+            counter_spec().validate(element("{urn:c}Other"))
+
+    def test_missing_required_child(self):
+        with pytest.raises(SchemaError, match="minimum 1"):
+            counter_spec().validate(element("{urn:c}Counter"))
+
+    def test_too_many_children(self):
+        doc = element(
+            "{urn:c}Counter",
+            element("{urn:c}Value", "1"),
+            element("{urn:c}Value", "2"),
+        )
+        with pytest.raises(SchemaError, match="maximum 1"):
+            counter_spec().validate(doc)
+
+    def test_unbounded_child(self):
+        doc = element(
+            "{urn:c}Counter",
+            element("{urn:c}Value", "1"),
+            element("{urn:c}Note", "a"),
+            element("{urn:c}Note", "b"),
+        )
+        counter_spec().validate(doc)
+
+    def test_bad_int_text(self):
+        doc = element("{urn:c}Counter", element("{urn:c}Value", "NaN!"))
+        with pytest.raises(SchemaError, match="not a valid int"):
+            counter_spec().validate(doc)
+
+    def test_unexpected_child_closed_content(self):
+        doc = element(
+            "{urn:c}Counter", element("{urn:c}Value", "1"), element("{urn:c}Intruder")
+        )
+        with pytest.raises(SchemaError, match="unexpected child"):
+            counter_spec().validate(doc)
+
+    def test_open_content_allows_anything(self):
+        spec = ElementSpec(tag=QName("", "any"), open_content=True)
+        spec.validate(element("any", element("whatever"), element("goes")))
+
+    def test_required_attribute(self):
+        spec = ElementSpec(tag=QName("", "a"), required_attributes=(QName("", "id"),))
+        spec.validate(element("a", attrs={"id": "1"}))
+        with pytest.raises(SchemaError, match="missing required attribute"):
+            spec.validate(element("a"))
+
+    def test_empty_text_type(self):
+        spec = ElementSpec(tag=QName("", "a"), text_type="empty", open_content=True)
+        spec.validate(element("a", element("b", "inner text ok")))
+        with pytest.raises(SchemaError, match="must not carry text"):
+            spec.validate(element("a", "oops"))
+
+    def test_boolean_and_float_types(self):
+        bspec = ElementSpec(tag=QName("", "b"), text_type="boolean")
+        bspec.validate(element("b", "true"))
+        with pytest.raises(SchemaError):
+            bspec.validate(element("b", "maybe"))
+        fspec = ElementSpec(tag=QName("", "f"), text_type="float")
+        fspec.validate(element("f", "1.25"))
+        with pytest.raises(SchemaError):
+            fspec.validate(element("f", "one"))
+
+
+class TestSchema:
+    def test_dispatch_by_root(self):
+        schema = Schema([counter_spec()])
+        schema.validate(element("{urn:c}Counter", element("{urn:c}Value", "0")))
+
+    def test_unknown_root_raises(self):
+        with pytest.raises(SchemaError, match="no schema registered"):
+            Schema().validate(element("mystery"))
+
+    def test_knows(self):
+        schema = Schema([counter_spec()])
+        assert schema.knows("{urn:c}Counter")
+        assert not schema.knows("{urn:c}Other")

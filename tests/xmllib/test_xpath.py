@@ -1,0 +1,186 @@
+"""Unit tests for the XPath-lite engine."""
+
+import pytest
+
+from repro.xmllib import XPath, XPathError, parse_xml, xpath_matches, xpath_select
+
+DOC = """
+<catalog xmlns="urn:shop" xmlns:m="urn:meta">
+  <book id="b1" m:lang="en">
+    <title>Dune</title>
+    <price>9.99</price>
+    <author>Herbert</author>
+  </book>
+  <book id="b2">
+    <title>Accelerando</title>
+    <price>4.50</price>
+    <author>Stross</author>
+  </book>
+  <dvd id="d1">
+    <title>Alien</title>
+    <price>12.00</price>
+  </dvd>
+</catalog>
+"""
+
+
+@pytest.fixture()
+def doc():
+    return parse_xml(DOC)
+
+
+class TestPaths:
+    def test_child_path(self, doc):
+        assert len(xpath_select(doc, "book")) == 2
+
+    def test_absolute_path(self, doc):
+        assert len(xpath_select(doc, "/catalog/book")) == 2
+
+    def test_absolute_path_wrong_root(self, doc):
+        assert xpath_select(doc, "/nothing/book") == []
+
+    def test_descendant_axis(self, doc):
+        titles = xpath_select(doc, "//title")
+        assert [t.string_value() for t in titles] == ["Dune", "Accelerando", "Alien"]
+
+    def test_descendant_midpath(self, doc):
+        assert len(xpath_select(doc, "/catalog//price")) == 3
+
+    def test_wildcard(self, doc):
+        assert len(xpath_select(doc, "*")) == 3
+
+    def test_dot_and_dotdot(self, doc):
+        sel = xpath_select(doc, "book/.")
+        assert len(sel) == 2
+        up = xpath_select(doc, "book/..")
+        assert len(up) == 1 and up[0].node.tag.local == "catalog"
+
+    def test_text_nodes(self, doc):
+        texts = xpath_select(doc, "book/title/text()")
+        assert [t.string_value() for t in texts] == ["Dune", "Accelerando"]
+
+    def test_union(self, doc):
+        sel = xpath_select(doc, "book | dvd")
+        assert len(sel) == 3
+
+    def test_prefixed_name_test(self, doc):
+        sel = xpath_select(doc, "s:book", prefixes={"s": "urn:shop"})
+        assert len(sel) == 2
+
+    def test_prefixed_name_test_wrong_namespace(self, doc):
+        assert xpath_select(doc, "w:book", prefixes={"w": "urn:wrong"}) == []
+
+    def test_default_prefix_binding_pins_namespace(self, doc):
+        assert len(xpath_select(doc, "book", prefixes={"": "urn:shop"})) == 2
+        assert xpath_select(doc, "book", prefixes={"": "urn:wrong"}) == []
+
+    def test_undeclared_prefix_raises(self, doc):
+        with pytest.raises(XPathError):
+            xpath_select(doc, "nope:book")
+
+
+class TestAttributes:
+    def test_attribute_select(self, doc):
+        ids = xpath_select(doc, "book/@id")
+        assert [a.string_value() for a in ids] == ["b1", "b2"]
+
+    def test_attribute_wildcard(self, doc):
+        attrs = xpath_select(doc, "book[1]/@*")
+        assert len(attrs) == 2
+
+    def test_namespaced_attribute(self, doc):
+        sel = xpath_select(doc, "book/@m:lang", prefixes={"m": "urn:meta"})
+        assert [a.string_value() for a in sel] == ["en"]
+
+
+class TestPredicates:
+    def test_position_predicate(self, doc):
+        sel = xpath_select(doc, "book[2]/title")
+        assert sel[0].string_value() == "Accelerando"
+
+    def test_attribute_equality(self, doc):
+        sel = xpath_select(doc, "book[@id='b2']/author")
+        assert sel[0].string_value() == "Stross"
+
+    def test_child_text_equality(self, doc):
+        sel = xpath_select(doc, "book[title='Dune']/@id")
+        assert sel[0].string_value() == "b1"
+
+    def test_numeric_comparison(self, doc):
+        sel = xpath_select(doc, "book[price < 5]/title")
+        assert [s.string_value() for s in sel] == ["Accelerando"]
+
+    def test_existence_predicate(self, doc):
+        assert len(xpath_select(doc, "*[author]")) == 2
+
+    def test_and_or(self, doc):
+        sel = xpath_select(doc, "book[price > 1 and @id='b1']")
+        assert len(sel) == 1
+        sel = xpath_select(doc, "*[author='Stross' or title='Alien']")
+        assert len(sel) == 2
+
+    def test_position_function(self, doc):
+        sel = xpath_select(doc, "book[position()=last()]")
+        assert sel[0].node.get("id") == "b2"
+
+    def test_chained_predicates(self, doc):
+        sel = xpath_select(doc, "book[price > 1][1]")
+        assert sel[0].node.get("id") == "b1"
+
+
+class TestFunctions:
+    def test_count(self, doc):
+        assert XPath("count(book)").evaluate(doc) == 2.0
+
+    def test_contains(self, doc):
+        assert xpath_matches(doc, "contains(book[1]/title, 'un')")
+        assert not xpath_matches(doc, "contains(book[1]/title, 'zz')")
+
+    def test_starts_with(self, doc):
+        assert xpath_matches(doc, "starts-with(dvd/title, 'Al')")
+
+    def test_not(self, doc):
+        assert xpath_matches(doc, "not(missing)")
+
+    def test_local_name(self, doc):
+        assert XPath("local-name(*)").evaluate(doc) == "book"
+
+    def test_string_number_boolean(self, doc):
+        assert XPath("string(book[1]/price)").evaluate(doc) == "9.99"
+        assert XPath("number(book[2]/price)").evaluate(doc) == 4.5
+        assert XPath("boolean(dvd)").evaluate(doc) is True
+
+    def test_concat_and_length(self, doc):
+        assert XPath("concat('a', 'b', 'c')").evaluate(doc) == "abc"
+        assert XPath("string-length('four')").evaluate(doc) == 4.0
+
+    def test_normalize_space(self, doc):
+        assert XPath("normalize-space('  a   b ')").evaluate(doc) == "a b"
+
+    def test_unknown_function_raises(self, doc):
+        with pytest.raises(XPathError):
+            XPath("frobnicate(x)").evaluate(doc)
+
+
+class TestMatchesAndErrors:
+    def test_matches_empty_nodeset_false(self, doc):
+        assert not xpath_matches(doc, "nonexistent")
+
+    def test_matches_nonempty_true(self, doc):
+        assert xpath_matches(doc, "book")
+
+    def test_select_on_boolean_result_raises(self, doc):
+        with pytest.raises(XPathError):
+            XPath("true()").select(doc)
+
+    def test_syntax_error(self):
+        with pytest.raises(XPathError):
+            XPath("book[")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XPathError):
+            XPath("book )")
+
+    def test_union_of_non_paths_rejected(self):
+        with pytest.raises(XPathError):
+            XPath("'a' | 'b'")

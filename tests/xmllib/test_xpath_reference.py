@@ -1,0 +1,108 @@
+"""Differential testing of the XPath engine against a brute-force oracle.
+
+For a restricted grammar (child/descendant name steps, wildcards, attribute
+leaf) we can enumerate matches by exhaustive tree walking; the engine must
+agree on arbitrary generated documents and paths.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmllib import XmlElement, xpath_select
+from repro.xmllib.element import element
+
+_names = ("a", "b", "c")
+
+
+@st.composite
+def trees(draw, depth: int = 3) -> XmlElement:
+    node = element(draw(st.sampled_from(_names)))
+    if draw(st.booleans()):
+        node.set(draw(st.sampled_from(("id", "x"))), draw(st.sampled_from(("1", "2"))))
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            node.append(draw(trees(depth=depth - 1)))
+    return node
+
+
+@st.composite
+def simple_paths(draw) -> list[tuple[str, str]]:
+    """A list of (axis, nodetest) steps: axis in {child, descendant}."""
+    steps = []
+    for _ in range(draw(st.integers(1, 3))):
+        axis = draw(st.sampled_from(("child", "descendant")))
+        test = draw(st.sampled_from(_names + ("*",)))
+        steps.append((axis, test))
+    return steps
+
+
+def render(steps: list[tuple[str, str]]) -> str:
+    out = []
+    for axis, test in steps:
+        out.append(("//" if axis == "descendant" else "/") + test)
+    text = "".join(out)
+    return text.lstrip("/") if text.startswith("/") and not text.startswith("//") else text
+
+
+def oracle_select(root: XmlElement, steps: list[tuple[str, str]]) -> list[XmlElement]:
+    current = [root]
+    first = True
+    for axis, test in steps:
+        gathered: list[XmlElement] = []
+        for node in current:
+            if axis == "child":
+                candidates = list(node.element_children())
+            elif first:
+                # A *leading* "//x" runs from the document node above the
+                # root element, so the root itself is a candidate.
+                candidates = [node] + list(node.descendants())
+            else:
+                # Mid-path "x//y" selects strict descendants: y must be a
+                # child of x or deeper, never x itself.
+                candidates = list(node.descendants())
+            for candidate in candidates:
+                if test == "*" or candidate.tag.local == test:
+                    if candidate not in gathered:
+                        gathered.append(candidate)
+        current = gathered
+        first = False
+    # Node-sets are document-ordered; the gathering above is parent-major.
+    positions = {id(root): 0}
+    for index, node in enumerate(root.descendants(), start=1):
+        positions[id(node)] = index
+    current.sort(key=lambda n: positions[id(n)])
+    return current
+
+
+class TestAgainstOracle:
+    @given(trees(), simple_paths())
+    @settings(max_examples=150, deadline=None)
+    def test_engine_matches_oracle(self, tree, steps):
+        expression = render(steps)
+        engine = [r.node for r in xpath_select(tree, expression)]
+        expected = oracle_select(tree, steps)
+        assert len(engine) == len(expected)
+        for a, b in zip(engine, expected):
+            assert a is b
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_double_slash_star_is_all_descendants_and_self(self, tree):
+        hits = [r.node for r in xpath_select(tree, "//*")]
+        expected = [tree] + list(tree.descendants())
+        assert hits == expected
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_child_star_is_element_children(self, tree):
+        hits = [r.node for r in xpath_select(tree, "*")]
+        assert hits == list(tree.element_children())
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_count_agrees_with_selection(self, tree):
+        from repro.xmllib.xpath import XPath
+
+        assert XPath("count(//a)").evaluate(tree) == float(
+            len(xpath_select(tree, "//a"))
+        )
