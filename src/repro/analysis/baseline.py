@@ -1,0 +1,120 @@
+"""Baseline files: known, justified findings that do not fail the build.
+
+A baseline is a JSON document::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "RPO05",
+          "path": "src/repro/bench/giab.py",
+          "symbol": "_measure_wsrf",
+          "message": "...exact finding message...",
+          "justification": "why this one is intentional"
+        }
+      ]
+    }
+
+Matching is by the same (rule, path, symbol, message) tuple that forms a
+finding's fingerprint, so entries survive line-number drift but are
+invalidated the moment the underlying code (and hence the message or
+symbol) changes — a stale suppression fails the run instead of rotting.
+Every entry must carry a non-empty ``justification``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: The file the CLI auto-loads from the working directory when --baseline
+#: is not given (kept at the repository root).
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline documents."""
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings keyed by fingerprint."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+    path: str = ""
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def justification_for(self, finding: Finding) -> str:
+        entry = self.entries.get(finding.fingerprint)
+        return entry.get("justification", "") if entry else ""
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- serialization -------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], justification: str) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.entries[finding.fingerprint] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+                "justification": justification,
+            }
+        return baseline
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+            raise BaselineError(f"{path}: not a version-{BASELINE_VERSION} baseline")
+        baseline = cls(path=path)
+        for index, entry in enumerate(document.get("entries", [])):
+            missing = {"rule", "path", "symbol", "message"} - set(entry)
+            if missing:
+                raise BaselineError(f"{path}: entry {index} lacks {sorted(missing)}")
+            if not entry.get("justification", "").strip():
+                raise BaselineError(
+                    f"{path}: entry {index} ({entry['rule']} in {entry['path']}) "
+                    "has no justification"
+                )
+            shadow = Finding(
+                rule=entry["rule"],
+                path=entry["path"],
+                line=0,
+                col=0,
+                symbol=entry["symbol"],
+                message=entry["message"],
+            )
+            baseline.entries[shadow.fingerprint] = dict(entry)
+        return baseline
+
+    def save(self, path: str) -> None:
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                self.entries[fingerprint]
+                for fingerprint in sorted(
+                    self.entries,
+                    key=lambda fp: (
+                        self.entries[fp]["path"],
+                        self.entries[fp]["rule"],
+                        self.entries[fp]["symbol"],
+                    ),
+                )
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        self.path = path

@@ -1,0 +1,22 @@
+"""Built-in checkers.  Importing this package registers every rule:
+
+======  ==========================================================
+RPO01   WS-Transfer services implement the full CRUD quartet and
+        build action URIs from ``repro.xmllib.ns``
+RPO02   WS-Eventing sources/managers expose the full
+        Subscribe/Renew/GetStatus/Unsubscribe quartet
+RPO03   WSRF-stack operations fault via WS-BaseFaults
+RPO04   no hard-coded namespace URIs outside ``xmllib/ns.py``
+RPO05   serialized+sent messages charge through the sim cost model
+RPO06   ``@web_method`` handlers do not mutate module-level state
+======  ==========================================================
+"""
+
+from repro.analysis.checkers import (  # noqa: F401  (import registers)
+    eventing_quartet,
+    fault_discipline,
+    handler_state,
+    namespace_hygiene,
+    sim_cost,
+    transfer_quartet,
+)

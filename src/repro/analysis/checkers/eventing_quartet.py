@@ -1,0 +1,107 @@
+"""RPO02 — the WS-Eventing contract.
+
+§3.3 of the paper: an event source accepts Subscribe and hands lifetime
+management (Renew / GetStatus / Unsubscribe) to a subscription manager
+EPR returned in the SubscribeResponse.  A source that accepts
+subscriptions without routing to a manager strands subscribers with no
+way to renew or cancel; a manager that implements only part of the
+Renew/GetStatus/Unsubscribe trio is non-conformant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+EVENTING_OPS = frozenset({"SUBSCRIBE", "RENEW", "GET_STATUS", "UNSUBSCRIBE"})
+MANAGER_OPS = frozenset({"RENEW", "GET_STATUS", "UNSUBSCRIBE"})
+
+
+@register
+class EventingQuartetChecker:
+    rule_id = "RPO02"
+    description = (
+        "WS-Eventing sources expose the full Subscribe/Renew/GetStatus/"
+        "Unsubscribe quartet (directly or via a subscription manager)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        bindings = _eventing_action_bindings(module)
+        if not bindings:
+            return
+        per_class: dict[ast.ClassDef | None, set[str]] = {}
+        for handler in module.web_methods:
+            op = _eventing_op(handler.action, bindings)
+            if op is not None:
+                per_class.setdefault(handler.owner, set()).add(op)
+        for owner, ops in per_class.items():
+            if owner is None:
+                continue
+            if ops == EVENTING_OPS:
+                continue
+            manager_part = ops & MANAGER_OPS
+            if manager_part and manager_part != MANAGER_OPS:
+                missing = ", ".join(sorted(MANAGER_OPS - ops))
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=owner.lineno,
+                    col=owner.col_offset,
+                    symbol=owner.name,
+                    message=(
+                        "subscription manager implements only "
+                        f"{{{', '.join(sorted(manager_part))}}} of "
+                        "Renew/GetStatus/Unsubscribe "
+                        f"(missing: {missing})"
+                    ),
+                )
+            elif "SUBSCRIBE" in ops and not manager_part:
+                if _references_subscription_manager(owner):
+                    continue  # lifetime ops delegated to a manager EPR
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=owner.lineno,
+                    col=owner.col_offset,
+                    symbol=owner.name,
+                    message=(
+                        "event source accepts Subscribe but neither implements "
+                        "Renew/GetStatus/Unsubscribe nor references an "
+                        "event_subscription_manager; subscribers cannot manage "
+                        "their subscriptions"
+                    ),
+                )
+
+
+def _eventing_action_bindings(module: ModuleContext) -> set[str]:
+    bindings = module.bindings_for(
+        "actions", ("eventing.source", "eventing.manager", "eventing")
+    )
+    for class_name, attrs in module.action_classes.items():
+        if EVENTING_OPS <= attrs:
+            bindings.add(class_name)
+    return bindings
+
+
+def _eventing_op(action: ast.expr, bindings: set[str]) -> str | None:
+    if (
+        isinstance(action, ast.Attribute)
+        and isinstance(action.value, ast.Name)
+        and action.value.id in bindings
+        and action.attr in EVENTING_OPS
+    ):
+        return action.attr
+    return None
+
+
+def _references_subscription_manager(node: ast.ClassDef) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr == "event_subscription_manager":
+            return True
+        if isinstance(child, ast.Name) and child.id == "event_subscription_manager":
+            return True
+    return False

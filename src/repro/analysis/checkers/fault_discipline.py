@@ -1,0 +1,90 @@
+"""RPO03 — WS-BaseFaults discipline in the WSRF stack.
+
+§3.1 of the paper: the WSRF family standardises fault reporting through
+WS-BaseFaults so that clients of any conformant service can interpret
+failures uniformly.  Raising a bare ``ValueError`` (or a hand-rolled
+``SoapFault``) from a WSRF/WSN service operation leaks a
+stack-local idiom across the SOAP boundary; operations must raise
+``repro.wsrf.basefaults`` subclasses (``base_fault(...)`` or a class
+derived from it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+# Exception constructors that must not cross the SOAP boundary of a
+# WSRF-stack operation.
+_BARE_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "ValueError",
+        "KeyError",
+        "TypeError",
+        "RuntimeError",
+        "NotImplementedError",
+        "LookupError",
+        "IndexError",
+        "SoapFault",
+    }
+)
+
+
+def _in_scope(path: str) -> bool:
+    parts = path.split("/")
+    if "wsrf" in parts or "wsn" in parts:
+        return True
+    return parts[-1].startswith("wsrf_")
+
+
+@register
+class FaultDisciplineChecker:
+    rule_id = "RPO03"
+    description = (
+        "WSRF-stack service operations raise basefaults subclasses, not bare "
+        "exceptions or raw SoapFaults, across the SOAP boundary"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not _in_scope(module.path):
+            return
+        for handler in module.web_methods:
+            for node in ast.walk(handler.func):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                name = _raised_callable(node.exc)
+                if name in _BARE_EXCEPTIONS:
+                    kind = (
+                        "a raw SoapFault"
+                        if name == "SoapFault"
+                        else f"bare {name}"
+                    )
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        symbol=handler.symbol,
+                        message=(
+                            f"service operation raises {kind} across the SOAP "
+                            "boundary; raise a repro.wsrf.basefaults subclass "
+                            "(e.g. base_fault(...)) instead"
+                        ),
+                    )
+
+
+def _raised_callable(exc: ast.expr) -> str | None:
+    if isinstance(exc, ast.Call):
+        func = exc.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+    elif isinstance(exc, ast.Name):
+        return exc.id
+    return None

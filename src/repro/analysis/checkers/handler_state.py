@@ -1,0 +1,126 @@
+"""RPO06 — ``@web_method`` handlers keep their hands off module state.
+
+Both containers dispatch a handler per message; the WSRF stack
+additionally multiplexes many resources through one service instance
+(§3.1).  A handler that mutates module-level state couples unrelated
+messages together: state leaks across resources, across services
+deployed in the same container, and across bench runs that reuse the
+process.  Service state belongs on ``self`` (per service/resource), not
+in module globals.
+
+Flagged inside ``@web_method`` bodies:
+
+* ``global NAME`` statements;
+* assignment / augmented assignment to a subscript of a module-level
+  name (``REGISTRY[key] = ...``);
+* mutator-method calls on a module-level name
+  (``SUBSCRIBERS.append(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "pop",
+        "remove",
+        "clear",
+        "extend",
+        "insert",
+        "setdefault",
+        "discard",
+    }
+)
+
+
+@register
+class HandlerStateChecker:
+    rule_id = "RPO06"
+    description = "@web_method handlers must not mutate module-level state"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.module_level_names:
+            return
+        for handler in module.web_methods:
+            yield from self._check_handler(module, handler)
+
+    def _check_handler(self, module, handler) -> Iterator[Finding]:
+        module_names = module.module_level_names
+        for node in ast.walk(handler.func):
+            if isinstance(node, ast.Global):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=handler.symbol,
+                    message=(
+                        f"handler declares global {', '.join(node.names)}; "
+                        "service state belongs on self, not in module globals"
+                    ),
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    name = _subscripted_module_name(target, module_names)
+                    if name is not None:
+                        yield Finding(
+                            rule=self.rule_id,
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            symbol=handler.symbol,
+                            message=(
+                                f"handler writes into module-level {name!r}; "
+                                "mutating shared module state couples "
+                                "unrelated messages"
+                            ),
+                        )
+            elif isinstance(node, ast.Call):
+                name = _mutated_module_name(node, module_names)
+                if name is not None:
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        symbol=handler.symbol,
+                        message=(
+                            f"handler mutates module-level {name!r} via "
+                            f".{node.func.attr}(...); move this state onto "
+                            "the service or resource instance"
+                        ),
+                    )
+
+
+def _subscripted_module_name(target: ast.expr, module_names: set[str]) -> str | None:
+    if (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.value, ast.Name)
+        and target.value.id in module_names
+    ):
+        return target.value.id
+    return None
+
+
+def _mutated_module_name(call: ast.Call, module_names: set[str]) -> str | None:
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _MUTATORS
+        and isinstance(func.value, ast.Name)
+        and func.value.id in module_names
+    ):
+        return func.value.id
+    return None

@@ -1,0 +1,131 @@
+"""RPO04 — one namespace table.
+
+Both stacks speak in XML namespace URIs: Clark-notation element names,
+``QName`` values, ``wsa:Action`` URIs, filter and topic dialects.  The
+paper's interop argument rests on both stacks agreeing on these strings
+byte-for-byte, so the repo keeps them all in ``repro/xmllib/ns.py``.  A
+``http://...`` literal anywhere else is drift waiting to happen: two
+copies of the same URI can diverge silently and break cross-stack
+dispatch.
+
+Three patterns are flagged:
+
+1. a URI literal passed to ``QName(...)`` / ``element(...)`` and friends;
+2. a Clark-notation string literal (``"{http://...}Tag"``), including
+   constant fragments of f-strings;
+3. a URI literal bound to a module- or class-level constant
+   (``_NS = "http://..."``) — the tables where drift accumulates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext, call_name, is_http_literal
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+# Call sites where a namespace URI argument is expected.
+_NS_CALLS = frozenset({"QName", "element", "subelement", "Element", "SubElement"})
+
+
+def _exempt(path: str) -> bool:
+    return path.endswith("xmllib/ns.py")
+
+
+@register
+class NamespaceHygieneChecker:
+    rule_id = "RPO04"
+    description = (
+        "no hard-coded http:// namespace URIs outside repro/xmllib/ns.py; "
+        "use the ns constants"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _exempt(module.path):
+            return
+        yield from _walk(module, module.tree, symbol_stack=[], in_function=False, flagged=set())
+
+
+def _walk(
+    module: ModuleContext,
+    node: ast.AST,
+    *,
+    symbol_stack: list[str],
+    in_function: bool,
+    flagged: set[int],
+) -> Iterator[Finding]:
+    symbol = ".".join(symbol_stack) if symbol_stack else "<module>"
+
+    if isinstance(node, ast.Call) and call_name(node) in _NS_CALLS:
+        for arg in node.args:
+            if is_http_literal(arg) and id(arg) not in flagged:
+                yield _finding(module, arg, symbol, f"passed to {call_name(node)}(...)", flagged)
+
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value.lstrip().startswith("{http")  # repro-lint: disable=RPO04
+        and id(node) not in flagged
+    ):
+        yield _finding(module, node, symbol, "in Clark notation", flagged)
+
+    if (
+        isinstance(node, (ast.Assign, ast.AnnAssign))
+        and node.value is not None
+        and not in_function
+    ):
+        for sub in ast.walk(node.value):
+            if is_http_literal(sub) and id(sub) not in flagged:
+                yield _finding(
+                    module, sub, symbol, "bound to a module/class constant", flagged
+                )
+
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbol_stack.append(child.name)
+            yield from _walk(
+                module, child, symbol_stack=symbol_stack, in_function=True, flagged=flagged
+            )
+            symbol_stack.pop()
+        elif isinstance(child, ast.ClassDef):
+            symbol_stack.append(child.name)
+            yield from _walk(
+                module,
+                child,
+                symbol_stack=symbol_stack,
+                in_function=in_function,
+                flagged=flagged,
+            )
+            symbol_stack.pop()
+        else:
+            yield from _walk(
+                module,
+                child,
+                symbol_stack=symbol_stack,
+                in_function=in_function,
+                flagged=flagged,
+            )
+
+
+def _finding(
+    module: ModuleContext,
+    node: ast.Constant,
+    symbol: str,
+    why: str,
+    flagged: set[int],
+) -> Finding:
+    flagged.add(id(node))
+    uri = node.value if len(node.value) <= 60 else node.value[:57] + "..."
+    return Finding(
+        rule="RPO04",
+        path=module.path,
+        line=node.lineno,
+        col=node.col_offset,
+        symbol=symbol,
+        message=(
+            f"hard-coded namespace URI {uri!r} {why}; "
+            "move it to repro.xmllib.ns and reference the constant"
+        ),
+    )

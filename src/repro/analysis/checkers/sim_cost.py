@@ -1,0 +1,171 @@
+"""RPO05 — sim-discipline: message work is charged through the cost model.
+
+The paper's quantitative comparison (§5) stands on per-message cost
+accounting: every serialize/deserialize/transmit of a SOAP envelope is
+charged to the simulated clock *with a category*, so the reported
+breakdowns attribute time to the right layer.  Code that builds a wire
+message and sends it without going through ``repro.sim.costs`` /
+``Network.charge`` silently makes one stack look faster than it is.
+
+Three warning shapes, one rule:
+
+w1. a function constructs a ``WireMessage`` (or calls
+    ``WireMessage.from_envelope``) but never charges or transmits —
+    the bytes move for free;
+w2. a function serializes an envelope and hands the bytes to a raw sink
+    (``open``/``.write``/``.store``) without any charge — persistence
+    work escapes the cost model;
+w3. a direct ``<x>.clock.charge(...)`` call — it advances the clock but
+    bypasses ``Network.charge``'s metrics attribution, so the time is
+    invisible in the per-category breakdown.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext, call_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_SERIALIZE_NAMES = frozenset({"serialize", "to_bytes", "tostring"})
+_CHARGE_NAMES = frozenset(
+    {"charge", "_charge", "transmit", "charge_serialize", "charge_parse"}
+)
+_RAW_SINK_ATTRS = frozenset({"write", "store"})
+
+
+def _exempt(path: str) -> bool:
+    # The cost model itself and the SOAP layer it wraps are where the
+    # charging primitives live; they cannot charge through themselves.
+    return "/sim/" in path or "/soap/" in path or path.endswith("analysis/checkers/sim_cost.py")
+
+
+@register
+class SimCostChecker:
+    rule_id = "RPO05"
+    description = (
+        "code that serializes and sends a message charges simulated time "
+        "through repro.sim.costs / Network.charge"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _exempt(module.path):
+            return
+        for func, symbol in _functions(module.tree):
+            calls = [n for n in ast.walk(func) if isinstance(n, ast.Call)]
+            charges = any(_is_charge(c) for c in calls)
+
+            # w3 — clock.charge bypasses metrics attribution.
+            for call in calls:
+                if _is_clock_charge(call):
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        symbol=symbol,
+                        message=(
+                            "direct clock.charge(...) bypasses Network.charge "
+                            "metrics attribution; charged time will be missing "
+                            "from the per-category breakdown"
+                        ),
+                        severity="warning",
+                    )
+
+            if charges:
+                continue
+
+            # w1 — WireMessage built but never charged/transmitted.
+            wire = next((c for c in calls if _builds_wire_message(c)), None)
+            if wire is not None:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=wire.lineno,
+                    col=wire.col_offset,
+                    symbol=symbol,
+                    message=(
+                        "constructs a WireMessage but never charges or "
+                        "transmits it through the sim cost model; the message "
+                        "moves for free"
+                    ),
+                    severity="warning",
+                )
+                continue
+
+            # w2 — serialize + raw sink without a charge.
+            serialize = next((c for c in calls if _serializes(c)), None)
+            sink = next((c for c in calls if _raw_sink(c)), None)
+            if serialize is not None and sink is not None:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=sink.lineno,
+                    col=sink.col_offset,
+                    symbol=symbol,
+                    message=(
+                        "serializes an envelope and writes it to a raw sink "
+                        "without charging simulated time; persistence cost "
+                        "escapes the model"
+                    ),
+                    severity="warning",
+                )
+
+
+def _functions(tree: ast.AST) -> Iterator[tuple[ast.FunctionDef, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item, f"{node.name}.{item.name}"
+    seen_in_class = {
+        id(item)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if id(node) not in seen_in_class:
+                yield node, node.name
+
+
+def _is_charge(call: ast.Call) -> bool:
+    name = call_name(call)
+    return name in _CHARGE_NAMES
+
+
+def _is_clock_charge(call: ast.Call) -> bool:
+    # Matches ``<anything>.clock.charge(...)`` specifically.
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "charge"
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "clock"
+    )
+
+
+def _builds_wire_message(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "WireMessage":
+        return True
+    if isinstance(func, ast.Attribute):
+        if func.attr == "from_envelope":
+            base = func.value
+            return isinstance(base, ast.Name) and base.id == "WireMessage"
+    return False
+
+
+def _serializes(call: ast.Call) -> bool:
+    return call_name(call) in _SERIALIZE_NAMES
+
+
+def _raw_sink(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return True
+    return isinstance(func, ast.Attribute) and func.attr in _RAW_SINK_ATTRS

@@ -1,0 +1,134 @@
+"""RPO01 — the WS-Transfer contract.
+
+§3.2 of the paper: a WS-Transfer service's interface *is* the four CRUD
+operations — "Create stores this XML document ... Get returns the stored
+representation ... there is no lifetime management functionality since it
+is not defined in the spec."  A service that wires up only part of the
+quartet (without inheriting the rest from a complete transfer base) is a
+different, non-conformant protocol.  Action URIs must additionally be
+derived from the canonical namespace table so the wire-level
+``wsa:Action`` values cannot drift from ``repro.xmllib.ns``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext, is_http_literal
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+TRANSFER_OPS = frozenset({"CREATE", "GET", "PUT", "DELETE"})
+
+
+@register
+class TransferQuartetChecker:
+    rule_id = "RPO01"
+    description = (
+        "WS-Transfer services implement the full Create/Get/Put/Delete quartet; "
+        "action URIs are built from repro.xmllib.ns constants"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_service_classes(module)
+        yield from self._check_action_tables(module)
+
+    # -- quartet completeness ------------------------------------------------
+
+    def _check_service_classes(self, module: ModuleContext) -> Iterator[Finding]:
+        transfer_bindings = _transfer_action_bindings(module)
+        if not transfer_bindings:
+            return
+        per_class: dict[ast.ClassDef | None, set[str]] = {}
+        for handler in module.web_methods:
+            op = _transfer_op(handler.action, transfer_bindings)
+            if op is not None:
+                per_class.setdefault(handler.owner, set()).add(op)
+        for owner, ops in per_class.items():
+            if ops == TRANSFER_OPS:
+                continue
+            if owner is None:
+                continue  # free functions cannot be judged as a service
+            if _inherits_transfer_base(owner):
+                continue  # partial override of an already-complete base
+            missing = ", ".join(sorted(TRANSFER_OPS - ops))
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=owner.lineno,
+                col=owner.col_offset,
+                symbol=owner.name,
+                message=(
+                    f"WS-Transfer service implements only "
+                    f"{{{', '.join(sorted(ops))}}} of the CRUD quartet "
+                    f"(missing: {missing}); the spec contract is exactly "
+                    "Create/Get/Put/Delete"
+                ),
+            )
+
+    # -- action URI provenance -----------------------------------------------
+
+    def _check_action_tables(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in module.classes():
+            if node.name != "actions" and not node.name.endswith("_actions"):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = statement.value
+                if value is None:
+                    continue
+                literal = next(
+                    (n for n in ast.walk(value) if is_http_literal(n)), None
+                )
+                if literal is None:
+                    continue
+                name = _first_target_name(statement)
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=statement.lineno,
+                    col=statement.col_offset,
+                    symbol=f"{node.name}.{name}",
+                    message=(
+                        f"action URI hard-codes {literal.value!r}; build it "
+                        "from a repro.xmllib.ns constant (e.g. ns.WXF + '/Get')"
+                    ),
+                )
+
+
+def _transfer_action_bindings(module: ModuleContext) -> set[str]:
+    """Local names that denote the WS-Transfer ``actions`` table."""
+    bindings = module.bindings_for("actions", ("transfer.service", "transfer"))
+    for class_name, attrs in module.action_classes.items():
+        if TRANSFER_OPS <= attrs and "SUBSCRIBE" not in attrs:
+            bindings.add(class_name)
+    return bindings
+
+
+def _transfer_op(action: ast.expr, bindings: set[str]) -> str | None:
+    if (
+        isinstance(action, ast.Attribute)
+        and isinstance(action.value, ast.Name)
+        and action.value.id in bindings
+        and action.attr in TRANSFER_OPS
+    ):
+        return action.attr
+    return None
+
+
+def _inherits_transfer_base(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        tail = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if "Transfer" in tail:
+            return True
+    return False
+
+
+def _first_target_name(statement: ast.Assign | ast.AnnAssign) -> str:
+    if isinstance(statement, ast.AnnAssign):
+        target = statement.target
+    else:
+        target = statement.targets[0]
+    return target.id if isinstance(target, ast.Name) else "<target>"

@@ -1,0 +1,62 @@
+"""The checker registry: rule ids mapped to checker classes.
+
+Checkers self-register at import time via the :func:`register` decorator;
+``repro.analysis.checkers`` imports every built-in checker module so that
+importing the package populates the registry.  Third parties (tests, local
+rules) can register additional checkers the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol
+
+from repro.analysis.findings import Finding
+
+
+class Checker(Protocol):
+    """What the engine requires of a checker class."""
+
+    rule_id: str
+    description: str
+
+    def check(self, module) -> Iterator[Finding]: ...
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(checker_class: type) -> type:
+    """Class decorator: add a checker to the global registry."""
+    rule_id = getattr(checker_class, "rule_id", "")
+    if not rule_id:
+        raise ValueError(f"{checker_class.__name__} declares no rule_id")
+    if rule_id in _REGISTRY and _REGISTRY[rule_id] is not checker_class:
+        raise ValueError(f"duplicate checker registration for {rule_id}")
+    _REGISTRY[rule_id] = checker_class
+    return checker_class
+
+
+def unregister(rule_id: str) -> None:
+    """Remove a rule (used by tests exercising the registry)."""
+    _REGISTRY.pop(rule_id, None)
+
+
+def get_checker(rule_id: str) -> type | None:
+    _ensure_builtins()
+    return _REGISTRY.get(rule_id)
+
+
+def all_checkers() -> dict[str, type]:
+    """Rule id → checker class, builtins included, sorted by rule id."""
+    _ensure_builtins()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def rule_table() -> dict[str, str]:
+    """Rule id → one-line description (for --rules and the JSON report)."""
+    return {rid: cls.description for rid, cls in all_checkers().items()}
+
+
+def _ensure_builtins() -> None:
+    # Imported lazily so registry.py itself has no import-order demands.
+    import repro.analysis.checkers  # noqa: F401  (registers on import)

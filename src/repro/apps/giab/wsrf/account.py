@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.apps.giab.common import wsrf_actions as actions
 from repro.container.service import MessageContext, ServiceSkeleton, web_method
-from repro.soap.envelope import SoapFault
+from repro.wsrf.basefaults import base_fault
 from repro.xmldb.collection import Collection, DocumentNotFound
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
@@ -48,7 +48,7 @@ class WsrfAccountService(ServiceSkeleton):
         if context.sender is None:
             return  # unsigned deployments cannot enforce identity
         if str(context.sender) not in self.admins:
-            raise SoapFault("Client", f"{context.sender} is not a VO administrator")
+            raise base_fault(f"{context.sender} is not a VO administrator")
 
     # -- operations ------------------------------------------------------------------
 
@@ -57,13 +57,13 @@ class WsrfAccountService(ServiceSkeleton):
         self._require_admin(context)
         dn = text_of(context.body.find_local("DN"))
         if not dn:
-            raise SoapFault("Client", "addAccount needs a DN")
+            raise base_fault("addAccount needs a DN")
         privileges = [
             p.text().strip() for p in context.body.element_children() if p.tag.local == "Privilege"
         ]
         doc = self._load()
         if self._find_account(doc, dn) is not None:
-            raise SoapFault("Client", f"account already exists for {dn}")
+            raise base_fault(f"account already exists for {dn}")
         account = element(f"{{{ns.GIAB}}}Account", element(f"{{{ns.GIAB}}}DN", dn))
         for privilege in privileges:
             account.append(element(f"{{{ns.GIAB}}}Privilege", privilege))
@@ -78,7 +78,7 @@ class WsrfAccountService(ServiceSkeleton):
         doc = self._load()
         account = self._find_account(doc, dn)
         if account is None:
-            raise SoapFault("Client", f"no account for {dn}")
+            raise base_fault(f"no account for {dn}")
         doc.children.remove(account)
         self._save(doc)
         return element(f"{{{ns.GIAB}}}removeAccountResponse")

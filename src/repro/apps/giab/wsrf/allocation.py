@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.addressing.epr import EndpointReference
 from repro.apps.giab.common import host_info, parse_host_info, wsrf_actions as actions
 from repro.container.service import MessageContext, ServiceSkeleton, web_method
-from repro.soap.envelope import SoapFault
+from repro.wsrf.basefaults import base_fault
 from repro.xmldb.collection import Collection, DocumentNotFound
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
@@ -34,7 +34,7 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         if context.sender is None:
             return
         if str(context.sender) not in self.admins:
-            raise SoapFault("Client", f"{context.sender} is not a VO administrator")
+            raise base_fault(f"{context.sender} is not a VO administrator")
 
     # -- administration ------------------------------------------------------------
 
@@ -43,7 +43,7 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         self._require_admin(context)
         info = parse_host_info(context.body)
         if not info["host"]:
-            raise SoapFault("Client", "registerHost needs a Host")
+            raise base_fault("registerHost needs a Host")
         self.collection.upsert(info["host"], context.body.copy())
         return element(f"{{{ns.GIAB}}}registerHostResponse")
 
@@ -54,7 +54,7 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         try:
             self.collection.delete(host)
         except DocumentNotFound:
-            raise SoapFault("Client", f"unknown host: {host}")
+            raise base_fault(f"unknown host: {host}")
         return element(f"{{{ns.GIAB}}}unregisterHostResponse")
 
     # -- the measured query ------------------------------------------------------------
@@ -63,7 +63,7 @@ class WsrfResourceAllocationService(ServiceSkeleton):
     def get_available_resources(self, context: MessageContext) -> XmlElement:
         application = text_of(context.body.find_local("Application"))
         if not application:
-            raise SoapFault("Client", "getAvailableResources needs an Application")
+            raise base_fault("getAvailableResources needs an Application")
         # "in concert with the ReservationService": one out-call per query.
         reserved_response = context.client().invoke(
             EndpointReference.create(self.reservation_address),
@@ -106,7 +106,7 @@ class ServiceGroupAllocationService(ServiceSkeleton):
     def get_available_resources(self, context: MessageContext) -> XmlElement:
         application = text_of(context.body.find_local("Application"))
         if not application:
-            raise SoapFault("Client", "getAvailableResources needs an Application")
+            raise base_fault("getAvailableResources needs an Application")
         reserved_response = context.client().invoke(
             EndpointReference.create(self.reservation_address),
             actions.LIST_RESERVED_HOSTS,

@@ -14,7 +14,7 @@ from repro.addressing.epr import EndpointReference
 from repro.apps.giab.common import wsrf_actions as actions
 from repro.apps.giab.storage import FileSystemError, SimulatedFileSystem
 from repro.container.service import MessageContext, web_method
-from repro.soap.envelope import SoapFault
+from repro.wsrf.basefaults import base_fault
 from repro.wsrf.lifetime import ResourceLifetimeMixin
 from repro.wsrf.programming import ResourceField, WsResourceService, resource_property
 from repro.wsrf.properties import ResourcePropertiesMixin
@@ -59,7 +59,7 @@ class WsrfDataService(
         name = text_of(context.body.find_local("FileName"))
         content_el = context.body.find_local("Content")
         if not name or content_el is None:
-            raise SoapFault("Client", "uploadFile needs FileName and Content")
+            raise base_fault("uploadFile needs FileName and Content")
         self._check_reservation(context)
         self.filesystem.write(self.directory, name, content_el.text())
         return element(f"{{{ns.GIAB}}}uploadFileResponse")
@@ -71,7 +71,7 @@ class WsrfDataService(
         try:
             content = self.filesystem.read(self.directory, name)
         except FileSystemError as exc:
-            raise SoapFault("Client", str(exc))
+            raise base_fault(str(exc))
         return element(
             f"{{{ns.GIAB}}}downloadFileResponse",
             element(f"{{{ns.GIAB}}}Content", content, attrs={"Name": name}),
@@ -86,7 +86,7 @@ class WsrfDataService(
         try:
             self.filesystem.delete(self.directory, name)
         except FileSystemError as exc:
-            raise SoapFault("Client", str(exc))
+            raise base_fault(str(exc))
         return element(f"{{{ns.GIAB}}}deleteFileResponse")
 
     def _check_reservation(self, context: MessageContext) -> None:
@@ -105,7 +105,7 @@ class WsrfDataService(
             ),
         )
         if response.text().strip() != "true":
-            raise SoapFault("Client", f"{dn} holds no reservation on {self.node_host}")
+            raise base_fault(f"{dn} holds no reservation on {self.node_host}")
 
     # -- resource properties --------------------------------------------------------
 
@@ -133,6 +133,6 @@ class WsrfDataService(
         document = self.home.load(key) if self.home.contains(key) else None
         if document is None:
             return
-        path = text_of(document.find("{http://repro.example.org/wsrf/fields}directory"))
+        path = text_of(document.find(f"{{{ns.WSRF_FIELDS}}}directory"))
         if path and self.filesystem.exists_dir(path):
             self.filesystem.rmdir(path)

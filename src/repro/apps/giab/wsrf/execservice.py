@@ -17,6 +17,7 @@ from repro.apps.giab.jobs import JobSpec, JobState, ProcessSpawner
 from repro.container.service import MessageContext, web_method
 from repro.soap.envelope import SoapFault
 from repro.wsn.base import NotificationProducerMixin
+from repro.wsrf.basefaults import base_fault
 from repro.wsrf.lifetime import ResourceLifetimeMixin, actions as rl_actions
 from repro.wsrf.programming import ResourceField, WsResourceService, resource_property
 from repro.wsrf.properties import ResourcePropertiesMixin, actions as rp_actions
@@ -55,9 +56,7 @@ class WsrfExecService(
         data_el = body.find_local("DataDirectoryEPR")
         job_el = body.find_local("Job")
         if reservation_el is None or data_el is None or job_el is None:
-            raise SoapFault(
-                "Client", "startJob needs ReservationEPR, DataDirectoryEPR and Job"
-            )
+            raise base_fault("startJob needs ReservationEPR, DataDirectoryEPR and Job")
         reservation = EndpointReference.from_xml(
             next(reservation_el.element_children())
         )
@@ -78,13 +77,12 @@ class WsrfExecService(
         reserved_host = text_of(details.find(f"{{{ns.GIAB}}}Host"))
         owner = text_of(details.find(f"{{{ns.GIAB}}}Owner"))
         if reserved_host != self.node_host:
-            raise SoapFault(
-                "Client",
-                f"reservation is for {reserved_host}, not this ExecService's host {self.node_host}",
+            raise base_fault(
+                f"reservation is for {reserved_host}, not this ExecService's host {self.node_host}"
             )
         sender = str(context.sender) if context.sender is not None else owner
         if owner != sender:
-            raise SoapFault("Client", f"reservation belongs to {owner}, not {sender}")
+            raise base_fault(f"reservation belongs to {owner}, not {sender}")
 
         # Out-call 2: claim the reservation by lengthening its lifetime.
         client.invoke(
@@ -113,7 +111,7 @@ class WsrfExecService(
             spec, working_dir, on_exit=lambda h: self._job_exited(job_key, h)
         )
         document = self.home.load(job_key)
-        pid_el = document.find("{http://repro.example.org/wsrf/fields}pid")
+        pid_el = document.find(f"{{{ns.WSRF_FIELDS}}}pid")
         pid_el.children = [str(handle.pid)]
         self.home.save(job_key, document)
         return element(f"{{{ns.GIAB}}}startJobResponse", job_epr.to_xml())
@@ -135,7 +133,7 @@ class WsrfExecService(
         if self.home.contains(job_key):
             document = self.home.load(job_key)
             reservation_xml = text_of(
-                document.find("{http://repro.example.org/wsrf/fields}reservation_xml")
+                document.find(f"{{{ns.WSRF_FIELDS}}}reservation_xml")
             )
             if reservation_xml:
                 from repro.xmllib import parse_xml
@@ -190,7 +188,7 @@ class WsrfExecService(
         if not self.home.contains(key):
             return
         document = self.home.load(key)
-        pid_text = text_of(document.find("{http://repro.example.org/wsrf/fields}pid"))
+        pid_text = text_of(document.find(f"{{{ns.WSRF_FIELDS}}}pid"))
         if not pid_text:
             return
         pid = int(pid_text)

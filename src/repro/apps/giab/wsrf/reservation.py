@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.addressing.epr import EndpointReference
 from repro.apps.giab.common import RESERVATION_DELTA_MS, wsrf_actions as actions
 from repro.container.service import MessageContext, web_method
-from repro.soap.envelope import SoapFault
+from repro.wsrf.basefaults import base_fault
 from repro.wsrf.lifetime import ResourceLifetimeMixin
 from repro.wsrf.programming import ResourceField, WsResourceService, resource_property
 from repro.wsrf.properties import ResourcePropertiesMixin
@@ -40,7 +40,7 @@ class WsrfReservationService(
     def create_reservation(self, context: MessageContext) -> XmlElement:
         host = text_of(context.body.find_local("Host"))
         if not host:
-            raise SoapFault("Client", "createReservation needs a Host")
+            raise base_fault("createReservation needs a Host")
         owner = str(context.sender) if context.sender is not None else "anonymous"
         # Figure 5 step 4: "Does this user have an account in this VO?"
         # (Identity checks need signed messages; unsigned deployments skip.)
@@ -51,9 +51,9 @@ class WsrfReservationService(
                 element(f"{{{ns.GIAB}}}accountExists", element(f"{{{ns.GIAB}}}DN", owner)),
             )
             if response.text().strip() != "true":
-                raise SoapFault("Client", f"no VO account for {owner}")
+                raise base_fault(f"no VO account for {owner}")
         if host in self._live_reserved_hosts():
-            raise SoapFault("Client", f"host {host} is already reserved")
+            raise base_fault(f"host {host} is already reserved")
         epr = self.create_resource(host=host, owner=owner)
         key = epr.property(RESOURCE_ID)
         self.home.set_termination_time(key, self.network.clock.now + self.delta_ms)
@@ -83,8 +83,8 @@ class WsrfReservationService(
         pairs = []
         for key in self.home.keys():
             doc = self.home.load(key)
-            host = text_of(doc.find("{http://repro.example.org/wsrf/fields}host"))
-            owner = text_of(doc.find("{http://repro.example.org/wsrf/fields}owner"))
+            host = text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}host"))
+            owner = text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}owner"))
             pairs.append((host, owner))
         return pairs
 

@@ -24,8 +24,8 @@ class DsigError(ValueError):
 
 
 _C14N_ALG = "urn:repro:c14n:exclusive-lite"
-_SIG_ALG = "http://www.w3.org/2000/09/xmldsig#rsa-sha1"
-_DIGEST_ALG = "http://www.w3.org/2000/09/xmldsig#sha1"
+_SIG_ALG = ns.DSIG_RSA_SHA1
+_DIGEST_ALG = ns.DSIG_SHA1
 
 
 def _digest(target: XmlElement) -> str:

@@ -20,7 +20,7 @@ from repro.xmllib import element, ns
 from repro.xmllib.element import XmlElement
 from repro.xmllib.xpath import XPathError, compile_xpath
 
-FILTER_DIALECT_XPATH = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+FILTER_DIALECT_XPATH = ns.XPATH_DIALECT
 
 
 def event_wrapper(message: XmlElement, topic: str = "") -> XmlElement:

@@ -13,13 +13,13 @@ from repro.xmllib.element import XmlElement
 #: Reference property identifying a subscription at the manager.
 SUBSCRIPTION_ID = QName(ns.WSE, "Identifier")
 
-PUSH_MODE = "http://schemas.xmlsoap.org/ws/2004/08/eventing/DeliveryModes/Push"
+PUSH_MODE = ns.WSE_DELIVERY_PUSH
 #: This implementation's custom extension mode ("These modes are viewed as
 #: an extension point by WS-Eventing in which application-specific ways of
 #: sending messages can be defined").  Events arrive wrapped in a
 #: wse:Wrapper element carrying delivery metadata — and, per §2.3's warning,
 #: any *other* implementation will refuse a Subscribe that requests it.
-WRAP_MODE = "http://repro.example.org/eventing/DeliveryModes/Wrap"
+WRAP_MODE = ns.WSE_DELIVERY_WRAP
 
 
 class actions:

@@ -12,10 +12,10 @@ import itertools
 from dataclasses import dataclass, replace
 
 from repro.sim.network import Network
-from repro.xmllib import element, parse_xml, serialize, text_of
+from repro.xmllib import element, ns, parse_xml, serialize, text_of
 from repro.xmllib.element import XmlElement
 
-_NS = "http://repro.example.org/eventing/store"
+_NS = ns.EVENTING_STORE
 
 
 @dataclass(frozen=True)
@@ -28,7 +28,7 @@ class SubscriptionRecord:
     end_to: str = ""
     expires: float | None = None
     filter_expression: str = ""
-    delivery_mode: str = "http://schemas.xmlsoap.org/ws/2004/08/eventing/DeliveryModes/Push"
+    delivery_mode: str = ns.WSE_DELIVERY_PUSH
 
     def expired(self, now: float) -> bool:
         return self.expires is not None and now > self.expires

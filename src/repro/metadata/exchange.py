@@ -11,11 +11,11 @@ from repro.xmllib import QName, element, ns, text_of
 from repro.xmllib.element import XmlElement
 from repro.xmllib.schema import ElementSpec
 
-DIALECT_OPERATIONS = "http://repro.example.org/mex/dialect/operations"
-DIALECT_SCHEMA = "http://repro.example.org/mex/dialect/representation-schema"
-DIALECT_RESOURCE_PROPERTIES = "http://repro.example.org/mex/dialect/resource-properties"
+DIALECT_OPERATIONS = ns.MEX_DIALECT_OPERATIONS
+DIALECT_SCHEMA = ns.MEX_DIALECT_SCHEMA
+DIALECT_RESOURCE_PROPERTIES = ns.MEX_DIALECT_RP
 #: The dialect real WS-MetadataExchange is best known for: serving WSDL.
-DIALECT_WSDL = "http://schemas.xmlsoap.org/wsdl/"
+DIALECT_WSDL = ns.WSDL
 
 
 class actions:

@@ -31,7 +31,7 @@ from repro.xmllib import QName, element, ns
 from repro.xmllib.element import XmlElement
 
 #: A different reference property than the main implementation's.
-ALT_RESOURCE_ID = QName("http://alt.example.org/transfer", "ID")
+ALT_RESOURCE_ID = QName(ns.ALT_TRANSFER, "ID")
 
 
 class AltTransferService(ServiceSkeleton):

@@ -28,7 +28,7 @@ from repro.xmllib import QName, element, ns
 from repro.xmllib.element import XmlElement
 
 #: Reference property naming the resource inside a WS-Transfer EPR.
-TRANSFER_RESOURCE_ID = QName("http://repro.example.org/transfer", "ResourceID")
+TRANSFER_RESOURCE_ID = QName(ns.REPRO_TRANSFER, "ResourceID")
 
 
 class actions:

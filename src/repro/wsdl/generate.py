@@ -8,7 +8,7 @@ from repro.xmllib import element, ns
 from repro.xmllib.element import XmlElement
 from repro.xmllib.schema import ElementSpec
 
-WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+WSDL_NS = ns.WSDL
 
 
 def _operation_name(action: str) -> str:

@@ -196,7 +196,7 @@ class SubscriptionManagerService(
         doc = self.home.load(key)
 
         def field(name: str) -> str:
-            return text_of(doc.find(f"{{http://repro.example.org/wsrf/fields}}{name}"))
+            return text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}{name}"))
 
         return SubscriptionView(
             key=key,

@@ -57,7 +57,7 @@ class PublisherRegistrationManagerService(
             doc = self.home.load(key)
 
             def field(name: str) -> str:
-                return text_of(doc.find(f"{{http://repro.example.org/wsrf/fields}}{name}"))
+                return text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}{name}"))
 
             out.append(
                 {
@@ -74,10 +74,10 @@ class PublisherRegistrationManagerService(
     def set_upstream_state(self, key: str, *, subscription_xml: str | None = None, paused: bool | None = None) -> None:
         doc = self.home.load(key)
         if subscription_xml is not None:
-            node = doc.find("{http://repro.example.org/wsrf/fields}upstream_subscription")
+            node = doc.find(f"{{{ns.WSRF_FIELDS}}}upstream_subscription")
             node.children = [subscription_xml] if subscription_xml else []
         if paused is not None:
-            node = doc.find("{http://repro.example.org/wsrf/fields}upstream_paused")
+            node = doc.find(f"{{{ns.WSRF_FIELDS}}}upstream_paused")
             node.children = ["true" if paused else "false"]
         self.home.save(key, doc)
 

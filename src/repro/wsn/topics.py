@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import enum
 
+from repro.xmllib import ns
+
 
 class TopicDialect(enum.Enum):
-    SIMPLE = "http://docs.oasis-open.org/wsn/2004/06/TopicExpression/Simple"
-    CONCRETE = "http://docs.oasis-open.org/wsn/2004/06/TopicExpression/Concrete"
-    FULL = "http://docs.oasis-open.org/wsn/2004/06/TopicExpression/Full"
+    SIMPLE = ns.TOPIC_SIMPLE
+    CONCRETE = ns.TOPIC_CONCRETE
+    FULL = ns.TOPIC_FULL
 
     @classmethod
     def from_uri(cls, uri: str) -> "TopicDialect":

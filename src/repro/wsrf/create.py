@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from repro.container.service import MessageContext, web_method
 from repro.wsrf.basefaults import base_fault
-from repro.xmllib import element
+from repro.xmllib import element, ns
 from repro.xmllib.element import XmlElement
 
-WSRFNET_NS = "http://repro.example.org/wsrf.net"
+WSRFNET_NS = ns.WSRFNET
 
 
 class actions:

@@ -37,11 +37,11 @@ from repro.container.service import MessageContext, ServiceSkeleton
 from repro.soap.envelope import SoapFault
 from repro.wsrf.basefaults import base_fault
 from repro.wsrf.resource import RESOURCE_ID, ResourceHome, ResourceUnknownError
-from repro.xmllib import QName, element
+from repro.xmllib import QName, element, ns
 from repro.xmllib.element import XmlElement
 
-_RESOURCE_DOC = QName("http://repro.example.org/wsrf", "Resource")
-_FIELD_NS = "http://repro.example.org/wsrf/fields"
+_RESOURCE_DOC = QName(ns.REPRO_WSRF, "Resource")
+_FIELD_NS = ns.WSRF_FIELDS
 
 
 class ResourceField:
@@ -113,7 +113,7 @@ class WsResourceService(ServiceSkeleton):
     """
 
     #: Namespace of this service's ResourceProperties document.
-    resource_ns: str = "http://repro.example.org/wsrf/app"
+    resource_ns: str = ns.WSRF_APP
 
     def __init__(self, home: ResourceHome) -> None:
         super().__init__()

@@ -24,7 +24,7 @@ class actions:
     QUERY = ns.WSRF_RP + "/QueryResourceProperties"
 
 
-_XPATH_DIALECT = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+_XPATH_DIALECT = ns.XPATH_DIALECT
 
 
 def _parse_rp_name(text: str) -> QName:

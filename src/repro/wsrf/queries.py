@@ -16,8 +16,8 @@ from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
 from repro.xmllib.xpath import XPathError
 
-WSRFNET_NS = "http://repro.example.org/wsrf.net"
-_XPATH_DIALECT = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+WSRFNET_NS = ns.WSRFNET
+_XPATH_DIALECT = ns.XPATH_DIALECT
 
 
 class actions:

@@ -14,12 +14,12 @@ from repro.sim.clock import Timer
 from repro.sim.network import Network
 from repro.xmldb.cache import WriteThroughCache
 from repro.xmldb.collection import Collection, DocumentNotFound
-from repro.xmllib import QName
+from repro.xmllib import QName, ns
 from repro.xmllib.element import XmlElement
 
 #: Reference property carrying the resource key (the WS-Resource Access
 #: Pattern as embodied by WSRF.NET).
-RESOURCE_ID = QName("http://repro.example.org/wsrf", "ResourceID")
+RESOURCE_ID = QName(ns.REPRO_WSRF, "ResourceID")
 
 
 class ResourceUnknownError(LookupError):

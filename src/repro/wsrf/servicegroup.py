@@ -90,8 +90,8 @@ class ServiceGroupService(ResourcePropertiesMixin, ResourceLifetimeMixin, WsReso
         out = []
         for key in self.home.keys():
             doc = self.home.load(key)
-            address_xml = text_of(doc.find("{http://repro.example.org/wsrf/fields}member_address"))
-            content_xml = text_of(doc.find("{http://repro.example.org/wsrf/fields}content_xml"))
+            address_xml = text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}member_address"))
+            content_xml = text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}content_xml"))
             epr = EndpointReference.from_xml(parse_xml(address_xml))
             content = parse_xml(content_xml) if content_xml else None
             out.append((key, epr, content))

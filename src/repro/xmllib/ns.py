@@ -27,9 +27,30 @@ WXF = "http://schemas.xmlsoap.org/ws/2004/09/transfer"
 WSE = "http://schemas.xmlsoap.org/ws/2004/08/eventing"
 MEX = "http://schemas.xmlsoap.org/ws/2004/09/mex"
 
+# Algorithm identifiers and query/topic dialect URIs
+DSIG_RSA_SHA1 = DS + "rsa-sha1"
+DSIG_SHA1 = DS + "sha1"
+XPATH_DIALECT = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+WSDL = "http://schemas.xmlsoap.org/wsdl/"
+TOPIC_SIMPLE = "http://docs.oasis-open.org/wsn/2004/06/TopicExpression/Simple"
+TOPIC_CONCRETE = "http://docs.oasis-open.org/wsn/2004/06/TopicExpression/Concrete"
+TOPIC_FULL = "http://docs.oasis-open.org/wsn/2004/06/TopicExpression/Full"
+WSE_DELIVERY_PUSH = WSE + "/DeliveryModes/Push"
+
 # This reproduction's application namespaces
 COUNTER = "http://repro.example.org/counter"
 GIAB = "http://repro.example.org/grid-in-a-box"
+REPRO_WSRF = "http://repro.example.org/wsrf"
+WSRF_FIELDS = "http://repro.example.org/wsrf/fields"
+WSRF_APP = "http://repro.example.org/wsrf/app"
+WSRFNET = "http://repro.example.org/wsrf.net"
+REPRO_TRANSFER = "http://repro.example.org/transfer"
+ALT_TRANSFER = "http://alt.example.org/transfer"
+EVENTING_STORE = "http://repro.example.org/eventing/store"
+WSE_DELIVERY_WRAP = "http://repro.example.org/eventing/DeliveryModes/Wrap"
+MEX_DIALECT_OPERATIONS = "http://repro.example.org/mex/dialect/operations"
+MEX_DIALECT_SCHEMA = "http://repro.example.org/mex/dialect/representation-schema"
+MEX_DIALECT_RP = "http://repro.example.org/mex/dialect/resource-properties"
 
 #: Preferred prefixes used by the serializers (purely cosmetic).
 PREFERRED_PREFIXES = {

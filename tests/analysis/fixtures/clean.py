@@ -1,0 +1,29 @@
+"""Fixture: conformant code that must produce zero findings."""
+
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.transfer.service import actions
+from repro.xmllib import QName, element, ns
+
+RESOURCE_MARKER = QName(ns.REPRO_TRANSFER, "Marker")
+
+
+class WholeTransferService(ServiceSkeleton):
+    def __init__(self):
+        super().__init__()
+        self.documents = {}
+
+    @web_method(actions.CREATE)
+    def wxf_create(self, context: MessageContext):
+        return element(f"{{{ns.WXF}}}ResourceCreated")
+
+    @web_method(actions.GET)
+    def wxf_get(self, context: MessageContext):
+        return element(f"{{{ns.WXF}}}GetResponse")
+
+    @web_method(actions.PUT)
+    def wxf_put(self, context: MessageContext):
+        return element(f"{{{ns.WXF}}}PutResponse")
+
+    @web_method(actions.DELETE)
+    def wxf_delete(self, context: MessageContext):
+        return element(f"{{{ns.WXF}}}DeleteResponse")

@@ -1,0 +1,22 @@
+"""Fixture: a WS-Transfer service missing Put and Delete (RPO01), plus an
+actions table with a hard-coded URI.  Parsed by the linter, never imported."""
+
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.transfer.service import actions
+
+
+class partial_actions:
+    CREATE = "http://example.org/made-up/transfer/Create"
+    GET = "http://example.org/made-up/transfer/Get"
+    PUT = "http://example.org/made-up/transfer/Put"
+    DELETE = "http://example.org/made-up/transfer/Delete"
+
+
+class HalfTransferService(ServiceSkeleton):
+    @web_method(actions.CREATE)
+    def wxf_create(self, context: MessageContext):
+        return None
+
+    @web_method(actions.GET)
+    def wxf_get(self, context: MessageContext):
+        return None

@@ -1,0 +1,21 @@
+"""Fixture: an event source that strands its subscribers (RPO02) — accepts
+Subscribe but has no lifetime operations and no subscription manager."""
+
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.eventing.source import actions
+
+
+class StrandingEventSource(ServiceSkeleton):
+    @web_method(actions.SUBSCRIBE)
+    def subscribe(self, context: MessageContext):
+        return None
+
+
+class ForgetfulManager(ServiceSkeleton):
+    @web_method(actions.RENEW)
+    def renew(self, context: MessageContext):
+        return None
+
+    @web_method(actions.UNSUBSCRIBE)
+    def unsubscribe(self, context: MessageContext):
+        return None

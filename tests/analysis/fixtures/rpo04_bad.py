@@ -1,0 +1,11 @@
+"""Fixture: hard-coded namespace URIs in all three shapes (RPO04)."""
+
+from repro.xmllib import QName, element
+
+_NS = "http://example.org/made-up/drifted"
+
+BAD_QNAME = QName("http://example.org/made-up/drifted", "Thing")
+
+
+def build():
+    return element("{http://example.org/made-up/drifted}Thing")

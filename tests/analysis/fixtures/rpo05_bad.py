@@ -1,0 +1,19 @@
+"""Fixture: message work escaping the sim cost model (RPO05)."""
+
+from repro.soap.wire import WireMessage
+from repro.xmllib import serialize
+
+
+def send_for_free(envelope, transport):
+    message = WireMessage.from_envelope(envelope)
+    transport.push(message)
+
+
+def persist_for_free(envelope, path):
+    text = serialize(envelope)
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def charge_invisibly(network, ms):
+    network.clock.charge(ms)

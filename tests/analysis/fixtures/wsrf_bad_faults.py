@@ -1,0 +1,16 @@
+"""Fixture: WSRF-stack operations leaking bare exceptions (RPO03).  The
+``wsrf_`` filename prefix puts it in the rule's scope."""
+
+from repro.container.service import MessageContext, web_method
+from repro.soap.envelope import SoapFault
+from repro.wsrf.programming import WsResourceService
+
+
+class LeakyResourceService(WsResourceService):
+    @web_method("http://example.org/made-up-wsrf/Poke")
+    def poke(self, context: MessageContext):
+        raise ValueError("leaks a Python idiom across the SOAP boundary")
+
+    @web_method("http://example.org/made-up-wsrf/Prod")
+    def prod(self, context: MessageContext):
+        raise SoapFault("Client", "no wsbf:BaseFault detail")

@@ -1,0 +1,97 @@
+"""Per-checker tests: each rule fires on its bad fixture and stays quiet
+on the clean one."""
+
+from pathlib import Path
+
+from repro.analysis.engine import analyze_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(fixture: str, rule: str):
+    return [
+        f for f in analyze_file(str(FIXTURES / fixture)) if f.rule == rule
+    ]
+
+
+class TestRpo01TransferQuartet:
+    def test_partial_service_flagged(self):
+        findings = findings_for("rpo01_bad.py", "RPO01")
+        quartet = [f for f in findings if f.symbol == "HalfTransferService"]
+        assert len(quartet) == 1
+        assert "DELETE" in quartet[0].message and "PUT" in quartet[0].message
+
+    def test_hardcoded_action_uris_flagged(self):
+        findings = findings_for("rpo01_bad.py", "RPO01")
+        table = [f for f in findings if f.symbol.startswith("partial_actions.")]
+        assert {f.symbol.split(".")[1] for f in table} == {
+            "CREATE", "GET", "PUT", "DELETE",
+        }
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO01") == []
+
+
+class TestRpo02EventingQuartet:
+    def test_stranding_source_flagged(self):
+        findings = findings_for("rpo02_bad.py", "RPO02")
+        assert any(f.symbol == "StrandingEventSource" for f in findings)
+
+    def test_partial_manager_flagged(self):
+        findings = findings_for("rpo02_bad.py", "RPO02")
+        partial = [f for f in findings if f.symbol == "ForgetfulManager"]
+        assert len(partial) == 1
+        assert "GET_STATUS" in partial[0].message
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO02") == []
+
+
+class TestRpo03FaultDiscipline:
+    def test_bare_and_soap_raises_flagged(self):
+        findings = findings_for("wsrf_bad_faults.py", "RPO03")
+        assert {f.symbol for f in findings} == {
+            "LeakyResourceService.poke",
+            "LeakyResourceService.prod",
+        }
+
+    def test_scope_is_wsrf_stack_only(self):
+        # Same raise shapes outside wsrf/wsn paths are not this rule's business.
+        assert findings_for("rpo06_bad.py", "RPO03") == []
+
+
+class TestRpo04NamespaceHygiene:
+    def test_all_three_shapes_flagged(self):
+        findings = findings_for("rpo04_bad.py", "RPO04")
+        assert len(findings) == 3
+        messages = " / ".join(f.message for f in findings)
+        assert "Clark notation" in messages
+        assert "module/class constant" in messages
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO04") == []
+
+
+class TestRpo05SimCost:
+    def test_all_three_shapes_flagged(self):
+        findings = findings_for("rpo05_bad.py", "RPO05")
+        by_symbol = {f.symbol: f for f in findings}
+        assert set(by_symbol) == {
+            "send_for_free", "persist_for_free", "charge_invisibly",
+        }
+        assert all(f.severity == "warning" for f in findings)
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO05") == []
+
+
+class TestRpo06HandlerState:
+    def test_global_subscript_and_mutator_flagged(self):
+        findings = findings_for("rpo06_bad.py", "RPO06")
+        messages = " / ".join(f.message for f in findings)
+        assert "global COUNTER" in messages
+        assert "'SUBSCRIBERS'" in messages
+        assert "'REGISTRY'" in messages
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO06") == []
