@@ -1,0 +1,24 @@
+#!/bin/sh
+# The CI gate, tox-free: tier-1 tests + repro-lint in one command.
+#
+#   scripts/check.sh              # run everything
+#   scripts/check.sh tests/sim    # pass extra args through to pytest
+#
+# Exits non-zero if either the test suite or the linter fails.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+export PYTHONPATH
+
+status=0
+
+echo "== tier-1 tests =="
+python -m pytest -q "$@" || status=1
+
+echo "== repro-lint =="
+python -m repro.analysis || status=1
+
+exit $status

@@ -2,7 +2,7 @@
 
 With no arguments, regenerates every figure from the paper's evaluation and
 prints it as a table.  Arguments select individual figures:
-``fig2 fig3 fig4 fig6 sweep switch``.
+``fig2 fig3 fig4 fig6 sweep switch reliab``.
 """
 
 from __future__ import annotations
@@ -74,6 +74,30 @@ def _switch() -> None:
     ))
 
 
+def _reliab() -> None:
+    from repro.bench.reliability import LOSS_RATES, run_counter_reliability
+
+    table = {}
+    for stack, label in (("wsrf", "WSRF.NET"), ("transfer", "WS-Transfer")):
+        clean = None
+        for rate in LOSS_RATES:
+            cell = run_counter_reliability(stack, rate)
+            clean = clean if clean is not None else cell.virtual_ms
+            table[f"{label} @ {rate:.0%} loss"] = {
+                "virtual ms": cell.virtual_ms,
+                "overhead x": cell.virtual_ms / clean,
+                "delivered": float(cell.notifications_delivered),
+                "retransmits": float(
+                    cell.notification_retransmissions + cell.request_retransmissions
+                ),
+                "dup suppressed": float(cell.duplicates_suppressed),
+                "dead-lettered": float(cell.dead_letters_total),
+            }
+    print(format_figure_table(
+        "Reliability: counter notifications under loss", table
+    ))
+
+
 FIGURES = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -81,6 +105,7 @@ FIGURES = {
     "fig6": _fig6,
     "sweep": _sweep,
     "switch": _switch,
+    "reliab": _reliab,
 }
 
 

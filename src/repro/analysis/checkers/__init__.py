@@ -9,6 +9,7 @@ RPO03   WSRF-stack operations fault via WS-BaseFaults
 RPO04   no hard-coded namespace URIs outside ``xmllib/ns.py``
 RPO05   serialized+sent messages charge through the sim cost model
 RPO06   ``@web_method`` handlers do not mutate module-level state
+RPO07   no wall-clock ``time.sleep`` — waits are charged virtually
 ======  ==========================================================
 """
 
@@ -19,4 +20,5 @@ from repro.analysis.checkers import (  # noqa: F401  (import registers)
     namespace_hygiene,
     sim_cost,
     transfer_quartet,
+    wallclock,
 )

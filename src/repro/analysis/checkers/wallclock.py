@@ -1,0 +1,89 @@
+"""RPO07 — no wall-clock waits: backoff and retransmission sleep virtually.
+
+The reliability layer retries with exponential backoff; on a real stack
+that is ``time.sleep``.  Here every wait must be *virtual* — charged via
+``clock.charge`` / ``Network.charge`` — or the simulation stalls for
+real seconds, the charged-time ledger misses the wait entirely, and
+runs stop being deterministic.  Any ``time.sleep(...)`` (or bare
+``sleep(...)`` imported from ``time``/``asyncio``) in simulation code is
+therefore an error, not a style nit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_SLEEP_MODULES = frozenset({"time", "asyncio"})
+
+
+@register
+class WallClockChecker:
+    rule_id = "RPO07"
+    description = (
+        "retransmission/backoff waits use clock.charge / Network.charge, "
+        "never time.sleep"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        sleep_aliases = _sleep_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_wall_clock_sleep(node, sleep_aliases):
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                symbol=_enclosing_symbol(module.tree, node),
+                message=(
+                    "wall-clock sleep stalls the simulation and escapes the "
+                    "charged-time ledger; wait virtually via clock.charge / "
+                    "Network.charge instead"
+                ),
+                severity="error",
+            )
+
+
+def _sleep_aliases(tree: ast.AST) -> frozenset[str]:
+    """Local names that ``from time import sleep [as x]`` bound to sleep."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in _SLEEP_MODULES:
+            for alias in node.names:
+                if alias.name == "sleep":
+                    aliases.add(alias.asname or alias.name)
+    return frozenset(aliases)
+
+
+def _is_wall_clock_sleep(call: ast.Call, aliases: frozenset[str]) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "sleep":
+        base = func.value
+        return isinstance(base, ast.Name) and base.id in _SLEEP_MODULES
+    if isinstance(func, ast.Name):
+        return func.id in aliases
+    return False
+
+
+def _enclosing_symbol(tree: ast.AST, target: ast.Call) -> str:
+    """Dotted name of the innermost class/function containing ``target``."""
+
+    def find(node: ast.AST, trail: list[str]) -> str | None:
+        if node is target:
+            return ".".join(trail) or "<module>"
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            trail = trail + [node.name]
+        for child in ast.iter_child_nodes(node):
+            found = find(child, trail)
+            if found is not None:
+                return found
+        return None
+
+    return find(tree, []) or "<module>"

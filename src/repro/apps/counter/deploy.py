@@ -20,6 +20,7 @@ from repro.crypto.x509 import CertificateAuthority
 from repro.eventing.delivery import EventingConsumer
 from repro.eventing.manager import EventSubscriptionManagerService
 from repro.eventing.store import FlatFileSubscriptionStore
+from repro.reliable import ReliableChannel, ReliableNotifier, RetryPolicy
 from repro.sim.costs import CostModel
 from repro.wsn.base import NotificationConsumer, SubscriptionManagerService
 from repro.wsrf.resource import ResourceHome
@@ -37,6 +38,9 @@ class CounterScenario:
     mode: SecurityMode = SecurityMode.NONE
     colocated: bool = True
     costs: CostModel = field(default_factory=CostModel)
+    #: When set, client proxies and notification delivery get WS-RM
+    #: sequencing + retransmission (used by the lossy-network benchmark).
+    reliability: RetryPolicy | None = None
 
     @property
     def label(self) -> str:
@@ -77,7 +81,16 @@ class TransferCounterRig:
 
 def _base_deployment(scenario: CounterScenario) -> Deployment:
     ca = CertificateAuthority.create(seed=7)
-    return Deployment(SecurityPolicy(scenario.mode), scenario.costs, ca)
+    deployment = Deployment(SecurityPolicy(scenario.mode), scenario.costs, ca)
+    deployment.reliability = scenario.reliability
+    return deployment
+
+
+def _client_soap(deployment: Deployment, host: str, credentials):
+    soap = SoapClient(deployment, host, credentials)
+    if deployment.reliability is not None:
+        return ReliableChannel(soap, deployment.reliability, deployment.dead_letters)
+    return soap
 
 
 def build_wsrf_rig(scenario: CounterScenario) -> WsrfCounterRig:
@@ -88,9 +101,11 @@ def build_wsrf_rig(scenario: CounterScenario) -> WsrfCounterRig:
     container.add_service(manager)
     service = WsrfCounterService(ResourceHome("counters", deployment.network))
     service.subscription_manager = manager
+    if scenario.reliability is not None:
+        service.reliable_deliverer = ReliableNotifier(deployment, scenario.reliability)
     container.add_service(service)
     client_creds = deployment.issue_credentials("counter-client", seed=102)
-    soap = SoapClient(deployment, scenario.client_host, client_creds)
+    soap = _client_soap(deployment, scenario.client_host, client_creds)
     # "WSRF.NET uses a custom HTTP server that clients include."
     consumer = NotificationConsumer(deployment, scenario.client_host, kind="http-server")
     return WsrfCounterRig(
@@ -105,9 +120,13 @@ def build_transfer_rig(scenario: CounterScenario) -> TransferCounterRig:
     manager = EventSubscriptionManagerService(FlatFileSubscriptionStore(deployment.network))
     container.add_service(manager)
     service = TransferCounterService(Collection("counters", deployment.network), manager)
+    if scenario.reliability is not None:
+        service.notifications.deliverer = ReliableNotifier(
+            deployment, scenario.reliability
+        )
     container.add_service(service)
     client_creds = deployment.issue_credentials("counter-client", seed=104)
-    soap = SoapClient(deployment, scenario.client_host, client_creds)
+    soap = _client_soap(deployment, scenario.client_host, client_creds)
     # "Plumbwork Orange uses a WSE SoapReceiver to handle notifications via TCP."
     consumer = EventingConsumer(deployment, scenario.client_host)
     return TransferCounterRig(

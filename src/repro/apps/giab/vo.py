@@ -37,6 +37,7 @@ from repro.crypto.x509 import CertificateAuthority
 from repro.eventing.delivery import EventingConsumer
 from repro.eventing.manager import EventSubscriptionManagerService
 from repro.eventing.store import FlatFileSubscriptionStore
+from repro.reliable import ReliableChannel, ReliableNotifier, RetryPolicy
 from repro.sim.costs import CostModel
 from repro.wsn.base import NotificationConsumer, SubscriptionManagerService
 from repro.wsrf.resource import ResourceHome
@@ -88,9 +89,23 @@ class TransferVo:
     user_dn: str = ""
 
 
-def _deployment(mode: SecurityMode, costs: CostModel | None) -> Deployment:
+def _deployment(
+    mode: SecurityMode, costs: CostModel | None, reliability: RetryPolicy | None
+) -> Deployment:
     ca = CertificateAuthority.create(seed=7)
-    return Deployment(SecurityPolicy(mode), costs or CostModel(), ca)
+    deployment = Deployment(SecurityPolicy(mode), costs or CostModel(), ca)
+    deployment.reliability = reliability
+    return deployment
+
+
+def _client_soap(
+    deployment: Deployment, host: str, credentials
+) -> SoapClient | ReliableChannel:
+    """A user-facing proxy, reliable when the deployment says so."""
+    soap = SoapClient(deployment, host, credentials)
+    if deployment.reliability is not None:
+        return ReliableChannel(soap, deployment.reliability, deployment.dead_letters)
+    return soap
 
 
 def build_wsrf_vo(
@@ -98,11 +113,14 @@ def build_wsrf_vo(
     costs: CostModel | None = None,
     hosts: dict[str, list[str]] | None = None,
     registered: bool = True,
+    reliability: RetryPolicy | None = None,
 ) -> WsrfVo:
     """Stand up the five-service WSRF VO; ``registered`` pre-runs the admin
-    workflow (accounts + host registry) so the client flow can start."""
+    workflow (accounts + host registry) so the client flow can start.
+    ``reliability`` arms WS-RM retransmission on every client proxy,
+    container out-call and notification path."""
     hosts = hosts if hosts is not None else GIAB_HOSTS
-    deployment = _deployment(mode, costs)
+    deployment = _deployment(mode, costs, reliability)
     network = deployment.network
 
     central_creds = deployment.issue_credentials("vo-central-container", seed=201)
@@ -142,14 +160,16 @@ def build_wsrf_vo(
             ResourceHome(f"{node_name}-jobs", network), spawner, node_name, filesystem
         )
         exec_service.subscription_manager = manager
+        if reliability is not None:
+            exec_service.reliable_deliverer = ReliableNotifier(deployment, reliability)
         container.add_service(exec_service)
         nodes[node_name] = NodePair(exec_service, data)
 
-    admin_soap = SoapClient(deployment, ADMIN_HOST, admin_creds)
+    admin_soap = _client_soap(deployment, ADMIN_HOST, admin_creds)
     admin = WsrfGridAdmin(admin_soap, account.address, allocation.address)
 
     user_creds = deployment.issue_credentials(USER_CN, seed=203)
-    user_soap = SoapClient(deployment, CLIENT_HOST, user_creds)
+    user_soap = _client_soap(deployment, CLIENT_HOST, user_creds)
     client = WsrfGridClient(user_soap, allocation.address, reservation.address)
     consumer = NotificationConsumer(deployment, CLIENT_HOST, kind="http-server")
 
@@ -172,10 +192,11 @@ def build_transfer_vo(
     costs: CostModel | None = None,
     hosts: dict[str, list[str]] | None = None,
     registered: bool = True,
+    reliability: RetryPolicy | None = None,
 ) -> TransferVo:
     """Stand up the four-service WS-Transfer VO."""
     hosts = hosts if hosts is not None else GIAB_HOSTS
-    deployment = _deployment(mode, costs)
+    deployment = _deployment(mode, costs, reliability)
     network = deployment.network
 
     central_creds = deployment.issue_credentials("vo-central-container", seed=301)
@@ -209,14 +230,18 @@ def build_transfer_vo(
             allocation.address,
             filesystem,
         )
+        if reliability is not None:
+            exec_service.notifications.deliverer = ReliableNotifier(
+                deployment, reliability
+            )
         container.add_service(exec_service)
         nodes[node_name] = NodePair(exec_service, data)
 
-    admin_soap = SoapClient(deployment, ADMIN_HOST, admin_creds)
+    admin_soap = _client_soap(deployment, ADMIN_HOST, admin_creds)
     admin = TransferGridAdmin(admin_soap, account.address, allocation.address)
 
     user_creds = deployment.issue_credentials(USER_CN, seed=303)
-    user_soap = SoapClient(deployment, CLIENT_HOST, user_creds)
+    user_soap = _client_soap(deployment, CLIENT_HOST, user_creds)
     user_dn = str(user_creds.subject)
     client = TransferGridClient(user_soap, allocation.address, user_dn)
     consumer = EventingConsumer(deployment, CLIENT_HOST)

@@ -72,16 +72,12 @@ class SoapClient:
 
         reply = container.handle(request)
 
-        # The response flows back on the same connection: wire time only.
+        # The response flows back on the same connection: wire time only
+        # (and the same injected faults — a lossy link can eat replies).
+        self.network.transmit_response(
+            server_host, self.host, reply.n_bytes, transport, service=epr.address
+        )
         kb = reply.n_bytes / 1024.0
-        if server_host != self.host:
-            wire = costs.lan_latency + kb * costs.lan_per_kb
-        else:
-            wire = kb * costs.loopback_per_kb
-        if transport.value == "https":
-            wire += kb * costs.tls_per_kb
-        self.network.charge(wire, "transport.wire")
-        self.network.metrics.message_sent(reply.n_bytes, epr.address)
         self.network.metrics.log_message(
             self.network.clock.now, epr.address, self.host.name,
             action + "Response", reply.n_bytes, kind="response",

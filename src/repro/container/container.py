@@ -13,6 +13,11 @@ from typing import TYPE_CHECKING
 from repro.addressing.headers import MessageHeaders
 from repro.container.security import Credentials, SecurityError, SecurityHandler
 from repro.container.service import MessageContext, ServiceSkeleton
+from repro.reliable.sequence import (
+    MESSAGE_NUMBER_HEADER,
+    SEQUENCE_ID_HEADER,
+    InboundRequestLog,
+)
 from repro.sim.network import Host, Network
 from repro.soap.envelope import Envelope, SoapFault, build_envelope, build_fault_envelope
 from repro.soap.message import WireMessage
@@ -42,6 +47,10 @@ class Container:
             deployment.policy, deployment.network, deployment.ca, deployment.trust
         )
         self.services: dict[str, ServiceSkeleton] = {}
+        #: WS-RM destination-side reply cache: retransmitted requests are
+        #: answered from here without re-executing the service, which is
+        #: what turns the channel's at-least-once into exactly-once.
+        self.request_log = InboundRequestLog()
 
     # -- deployment -------------------------------------------------------------
 
@@ -58,7 +67,14 @@ class Container:
     def outcall_client(self) -> "SoapClient":
         from repro.container.client import SoapClient
 
-        return SoapClient(self.deployment, self.host, self.credentials)
+        client = SoapClient(self.deployment, self.host, self.credentials)
+        if self.deployment.reliability is not None:
+            from repro.reliable.channel import ReliableChannel
+
+            return ReliableChannel(
+                client, self.deployment.reliability, self.deployment.dead_letters
+            )
+        return client
 
     # -- request processing -------------------------------------------------------
 
@@ -81,6 +97,14 @@ class Container:
             self._check_must_understand(request)
             sender = self.security.verify_incoming(request)
             request_headers = MessageHeaders.from_header_element(request.header)
+            rm_key = self._sequence_key(request_headers)
+            if rm_key is not None:
+                cached = self.request_log.replay(rm_key)
+                if cached is not None:
+                    # Retransmission: the first execution's reply went
+                    # missing on the wire.  Answer from the cache.
+                    self.network.charge(costs.soap_per_message, "server.send")
+                    return cached
             service = self.services.get(request_headers.to)
             if service is None:
                 raise SoapFault("Client", f"no service at {request_headers.to}")
@@ -112,7 +136,24 @@ class Container:
             costs.soap_per_message + costs.xml_serialize_per_kb * reply.n_kb,
             "server.send",
         )
+        if request_headers is not None:
+            rm_key = self._sequence_key(request_headers)
+            if rm_key is not None:
+                self.request_log.store(rm_key, reply)
         return reply
+
+    @staticmethod
+    def _sequence_key(headers: MessageHeaders) -> tuple[str, int] | None:
+        """The (sequence id, message number) stamp, if the request has one."""
+        identifier = number = None
+        for key, value in headers.reference_properties:
+            if key == SEQUENCE_ID_HEADER:
+                identifier = value
+            elif key == MESSAGE_NUMBER_HEADER:
+                number = value
+        if identifier and number and number.isdigit():
+            return identifier, int(number)
+        return None
 
     #: Header namespaces this container processes (WS-I processing model).
     _UNDERSTOOD = ()

@@ -16,6 +16,8 @@ from repro.container.container import Container
 from repro.container.security import Credentials, SecurityPolicy
 from repro.crypto.x509 import Certificate, CertificateAuthority, DistinguishedName
 from repro.crypto.xmldsig import DsigError, signer_subject, verify_element
+from repro.reliable.deadletter import DeadLetterLog
+from repro.reliable.policy import RetryPolicy
 from repro.sim.costs import CostModel
 from repro.sim.network import Host, Network, TransportKind
 from repro.soap.envelope import Envelope
@@ -66,6 +68,11 @@ class Deployment:
         self._endpoints: dict[str, tuple[Host, Container]] = {}
         self._sinks: dict[str, NotificationSink] = {}
         self._sink_counter = 0
+        #: When set, container out-calls are wrapped in a
+        #: :class:`~repro.reliable.channel.ReliableChannel` with this policy.
+        self.reliability: RetryPolicy | None = None
+        #: Shared terminal record for undeliverable messages.
+        self.dead_letters = DeadLetterLog()
 
     # -- topology -----------------------------------------------------------
 
@@ -126,7 +133,12 @@ class Deployment:
         """Producer-side delivery of one notification message.
 
         Returns False when the sink is unknown (consumer gone) — producers
-        treat that as a dropped delivery, not an error.
+        treat that as a dropped delivery, not an error.  Injected transport
+        faults (:class:`~repro.sim.faults.DeliveryFault`) propagate to the
+        caller; a fault-injected *duplicate* hands the sink two copies, so
+        unguarded consumers see the raw at-least-once stream (the reliable
+        layer's :class:`~repro.reliable.sequence.InboundDeduper` collapses
+        it back to exactly-once).
         """
         sink = self._sinks.get(sink_address)
         if sink is None:
@@ -143,21 +155,22 @@ class Deployment:
             costs.soap_per_message + costs.xml_serialize_per_kb * message.n_kb,
             "notify.send",
         )
-        self.network.transmit(
+        copies = self.network.transmit(
             from_host, sink.host, message.n_bytes, sink.transport, service=sink_address
         )
         self.network.metrics.log_message(
             self.network.clock.now, from_host.name, sink_address,
             "Notify", message.n_bytes, kind="notify",
         )
-        self.network.charge(
-            sink.delivery_overhead(costs) + costs.xml_parse_per_kb * message.n_kb,
-            "notify.receive",
-        )
-        received = message.parse()
-        if self.policy.signing:
-            self._verify_notification(received)
-        sink.handler(received)
+        for _ in range(copies):
+            self.network.charge(
+                sink.delivery_overhead(costs) + costs.xml_parse_per_kb * message.n_kb,
+                "notify.receive",
+            )
+            received = message.parse()
+            if self.policy.signing:
+                self._verify_notification(received)
+            sink.handler(received)
         return True
 
     def _verify_notification(self, envelope: Envelope) -> None:

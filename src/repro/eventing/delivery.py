@@ -7,27 +7,44 @@
 from __future__ import annotations
 
 from repro.addressing.epr import EndpointReference
+from repro.reliable.sequence import InboundDeduper
 from repro.xmllib import ns
 from repro.xmllib.element import XmlElement
 
 
 class EventingConsumer:
-    """Receives pushed events on a persistent TCP sink."""
+    """Receives pushed events on a persistent TCP sink.
 
-    def __init__(self, deployment, host_name: str):
+    A WS-RM deduper fronts the handler: sequence-stamped deliveries
+    (from a reliable producer) are collapsed to exactly-once — and
+    optionally reordered — while unstamped deliveries pass straight
+    through, so unreliable producers keep working unchanged.
+    """
+
+    def __init__(self, deployment, host_name: str, *, ordered: bool = False):
         self.received: list[XmlElement] = []
         self.ended: list[str] = []
         self._callbacks = []
+        self.deduper = InboundDeduper(ordered=ordered)
         self.sink = deployment.add_sink(host_name, self._on_envelope, kind="tcp-receiver")
 
     @property
     def epr(self) -> EndpointReference:
         return EndpointReference.create(self.sink.address)
 
+    @property
+    def duplicates(self) -> int:
+        """Redundant deliveries suppressed by the WS-RM deduper."""
+        return self.deduper.duplicates
+
     def on_event(self, callback) -> None:
         self._callbacks.append(callback)
 
     def _on_envelope(self, envelope) -> None:
+        for admitted in self.deduper.admit(envelope):
+            self._handle(admitted)
+
+    def _handle(self, envelope) -> None:
         body = envelope.body_child()
         if body.tag.namespace == ns.WSE and body.tag.local == "SubscriptionEnd":
             self.ended.append(body.text())

@@ -1,0 +1,74 @@
+"""Dead-letter record: the terminal state for undeliverable messages.
+
+The reliability accounting invariant (DESIGN.md §reliable) is that every
+assigned message number ends in exactly one of three states — delivered,
+suppressed as a duplicate, or dead-lettered.  This module is the third
+bucket: an append-only log that benchmarks and tests can audit to prove
+nothing was silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class DeadLetterRecord:
+    """One message the reliability layer gave up on."""
+
+    #: Virtual time (ms) at which the message was dead-lettered.
+    at: float
+    #: Destination — a service address or notification sink address.
+    destination: str
+    #: WS-Addressing action (or ``"Notify"`` for notification payloads).
+    action: str
+    #: WS-RM sequence identifier the message belonged to.
+    sequence: str
+    #: Message number within the sequence (1-based).
+    message_number: int
+    #: Transmission attempts made before giving up.
+    attempts: int
+    #: Human-readable reason ("retry budget exhausted", "endpoint gone"...).
+    reason: str
+
+
+class DeadLetterLog:
+    """Append-only store of :class:`DeadLetterRecord` entries."""
+
+    def __init__(self) -> None:
+        self._records: list[DeadLetterRecord] = []
+
+    def record(
+        self,
+        at: float,
+        destination: str,
+        action: str,
+        sequence: str,
+        message_number: int,
+        attempts: int,
+        reason: str,
+    ) -> DeadLetterRecord:
+        entry = DeadLetterRecord(
+            at=at,
+            destination=destination,
+            action=action,
+            sequence=sequence,
+            message_number=message_number,
+            attempts=attempts,
+            reason=reason,
+        )
+        self._records.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DeadLetterRecord]:
+        return iter(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    def for_destination(self, destination: str) -> list[DeadLetterRecord]:
+        return [r for r in self._records if r.destination == destination]

@@ -11,6 +11,15 @@ reproduce the paper's *shapes* rather than this machine's timings.
 
 from repro.sim.clock import Clock, Timer
 from repro.sim.costs import CostModel
+from repro.sim.faults import (
+    NO_FAULTS,
+    ConnectionReset,
+    DeliveryFault,
+    FaultInjector,
+    FaultOutcome,
+    FaultSpec,
+    MessageLost,
+)
 from repro.sim.metrics import MetricsRecorder, OperationTrace
 from repro.sim.network import Host, Network, TransportKind
 
@@ -23,4 +32,11 @@ __all__ = [
     "Host",
     "Network",
     "TransportKind",
+    "DeliveryFault",
+    "MessageLost",
+    "ConnectionReset",
+    "FaultSpec",
+    "FaultOutcome",
+    "FaultInjector",
+    "NO_FAULTS",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -32,11 +33,24 @@ class Clock:
     continues to the end of the charge.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, seed: int = 0) -> None:
         self._now = float(start)
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._cancelled: set[int] = set()
         self._seq = itertools.count()
+        #: The simulation's single source of randomness.  Everything
+        #: stochastic (fault injection, backoff jitter) draws from here, so
+        #: one seed makes a whole run reproducible.
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def reseed(self, seed: int | None = None) -> None:
+        """Reset the RNG stream in place (``None`` replays the original
+        seed).  In-place so components holding a reference to ``rng`` —
+        e.g. the network's fault injector — see the new stream too."""
+        if seed is not None:
+            self.seed = seed
+        self.rng.seed(self.seed)
 
     @property
     def now(self) -> float:

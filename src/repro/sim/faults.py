@@ -1,0 +1,172 @@
+"""Lossy-network fault injection for the simulated wire.
+
+The paper measured both stacks on a perfect LAN; this module models the
+WAN conditions real Grid deployments ran under: per-link message loss,
+added delay, duplication and connection resets.  The reliability layer
+(:mod:`repro.reliable`) is the counterpart that makes traffic survive it.
+
+Determinism contract
+--------------------
+All randomness is drawn from the shared :class:`~repro.sim.clock.Clock`'s
+seeded RNG, and :meth:`FaultInjector.draw` always consumes the *same
+number of draws* per message regardless of which faults are enabled.  Two
+runs with the same seed and the same operation order therefore produce
+byte-identical fault schedules — a failing benchmark replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class DeliveryFault(Exception):
+    """A transmission did not reach the far side (base of the family)."""
+
+
+class MessageLost(DeliveryFault):
+    """The message was dropped on the wire."""
+
+
+class ConnectionReset(DeliveryFault):
+    """The connection died mid-transfer; cached connection state is gone."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Failure characteristics of one link (or the whole network).
+
+    Rates are probabilities in ``[0, 1]`` applied per message.  Extra delay
+    is ``delay_mean_ms ± delay_jitter_ms`` (uniform), charged to the
+    ``transport.delay`` category.
+    """
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reset_rate: float = 0.0
+    delay_mean_ms: float = 0.0
+    delay_jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate", "reset_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_mean_ms < 0 or self.delay_jitter_ms < 0:
+            raise ValueError("delay parameters must be non-negative")
+        if self.delay_jitter_ms > self.delay_mean_ms and self.delay_mean_ms > 0:
+            raise ValueError("delay_jitter_ms must not exceed delay_mean_ms")
+
+    @property
+    def is_clean(self) -> bool:
+        return (
+            self.loss_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.reset_rate == 0.0
+            and self.delay_mean_ms == 0.0
+        )
+
+    @classmethod
+    def lossy(cls, rate: float) -> "FaultSpec":
+        """The benchmark shape: loss plus milder duplication and resets."""
+        return cls(
+            loss_rate=rate,
+            duplicate_rate=rate / 2.0,
+            reset_rate=rate / 4.0,
+            delay_mean_ms=2.0 if rate else 0.0,
+            delay_jitter_ms=1.0 if rate else 0.0,
+        )
+
+
+#: The default, perfect-LAN spec.
+NO_FAULTS = FaultSpec()
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """The injector's verdict for one message."""
+
+    lost: bool = False
+    duplicated: bool = False
+    reset: bool = False
+    extra_delay_ms: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not (self.lost or self.duplicated or self.reset) and self.extra_delay_ms == 0.0
+
+
+_CLEAN = FaultOutcome()
+
+
+class FaultInjector:
+    """Per-link fault policies plus the counters that make them observable.
+
+    Link specs are looked up by ``(src, dst)`` host-name pair, falling back
+    to the reversed pair (links fail symmetrically unless told otherwise),
+    then to the default spec.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self._default: FaultSpec = NO_FAULTS
+        self._links: dict[tuple[str, str], FaultSpec] = {}
+        # Observability counters.
+        self.messages_lost = 0
+        self.messages_duplicated = 0
+        self.connections_reset = 0
+        self.messages_delayed = 0
+
+    # -- configuration ------------------------------------------------------
+
+    def set_default(self, spec: FaultSpec) -> None:
+        """Apply ``spec`` to every link without an explicit override."""
+        self._default = spec
+
+    def set_link(self, src: str, dst: str, spec: FaultSpec) -> None:
+        """Override the spec for one (symmetric) host pair."""
+        self._links[(src, dst)] = spec
+
+    def clear(self) -> None:
+        """Back to a perfect network (counters are kept)."""
+        self._default = NO_FAULTS
+        self._links.clear()
+
+    @property
+    def active(self) -> bool:
+        return not self._default.is_clean or any(
+            not spec.is_clean for spec in self._links.values()
+        )
+
+    def spec_for(self, src: str, dst: str) -> FaultSpec:
+        spec = self._links.get((src, dst))
+        if spec is None:
+            spec = self._links.get((dst, src))
+        return spec if spec is not None else self._default
+
+    # -- the dice -----------------------------------------------------------
+
+    def draw(self, src: str, dst: str) -> FaultOutcome:
+        """Roll one message's fate.  Always four RNG draws (see module doc)."""
+        spec = self.spec_for(src, dst)
+        rng = self.rng
+        reset_roll = rng.random()
+        loss_roll = rng.random()
+        duplicate_roll = rng.random()
+        delay_roll = rng.random()
+        if spec.is_clean:
+            return _CLEAN
+        extra_delay = 0.0
+        if spec.delay_mean_ms > 0:
+            extra_delay = spec.delay_mean_ms + (2.0 * delay_roll - 1.0) * spec.delay_jitter_ms
+            self.messages_delayed += 1
+        if reset_roll < spec.reset_rate:
+            self.connections_reset += 1
+            return FaultOutcome(reset=True, extra_delay_ms=extra_delay)
+        if loss_roll < spec.loss_rate:
+            self.messages_lost += 1
+            return FaultOutcome(lost=True, extra_delay_ms=extra_delay)
+        if duplicate_roll < spec.duplicate_rate:
+            self.messages_duplicated += 1
+            return FaultOutcome(duplicated=True, extra_delay_ms=extra_delay)
+        return FaultOutcome(extra_delay_ms=extra_delay)

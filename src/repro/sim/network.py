@@ -13,6 +13,14 @@ bytes between machines.  Three transports are provided:
 Costs come from the shared :class:`~repro.sim.costs.CostModel`; all time is
 charged to the shared :class:`~repro.sim.clock.Clock` and attributed via the
 shared :class:`~repro.sim.metrics.MetricsRecorder`.
+
+The wire can be made imperfect: :attr:`Network.faults` holds per-link
+:class:`~repro.sim.faults.FaultSpec` policies (loss, delay, duplication,
+connection reset), deterministic via the clock's seeded RNG.  A lost or
+reset transmission still charges its wire time — the bytes left the host —
+then raises :class:`~repro.sim.faults.MessageLost` /
+:class:`~repro.sim.faults.ConnectionReset` for the reliability layer
+(:mod:`repro.reliable`) to catch and retry.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.sim.clock import Clock
 from repro.sim.costs import CostModel
+from repro.sim.faults import ConnectionReset, FaultInjector, MessageLost
 from repro.sim.metrics import MetricsRecorder
 
 
@@ -61,6 +70,7 @@ class Network:
         self.costs = cost_model if cost_model is not None else CostModel()
         self.clock = clock if clock is not None else Clock()
         self.metrics = metrics if metrics is not None else MetricsRecorder()
+        self.faults = FaultInjector(self.clock.rng)
         self._connections: dict[tuple[str, str, TransportKind], _ConnectionState] = {}
 
     # -- helpers ------------------------------------------------------------
@@ -82,6 +92,11 @@ class Network:
         """Forget all cached connections and TLS sessions (cold start)."""
         self._connections.clear()
 
+    def _reset_connection(self, src: Host, dst: Host, kind: TransportKind) -> None:
+        """A connection died: forget its state in both orientations."""
+        self._connections.pop((src.name, dst.name, kind), None)
+        self._connections.pop((dst.name, src.name, kind), None)
+
     # -- the wire ---------------------------------------------------------
 
     def transmit(
@@ -92,18 +107,24 @@ class Network:
         kind: TransportKind,
         *,
         service: str | None = None,
-    ) -> None:
+    ) -> int:
         """Charge the cost of moving ``n_bytes`` from ``src`` to ``dst``.
 
         Connection setup costs depend on the cache state; data costs depend
         on placement (loopback vs LAN) and transport (TLS adds per-KB
         symmetric crypto).
+
+        Returns the number of copies delivered (1, or 2 when the fault
+        injector duplicates the message).  On injected loss or reset the
+        wire time is still charged — the bytes left the host — and
+        :class:`MessageLost` / :class:`ConnectionReset` is raised.
         """
         if n_bytes < 0:
             raise ValueError("n_bytes must be non-negative")
         costs = self.costs
         kb = n_bytes / 1024.0
         state = self._conn(src, dst, kind)
+        outcome = self.faults.draw(src.name, dst.name) if self.faults.active else None
 
         setup = 0.0
         if kind is TransportKind.HTTP:
@@ -126,7 +147,75 @@ class Network:
             wire += kb * costs.loopback_per_kb
         if kind is TransportKind.HTTPS:
             wire += kb * costs.tls_per_kb
+
+        return self._apply_outcome(
+            outcome, src, dst, kind, n_bytes, wire, service=service
+        )
+
+    def transmit_response(
+        self,
+        src: Host,
+        dst: Host,
+        n_bytes: int,
+        kind: TransportKind,
+        *,
+        service: str | None = None,
+    ) -> int:
+        """The reply leg: bytes flow back on the already-open connection.
+
+        No connection setup is charged (the request leg paid it); only wire
+        time, plus TLS symmetric crypto on HTTPS.  Fault-injected exactly
+        like :meth:`transmit`, so a lossy link can eat responses too.
+        """
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        costs = self.costs
+        kb = n_bytes / 1024.0
+        outcome = self.faults.draw(src.name, dst.name) if self.faults.active else None
+
+        wire = 0.0
+        if src != dst:
+            wire += costs.lan_latency + kb * costs.lan_per_kb
+        else:
+            wire += kb * costs.loopback_per_kb
+        if kind is TransportKind.HTTPS:
+            wire += kb * costs.tls_per_kb
+
+        return self._apply_outcome(
+            outcome, src, dst, kind, n_bytes, wire, service=service
+        )
+
+    def _apply_outcome(
+        self,
+        outcome,
+        src: Host,
+        dst: Host,
+        kind: TransportKind,
+        n_bytes: int,
+        wire: float,
+        *,
+        service: str | None,
+    ) -> int:
+        """Charge wire time and settle the message's fate (see faults.py)."""
+        if outcome is not None and outcome.extra_delay_ms > 0:
+            self.charge(outcome.extra_delay_ms, "transport.delay")
         if wire:
             self.charge(wire, "transport.wire")
-
         self.metrics.message_sent(n_bytes, service)
+        if outcome is None or outcome.clean:
+            return 1
+        if outcome.reset:
+            self._reset_connection(src, dst, kind)
+            raise ConnectionReset(
+                f"connection {src.name}->{dst.name} ({kind.value}) reset mid-transfer"
+            )
+        if outcome.lost:
+            raise MessageLost(f"message {src.name}->{dst.name} lost on the wire")
+        if outcome.duplicated:
+            # The second copy consumes wire time again and counts as a
+            # message of its own.
+            if wire:
+                self.charge(wire, "transport.wire")
+            self.metrics.message_sent(n_bytes, service)
+            return 2
+        return 1

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 from repro.addressing.epr import EndpointReference
 from repro.container.service import MessageContext, web_method
+from repro.reliable.sequence import InboundDeduper
+from repro.sim.faults import DeliveryFault
 from repro.soap.envelope import build_envelope
 from repro.wsn.topics import TopicDialect, topic_matches
 from repro.wsrf.basefaults import base_fault
@@ -25,7 +27,7 @@ from repro.wsrf.programming import (
     resource_property,
 )
 from repro.wsrf.properties import ResourcePropertiesMixin
-from repro.wsrf.resource import RESOURCE_ID
+from repro.wsrf.resource import RESOURCE_ID, ResourceUnknownError
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
 from repro.xmllib.xpath import XPathError, compile_xpath
@@ -233,6 +235,17 @@ class NotificationProducerMixin:
     subscription_manager: SubscriptionManagerService
     #: Concrete topic paths this producer emits on ("" = undeclared/open).
     supported_topics: tuple[str, ...] = ()
+    #: Optional :class:`~repro.reliable.notify.ReliableNotifier` for sink
+    #: deliveries; out-call deliveries pick up reliability from
+    #: ``deployment.reliability`` via :meth:`Container.outcall_client`.
+    reliable_deliverer = None
+    #: Observer called with ``(view, reason)`` when a subscriber is dropped.
+    on_delivery_failure = None
+
+    @property
+    def delivery_failures(self) -> list[tuple[str, str]]:
+        """``(consumer_address, reason)`` per terminated subscription."""
+        return self.__dict__.setdefault("_delivery_failures", [])
 
     @resource_property(f"{{{ns.WSTOP}}}TopicSet")
     def rp_topic_set(self):
@@ -342,36 +355,102 @@ class NotificationProducerMixin:
         try:
             deployment.resolve(view.consumer_address)
         except LookupError:
-            envelope = build_envelope([], [payload])
-            return deployment.deliver_notification(
+            return self._deliver_to_sink(view, payload)
+        client = self.container.outcall_client()
+        try:
+            client.invoke(
+                EndpointReference.create(view.consumer_address), actions.NOTIFY, payload
+            )
+        except DeliveryFault as exc:
+            self._delivery_failed(view, str(exc))
+            return False
+        return True
+
+    def _deliver_to_sink(self, view: SubscriptionView, payload: XmlElement) -> bool:
+        deployment = self.container.deployment
+        if self.reliable_deliverer is not None:
+            ok = self.reliable_deliverer.deliver(
+                self.container.host,
+                view.consumer_address,
+                payload,
+                self.container.credentials,
+                action=actions.NOTIFY,
+            )
+            if not ok:
+                dead = self.reliable_deliverer.dead_letters.for_destination(
+                    view.consumer_address
+                )
+                self._delivery_failed(
+                    view, dead[-1].reason if dead else "delivery failed"
+                )
+            return ok
+        envelope = build_envelope([], [payload])
+        try:
+            ok = deployment.deliver_notification(
                 self.container.host,
                 view.consumer_address,
                 envelope,
                 self.container.credentials,
             )
-        client = self.container.outcall_client()
-        client.invoke(
-            EndpointReference.create(view.consumer_address), actions.NOTIFY, payload
-        )
-        return True
+        except DeliveryFault as exc:
+            self._delivery_failed(view, str(exc))
+            return False
+        if not ok:
+            self._delivery_failed(view, "consumer endpoint gone")
+        return ok
+
+    def _delivery_failed(self, view: SubscriptionView, reason: str) -> None:
+        """Terminate the subscription the WS-N way: destroy its resource.
+
+        The failure stays observable — recorded in
+        :attr:`delivery_failures` and surfaced via
+        :attr:`on_delivery_failure` — rather than silently dropped.
+        """
+        self.delivery_failures.append((view.consumer_address, reason))
+        if self.on_delivery_failure is not None:
+            self.on_delivery_failure(view, reason)
+        try:
+            self.subscription_manager.home.destroy(view.key)
+        except ResourceUnknownError:
+            pass
+        else:
+            self.subscription_manager.after_resource_destroyed(view.key)
 
 
 class NotificationConsumer:
-    """Client-side notification endpoint (WSRF.NET's embedded HTTP server)."""
+    """Client-side notification endpoint (WSRF.NET's embedded HTTP server).
 
-    def __init__(self, deployment, host_name: str, kind: str = "http-server"):
+    Fronted by a WS-RM deduper: sequence-stamped deliveries from a
+    reliable producer are collapsed to exactly-once; unstamped ones pass
+    straight through.
+    """
+
+    def __init__(
+        self, deployment, host_name: str, kind: str = "http-server",
+        *, ordered: bool = False,
+    ):
         self.received: list[tuple[str, XmlElement]] = []
         self._callbacks = []
+        self.deduper = InboundDeduper(ordered=ordered)
         self.sink = deployment.add_sink(host_name, self._on_envelope, kind)
 
     @property
     def epr(self) -> EndpointReference:
         return EndpointReference.create(self.sink.address)
 
+    @property
+    def duplicates(self) -> int:
+        """Redundant deliveries suppressed by the WS-RM deduper."""
+        return self.deduper.duplicates
+
     def on_notification(self, callback) -> None:
         self._callbacks.append(callback)
 
     def _on_envelope(self, envelope) -> None:
+        for admitted in self.deduper.admit(envelope):
+            self._handle(admitted)
+
+    def _handle(self, envelope) -> None:
         body = envelope.body_child()
         if body.tag.local == "Notify":
             for msg in body.find_all(f"{{{ns.WSNT}}}NotificationMessage"):

@@ -27,6 +27,10 @@ WXF = "http://schemas.xmlsoap.org/ws/2004/09/transfer"
 WSE = "http://schemas.xmlsoap.org/ws/2004/08/eventing"
 MEX = "http://schemas.xmlsoap.org/ws/2004/09/mex"
 
+# Reliability (WS-ReliableMessaging, 2005-02 member submission) — used by
+# repro.reliable's sequence/ack headers on both stacks
+WSRM = "http://schemas.xmlsoap.org/ws/2005/02/rm"
+
 # Algorithm identifiers and query/topic dialect URIs
 DSIG_RSA_SHA1 = DS + "rsa-sha1"
 DSIG_SHA1 = DS + "sha1"
@@ -71,6 +75,7 @@ PREFERRED_PREFIXES = {
     WXF: "wxf",
     WSE: "wse",
     MEX: "mex",
+    WSRM: "wsrm",
     COUNTER: "cnt",
     GIAB: "giab",
 }

@@ -95,3 +95,20 @@ class TestRpo06HandlerState:
 
     def test_clean_passes(self):
         assert findings_for("clean.py", "RPO06") == []
+
+
+class TestRpo07WallClock:
+    def test_module_and_aliased_sleeps_flagged(self):
+        findings = findings_for("rpo07_bad.py", "RPO07")
+        assert {f.symbol for f in findings} == {
+            "backoff_for_real", "Retransmitter.retry",
+        }
+        assert all(f.severity == "error" for f in findings)
+        assert all("clock.charge" in f.message for f in findings)
+
+    def test_charged_backoff_not_flagged(self):
+        findings = findings_for("rpo07_bad.py", "RPO07")
+        assert not any(f.symbol == "wait_virtually" for f in findings)
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO07") == []

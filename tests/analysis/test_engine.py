@@ -20,7 +20,7 @@ REPO_ROOT = Path(__file__).parents[2]
 class TestRegistry:
     def test_builtin_rules_registered(self):
         assert list(all_checkers()) == [
-            "RPO01", "RPO02", "RPO03", "RPO04", "RPO05", "RPO06",
+            "RPO01", "RPO02", "RPO03", "RPO04", "RPO05", "RPO06", "RPO07",
         ]
 
     def test_get_checker(self):

@@ -1,0 +1,189 @@
+"""ReliableChannel: retransmission, exactly-once, dead-lettering."""
+
+import pytest
+
+from repro.container import (
+    MessageContext,
+    SecurityMode,
+    ServiceSkeleton,
+    SoapClient,
+    web_method,
+)
+from repro.reliable import DeadLetterLog, ReliableChannel, RetryExhausted, RetryPolicy
+from repro.sim import FaultSpec, MessageLost
+from repro.soap import SoapFault
+from repro.xmllib import element
+
+from tests.helpers import make_deployment
+
+BUMP_ACTION = "urn:test/Bump"
+BOOM_ACTION = "urn:test/Boom"
+
+#: Deterministic tests: no jitter, tiny backoff.
+POLICY = RetryPolicy(max_attempts=3, base_backoff_ms=10.0, jitter_ms=0.0)
+
+
+class BumpService(ServiceSkeleton):
+    """Counts executions — the probe for exactly-once semantics."""
+
+    service_name = "Bump"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    @web_method(BUMP_ACTION)
+    def bump(self, context: MessageContext):
+        self.calls += 1
+        return element("{urn:test}BumpResponse", str(self.calls))
+
+    @web_method(BOOM_ACTION)
+    def boom(self, context: MessageContext):
+        raise SoapFault("Server", "exploded on purpose")
+
+
+def make_rig(mode=SecurityMode.NONE):
+    deployment = make_deployment(mode)
+    creds = deployment.issue_credentials("server", seed=120)
+    container = deployment.add_container("serverhost", "App", creds)
+    service = BumpService()
+    container.add_service(service)
+    client_creds = deployment.issue_credentials("alice", seed=121)
+    client = SoapClient(deployment, "clienthost", client_creds)
+    return deployment, service, client
+
+
+class ReplyEater:
+    """Wraps a client; lets the server execute, then eats N replies.
+
+    Models the nasty case: the request arrived and was processed, but the
+    response vanished — the retransmission must not re-execute."""
+
+    def __init__(self, client, eat: int):
+        self._client = client
+        self._remaining = eat
+
+    def __getattr__(self, name):
+        return getattr(self._client, name)
+
+    def invoke(self, *args, **kwargs):
+        result = self._client.invoke(*args, **kwargs)
+        if self._remaining:
+            self._remaining -= 1
+            raise MessageLost("reply eaten in transit")
+        return result
+
+
+class TestHappyPath:
+    def test_clean_network_delivers_first_try(self):
+        _, service, client = make_rig()
+        channel = ReliableChannel(client, POLICY)
+        response = channel.invoke(service.epr(), BUMP_ACTION, element("{urn:test}Bump"))
+        assert response.text() == "1"
+        assert channel.delivered == 1
+        assert channel.retransmissions == 0
+        assert not channel.dead_letters
+
+    def test_soap_faults_pass_through_without_retry(self):
+        _, service, client = make_rig()
+        channel = ReliableChannel(client, POLICY)
+        with pytest.raises(SoapFault):
+            channel.invoke(service.epr(), BOOM_ACTION, element("{urn:test}Boom"))
+        assert channel.retransmissions == 0
+
+    def test_duck_types_the_wrapped_client(self):
+        deployment, _, client = make_rig()
+        channel = ReliableChannel(client, POLICY)
+        assert channel.network is deployment.network
+        assert channel.deployment is deployment
+        assert channel.host is client.host
+        assert channel.credentials is client.credentials
+
+
+class TestExactlyOnce:
+    def test_lost_reply_is_answered_from_cache_not_reexecuted(self):
+        deployment, service, client = make_rig()
+        channel = ReliableChannel(ReplyEater(client, eat=1), POLICY)
+        response = channel.invoke(service.epr(), BUMP_ACTION, element("{urn:test}Bump"))
+        assert response.text() == "1"
+        assert service.calls == 1  # retransmission did NOT bump again
+        assert channel.retransmissions == 1
+        _, container = deployment.resolve(service.address)
+        assert container.request_log.duplicates == 1
+
+    def test_backoff_time_is_charged_to_its_category(self):
+        deployment, service, client = make_rig()
+        channel = ReliableChannel(ReplyEater(client, eat=1), POLICY)
+        channel.invoke(service.epr(), BUMP_ACTION, element("{urn:test}Bump"))
+        charged = deployment.network.metrics.time_by_category["reliable.backoff"]
+        assert charged == pytest.approx(POLICY.backoff_ms(1))
+
+    def test_exactly_once_under_injected_loss(self):
+        deployment, service, client = make_rig()
+        deployment.network.faults.set_default(FaultSpec.lossy(0.15))
+        channel = ReliableChannel(client, POLICY)
+        ok = dead = 0
+        for _ in range(30):
+            try:
+                channel.invoke(service.epr(), BUMP_ACTION, element("{urn:test}Bump"))
+                ok += 1
+            except RetryExhausted:
+                dead += 1
+        # The ledger closes: every message settled, none unreported...
+        assert ok + dead == 30
+        assert channel.delivered == ok
+        assert len(channel.dead_letters) == dead
+        assert all(seq.outstanding == set() for seq in channel.sequences)
+        # ...and no message executed more than once: each distinct message
+        # number holds exactly one slot in the server's reply cache.  (A
+        # dead-lettered message may still have executed — its replies were
+        # lost — which is exactly why the sender dead-letters it.)
+        _, container = deployment.resolve(service.address)
+        assert service.calls == len(container.request_log)
+        assert ok <= service.calls <= 30
+
+
+class TestDeadLettering:
+    def test_total_loss_exhausts_retries_and_records(self):
+        deployment, service, client = make_rig()
+        deployment.network.faults.set_default(FaultSpec(loss_rate=1.0))
+        dead_letters = DeadLetterLog()
+        channel = ReliableChannel(client, POLICY, dead_letters)
+        with pytest.raises(RetryExhausted) as exc_info:
+            channel.invoke(service.epr(), BUMP_ACTION, element("{urn:test}Bump"))
+        assert len(dead_letters) == 1
+        record = next(iter(dead_letters))
+        assert exc_info.value.record is record
+        assert record.attempts == POLICY.max_attempts
+        assert record.destination == service.address
+        assert record.action == BUMP_ACTION
+        assert "exhausted" in record.reason
+        assert service.calls == 0
+
+    def test_retry_budget_cuts_attempts_short(self):
+        deployment, service, client = make_rig()
+        deployment.network.faults.set_default(FaultSpec(loss_rate=1.0))
+        policy = RetryPolicy(
+            max_attempts=10, base_backoff_ms=50.0, jitter_ms=0.0, retry_budget_ms=60.0
+        )
+        channel = ReliableChannel(client, policy)
+        with pytest.raises(RetryExhausted):
+            channel.invoke(service.epr(), BUMP_ACTION, element("{urn:test}Bump"))
+        record = next(iter(channel.dead_letters))
+        # 50ms after attempt 1 is within budget, 100ms after attempt 2 is not.
+        assert record.attempts == 3
+        assert "budget" in record.reason
+
+    def test_exhaustion_is_itself_a_delivery_fault(self):
+        from repro.sim import DeliveryFault
+
+        assert issubclass(RetryExhausted, DeliveryFault)
+
+
+class TestSignedMode:
+    def test_retransmission_under_x509(self):
+        deployment, service, client = make_rig(SecurityMode.X509)
+        channel = ReliableChannel(ReplyEater(client, eat=1), POLICY)
+        response = channel.invoke(service.epr(), BUMP_ACTION, element("{urn:test}Bump"))
+        assert response.text() == "1"
+        assert service.calls == 1

@@ -1,0 +1,56 @@
+"""RetryPolicy: backoff growth, jitter, budget."""
+
+import random
+
+import pytest
+
+from repro.reliable import NO_RETRY, RetryPolicy
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_backoff_ms=10.0, multiplier=2.0, jitter_ms=0.0)
+        assert policy.backoff_ms(1) == 10.0
+        assert policy.backoff_ms(2) == 20.0
+        assert policy.backoff_ms(3) == 40.0
+
+    def test_capped_at_max(self):
+        policy = RetryPolicy(
+            base_backoff_ms=10.0, multiplier=10.0, max_backoff_ms=50.0, jitter_ms=0.0
+        )
+        assert policy.backoff_ms(5) == 50.0
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_backoff_ms=10.0, jitter_ms=4.0)
+        draws = [policy.backoff_ms(1, random.Random(9)) for _ in range(10)]
+        assert all(10.0 <= d <= 14.0 for d in draws)
+        assert policy.backoff_ms(1, random.Random(5)) == policy.backoff_ms(
+            1, random.Random(5)
+        )
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_ms(0)
+
+
+class TestValidationAndBudget:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_ms=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_budget_ms=-5.0)
+
+    def test_no_budget_means_always_within(self):
+        assert RetryPolicy().within_budget(1e9)
+
+    def test_budget_exhaustion(self):
+        policy = RetryPolicy(retry_budget_ms=100.0)
+        assert policy.within_budget(99.0)
+        assert not policy.within_budget(100.0)
+
+    def test_no_retry_preset(self):
+        assert NO_RETRY.max_attempts == 1

@@ -1,0 +1,161 @@
+"""Fault injection: specs, determinism, and the lossy wire."""
+
+import pytest
+
+from repro.sim import (
+    NO_FAULTS,
+    Clock,
+    ConnectionReset,
+    CostModel,
+    FaultInjector,
+    FaultSpec,
+    Host,
+    MessageLost,
+    Network,
+    TransportKind,
+)
+
+A = Host("alpha")
+B = Host("beta")
+
+
+class TestFaultSpec:
+    def test_defaults_are_clean(self):
+        assert NO_FAULTS.is_clean
+        assert FaultSpec().is_clean
+
+    def test_lossy_preset_scales_with_rate(self):
+        spec = FaultSpec.lossy(0.10)
+        assert spec.loss_rate == pytest.approx(0.10)
+        assert spec.duplicate_rate == pytest.approx(0.05)
+        assert spec.reset_rate == pytest.approx(0.025)
+        assert not spec.is_clean
+
+    def test_lossy_zero_is_clean(self):
+        assert FaultSpec.lossy(0.0).is_clean
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FaultSpec(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(duplicate_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(delay_mean_ms=1.0, delay_jitter_ms=2.0)
+
+
+class TestFaultInjector:
+    def test_inactive_until_configured(self):
+        injector = FaultInjector(Clock().rng)
+        assert not injector.active
+        injector.set_default(FaultSpec.lossy(0.05))
+        assert injector.active
+        injector.clear()
+        assert not injector.active
+
+    def test_per_link_spec_overrides_default_and_is_symmetric(self):
+        injector = FaultInjector(Clock().rng)
+        injector.set_default(NO_FAULTS)
+        link = FaultSpec(loss_rate=1.0)
+        injector.set_link("alpha", "beta", link)
+        assert injector.spec_for("alpha", "beta") is link
+        assert injector.spec_for("beta", "alpha") is link
+        assert injector.spec_for("alpha", "gamma") is NO_FAULTS
+
+    def test_certain_loss_always_loses(self):
+        injector = FaultInjector(Clock().rng)
+        injector.set_default(FaultSpec(loss_rate=1.0))
+        for _ in range(5):
+            assert injector.draw("alpha", "beta").lost
+        assert injector.messages_lost == 5
+
+    def test_same_seed_same_outcomes(self):
+        def outcomes(seed):
+            injector = FaultInjector(Clock(seed=seed).rng)
+            injector.set_default(FaultSpec.lossy(0.2))
+            return [injector.draw("a", "b") for _ in range(50)]
+
+        assert outcomes(11) == outcomes(11)
+        assert outcomes(11) != outcomes(12)
+
+    def test_fixed_draw_count_keeps_streams_aligned(self):
+        # Whatever the outcome, one draw consumes the same amount of
+        # randomness, so later draws do not depend on earlier outcomes.
+        clock = Clock(seed=3)
+        injector = FaultInjector(clock.rng)
+        injector.set_default(FaultSpec(loss_rate=1.0))
+        injector.draw("a", "b")
+        after_loss = clock.rng.random()
+
+        clock2 = Clock(seed=3)
+        injector2 = FaultInjector(clock2.rng)
+        injector2.set_default(FaultSpec(duplicate_rate=1.0))
+        injector2.draw("a", "b")
+        after_dup = clock2.rng.random()
+        assert after_loss == after_dup
+
+
+class TestLossyWire:
+    def _network(self, spec: FaultSpec, seed: int = 0) -> Network:
+        net = Network(CostModel(), clock=Clock(seed=seed))
+        net.faults.set_default(spec)
+        return net
+
+    def test_clean_network_unchanged(self):
+        net = Network(CostModel())
+        assert net.transmit(A, B, 1024, TransportKind.HTTP) == 1
+
+    def test_loss_charges_wire_time_then_raises(self):
+        net = self._network(FaultSpec(loss_rate=1.0))
+        before = net.clock.now
+        with pytest.raises(MessageLost):
+            net.transmit(A, B, 1024, TransportKind.HTTP)
+        assert net.clock.now > before
+        assert net.metrics.time_by_category["transport.wire"] > 0
+
+    def test_duplicate_delivers_two_copies_and_double_charges(self):
+        net = self._network(FaultSpec(duplicate_rate=1.0))
+        copies = net.transmit(A, B, 2048, TransportKind.HTTP)
+        assert copies == 2
+        costs = net.costs
+        expected_wire = 2 * (costs.lan_latency + 2.0 * costs.lan_per_kb)
+        assert net.metrics.time_by_category["transport.wire"] == pytest.approx(
+            expected_wire
+        )
+
+    def test_reset_clears_connection_cache(self):
+        net = self._network(FaultSpec(reset_rate=1.0))
+        with pytest.raises(ConnectionReset):
+            net.transmit(A, B, 512, TransportKind.HTTP)
+        net.faults.clear()
+        # The next transmit pays the full (uncached) connect cost again.
+        net.metrics.time_by_category.clear()
+        net.transmit(A, B, 512, TransportKind.HTTP)
+        assert net.metrics.time_by_category["transport.setup"] == pytest.approx(
+            net.costs.http_connect
+        )
+
+    def test_delay_charged_to_its_own_category(self):
+        net = self._network(FaultSpec(delay_mean_ms=5.0))
+        net.transmit(A, B, 512, TransportKind.HTTP)
+        assert net.metrics.time_by_category["transport.delay"] == pytest.approx(5.0)
+
+    def test_response_leg_skips_setup_but_faults(self):
+        net = self._network(FaultSpec(loss_rate=1.0))
+        with pytest.raises(MessageLost):
+            net.transmit_response(A, B, 512, TransportKind.HTTP)
+        assert "transport.setup" not in net.metrics.time_by_category
+
+    def test_reseed_replays_the_fault_schedule(self):
+        def run():
+            net = self._network(FaultSpec.lossy(0.3), seed=42)
+            fates = []
+            for _ in range(40):
+                try:
+                    fates.append(net.transmit(A, B, 1024, TransportKind.HTTP))
+                except MessageLost:
+                    fates.append("lost")
+                except ConnectionReset:
+                    fates.append("reset")
+            return fates, net.clock.now
+
+        assert run() == run()

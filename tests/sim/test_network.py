@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim import CostModel, Host, Network, TransportKind
+from repro.sim import (
+    ConnectionReset,
+    CostModel,
+    FaultSpec,
+    Host,
+    Network,
+    TransportKind,
+)
 
 
 @pytest.fixture()
@@ -71,6 +78,18 @@ class TestTransmitCosts:
         net.transmit(A, B, 0, TransportKind.HTTPS)
         assert net.clock.now - cold == pytest.approx(cold)
 
+    def test_drop_connections_forgets_tcp_sockets(self, net):
+        net.transmit(A, B, 100, TransportKind.TCP)
+        cold = net.clock.now
+        net.transmit(A, B, 100, TransportKind.TCP)
+        warm = net.clock.now - cold
+        net.drop_connections()
+        before = net.clock.now
+        net.transmit(A, B, 100, TransportKind.TCP)
+        recold = net.clock.now - before
+        assert recold == pytest.approx(cold)
+        assert recold - warm == pytest.approx(net.costs.tcp_connect)
+
     def test_negative_bytes_rejected(self, net):
         with pytest.raises(ValueError):
             net.transmit(A, B, -1, TransportKind.HTTP)
@@ -84,6 +103,58 @@ class TestTransmitCosts:
         net.transmit(A, B, 100 * 1024, TransportKind.HTTP)
         large = net.clock.now - t1
         assert large > small
+
+
+class TestTlsSessionCache:
+    """The paper's socket-caching observation: resumed TLS sessions skip
+    the full handshake, and losing the connection loses the session."""
+
+    def test_resumed_session_charges_tls_resume_exactly(self, net):
+        net.transmit(A, B, 0, TransportKind.HTTPS)
+        cold = net.clock.now
+        net.transmit(A, B, 0, TransportKind.HTTPS)
+        warm = net.clock.now - cold
+        saved = (net.costs.http_connect - net.costs.http_connect_cached) + (
+            net.costs.tls_handshake - net.costs.tls_resume
+        )
+        assert cold - warm == pytest.approx(saved)
+
+    def test_session_cache_is_per_pair(self, net):
+        net.transmit(A, B, 0, TransportKind.HTTPS)
+        base = net.clock.now
+        # A different server pays the full handshake again.
+        net.transmit(A, Host("gamma"), 0, TransportKind.HTTPS)
+        assert net.clock.now - base == pytest.approx(base)
+
+    def test_drop_connections_forgets_tls_sessions(self, net):
+        net.transmit(A, B, 0, TransportKind.HTTPS)
+        cold = net.clock.now
+        net.drop_connections()
+        net.transmit(A, B, 0, TransportKind.HTTPS)
+        assert net.clock.now - cold == pytest.approx(cold)
+
+    def test_injected_reset_clears_session_both_ways(self, net):
+        # Warm both orientations of the A<->B link first.
+        net.transmit(A, B, 0, TransportKind.HTTPS)
+        net.transmit(B, A, 0, TransportKind.HTTPS)
+        net.faults.set_link("alpha", "beta", FaultSpec(reset_rate=1.0))
+        with pytest.raises(ConnectionReset):
+            net.transmit(A, B, 0, TransportKind.HTTPS)
+        net.faults.clear()
+        # Both directions are cold again: full handshake, not a resume.
+        for src, dst in ((A, B), (B, A)):
+            before = net.clock.now
+            net.transmit(src, dst, 0, TransportKind.HTTPS)
+            elapsed = net.clock.now - before
+            assert elapsed == pytest.approx(
+                net.costs.http_connect + net.costs.tls_handshake + net.costs.lan_latency
+            )
+
+    def test_reset_counter_increments(self, net):
+        net.faults.set_default(FaultSpec(reset_rate=1.0))
+        with pytest.raises(ConnectionReset):
+            net.transmit(A, B, 0, TransportKind.HTTPS)
+        assert net.faults.connections_reset == 1
 
 
 class TestMetrics:

@@ -15,6 +15,7 @@ EXAMPLES = [
     "anatomy_of_a_request",
     "figure5_sequence",
     "schema_discovery",
+    "lossy_network",
 ]
 
 
@@ -43,6 +44,16 @@ class TestExamples:
         with redirect_stdout(buffer):
             module.main()
         assert "CounterValueChanged" in buffer.getvalue()
+
+    def test_lossy_network_shows_closed_ledger_and_dead_letter(self):
+        module = importlib.import_module("lossy_network")
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        out = buffer.getvalue()
+        assert "ledger closes" in out
+        assert "dead-lettered delivery" in out
+        assert "consumer endpoint gone" in out
 
     def test_figure5_sequence_shows_outcalls(self):
         module = importlib.import_module("figure5_sequence")

@@ -142,19 +142,63 @@ class TestGridRaces:
         from repro.apps.giab.jobs import JobSpec
 
         vo = build_wsrf_vo()
+        exec_service = vo.nodes["node1"].exec_service
+        observed = []
+        exec_service.on_delivery_failure = lambda view, reason: observed.append(
+            (view.consumer_address, reason)
+        )
         reservation = vo.client.make_reservation("node1")
         directory = vo.client.create_data_directory(vo.nodes["node1"].data_service.address)
         vo.client.upload_file(directory, "in", "x")
+        # Long enough that the job outlives the subscribe exchange (whose
+        # signing charges take several hundred virtual ms).
         job = vo.client.start_job(
-            vo.nodes["node1"].exec_service.address, reservation, directory,
-            JobSpec("sort", (), 100.0),
+            exec_service.address, reservation, directory,
+            JobSpec("sort", (), 5000.0),
         )
         vo.client.subscribe_job_exit(job, vo.consumer)
+        assert vo.consumer.received == []  # job still running
         vo.deployment._sinks.clear()  # the client process dies
-        vo.deployment.network.clock.charge(200)  # job finishes anyway
+        vo.deployment.network.clock.charge(6000)  # job finishes anyway
         assert vo.client.job_status(job) == "Exited"
         # ... and the reservation was still auto-released:
         assert "node1" in {s["host"] for s in vo.client.get_available_resources("sort")}
+        # The dropped notification was NOT silent: the producer recorded the
+        # failure, told the observer, and terminated the dead subscription.
+        assert exec_service.delivery_failures == [
+            (vo.consumer.sink.address, "consumer endpoint gone")
+        ]
+        assert observed == exec_service.delivery_failures
+        assert exec_service.subscription_manager.active_subscriptions(
+            exec_service.address
+        ) == []
+
+    def test_transfer_consumer_death_is_observed_and_subscription_ended(self):
+        from repro.apps.giab import build_transfer_vo
+        from repro.apps.giab.jobs import JobSpec
+
+        vo = build_transfer_vo()
+        exec_service = vo.nodes["node1"].exec_service
+        observed = []
+        exec_service.notifications.on_delivery_failure = (
+            lambda record, reason: observed.append((record.notify_to, reason))
+        )
+        vo.client.make_reservation("node1")
+        vo.client.upload_file(vo.nodes["node1"].data_service.address, "in", "x")
+        job = vo.client.start_job(
+            exec_service.address, JobSpec("sort", (), 5000.0)
+        )
+        vo.client.subscribe_job_exit(exec_service.address, job, vo.consumer)
+        assert vo.consumer.received == []  # job still running
+        vo.deployment._sinks.clear()  # the client process dies
+        vo.deployment.network.clock.charge(6000)  # job finishes anyway
+        assert vo.client.job_status(job) == "Exited"
+        # The eventing stack surfaces the failure and drops the subscription.
+        assert exec_service.notifications.delivery_failures == [
+            (vo.consumer.sink.address, "consumer endpoint gone")
+        ]
+        assert observed == exec_service.notifications.delivery_failures
+        assert exec_service.notifications.store.for_source(exec_service.address) == []
 
     def test_stale_transfer_reservation_blocks_until_admin_intervenes(self):
         """WS-Transfer's manual-lifetime failure mode, resolved the hard way:
