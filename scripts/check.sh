@@ -21,4 +21,7 @@ python -m pytest -q "$@" || status=1
 echo "== repro-lint =="
 python -m repro.analysis || status=1
 
+echo "== bench smoke =="
+python -m repro hello || status=1
+
 exit $status

@@ -2,7 +2,10 @@
 
 With no arguments, regenerates every figure from the paper's evaluation and
 prints it as a table.  Arguments select individual figures:
-``fig2 fig3 fig4 fig6 sweep switch reliab``.
+``fig2 fig3 fig4 fig6 sweep switch reliab hello``.
+
+``hello`` is the CI bench smoke: one signed round-trip per stack through
+the filter pipeline, reported per pipeline stage plus the full span tree.
 """
 
 from __future__ import annotations
@@ -98,6 +101,26 @@ def _reliab() -> None:
     ))
 
 
+def _hello() -> None:
+    """Bench smoke: one signed round-trip per stack, per pipeline stage."""
+    from repro.bench import (
+        TRACE_SERIES,
+        format_span_tree,
+        stage_breakdown,
+        trace_round_trip,
+    )
+
+    trees = {label: trace_round_trip(stack) for label, stack in TRACE_SERIES}
+    print(format_figure_table(
+        "Bench smoke: signed distributed Get per pipeline stage",
+        {label: stage_breakdown(ops["Get"]) for label, ops in trees.items()},
+    ))
+    label = "WSRF.NET"
+    print()
+    print(f"{label} Get span tree:")
+    print(format_span_tree(trees[label]["Get"]))
+
+
 FIGURES = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -106,6 +129,7 @@ FIGURES = {
     "sweep": _sweep,
     "switch": _switch,
     "reliab": _reliab,
+    "hello": _hello,
 }
 
 

@@ -10,6 +10,8 @@ RPO04   no hard-coded namespace URIs outside ``xmllib/ns.py``
 RPO05   serialized+sent messages charge through the sim cost model
 RPO06   ``@web_method`` handlers do not mutate module-level state
 RPO07   no wall-clock ``time.sleep`` — waits are charged virtually
+RPO08   ``SecurityHandler`` / ``InboundRequestLog`` stay inside
+        ``repro.pipeline`` — everything else drives a ``FilterChain``
 ======  ==========================================================
 """
 
@@ -18,6 +20,7 @@ from repro.analysis.checkers import (  # noqa: F401  (import registers)
     fault_discipline,
     handler_state,
     namespace_hygiene,
+    pipeline_boundary,
     sim_cost,
     transfer_quartet,
     wallclock,

@@ -1,0 +1,78 @@
+"""RPO08 — pipeline boundary: handlers stay inside ``repro.pipeline``.
+
+The filter pipeline (DESIGN.md §10) owns the message-processing
+machinery: ``SecurityHandler`` is an implementation detail of
+``SecurityFilter`` and ``InboundRequestLog`` of
+``ReliableMessagingFilter``.  Code that imports or instantiates either
+class directly re-creates the pre-pipeline world — per-call-site handler
+wiring with its duplicated construction and drifting processing order —
+so any use outside ``repro.pipeline`` (and the defining modules
+themselves) is an error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_FORBIDDEN = frozenset({"SecurityHandler", "InboundRequestLog"})
+
+#: Paths allowed to name the handler classes: the pipeline package (the
+#: owner), the modules that define them, and the reliable package root
+#: (a plain re-export for backward compatibility).
+_ALLOWED_SUFFIXES = (
+    "container/security.py",
+    "reliable/sequence.py",
+    "reliable/__init__.py",
+    "analysis/checkers/pipeline_boundary.py",
+)
+
+
+def _exempt(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    if "/pipeline/" in normalized or normalized.endswith("/pipeline"):
+        return True
+    return normalized.endswith(_ALLOWED_SUFFIXES)
+
+
+@register
+class PipelineBoundaryChecker:
+    rule_id = "RPO08"
+    description = (
+        "SecurityHandler / InboundRequestLog are used only inside "
+        "repro.pipeline — everything else drives a FilterChain"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _exempt(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in _FORBIDDEN:
+                        yield self._finding(
+                            module, node,
+                            f"imports {alias.name} directly; message processing "
+                            f"belongs to a repro.pipeline filter chain",
+                        )
+            elif isinstance(node, ast.Attribute) and node.attr in _FORBIDDEN:
+                yield self._finding(
+                    module, node,
+                    f"references {node.attr} directly; message processing "
+                    f"belongs to a repro.pipeline filter chain",
+                )
+
+    def _finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            symbol=module.module_name,
+            message=message,
+            severity="error",
+        )

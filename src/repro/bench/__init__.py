@@ -9,7 +9,20 @@ the same unit as the paper's y-axes.  The pytest-benchmark targets in
 from repro.bench.runner import measure_virtual
 from repro.bench.hello import HELLO_OPS, measure_hello_world, hello_world_figure
 from repro.bench.giab import GIAB_OPS, measure_giab
-from repro.bench.report import figure_to_csv, format_figure_table, format_bar_chart
+from repro.bench.report import (
+    figure_to_csv,
+    format_bar_chart,
+    format_figure_table,
+    format_span_tree,
+    spans_to_csv,
+)
+from repro.bench.trace import (
+    TRACE_SERIES,
+    span_figure,
+    span_trees,
+    stage_breakdown,
+    trace_round_trip,
+)
 
 __all__ = [
     "measure_virtual",
@@ -21,4 +34,11 @@ __all__ = [
     "figure_to_csv",
     "format_figure_table",
     "format_bar_chart",
+    "format_span_tree",
+    "spans_to_csv",
+    "TRACE_SERIES",
+    "span_figure",
+    "span_trees",
+    "stage_breakdown",
+    "trace_round_trip",
 ]

@@ -43,6 +43,28 @@ def figure_to_csv(figure: dict[str, dict[str, float]]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def format_span_tree(root, unit: str = "ms") -> str:
+    """Render one :class:`~repro.sim.metrics.Span` tree as an outline."""
+    lines = []
+    for depth, span in root.walk():
+        label = f"{'  ' * depth}{span.name}"
+        detail = f"  [{span.detail}]" if span.detail else ""
+        lines.append(f"{label.ljust(32)} {span.elapsed_ms:8.2f} {unit}{detail}")
+    return "\n".join(lines)
+
+
+def spans_to_csv(roots: dict[str, "object"]) -> str:
+    """Flatten labelled span trees to CSV rows (one row per span)."""
+    lines = ["series,depth,span,started_at,ended_at,elapsed_ms,detail"]
+    for label, root in roots.items():
+        for depth, span in root.walk():
+            lines.append(
+                f"{label},{depth},{span.name},{span.started_at:.3f},"
+                f"{span.ended_at:.3f},{span.elapsed_ms:.3f},{span.detail}"
+            )
+    return "\n".join(lines) + "\n"
+
+
 def format_bar_chart(
     title: str, values: dict[str, float], width: int = 50, unit: str = "ms"
 ) -> str:

@@ -1,0 +1,78 @@
+"""Trace-span collection for benchmarks and the CLI.
+
+Every message already produces a span tree (the pipeline's
+``TracingFilter`` runs in all chains); this module packages the trees
+into benchmark-friendly shapes: a per-stage elapsed-time figure and a
+full JSON/CSV dump of the trees themselves.
+"""
+
+from __future__ import annotations
+
+from repro.apps.counter.deploy import (
+    CounterScenario,
+    build_transfer_rig,
+    build_wsrf_rig,
+)
+from repro.container.security import SecurityMode
+from repro.sim.costs import CostModel
+from repro.sim.metrics import Span
+
+#: Series labels for the two stacks, in the paper's legend order.
+TRACE_SERIES = (
+    ("WS-Transfer / WS-Eventing", "transfer"),
+    ("WSRF.NET", "wsrf"),
+)
+
+
+def trace_round_trip(
+    stack: str, mode: SecurityMode = SecurityMode.X509, *, colocated: bool = False
+) -> dict[str, Span]:
+    """Span trees for one Get round-trip and one Notify delivery.
+
+    Returns ``{"Get": <client.invoke tree>, "Notify": <notify.deliver tree>}``
+    recorded on a fresh rig (warm caches, like the hello figures).
+    """
+    scenario = CounterScenario(mode, colocated, CostModel())
+    rig = build_wsrf_rig(scenario) if stack == "wsrf" else build_transfer_rig(scenario)
+    tracer = rig.deployment.network.metrics.tracer
+    counter = rig.client.create(0)
+    rig.client.get(counter)  # warm-up (connection caches), not recorded
+    trees: dict[str, Span] = {}
+
+    tracer.clear()
+    rig.client.get(counter)
+    trees["Get"] = tracer.last_root()
+
+    rig.client.subscribe(counter, rig.consumer)
+    tracer.clear()
+    rig.client.set(counter, 5)
+    # Delivery happens server-side, inside the Set's dispatch span — the
+    # span tree records the nesting the paper's Figure 1 can only imply.
+    for root in tracer.roots:
+        notify = root.find("notify.deliver")
+        if notify is not None:
+            trees["Notify"] = notify
+    if "Notify" not in trees:  # pragma: no cover - rig wiring regression
+        raise RuntimeError("Set did not produce a notification delivery")
+    return trees
+
+
+def stage_breakdown(root: Span) -> dict[str, float]:
+    """Elapsed virtual ms per top-level stage of one round-trip tree."""
+    return {child.name: child.elapsed_ms for child in root.children}
+
+
+def span_figure(mode: SecurityMode = SecurityMode.X509) -> dict[str, dict[str, float]]:
+    """Stage breakdown of a signed distributed Get, per stack (a figure)."""
+    return {
+        label: stage_breakdown(trace_round_trip(stack, mode)["Get"])
+        for label, stack in TRACE_SERIES
+    }
+
+
+def span_trees(mode: SecurityMode = SecurityMode.X509) -> dict[str, dict[str, dict]]:
+    """Full span trees per stack and operation, JSON-serializable."""
+    return {
+        label: {op: root.to_dict() for op, root in trace_round_trip(stack, mode).items()}
+        for label, stack in TRACE_SERIES
+    }

@@ -1,19 +1,18 @@
 """The client proxy: invoking services over the simulated wire.
 
-Mirrors a .NET Web-service proxy: it marshals the request, runs the
-security handler, pushes bytes through the transport, and unmarshals the
-response (re-raising faults as :class:`~repro.soap.envelope.SoapFault`).
-The same class serves end-user clients and server out-calls.
+Mirrors a .NET Web-service proxy built on WSE: marshalling, security,
+addressing and cost accounting all live in the deployment's filter
+pipeline (:mod:`repro.pipeline`); this class only drives the chain and
+moves bytes through the transport.  The same class serves end-user
+clients and server out-calls.
 """
 
 from __future__ import annotations
 
 from repro.addressing.epr import EndpointReference
-from repro.addressing.headers import MessageHeaders
-from repro.container.security import Credentials, SecurityError, SecurityHandler
+from repro.container.security import Credentials
+from repro.pipeline import PipelineContext
 from repro.sim.network import Host
-from repro.soap.envelope import SoapFault, build_envelope
-from repro.soap.message import WireMessage
 from repro.xmllib.element import XmlElement
 
 
@@ -29,13 +28,16 @@ class SoapClient:
         self.deployment = deployment
         self.host = deployment.host(host) if isinstance(host, str) else host
         self.credentials = credentials
-        self.security = SecurityHandler(
-            deployment.policy, deployment.network, deployment.ca, deployment.trust
-        )
+        self.chain = deployment.pipeline()
 
     @property
     def network(self):
         return self.deployment.network
+
+    @property
+    def security(self):
+        """The deployment-wide security handler (one per deployment)."""
+        return self.deployment.security_filter.handler
 
     def invoke(
         self,
@@ -44,54 +46,47 @@ class SoapClient:
         body: XmlElement,
         *,
         reply_to: EndpointReference | None = None,
+        rm_stamp: tuple[str, int] | None = None,
     ) -> XmlElement | None:
-        """Round-trip one request; returns the response body child (if any)."""
-        headers = MessageHeaders(
-            to=epr.address,
-            action=action,
-            reply_to=reply_to,
-            reference_properties=epr.reference_properties,
-        )
-        envelope = build_envelope(headers.to_elements(), [body])
-        self.security.secure_outgoing(envelope, self.credentials)
+        """Round-trip one request; returns the response body child (if any).
 
-        costs = self.network.costs
-        request = WireMessage.from_envelope(envelope)
-        self.network.charge(
-            costs.soap_per_message + costs.xml_serialize_per_kb * request.n_kb,
-            "client.send",
+        ``rm_stamp`` is the WS-RM ``(sequence id, message number)`` a
+        :class:`~repro.reliable.channel.ReliableChannel` assigns; the
+        pipeline's reliability filter stamps it onto the wire headers.
+        """
+        ctx = PipelineContext.client_request(
+            self.deployment, self.credentials, epr, action, body,
+            reply_to=reply_to, rm_stamp=rm_stamp,
         )
-        server_host, container = self.deployment.resolve(epr.address)
-        transport = self.deployment.policy.transport
-        self.network.transmit(
-            self.host, server_host, request.n_bytes, transport, service=epr.address
-        )
-        self.network.metrics.log_message(
-            self.network.clock.now, self.host.name, epr.address, action, request.n_bytes
-        )
+        network = self.network
+        with ctx.span("client.invoke", detail=action):
+            self.chain.run_outbound(ctx)
+            request = ctx.request_message
+            server_host, container = self.deployment.resolve(epr.address)
+            transport = self.deployment.policy.transport
+            with ctx.span("wire.request"):
+                network.transmit(
+                    self.host, server_host, request.n_bytes, transport,
+                    service=epr.address,
+                )
+                network.metrics.log_message(
+                    network.clock.now, self.host.name, epr.address,
+                    action, request.n_bytes,
+                )
 
-        reply = container.handle(request)
+            ctx.response_message = container.handle(request)
 
-        # The response flows back on the same connection: wire time only
-        # (and the same injected faults — a lossy link can eat replies).
-        self.network.transmit_response(
-            server_host, self.host, reply.n_bytes, transport, service=epr.address
-        )
-        kb = reply.n_bytes / 1024.0
-        self.network.metrics.log_message(
-            self.network.clock.now, epr.address, self.host.name,
-            action + "Response", reply.n_bytes, kind="response",
-        )
-
-        self.network.charge(
-            costs.soap_per_message + costs.xml_parse_per_kb * kb, "client.receive"
-        )
-        response = reply.parse()
-        try:
-            self.security.verify_incoming(response)
-        except SecurityError as exc:
-            raise SoapFault("Client", f"response security failure: {exc}") from exc
-        if response.is_fault():
-            raise response.fault()
-        children = list(response.body.element_children())
-        return children[0] if children else None
+            # The response flows back on the same connection: wire time only
+            # (and the same injected faults — a lossy link can eat replies).
+            with ctx.span("wire.response"):
+                network.transmit_response(
+                    server_host, self.host, ctx.response_message.n_bytes,
+                    transport, service=epr.address,
+                )
+                network.metrics.log_message(
+                    network.clock.now, epr.address, self.host.name,
+                    action + "Response", ctx.response_message.n_bytes,
+                    kind="response",
+                )
+            self.chain.run_inbound(ctx)
+        return ctx.response_body

@@ -1,27 +1,24 @@
 """The container: Figure 1's outer box.
 
-Processing order for each request, as in the paper: Dispatch routes to the
-service, the Security handler authenticates, the service executes against
-its storage, and the response passes back through the security handler to
-be signed.
+Processing order for each request, as in the paper: the inbound filter
+pass pays receive costs, enforces mustUnderstand, authenticates and
+reads the addressing headers (with WS-RM replay detection last); the
+container dispatches to the service; the outbound pass builds, signs,
+serializes and charges the reply.  All of that order lives in the
+deployment's :class:`~repro.pipeline.FilterChain` — this class only
+drives it and hosts the services.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.addressing.headers import MessageHeaders
-from repro.container.security import Credentials, SecurityError, SecurityHandler
+from repro.container.security import Credentials, SecurityError
 from repro.container.service import MessageContext, ServiceSkeleton
-from repro.reliable.sequence import (
-    MESSAGE_NUMBER_HEADER,
-    SEQUENCE_ID_HEADER,
-    InboundRequestLog,
-)
+from repro.pipeline import PipelineContext, ReliableMessagingFilter
 from repro.sim.network import Host, Network
-from repro.soap.envelope import Envelope, SoapFault, build_envelope, build_fault_envelope
+from repro.soap.envelope import SoapFault
 from repro.soap.message import WireMessage
-from repro.xmllib.element import XmlElement
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.container.client import SoapClient
@@ -43,14 +40,20 @@ class Container:
         self.name = name
         self.credentials = credentials
         self.network: Network = deployment.network
-        self.security = SecurityHandler(
-            deployment.policy, deployment.network, deployment.ca, deployment.trust
-        )
+        #: This container's filter chain; its reliability filter owns the
+        #: WS-RM reply cache, so the cache is per-container as before.
+        self.chain = deployment.pipeline()
         self.services: dict[str, ServiceSkeleton] = {}
-        #: WS-RM destination-side reply cache: retransmitted requests are
-        #: answered from here without re-executing the service, which is
-        #: what turns the channel's at-least-once into exactly-once.
-        self.request_log = InboundRequestLog()
+
+    @property
+    def security(self):
+        """The deployment-wide security handler (one per deployment)."""
+        return self.deployment.security_filter.handler
+
+    @property
+    def request_log(self):
+        """WS-RM destination-side reply cache (lives in the chain)."""
+        return self.chain.find(ReliableMessagingFilter).log
 
     # -- deployment -------------------------------------------------------------
 
@@ -81,113 +84,28 @@ class Container:
     def handle(self, message: WireMessage) -> WireMessage:
         """Process one request message and produce the response message.
 
-        Transport costs are charged by the caller (the client proxy); this
-        method charges server-side processing.
+        Transport costs are charged by the caller (the client proxy); the
+        filter passes charge server-side processing.
         """
-        costs = self.network.costs
-        self.network.charge(
-            costs.soap_dispatch
-            + costs.soap_per_message
-            + costs.xml_parse_per_kb * message.n_kb,
-            "server.receive",
-        )
-        request = message.parse()
-        request_headers: MessageHeaders | None = None
+        ctx = PipelineContext.server_request(self, message)
         try:
-            self._check_must_understand(request)
-            sender = self.security.verify_incoming(request)
-            request_headers = MessageHeaders.from_header_element(request.header)
-            rm_key = self._sequence_key(request_headers)
-            if rm_key is not None:
-                cached = self.request_log.replay(rm_key)
-                if cached is not None:
-                    # Retransmission: the first execution's reply went
-                    # missing on the wire.  Answer from the cache.
-                    self.network.charge(costs.soap_per_message, "server.send")
-                    return cached
-            service = self.services.get(request_headers.to)
+            self.chain.run_inbound(ctx)
+            if ctx.replayed:
+                return ctx.response_message
+            service = self.services.get(ctx.headers.to)
             if service is None:
-                raise SoapFault("Client", f"no service at {request_headers.to}")
-            context = MessageContext(
-                headers=request_headers,
-                body=request.body_child(),
-                sender=sender,
-                container=self,
-            )
-            result = service.dispatch(context)
-            response = self._response_envelope(request_headers, result)
-        except SoapFault as fault:
-            response = build_fault_envelope(
-                self._reply_headers(request_headers), fault
-            )
-        except SecurityError as exc:
-            response = build_fault_envelope(
-                self._reply_headers(request_headers),
-                SoapFault("Client", f"security failure: {exc}"),
-            )
-        try:
-            self.security.secure_outgoing(response, self.credentials)
-        except SecurityError:
-            # A misconfigured (credential-less) container cannot sign; send
-            # the response unsigned and let the client's policy reject it.
-            pass
-        reply = WireMessage.from_envelope(response)
-        self.network.charge(
-            costs.soap_per_message + costs.xml_serialize_per_kb * reply.n_kb,
-            "server.send",
-        )
-        if request_headers is not None:
-            rm_key = self._sequence_key(request_headers)
-            if rm_key is not None:
-                self.request_log.store(rm_key, reply)
-        return reply
-
-    @staticmethod
-    def _sequence_key(headers: MessageHeaders) -> tuple[str, int] | None:
-        """The (sequence id, message number) stamp, if the request has one."""
-        identifier = number = None
-        for key, value in headers.reference_properties:
-            if key == SEQUENCE_ID_HEADER:
-                identifier = value
-            elif key == MESSAGE_NUMBER_HEADER:
-                number = value
-        if identifier and number and number.isdigit():
-            return identifier, int(number)
-        return None
-
-    #: Header namespaces this container processes (WS-I processing model).
-    _UNDERSTOOD = ()
-
-    def _check_must_understand(self, request: Envelope) -> None:
-        """Fault on mustUnderstand="1" headers this node cannot process.
-
-        WS-Addressing, WS-Security and signature headers are processed
-        here; anything else flagged mandatory earns a MustUnderstand fault
-        (SOAP 1.1 §4.2.3) instead of being silently ignored.
-        """
-        from repro.xmllib import QName, ns as nsmod
-
-        understood = {nsmod.WSA, nsmod.WSSE, nsmod.DS}
-        flag = QName(nsmod.SOAP, "mustUnderstand")
-        for header in request.header.element_children():
-            if header.attributes.get(flag) in ("1", "true") and header.tag.namespace not in understood:
-                raise SoapFault(
-                    "MustUnderstand",
-                    f"mandatory header {header.tag.clark()} not understood",
+                raise SoapFault("Client", f"no service at {ctx.headers.to}")
+            with ctx.span("dispatch", detail=ctx.headers.action):
+                context = MessageContext(
+                    headers=ctx.headers,
+                    body=ctx.request_envelope.body_child(),
+                    sender=ctx.sender,
+                    container=self,
                 )
-
-    def _reply_headers(self, request_headers: MessageHeaders | None) -> list[XmlElement]:
-        if request_headers is None:
-            return []
-        reply = MessageHeaders(
-            to="soap://anonymous",
-            action=request_headers.action + "Response",
-            relates_to=request_headers.message_id,
-        )
-        return reply.to_elements()
-
-    def _response_envelope(
-        self, request_headers: MessageHeaders, result: XmlElement | None
-    ) -> Envelope:
-        body = [result] if result is not None else []
-        return build_envelope(self._reply_headers(request_headers), body)
+                ctx.result = service.dispatch(context)
+        except SoapFault as fault:
+            ctx.fault = fault
+        except SecurityError as exc:
+            ctx.fault = SoapFault("Client", f"security failure: {exc}")
+        self.chain.run_outbound(ctx)
+        return ctx.response_message

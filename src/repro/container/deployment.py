@@ -14,15 +14,13 @@ from typing import Callable
 
 from repro.container.container import Container
 from repro.container.security import Credentials, SecurityPolicy
-from repro.crypto.x509 import Certificate, CertificateAuthority, DistinguishedName
-from repro.crypto.xmldsig import DsigError, signer_subject, verify_element
+from repro.crypto.x509 import Certificate, CertificateAuthority
+from repro.pipeline import FilterChain, PipelineContext, SecurityFilter
 from repro.reliable.deadletter import DeadLetterLog
 from repro.reliable.policy import RetryPolicy
 from repro.sim.costs import CostModel
 from repro.sim.network import Host, Network, TransportKind
 from repro.soap.envelope import Envelope
-from repro.soap.message import WireMessage
-from repro.xmllib import QName, ns
 
 
 @dataclass
@@ -63,6 +61,11 @@ class Deployment:
         self.network = Network(cost_model)
         self.ca = ca
         self.trust: dict[str, Certificate] = {}
+        #: The one security filter every chain shares (clients, containers
+        #: and notification delivery sign/verify with the same handler).
+        self.security_filter = SecurityFilter(self.policy, self.network, ca, self.trust)
+        #: Chain driving producer→consumer notification delivery.
+        self.notification_chain = self.pipeline()
         self._hosts: dict[str, Host] = {}
         self._containers: dict[str, Container] = {}
         self._endpoints: dict[str, tuple[Host, Container]] = {}
@@ -73,6 +76,15 @@ class Deployment:
         self.reliability: RetryPolicy | None = None
         #: Shared terminal record for undeliverable messages.
         self.dead_letters = DeadLetterLog()
+
+    def pipeline(self) -> FilterChain:
+        """A fresh filter chain for this deployment's policy.
+
+        Apps, containers and benchmarks construct chains here instead of
+        wiring handlers by hand; the security filter is shared so the
+        whole deployment signs and verifies with one handler.
+        """
+        return FilterChain.standard(self.security_filter)
 
     # -- topology -----------------------------------------------------------
 
@@ -143,49 +155,25 @@ class Deployment:
         sink = self._sinks.get(sink_address)
         if sink is None:
             return False
-        costs = self.network.costs
-        if self.policy.signing and credentials is not None:
-            from repro.container.security import SecurityHandler
-
-            SecurityHandler(self.policy, self.network, self.ca, self.trust).secure_outgoing(
-                envelope, credentials
-            )
-        message = WireMessage.from_envelope(envelope)
-        self.network.charge(
-            costs.soap_per_message + costs.xml_serialize_per_kb * message.n_kb,
-            "notify.send",
-        )
-        copies = self.network.transmit(
-            from_host, sink.host, message.n_bytes, sink.transport, service=sink_address
-        )
-        self.network.metrics.log_message(
-            self.network.clock.now, from_host.name, sink_address,
-            "Notify", message.n_bytes, kind="notify",
-        )
-        for _ in range(copies):
-            self.network.charge(
-                sink.delivery_overhead(costs) + costs.xml_parse_per_kb * message.n_kb,
-                "notify.receive",
-            )
-            received = message.parse()
-            if self.policy.signing:
-                self._verify_notification(received)
-            sink.handler(received)
+        chain = self.notification_chain
+        out_ctx = PipelineContext.notify_outbound(self, envelope, credentials, sink)
+        with out_ctx.span("notify.deliver", detail=sink_address):
+            chain.run_outbound(out_ctx)
+            message = out_ctx.request_message
+            with out_ctx.span("wire.notify"):
+                copies = self.network.transmit(
+                    from_host, sink.host, message.n_bytes, sink.transport,
+                    service=sink_address,
+                )
+                self.network.metrics.log_message(
+                    self.network.clock.now, from_host.name, sink_address,
+                    "Notify", message.n_bytes, kind="notify",
+                )
+            for _ in range(copies):
+                in_ctx = PipelineContext.notify_inbound(self, message, sink)
+                chain.run_inbound(in_ctx)
+                sink.handler(in_ctx.request_envelope)
         return True
-
-    def _verify_notification(self, envelope: Envelope) -> None:
-        security = envelope.header_element(QName(ns.WSSE, "Security"))
-        signature = security.find(QName(ns.DS, "Signature")) if security is not None else None
-        if signature is None:
-            raise DsigError("signed deployment received unsigned notification")
-        subject = signer_subject(signature)
-        certificate = self.trust.get(subject)
-        if certificate is None:
-            raise DsigError(f"notification signed by unknown party {subject}")
-        costs = self.network.costs
-        self.network.charge(costs.rsa_verify, "security.verify")
-        verify_element(envelope.body, signature, certificate.public_key)
-        self.network.metrics.verified()
 
     # -- identity helpers --------------------------------------------------------
 

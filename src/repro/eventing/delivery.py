@@ -2,6 +2,11 @@
 
 "Plumbwork Orange uses a WSE SoapReceiver to handle notifications via TCP"
 — contrast with the WSRF.NET consumer's embedded HTTP server.
+
+This is a thin endpoint behind the notification pipeline: by the time
+``_on_envelope`` runs, the deployment's filter chain (DESIGN.md §10) has
+already charged delivery costs, verified signatures and closed the
+``notify.receive`` span — the consumer only dedupes and dispatches.
 """
 
 from __future__ import annotations

@@ -1,0 +1,41 @@
+"""WSE-style SOAP filter pipeline (DESIGN.md §10).
+
+The paper's .NET stack runs every message through WSE's ordered chain of
+SOAP filters — addressing, security, policy — and this package restores
+that architecture to the reproduction: client invocation, container
+request handling and notification delivery are thin drivers over one
+:class:`FilterChain` whose filters each own a single cross-cutting
+concern.  Chains are built per deployment via ``Deployment.pipeline()``.
+
+Layering rule (lint-enforced as RPO08): ``SecurityHandler`` and
+``InboundRequestLog`` are implementation details of
+:class:`SecurityFilter` / :class:`ReliableMessagingFilter`; code outside
+this package composes filters instead of reaching for the handlers.
+"""
+
+from repro.pipeline.chain import BaseFilter, FilterChain, MessageFilter
+from repro.pipeline.context import CLIENT, NOTIFY, SERVER, PipelineContext
+from repro.pipeline.filters import (
+    AddressingFilter,
+    CostAccountingFilter,
+    MustUnderstandFilter,
+    ReliableMessagingFilter,
+    SecurityFilter,
+    TracingFilter,
+)
+
+__all__ = [
+    "BaseFilter",
+    "FilterChain",
+    "MessageFilter",
+    "PipelineContext",
+    "CLIENT",
+    "SERVER",
+    "NOTIFY",
+    "AddressingFilter",
+    "CostAccountingFilter",
+    "MustUnderstandFilter",
+    "ReliableMessagingFilter",
+    "SecurityFilter",
+    "TracingFilter",
+]

@@ -11,7 +11,11 @@ EPR's reference properties.  That is a documented adaptation of the
 spec's composite ``wsrm:Sequence`` header: the proxy layer already
 echoes reference properties as SOAP headers, which gives us the stamp
 on the wire — and back out of ``MessageHeaders`` server-side — without
-a parallel marshalling path.  The synchronous request/response exchange
+a parallel marshalling path.  This class assigns the sequence numbers
+and drives the retry loop; the stamping itself is done by the
+pipeline's :class:`~repro.pipeline.filters.ReliableMessagingFilter`,
+which receives the stamp via ``invoke(..., rm_stamp=...)``.  The
+synchronous request/response exchange
 doubles as the acknowledgement (a reply *is* the ack); lost replies
 cause a retransmission that the server answers from its
 :class:`~repro.reliable.sequence.InboundRequestLog` without
@@ -23,11 +27,7 @@ from __future__ import annotations
 from repro.addressing.epr import EndpointReference
 from repro.reliable.deadletter import DeadLetterLog
 from repro.reliable.policy import RetryPolicy
-from repro.reliable.sequence import (
-    MESSAGE_NUMBER_HEADER,
-    SEQUENCE_ID_HEADER,
-    OutboundSequence,
-)
+from repro.reliable.sequence import OutboundSequence
 from repro.sim.faults import DeliveryFault
 from repro.xmllib.element import XmlElement
 
@@ -114,10 +114,6 @@ class ReliableChannel:
         not help."""
         sequence = self.sequence_for(epr.address)
         number = sequence.next_number()
-        stamped = epr.with_property(
-            SEQUENCE_ID_HEADER, sequence.identifier
-        ).with_property(MESSAGE_NUMBER_HEADER, str(number))
-
         clock = self.network.clock
         spent_backoff = 0.0
         attempts = 0
@@ -125,7 +121,10 @@ class ReliableChannel:
         for attempt in range(1, self.policy.max_attempts + 1):
             attempts = attempt
             try:
-                result = self.client.invoke(stamped, action, body, **kwargs)
+                result = self.client.invoke(
+                    epr, action, body,
+                    rm_stamp=(sequence.identifier, number), **kwargs,
+                )
             except DeliveryFault as exc:
                 last = exc
                 if attempt >= self.policy.max_attempts:

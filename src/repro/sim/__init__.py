@@ -20,7 +20,7 @@ from repro.sim.faults import (
     FaultSpec,
     MessageLost,
 )
-from repro.sim.metrics import MetricsRecorder, OperationTrace
+from repro.sim.metrics import MetricsRecorder, OperationTrace, Span, SpanRecorder
 from repro.sim.network import Host, Network, TransportKind
 
 __all__ = [
@@ -29,6 +29,8 @@ __all__ = [
     "CostModel",
     "MetricsRecorder",
     "OperationTrace",
+    "Span",
+    "SpanRecorder",
     "Host",
     "Network",
     "TransportKind",

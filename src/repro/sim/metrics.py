@@ -9,7 +9,131 @@ them directly.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One node of a per-message trace tree, timed on the virtual clock.
+
+    Spans reproduce the paper's Figure-1 processing order as data: the
+    pipeline's :class:`~repro.pipeline.filters.TracingFilter` opens one
+    span per processing stage (``client.send``, ``server.receive``, ...),
+    and nested stages — the server's whole handling runs inside the
+    client's invoke — become child spans.
+    """
+
+    name: str
+    started_at: float
+    ended_at: float = 0.0
+    detail: str = ""
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.ended_at - self.started_at
+
+    def walk(self, depth: int = 0):
+        """Yield ``(depth, span)`` pairs in document order."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def tree(self) -> list[str]:
+        """The span names as an indented text outline (for tests/reports)."""
+        return [f"{'  ' * depth}{span.name}" for depth, span in self.walk()]
+
+    def shape(self) -> tuple:
+        """The structural fingerprint: ``(name, (child shapes...))``."""
+        return (self.name, tuple(child.shape() for child in self.children))
+
+    def find(self, name: str) -> "Span | None":
+        for _, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "elapsed_ms": self.elapsed_ms,
+            **({"detail": self.detail} if self.detail else {}),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class SpanRecorder:
+    """Builds nested :class:`Span` trees from push/pop bracketing.
+
+    One recorder is shared per :class:`MetricsRecorder`; because the
+    simulation is synchronous, a single open-span stack suffices — a
+    span opened while another is open is its child (the server's
+    processing nests inside the client's invoke).
+    """
+
+    def __init__(self) -> None:
+        #: Completed top-level spans, in completion order.
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def push(self, name: str, now: float, detail: str = "") -> Span:
+        span = Span(name=name, started_at=now, detail=detail)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return span
+
+    def pop(self, now: float) -> Span:
+        if not self._stack:
+            raise RuntimeError("no open span to close")
+        span = self._stack.pop()
+        span.ended_at = now
+        if not self._stack:
+            self.roots.append(span)
+        return span
+
+    def close(self, span: Span, now: float) -> None:
+        """Close ``span``, first closing anything still open beneath it.
+
+        Used by the pipeline's deferred span closure: filters between the
+        push and the close open balanced child spans, but an exception may
+        abandon one — closing by identity keeps the tree well-formed.
+        """
+        if span not in self._stack:
+            return
+        while self._stack:
+            if self.pop(now) is span:
+                return
+
+    @contextmanager
+    def span(self, name: str, clock, detail: str = ""):
+        """Context manager bracketing one span on the virtual clock."""
+        opened = self.push(name, clock.now, detail)
+        try:
+            yield opened
+        finally:
+            # Close this span and anything left open beneath it (an
+            # exception mid-pipeline abandons inner spans).
+            while self._stack and self._stack[-1] is not opened:
+                self.pop(clock.now)
+            if self._stack and self._stack[-1] is opened:
+                self.pop(clock.now)
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def last_root(self) -> Span:
+        if not self.roots:
+            raise RuntimeError("no completed span trees")
+        return self.roots[-1]
+
+    def clear(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
 
 
 @dataclass(frozen=True)
@@ -62,6 +186,8 @@ class MetricsRecorder:
         #: Per-message log, populated only while ``wire_log_enabled``.
         self.wire_log: list[WireLogEntry] = []
         self.wire_log_enabled = False
+        #: Per-message trace-span trees (see :class:`SpanRecorder`).
+        self.tracer = SpanRecorder()
 
     # -- operation bracketing ----------------------------------------------
 

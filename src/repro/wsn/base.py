@@ -367,6 +367,9 @@ class NotificationProducerMixin:
         return True
 
     def _deliver_to_sink(self, view: SubscriptionView, payload: XmlElement) -> bool:
+        # Thin driver: the wire leg (signing, per-kb charging, tracing
+        # spans) is the deployment's notification filter chain —
+        # DESIGN.md §10 — reached via deliver_notification below.
         deployment = self.container.deployment
         if self.reliable_deliverer is not None:
             ok = self.reliable_deliverer.deliver(

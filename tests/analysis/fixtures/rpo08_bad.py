@@ -1,0 +1,24 @@
+"""Fixture: direct message-processing handler use outside repro.pipeline."""
+
+from repro.container.security import SecurityHandler
+from repro.reliable.sequence import InboundRequestLog
+
+
+class HandRolledProxy:
+    """Reconstructs the pre-pipeline world: per-call-site handler wiring."""
+
+    def __init__(self, deployment):
+        self.security = SecurityHandler(
+            deployment.policy, deployment.network, deployment.ca, deployment.trust
+        )
+        self.request_log = InboundRequestLog()
+
+
+def qualified_use(security_module, deployment):
+    # Module-qualified access is the same violation.
+    return security_module.SecurityHandler(deployment.policy, deployment.network)
+
+
+def drives_the_chain(deployment):
+    # The sanctioned shape: compose a chain, never touch the handlers.
+    return deployment.pipeline()

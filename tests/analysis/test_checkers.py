@@ -112,3 +112,30 @@ class TestRpo07WallClock:
 
     def test_clean_passes(self):
         assert findings_for("clean.py", "RPO07") == []
+
+
+class TestRpo08PipelineBoundary:
+    def test_direct_imports_and_qualified_use_flagged(self):
+        findings = findings_for("rpo08_bad.py", "RPO08")
+        messages = " | ".join(f.message for f in findings)
+        assert "SecurityHandler" in messages
+        assert "InboundRequestLog" in messages
+        # Two imports, two attribute uses in __init__ is zero (names bound
+        # locally), one module-qualified call.
+        assert len(findings) >= 3
+        assert all(f.severity == "error" for f in findings)
+
+    def test_chain_driver_shape_not_flagged(self):
+        findings = findings_for("rpo08_bad.py", "RPO08")
+        assert not any("pipeline()" in f.message for f in findings)
+
+    def test_owning_modules_are_exempt(self):
+        import repro.container.security as security_mod
+        import repro.pipeline.filters as filters_mod
+        import repro.reliable.sequence as sequence_mod
+
+        for mod in (security_mod, filters_mod, sequence_mod):
+            assert [f for f in analyze_file(mod.__file__) if f.rule == "RPO08"] == []
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO08") == []

@@ -1,0 +1,46 @@
+"""Cost-ledger equivalence: the pipeline refactor must be cost-invisible.
+
+``tests/pipeline/golden_costs.json`` was captured by running the bench
+measurement functions on the *pre-pipeline* monolithic implementation
+(hard-wired ``SoapClient.invoke`` / ``Container.handle``).  Every virtual
+millisecond here is deterministic — seeded RNG, fixed-width message ids —
+so the post-refactor ledger must match bit-for-bit, not approximately:
+``==`` on floats is the assertion, and any drift means a filter changed a
+charge, its order, or a message's bytes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.giab import GIAB_OPS, measure_giab
+from repro.bench.hello import HELLO_OPS, HELLO_SERIES, measure_hello_world
+from repro.container.security import SecurityMode
+
+GOLDEN = json.loads((Path(__file__).parent / "golden_costs.json").read_text())
+
+
+class TestHelloEquivalence:
+    @pytest.mark.parametrize("mode", list(SecurityMode))
+    @pytest.mark.parametrize("label,stack,colocated", HELLO_SERIES)
+    def test_hello_ledger_is_bit_identical(self, mode, label, stack, colocated):
+        got = measure_hello_world(stack, mode, colocated)
+        want = GOLDEN["hello"][mode.value][label]
+        assert set(got) == set(HELLO_OPS)
+        for op in HELLO_OPS:
+            assert got[op] == want[op], (
+                f"{mode.value}/{label}/{op}: {got[op]!r} != golden {want[op]!r}"
+            )
+
+
+class TestGiabEquivalence:
+    @pytest.mark.parametrize("stack", ("wsrf", "transfer"))
+    def test_giab_ledger_is_bit_identical(self, stack):
+        got = measure_giab(stack)
+        want = GOLDEN["giab"][stack]
+        assert set(got) == set(GIAB_OPS)
+        for op in GIAB_OPS:
+            assert got[op] == want[op], (
+                f"{stack}/{op}: {got[op]!r} != golden {want[op]!r}"
+            )

@@ -1,0 +1,162 @@
+"""Trace spans: the Figure-1 processing order, recorded as data.
+
+The golden-structure tests pin the span tree for one signed, distributed
+counter GetValue round-trip to the paper's processing order — on *both*
+stacks, which is the point of the shared pipeline: WSRF and
+WS-Transfer provably run the same middleware sequence.
+"""
+
+import pytest
+
+from repro.apps.counter.deploy import (
+    CounterScenario,
+    build_transfer_rig,
+    build_wsrf_rig,
+)
+from repro.container.security import SecurityMode
+from repro.sim import Clock
+from repro.sim.costs import CostModel
+from repro.sim.metrics import SpanRecorder
+
+#: Figure 1 as a span-tree fingerprint: marshal+sign, wire, receive+verify,
+#: dispatch, sign+send, wire, receive+verify.
+SIGNED_ROUND_TRIP = (
+    "client.invoke",
+    (
+        ("client.send", (("security.sign", ()),)),
+        ("wire.request", ()),
+        ("server.receive", (("security.verify", ()),)),
+        ("dispatch", ()),
+        ("server.send", (("security.sign", ()),)),
+        ("wire.response", ()),
+        ("client.receive", (("security.verify", ()),)),
+    ),
+)
+
+UNSIGNED_ROUND_TRIP = (
+    "client.invoke",
+    (
+        ("client.send", ()),
+        ("wire.request", ()),
+        ("server.receive", ()),
+        ("dispatch", ()),
+        ("server.send", ()),
+        ("wire.response", ()),
+        ("client.receive", ()),
+    ),
+)
+
+
+def _rig(stack: str, mode: SecurityMode):
+    scenario = CounterScenario(mode, False, CostModel())
+    return build_wsrf_rig(scenario) if stack == "wsrf" else build_transfer_rig(scenario)
+
+
+class TestGoldenStructure:
+    @pytest.mark.parametrize("stack", ("wsrf", "transfer"))
+    def test_signed_get_round_trip_matches_figure_1(self, stack):
+        rig = _rig(stack, SecurityMode.X509)
+        counter = rig.client.create(0)
+        tracer = rig.deployment.network.metrics.tracer
+        tracer.clear()
+        rig.client.get(counter)
+        assert tracer.open_depth == 0
+        assert tracer.last_root().shape() == SIGNED_ROUND_TRIP
+
+    @pytest.mark.parametrize("stack", ("wsrf", "transfer"))
+    def test_unsigned_get_has_no_security_spans(self, stack):
+        rig = _rig(stack, SecurityMode.NONE)
+        counter = rig.client.create(0)
+        tracer = rig.deployment.network.metrics.tracer
+        tracer.clear()
+        rig.client.get(counter)
+        assert tracer.last_root().shape() == UNSIGNED_ROUND_TRIP
+
+    @pytest.mark.parametrize("stack", ("wsrf", "transfer"))
+    def test_both_stacks_share_one_processing_model(self, stack):
+        """Span *names* are stack-independent — the tentpole's guarantee."""
+        rig = _rig(stack, SecurityMode.X509)
+        counter = rig.client.create(0)
+        tracer = rig.deployment.network.metrics.tracer
+        tracer.clear()
+        rig.client.set(counter, 3)
+        names = [span.name for _, span in tracer.last_root().walk()]
+        assert names[0] == "client.invoke"
+        assert "stack" not in " ".join(names)  # no stack-specific stages
+
+
+class TestSpanTimings:
+    def test_spans_cover_the_whole_operation(self):
+        rig = _rig("wsrf", SecurityMode.X509)
+        counter = rig.client.create(0)
+        network = rig.deployment.network
+        network.metrics.tracer.clear()
+        t0 = network.clock.now
+        rig.client.get(counter)
+        root = network.metrics.tracer.last_root()
+        assert root.started_at == t0
+        assert root.ended_at == network.clock.now
+        assert root.elapsed_ms > 0
+        # Children partition the parent: each child inside the root window.
+        for _, span in root.walk():
+            assert root.started_at <= span.started_at <= span.ended_at <= root.ended_at
+
+    def test_dispatch_nests_nested_outcalls(self):
+        """A server out-call's client.invoke appears under dispatch."""
+        from repro.apps.giab.vo import build_wsrf_vo
+
+        vo = build_wsrf_vo(mode=SecurityMode.X509)
+        tracer = vo.deployment.network.metrics.tracer
+        tracer.clear()
+        vo.client.get_available_resources("sort")
+        root = tracer.last_root()
+        dispatch = root.find("dispatch")
+        assert dispatch is not None
+        assert dispatch.find("client.invoke") is not None  # broker → site outcall
+
+
+class TestSpanRecorder:
+    def test_nesting_and_roots(self):
+        clock = Clock()
+        rec = SpanRecorder()
+        with rec.span("outer", clock):
+            clock.charge(5.0)
+            with rec.span("inner", clock):
+                clock.charge(2.0)
+        assert [s.name for s in rec.roots] == ["outer"]
+        assert rec.roots[0].shape() == ("outer", (("inner", ()),))
+        assert rec.roots[0].elapsed_ms == 7.0
+        assert rec.roots[0].children[0].elapsed_ms == 2.0
+
+    def test_exception_closes_abandoned_spans(self):
+        clock = Clock()
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("outer", clock):
+                rec.push("abandoned", clock.now)
+                raise RuntimeError("boom")
+        assert rec.open_depth == 0
+        assert rec.last_root().shape() == ("outer", (("abandoned", ()),))
+
+    def test_close_by_identity(self):
+        clock = Clock()
+        rec = SpanRecorder()
+        outer = rec.push("outer", clock.now)
+        rec.push("left-open", clock.now)
+        clock.charge(3.0)
+        rec.close(outer, clock.now)
+        assert rec.open_depth == 0
+        assert rec.last_root() is outer
+        rec.close(outer, clock.now)  # idempotent once closed
+        assert len(rec.roots) == 1
+
+    def test_to_dict_round_trips_structure(self):
+        clock = Clock()
+        rec = SpanRecorder()
+        with rec.span("op", clock, detail="urn:test/Get"):
+            clock.charge(1.0)
+        data = rec.last_root().to_dict()
+        assert data["name"] == "op"
+        assert data["detail"] == "urn:test/Get"
+        assert data["elapsed_ms"] == 1.0
+        assert data["children"] == []
