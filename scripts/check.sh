@@ -24,4 +24,7 @@ python -m repro.analysis || status=1
 echo "== bench smoke =="
 python -m repro hello || status=1
 
+echo "== xmldb smoke =="
+python -m repro xmldb || status=1
+
 exit $status

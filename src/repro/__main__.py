@@ -2,7 +2,7 @@
 
 With no arguments, regenerates every figure from the paper's evaluation and
 prints it as a table.  Arguments select individual figures:
-``fig2 fig3 fig4 fig6 sweep switch reliab hello``.
+``fig2 fig3 fig4 fig6 sweep switch reliab xmldb hello``.
 
 ``hello`` is the CI bench smoke: one signed round-trip per stack through
 the filter pipeline, reported per pipeline stage plus the full span tree.
@@ -101,6 +101,15 @@ def _reliab() -> None:
     ))
 
 
+def _xmldb() -> None:
+    """XML DB scaling smoke: indexed vs scan query cost over 10..5000 docs."""
+    from repro.bench import format_figure_table, xmldb_scaling_figure
+
+    print(format_figure_table(
+        "XML DB scaling: indexed query vs collection scan", xmldb_scaling_figure()
+    ))
+
+
 def _hello() -> None:
     """Bench smoke: one signed round-trip per stack, per pipeline stage."""
     from repro.bench import (
@@ -129,6 +138,7 @@ FIGURES = {
     "sweep": _sweep,
     "switch": _switch,
     "reliab": _reliab,
+    "xmldb": _xmldb,
     "hello": _hello,
 }
 

@@ -27,6 +27,11 @@ from repro.transfer.service import (
 )
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
+from repro.xmllib.xpath import xpath_literal
+
+_GIAB_PREFIXES = {"g": ns.GIAB}
+#: Index path over Site documents (opt-in via ``enable_indexes``).
+APPLICATION_INDEX_PATH = "//g:Application"
 
 
 def site_representation(
@@ -72,6 +77,12 @@ class TransferResourceAllocationService(TransferResourceService):
         self.account_address = account_address
         self.admins = admins or set()
 
+    def enable_indexes(self) -> None:
+        """Declare the application index over Site documents.  Opt-in: the
+        "1<app>" availability query then walks the posting list for the
+        application instead of every site; default costs are unchanged."""
+        self.collection.declare_index(APPLICATION_INDEX_PATH, _GIAB_PREFIXES)
+
     # -- Create / Delete: computing sites (administrative) --------------------------
 
     def process_create(self, representation: XmlElement, context: MessageContext):
@@ -104,7 +115,7 @@ class TransferResourceAllocationService(TransferResourceService):
 
     def _available_resources(self, application: str) -> XmlElement:
         response = element(f"{{{ns.GIAB}}}AvailableResources")
-        for key, site in self.collection.documents():
+        for key, site in self._candidate_sites(application):
             apps = [
                 a.text().strip()
                 for a in site.element_children()
@@ -116,6 +127,21 @@ class TransferResourceAllocationService(TransferResourceService):
                 continue
             response.append(site.copy())
         return response
+
+    def _candidate_sites(self, application: str):
+        """(key, Site) pairs to consider for an availability query: the
+        application index's posting list when declared (and the value is
+        spellable as an XPath literal), else every site.  The caller
+        re-applies the full filter, so responses are identical."""
+        literal = xpath_literal(application)
+        if literal is not None and (
+            self.collection.find_index(APPLICATION_INDEX_PATH, _GIAB_PREFIXES) is not None
+        ):
+            keys = self.collection.query_keys(
+                f"{APPLICATION_INDEX_PATH}[. = {literal}]", _GIAB_PREFIXES
+            )
+            return [(key, self.collection.read(key)) for key in keys]
+        return list(self.collection.documents())
 
     # -- Put: three reservation modes --------------------------------------------------
 

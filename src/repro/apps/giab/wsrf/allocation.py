@@ -14,6 +14,13 @@ from repro.wsrf.basefaults import base_fault
 from repro.xmldb.collection import Collection, DocumentNotFound
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
+from repro.xmllib.xpath import xpath_literal
+
+_GIAB_PREFIXES = {"g": ns.GIAB}
+#: Index paths over the registered-host documents (opt-in via
+#: ``enable_indexes``): the installed applications and the host name.
+APPLICATION_INDEX_PATH = "//g:Application"
+HOST_INDEX_PATH = "//g:Host"
 
 
 class WsrfResourceAllocationService(ServiceSkeleton):
@@ -29,6 +36,25 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         self.collection = collection
         self.reservation_address = reservation_address
         self.admins = admins or set()
+
+    def enable_indexes(self) -> None:
+        """Declare the application and host indexes over the registry.
+
+        Opt-in: GetAvailableResources then resolves the Application
+        predicate from a posting list (O(matching hosts)) instead of
+        scanning every registered host; the default cost profile without
+        this call is unchanged.
+        """
+        self.collection.declare_index(APPLICATION_INDEX_PATH, _GIAB_PREFIXES)
+        self.collection.declare_index(HOST_INDEX_PATH, _GIAB_PREFIXES)
+
+    def registered_hosts(self) -> list[str]:
+        """All registered host names — a covering index read when indexed."""
+        if self.collection.find_index(HOST_INDEX_PATH, _GIAB_PREFIXES) is not None:
+            return self.collection.index_values(HOST_INDEX_PATH, _GIAB_PREFIXES)
+        return sorted(
+            parse_host_info(doc)["host"] for _, doc in self.collection.documents()
+        )
 
     def _require_admin(self, context: MessageContext) -> None:
         if context.sender is None:
@@ -72,7 +98,7 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         )
         reserved = {h.text().strip() for h in reserved_response.element_children()}
         response = element(f"{{{ns.GIAB}}}getAvailableResourcesResponse")
-        for key, doc in self.collection.documents():
+        for _key, doc in self._hosts_with_application(application):
             info = parse_host_info(doc)
             if application in info["applications"] and info["host"] not in reserved:
                 response.append(
@@ -81,6 +107,25 @@ class WsrfResourceAllocationService(ServiceSkeleton):
                     )
                 )
         return response
+
+    def _hosts_with_application(self, application: str):
+        """Candidate (key, document) pairs for an Application predicate.
+
+        With the application index declared this is the posting list for
+        the requested value; otherwise (or for a value that cannot be
+        spelled as an XPath literal) it is every registered host.  The
+        caller re-applies the same membership filter either way, so the
+        response is identical — only the candidate set shrinks.
+        """
+        literal = xpath_literal(application)
+        if literal is not None and (
+            self.collection.find_index(APPLICATION_INDEX_PATH, _GIAB_PREFIXES) is not None
+        ):
+            keys = self.collection.query_keys(
+                f"{APPLICATION_INDEX_PATH}[. = {literal}]", _GIAB_PREFIXES
+            )
+            return [(key, self.collection.read(key)) for key in keys]
+        return list(self.collection.documents())
 
 
 class ServiceGroupAllocationService(ServiceSkeleton):

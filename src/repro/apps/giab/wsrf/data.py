@@ -20,6 +20,11 @@ from repro.wsrf.programming import ResourceField, WsResourceService, resource_pr
 from repro.wsrf.properties import ResourcePropertiesMixin
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
+from repro.xmllib.xpath import xpath_literal
+
+_FIELDS_PREFIXES = {"f": ns.WSRF_FIELDS}
+#: Index path over directory resources (opt-in via ``enable_indexes``).
+DIRECTORY_INDEX_PATH = "//f:directory"
 
 
 class WsrfDataService(
@@ -42,6 +47,35 @@ class WsrfDataService(
         self.node_host = node_host
         self.reservation_address = reservation_address
         self._dir_ids = itertools.count(1)
+
+    def enable_indexes(self) -> None:
+        """Declare the directory-path index.  Opt-in: listing and reverse
+        lookup of directory resources then run off the index; default
+        costs are unchanged."""
+        self.home.declare_index(DIRECTORY_INDEX_PATH, _FIELDS_PREFIXES)
+
+    def directories(self) -> list[str]:
+        """All directory paths managed by this service — a covering index
+        read when indexed, otherwise a load of each resource document."""
+        if self.home.find_index(DIRECTORY_INDEX_PATH, _FIELDS_PREFIXES) is not None:
+            return self.home.index_values(DIRECTORY_INDEX_PATH, _FIELDS_PREFIXES)
+        return sorted(
+            text_of(self.home.load(key).find(f"{{{ns.WSRF_FIELDS}}}directory"))
+            for key in self.home.keys()
+        )
+
+    def keys_for_directory(self, path: str) -> list[str]:
+        """Resource keys whose directory field equals ``path`` (normally one)."""
+        literal = xpath_literal(path)
+        if literal is not None:
+            return self.home.query_keys(
+                f"{DIRECTORY_INDEX_PATH}[. = {literal}]", _FIELDS_PREFIXES
+            )
+        return [
+            key
+            for key in self.home.keys()
+            if text_of(self.home.load(key).find(f"{{{ns.WSRF_FIELDS}}}directory")) == path
+        ]
 
     # -- operations ---------------------------------------------------------------
 

@@ -18,6 +18,12 @@ from repro.wsrf.properties import ResourcePropertiesMixin
 from repro.wsrf.resource import RESOURCE_ID
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
+from repro.xmllib.xpath import xpath_literal
+
+_FIELDS_PREFIXES = {"f": ns.WSRF_FIELDS}
+#: Index path over reservation documents (opt-in via ``enable_indexes``):
+#: the reserved host name field.
+RESERVED_HOST_INDEX_PATH = "//f:host"
 
 
 class WsrfReservationService(
@@ -33,6 +39,12 @@ class WsrfReservationService(
         super().__init__(home)
         self.account_address = account_address
         self.delta_ms = delta_ms
+
+    def enable_indexes(self) -> None:
+        """Declare the reserved-host index.  Opt-in: the reserved-hosts
+        listing then becomes a covering index read and checkReservation an
+        O(hits) lookup; without this call costs are unchanged."""
+        self.home.declare_index(RESERVED_HOST_INDEX_PATH, _FIELDS_PREFIXES)
 
     # -- creation (application-specific, as WSRF mandates nothing) ----------------
 
@@ -72,12 +84,24 @@ class WsrfReservationService(
     def check_reservation(self, context: MessageContext) -> XmlElement:
         host = text_of(context.body.find_local("Host"))
         dn = text_of(context.body.find_local("DN"))
-        held = any(
-            entry == (host, dn) for entry in self._reservation_pairs()
-        )
+        held = self._holds_reservation(host, dn)
         return element(
             f"{{{ns.GIAB}}}checkReservationResponse", "true" if held else "false"
         )
+
+    def _holds_reservation(self, host: str, dn: str) -> bool:
+        literal = xpath_literal(host)
+        if literal is not None and (
+            self.home.find_index(RESERVED_HOST_INDEX_PATH, _FIELDS_PREFIXES) is not None
+        ):
+            for key in self.home.query_keys(
+                f"{RESERVED_HOST_INDEX_PATH}[. = {literal}]", _FIELDS_PREFIXES
+            ):
+                doc = self.home.load(key)
+                if text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}owner")) == dn:
+                    return True
+            return False
+        return any(entry == (host, dn) for entry in self._reservation_pairs())
 
     def _reservation_pairs(self) -> list[tuple[str, str]]:
         pairs = []
@@ -89,6 +113,9 @@ class WsrfReservationService(
         return pairs
 
     def _live_reserved_hosts(self) -> set[str]:
+        if self.home.find_index(RESERVED_HOST_INDEX_PATH, _FIELDS_PREFIXES) is not None:
+            # Covering read: the host list is exactly the index's value set.
+            return set(self.home.index_values(RESERVED_HOST_INDEX_PATH, _FIELDS_PREFIXES))
         return {host for host, _ in self._reservation_pairs()}
 
     # -- resource properties -----------------------------------------------------------

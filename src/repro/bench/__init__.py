@@ -16,6 +16,12 @@ from repro.bench.report import (
     format_span_tree,
     spans_to_csv,
 )
+from repro.bench.xmldb import (
+    build_corpus,
+    query_cost,
+    scan_cost_model,
+    xmldb_scaling_figure,
+)
 from repro.bench.trace import (
     TRACE_SERIES,
     span_figure,
@@ -36,6 +42,10 @@ __all__ = [
     "format_bar_chart",
     "format_span_tree",
     "spans_to_csv",
+    "build_corpus",
+    "query_cost",
+    "scan_cost_model",
+    "xmldb_scaling_figure",
     "TRACE_SERIES",
     "span_figure",
     "span_trees",

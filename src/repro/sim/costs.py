@@ -73,6 +73,13 @@ class CostModel:
     db_query_per_doc: float = 0.25
     #: Fixed XPath query setup cost.
     db_query_base: float = 2.0
+    #: Fixed cost of answering a query from a secondary index's posting
+    #: list (B-tree bucket lookup); the per-document cost then applies to
+    #: the hits only, so an indexed query is O(hits) not O(N).
+    db_query_indexed: float = 0.9
+    #: Incremental index maintenance per declared index on every document
+    #: write — the price Xindice-style value indexes add to inserts.
+    db_index_maintain: float = 0.35
     #: Write-through resource-cache hit (WSRF.NET's optimization).
     cache_hit: float = 0.4
 

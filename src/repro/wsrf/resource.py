@@ -88,6 +88,19 @@ class ResourceHome:
     def query_keys(self, expression: str, prefixes: dict[str, str] | None = None):
         return self.store.query_keys(expression, prefixes)
 
+    # -- secondary indexes -------------------------------------------------
+
+    def declare_index(self, path: str, prefixes: dict[str, str] | None = None):
+        """Declare a secondary index over this home's resource documents;
+        ``query``/``query_keys`` then answer covered lookups in O(hits)."""
+        return self.store.declare_index(path, prefixes)
+
+    def find_index(self, path: str, prefixes: dict[str, str] | None = None):
+        return self.store.find_index(path, prefixes)
+
+    def index_values(self, path: str, prefixes: dict[str, str] | None = None) -> list[str]:
+        return self.store.index_values(path, prefixes)
+
     # -- scheduled termination (WS-ResourceLifetime) ------------------------------
 
     def termination_time(self, key: str) -> float | None:

@@ -8,17 +8,23 @@ collections of XML documents keyed by id, XPath queries, pluggable backends
 and the write-through resource cache behind WSRF.NET's faster Set.
 """
 
-from repro.xmldb.backends import Backend, FileBackend, MemoryBackend
+from repro.xmldb.backends import Backend, FileBackend, MemoryBackend, backend_items
 from repro.xmldb.collection import Collection, DocumentNotFound
 from repro.xmldb.database import XmlDatabase
 from repro.xmldb.cache import WriteThroughCache
+from repro.xmldb.index import IndexDefinitionError, QueryPlan, XPathIndex, plan_query
 
 __all__ = [
     "Backend",
     "FileBackend",
     "MemoryBackend",
+    "backend_items",
     "Collection",
     "DocumentNotFound",
     "XmlDatabase",
     "WriteThroughCache",
+    "IndexDefinitionError",
+    "QueryPlan",
+    "XPathIndex",
+    "plan_query",
 ]

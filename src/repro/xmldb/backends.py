@@ -29,6 +29,24 @@ class Backend(Protocol):
         ...
 
 
+def backend_items(backend: Backend) -> Iterator[tuple[str, str]]:
+    """All (key, text) pairs of a backend, in key order.
+
+    Bulk reads (collection scans, index builds) go through here: a backend
+    may provide an ``items()`` fast path (one pass for dict-backed stores);
+    custom backends implementing only the minimal protocol are walked
+    key-by-key.
+    """
+    items = getattr(backend, "items", None)
+    if items is not None:
+        yield from sorted(items())
+        return
+    for key in sorted(backend.keys()):
+        text = backend.load(key)
+        if text is not None:
+            yield key, text
+
+
 class MemoryBackend:
     """The in-memory document collection backend."""
 
@@ -46,6 +64,9 @@ class MemoryBackend:
 
     def keys(self) -> Iterator[str]:
         return iter(list(self._docs))
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        return iter(list(self._docs.items()))
 
     def __len__(self) -> int:
         return len(self._docs)
@@ -84,3 +105,9 @@ class FileBackend:
         for entry in sorted(os.listdir(self.directory)):
             if entry.endswith(".xml"):
                 yield entry[: -len(".xml")]
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        for key in self.keys():
+            text = self.load(key)
+            if text is not None:
+                yield key, text

@@ -5,11 +5,15 @@ optimization effort (particularly write-through resource caching)": a Set
 avoids the read-before-write the unoptimized WS-Transfer service pays.
 This wrapper provides exactly that: reads served from cache are charged the
 (cheap) cache-hit cost, writes go to both cache and database.
+
+Eviction is true LRU: a read hit refreshes a document's recency, so under
+churn the hottest resources stay resident and the coldest one is evicted.
 """
 
 from __future__ import annotations
 
 from repro.xmldb.collection import Collection, DocumentNotFound
+from repro.xmldb.index import XPathIndex
 from repro.xmllib.element import XmlElement
 
 
@@ -19,6 +23,8 @@ class WriteThroughCache:
     def __init__(self, collection: Collection, capacity: int = 256) -> None:
         self.collection = collection
         self.capacity = capacity
+        # Insertion order doubles as recency order: least-recently-used
+        # first.  Every hit and every write moves its key to the end.
         self._cache: dict[str, XmlElement] = {}
         self.hits = 0
         self.misses = 0
@@ -39,6 +45,8 @@ class WriteThroughCache:
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            # Move-to-end: a hit makes this the most recently used entry.
+            self._cache[key] = self._cache.pop(key)
             self.collection.network.charge(self.collection.network.costs.cache_hit, "db.cache")
             return cached.copy()
         self.misses += 1
@@ -48,6 +56,12 @@ class WriteThroughCache:
 
     def update(self, key: str, document: XmlElement) -> None:
         self.collection.update(key, document)
+        self._put(key, document)
+
+    def upsert(self, key: str, document: XmlElement) -> None:
+        """Write-through upsert: without this, an upsert reaching the raw
+        collection would leave a stale copy of ``key`` in the cache."""
+        self.collection.upsert(key, document)
         self._put(key, document)
 
     def delete(self, key: str) -> None:
@@ -60,6 +74,9 @@ class WriteThroughCache:
     def keys(self) -> list[str]:
         return self.collection.keys()
 
+    def documents(self):
+        return self.collection.documents()
+
     def query(self, expression: str, prefixes: dict[str, str] | None = None):
         # Queries bypass the cache: write-through means the DB is never stale.
         return self.collection.query(expression, prefixes)
@@ -67,7 +84,29 @@ class WriteThroughCache:
     def query_keys(self, expression: str, prefixes: dict[str, str] | None = None):
         return self.collection.query_keys(expression, prefixes)
 
+    # -- secondary indexes (maintained by the collection on every write) ----
+
+    def declare_index(
+        self,
+        path: str,
+        prefixes: dict[str, str] | None = None,
+        *,
+        name: str | None = None,
+    ) -> XPathIndex:
+        return self.collection.declare_index(path, prefixes, name=name)
+
+    def find_index(
+        self, path: str, prefixes: dict[str, str] | None = None
+    ) -> XPathIndex | None:
+        return self.collection.find_index(path, prefixes)
+
+    def index_values(self, path: str, prefixes: dict[str, str] | None = None) -> list[str]:
+        return self.collection.index_values(path, prefixes)
+
     def _put(self, key: str, document: XmlElement) -> None:
-        if len(self._cache) >= self.capacity and key not in self._cache:
+        # Re-inserting an existing key must refresh its recency, so drop it
+        # first; then evict the least recently used entry if still full.
+        self._cache.pop(key, None)
+        if len(self._cache) >= self.capacity:
             self._cache.pop(next(iter(self._cache)))
         self._cache[key] = document.copy()

@@ -35,11 +35,18 @@ class XmlDatabase:
         return existing
 
     def drop(self, name: str) -> None:
+        """Drop a collection, deleting every document *through* it.
+
+        Routing each removal through :meth:`Collection.delete` keeps the
+        paper's "deletes are charged" discipline: dropping N documents
+        costs N × ``db_delete`` and records N ``db_op``s, instead of
+        silently wiping the backend for free.
+        """
         collection = self._collections.pop(name, None)
         if collection is None:
             raise KeyError(f"no such collection: {name}")
         for key in collection.keys():
-            collection.backend.remove(key)
+            collection.delete(key)
 
     def names(self) -> list[str]:
         return sorted(self._collections)

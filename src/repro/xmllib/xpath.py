@@ -197,6 +197,61 @@ class NumberExpr:
 Expr = "UnionExpr | PathExpr | BinaryExpr | FunctionCall | LiteralExpr | NumberExpr"
 
 
+# ---------------------------------------------------------------------------
+# Planner-facing shapes.  The XML database's query planner (repro.xmldb.index)
+# must decide whether an expression is covered by a declared index without
+# re-implementing this module's grammar, so the compiled expression exposes
+# its structure in normalized form: prefixes resolved to URIs, so two
+# expressions written against different prefix maps compare equal exactly
+# when they select the same nodes.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StepKey:
+    """One location step, normalized for structural comparison."""
+
+    axis: str
+    test: str
+    uri: str | None
+    local: str | None
+
+
+@dataclass(frozen=True)
+class PlanShape:
+    """The index-relevant structure of ``path[value_path = 'literal']``.
+
+    ``steps`` is the location path with the final step's predicate stripped;
+    ``value_steps`` is the relative path inside that predicate (empty for a
+    bare ``.``); ``literal`` is the compared string, or ``None`` when the
+    path carries no predicate at all (the shape of an index declaration).
+    """
+
+    absolute: bool
+    steps: tuple[StepKey, ...]
+    value_steps: tuple[StepKey, ...]
+    literal: str | None
+
+    @property
+    def signature(self) -> tuple:
+        """Identity of the document path the shape reads values from."""
+        return (self.absolute, self.steps + self.value_steps)
+
+
+def xpath_literal(value: str) -> str | None:
+    """Quote ``value`` as an XPath string literal.
+
+    XPath 1.0 has no escape mechanism, so a value containing both quote
+    kinds cannot be written as a literal — callers get ``None`` and must
+    fall back to scanning.
+    """
+    if "'" not in value:
+        return f"'{value}'"
+    if '"' not in value:
+        return f'"{value}"'
+    return None
+
+
 class _Parser:
     def __init__(self, tokens: list[tuple[str, str]]) -> None:
         self.tokens = tokens
@@ -493,6 +548,55 @@ class XPath:
     def matches(self, root: XmlElement) -> bool:
         """Effective boolean value of the result — the filter entry point."""
         return _to_bool(self.evaluate(root))
+
+    def plan_shape(self) -> PlanShape | None:
+        """The expression's :class:`PlanShape`, if it has one.
+
+        Only a single location path qualifies, predicate-free except for at
+        most one predicate on the *final* step of the form
+        ``value_path = 'literal'`` (either operand order) where
+        ``value_path`` is ``.``, a relative predicate-free path, or an
+        attribute.  Everything richer — unions, functions, booleans,
+        positional or non-final predicates, comparisons against numbers or
+        node-sets — returns ``None``: the planner must scan.
+        """
+        path = self.ast
+        if not isinstance(path, PathExpr) or not path.steps:
+            return None
+        if any(step.predicates for step in path.steps[:-1]):
+            return None
+        try:
+            steps = tuple(self._step_key(step) for step in path.steps)
+        except XPathError:
+            return None  # undeclared prefix: let evaluation raise, not us
+        last = path.steps[-1]
+        if not last.predicates:
+            return PlanShape(path.absolute, steps, (), None)
+        if len(last.predicates) != 1:
+            return None
+        predicate = last.predicates[0]
+        if not isinstance(predicate, BinaryExpr) or predicate.op != "=":
+            return None
+        sides = (predicate.left, predicate.right)
+        literal = next((s.value for s in sides if isinstance(s, LiteralExpr)), None)
+        value_path = next((s for s in sides if isinstance(s, PathExpr)), None)
+        if literal is None or value_path is None or value_path.absolute:
+            return None
+        if any(step.predicates for step in value_path.steps):
+            return None
+        try:
+            value_steps = tuple(self._step_key(s) for s in value_path.steps)
+        except XPathError:
+            return None
+        # A bare `.` (or a leading `./`) contributes nothing to the path.
+        value_steps = tuple(k for k in value_steps if k.axis != "self")
+        return PlanShape(path.absolute, steps, value_steps, literal)
+
+    def _step_key(self, step: Step) -> StepKey:
+        if step.test in ("name", "ns-wildcard"):
+            uri, local = self._resolve(step.name)  # type: ignore[arg-type]
+            return StepKey(step.axis, step.test, uri, local)
+        return StepKey(step.axis, step.test, None, None)
 
     # -- internals ----------------------------------------------------------
 

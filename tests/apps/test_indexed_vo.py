@@ -1,0 +1,113 @@
+"""The ``indexed`` VO builders: same answers, cheaper queries.
+
+``build_wsrf_vo(indexed=True)`` / ``build_transfer_vo(indexed=True)``
+declare the secondary indexes (host registry, reservations, directories,
+site applications) and swap the flat-file subscription store for the
+DB-backed one.  Every client-visible answer must match the default VO; the
+per-query cost must stop growing with the registry size.
+"""
+
+import pytest
+
+from repro.apps.giab import build_transfer_vo, build_wsrf_vo
+from repro.bench.runner import measure_virtual
+from repro.container import SecurityMode
+from repro.eventing.store import XmlDbSubscriptionStore
+
+
+def many_hosts(n: int) -> dict[str, list[str]]:
+    # every host runs "common"; exactly one also runs "rare"
+    return {
+        f"node{i:03d}": ["common", "rare"] if i == 0 else ["common"] for i in range(n)
+    }
+
+
+class TestSameAnswers:
+    @pytest.mark.parametrize("builder", [build_wsrf_vo, build_transfer_vo])
+    def test_available_resources_match_default_vo(self, builder):
+        plain = builder(mode=SecurityMode.NONE)
+        indexed = builder(mode=SecurityMode.NONE, indexed=True)
+        for application in ("sort", "blast", "render", "absent"):
+            assert plain.client.get_available_resources(
+                application
+            ) == indexed.client.get_available_resources(application)
+
+    def test_wsrf_reservation_flow_on_indexed_vo(self):
+        vo = build_wsrf_vo(indexed=True)
+        vo.client.make_reservation("node1")
+        # reserved host disappears from availability (covering index read)
+        hosts = [r["host"] for r in vo.client.get_available_resources("sort")]
+        assert hosts == ["node2"]
+        # upload triggers Data→Reservation checkReservation: the indexed
+        # _holds_reservation branch must agree with the scan
+        directory = vo.client.create_data_directory(vo.nodes["node1"].data_service.address)
+        vo.client.upload_file(directory, "in.txt", "payload")
+        assert vo.client.list_files(directory) == ["in.txt"]
+
+    def test_transfer_reservation_flow_on_indexed_vo(self):
+        vo = build_transfer_vo(indexed=True)
+        vo.client.make_reservation("node1")
+        hosts = [r["host"] for r in vo.client.get_available_resources("sort")]
+        assert hosts == ["node2"]
+        vo.client.unreserve("node1")
+        hosts = [r["host"] for r in vo.client.get_available_resources("sort")]
+        assert hosts == ["node1", "node2"]
+
+    def test_transfer_indexed_vo_uses_db_subscription_store(self):
+        vo = build_transfer_vo(mode=SecurityMode.NONE, indexed=True)
+        node = vo.nodes["node1"]
+        manager = node.exec_service.notifications
+        # the store swap is the only wiring difference on the eventing path
+        assert isinstance(manager.store, XmlDbSubscriptionStore)
+
+    def test_data_service_directory_index(self):
+        vo = build_wsrf_vo(indexed=True)
+        vo.client.make_reservation("node1")
+        data = vo.nodes["node1"].data_service
+        vo.client.create_data_directory(data.address)
+        vo.client.create_data_directory(data.address)
+        dirs = data.directories()
+        assert len(dirs) == 2
+        assert data.keys_for_directory(dirs[0]) != []
+        assert data.keys_for_directory("/grid/nowhere") == []
+
+
+class TestQueryScaling:
+    """The legacy service scans iterate ``documents()`` uncharged (their
+    cost profile is pinned by the golden ledgers), so the index's win shows
+    where costs are actually charged: candidate selection is O(hits), and
+    the reservation walk — which pays per document — goes flat."""
+
+    def _candidate_cost(self, n: int) -> float:
+        vo = build_wsrf_vo(mode=SecurityMode.NONE, hosts=many_hosts(n), indexed=True)
+        network = vo.deployment.network
+        before = network.clock.now
+        candidates = vo.allocation._hosts_with_application("rare")
+        assert len(candidates) == 1
+        return network.clock.now - before
+
+    def test_indexed_candidates_cost_is_flat_in_registry_size(self):
+        # O(hits): one matching host costs the same whether 8 or 32 are
+        # registered, while a charged scan would pay per registered host
+        assert self._candidate_cost(32) == pytest.approx(self._candidate_cost(8), abs=1e-9)
+
+    def _reserved_listing_cost(self, indexed: bool, n_reserved: int) -> float:
+        hosts = many_hosts(32)
+        vo = build_wsrf_vo(mode=SecurityMode.NONE, hosts=hosts, indexed=indexed)
+        for host in sorted(hosts)[:n_reserved]:
+            vo.client.make_reservation(host)
+        network = vo.deployment.network
+        before = network.clock.now
+        listing = vo.reservation._live_reserved_hosts()
+        assert len(listing) == n_reserved
+        return network.clock.now - before
+
+    def test_indexed_reserved_hosts_listing_beats_per_document_walk(self):
+        # the default listing loads every reservation document; the index
+        # answers from its value set at one fixed charge
+        assert self._reserved_listing_cost(True, 16) < self._reserved_listing_cost(False, 16)
+
+    def test_indexed_reserved_hosts_listing_is_flat(self):
+        assert self._reserved_listing_cost(True, 24) == pytest.approx(
+            self._reserved_listing_cost(True, 4), abs=1e-9
+        )

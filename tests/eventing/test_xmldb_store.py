@@ -1,0 +1,121 @@
+"""The XML-database subscription store: API parity with the flat file,
+index-maintained Source lookups, and its use in the indexed VO."""
+
+import pytest
+
+from repro.eventing.store import (
+    FlatFileSubscriptionStore,
+    SubscriptionRecord,
+    XmlDbSubscriptionStore,
+)
+from repro.sim import CostModel, Network
+
+
+def record(store, ident=None, source="soap://node1/Node/Source", expires=None):
+    rec = SubscriptionRecord(
+        identifier=ident or store.new_identifier(),
+        source_address=source,
+        notify_to="soap://client/Consumer",
+        expires=expires,
+    )
+    store.add(rec)
+    return rec
+
+
+@pytest.fixture()
+def store():
+    return XmlDbSubscriptionStore(Network(CostModel()))
+
+
+class TestApiParity:
+    """Every FlatFileSubscriptionStore behaviour, on the DB-backed store."""
+
+    def test_add_get_roundtrip(self, store):
+        rec = record(store)
+        assert store.get(rec.identifier) == rec
+        assert store.get("uuid:sub-nope") is None
+        assert len(store) == 1
+
+    def test_duplicate_id_rejected(self, store):
+        rec = record(store)
+        with pytest.raises(ValueError, match="duplicate"):
+            store.add(rec)
+
+    def test_remove(self, store):
+        rec = record(store)
+        assert store.remove(rec.identifier) is True
+        assert store.remove(rec.identifier) is False
+        assert len(store) == 0
+
+    def test_renew(self, store):
+        rec = record(store, expires=100.0)
+        renewed = store.renew(rec.identifier, 500.0)
+        assert renewed is not None and renewed.expires == 500.0
+        assert store.get(rec.identifier).expires == 500.0
+        assert store.renew("uuid:sub-nope", 1.0) is None
+
+    def test_for_source(self, store):
+        a = record(store, source="soap://node1/Node/Source")
+        record(store, source="soap://node2/Node/Source")
+        b = record(store, source="soap://node1/Node/Source")
+        got = store.for_source("soap://node1/Node/Source")
+        assert {r.identifier for r in got} == {a.identifier, b.identifier}
+
+    def test_prune_expired(self, store):
+        dead = record(store, expires=10.0)
+        live = record(store, expires=None)
+        dropped = store.prune_expired(now=50.0)
+        assert [r.identifier for r in dropped] == [dead.identifier]
+        assert store.get(live.identifier) is not None
+        assert len(store) == 1
+
+    def test_matches_flat_file_semantics(self):
+        network = Network(CostModel())
+        flat = FlatFileSubscriptionStore(network)
+        db = XmlDbSubscriptionStore(network)
+        for source in ("soap://n1/S", "soap://n2/S", "soap://n1/S"):
+            ident = flat.new_identifier()
+            for s in (flat, db):
+                s.add(
+                    SubscriptionRecord(
+                        identifier=ident,
+                        source_address=source,
+                        notify_to="soap://client/C",
+                    )
+                )
+        for source in ("soap://n1/S", "soap://n2/S", "soap://n3/S"):
+            assert [r.identifier for r in flat.for_source(source)] == [
+                r.identifier for r in db.for_source(source)
+            ]
+
+
+class TestIndexedLookup:
+    def test_source_index_is_declared_and_maintained(self, store):
+        from repro.xmllib import ns
+
+        index = store.collection.find_index(
+            XmlDbSubscriptionStore.SOURCE_INDEX_PATH, {"es": ns.EVENTING_STORE}
+        )
+        assert index is not None
+        rec = record(store, source="soap://n1/S")
+        assert index.lookup("soap://n1/S") == {rec.identifier}
+        store.remove(rec.identifier)
+        assert index.lookup("soap://n1/S") == set()
+
+    def test_for_source_cost_independent_of_other_sources(self):
+        def lookup_cost(n_other: int) -> float:
+            network = Network(CostModel())
+            store = XmlDbSubscriptionStore(network)
+            record(store, source="soap://hot/S")
+            for i in range(n_other):
+                record(store, source=f"soap://cold{i:03d}/S")
+            before = network.clock.now
+            store.for_source("soap://hot/S")
+            return network.clock.now - before
+
+        assert lookup_cost(50) == pytest.approx(lookup_cost(2), abs=1e-9)
+
+    def test_unquotable_source_falls_back(self, store):
+        awkward = "soap://we\"ird'/S"
+        rec = record(store, source=awkward)
+        assert [r.identifier for r in store.for_source(awkward)] == [rec.identifier]

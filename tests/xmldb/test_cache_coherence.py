@@ -1,0 +1,87 @@
+"""Cache-coherence regressions for the write-through cache.
+
+Two bugs fixed in this area, each pinned by a test that fails on the
+pre-fix code:
+
+* ``upsert`` used to reach the collection directly, leaving a stale copy
+  of the document in the cache;
+* eviction used to be FIFO — a read hit did not refresh recency, so a hot
+  document could be evicted while a cold one stayed resident.
+"""
+
+from repro.sim import CostModel, Network
+from repro.xmldb import Collection, WriteThroughCache
+from repro.xmllib import element
+
+
+def doc(value) -> "element":
+    return element("{urn:c}Counter", element("{urn:c}Value", value))
+
+
+def value_of(document) -> str:
+    return document.find("{urn:c}Value").text()
+
+
+def make_cache(capacity: int = 256) -> WriteThroughCache:
+    return WriteThroughCache(Collection("c", Network(CostModel())), capacity)
+
+
+class TestUpsertWriteThrough:
+    def test_upsert_refreshes_cached_copy(self):
+        cache = make_cache()
+        cache.insert(doc(1), key="k")
+        cache.upsert("k", doc(2))
+        # Pre-fix: the read hit served the stale cached value 1.
+        assert value_of(cache.read("k")) == "2"
+        assert cache.hits == 1
+
+    def test_upsert_of_new_key_is_cached(self):
+        cache = make_cache()
+        cache.upsert("fresh", doc(7))
+        hits_before = cache.hits
+        assert value_of(cache.read("fresh")) == "7"
+        assert cache.hits == hits_before + 1
+
+    def test_upsert_writes_through_to_collection(self):
+        cache = make_cache()
+        cache.upsert("k", doc(3))
+        assert value_of(cache.collection.read("k")) == "3"
+
+
+class TestLruEviction:
+    def test_read_hit_refreshes_recency(self):
+        cache = make_cache(capacity=2)
+        cache.insert(doc(1), key="a")
+        cache.insert(doc(2), key="b")
+        cache.read("a")  # "a" is now most recently used
+        cache.insert(doc(3), key="c")  # evicts one entry
+        misses_before = cache.misses
+        cache.read("a")
+        # Pre-fix (FIFO): "a" was the oldest insert and got evicted
+        # despite the hit, so this read missed.
+        assert cache.misses == misses_before
+
+    def test_coldest_entry_is_the_one_evicted(self):
+        cache = make_cache(capacity=3)
+        for key in ("a", "b", "c"):
+            cache.insert(doc(0), key=key)
+        cache.read("a")
+        cache.read("c")  # recency now: b (cold), a, c
+        cache.insert(doc(0), key="d")
+        misses_before = cache.misses
+        cache.read("a")
+        cache.read("c")
+        cache.read("d")
+        assert cache.misses == misses_before
+        cache.read("b")
+        assert cache.misses == misses_before + 1
+
+    def test_update_also_refreshes_recency(self):
+        cache = make_cache(capacity=2)
+        cache.insert(doc(1), key="a")
+        cache.insert(doc(2), key="b")
+        cache.update("a", doc(10))  # "a" most recent; "b" is now coldest
+        cache.insert(doc(3), key="c")
+        misses_before = cache.misses
+        assert value_of(cache.read("a")) == "10"
+        assert cache.misses == misses_before

@@ -116,6 +116,17 @@ class TestQuery:
         keys = coll.query_keys("//Value")
         assert len(keys) == 1
 
+    def test_query_keys_dedup_preserves_document_order(self, coll):
+        # Multi-hit documents must appear once, in first-hit order — the
+        # old quadratic list dedupe got the order right but O(n²); the
+        # dict-based dedupe must preserve exactly the same ordering.
+        for key in ("k1", "k2", "k3"):
+            coll.insert(
+                element("{urn:c}Counter", element("{urn:c}Value", 1), element("{urn:c}Value", 2)),
+                key=key,
+            )
+        assert coll.query_keys("//Value") == ["k1", "k2", "k3"]
+
     def test_query_cost_scales_with_collection(self, net):
         coll = Collection("c", net)
         for i in range(5):
@@ -170,6 +181,16 @@ class TestDatabase:
         assert db.names() == []
         with pytest.raises(KeyError):
             db.drop("a")
+
+    def test_drop_charges_per_document_deletion(self, net):
+        # Pre-fix: drop() wiped the backend for free.  It must route every
+        # removal through Collection.delete, charging N × db_delete.
+        db = XmlDatabase(net)
+        for i in range(4):
+            db.collection("a").insert(doc(i))
+        before = net.clock.now
+        db.drop("a")
+        assert net.clock.now - before == pytest.approx(4 * net.costs.db_delete, abs=1e-9)
 
     def test_backend_factory_used(self, tmp_path, net):
         db = XmlDatabase(net, backend_factory=lambda name: FileBackend(str(tmp_path / name)))
