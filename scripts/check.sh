@@ -2,9 +2,10 @@
 # The CI gate, tox-free: tier-1 tests + repro-lint in one command.
 #
 #   scripts/check.sh              # run everything
+#   scripts/check.sh --soak      # also run the large conformance sweeps
 #   scripts/check.sh tests/sim    # pass extra args through to pytest
 #
-# Exits non-zero if either the test suite or the linter fails.
+# Exits non-zero if any stage fails.
 
 set -eu
 
@@ -13,13 +14,31 @@ cd "$(dirname "$0")/.."
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 export PYTHONPATH
 
+soak=0
+if [ "${1:-}" = "--soak" ]; then
+    soak=1
+    shift
+fi
+
 status=0
 
 echo "== tier-1 tests =="
 python -m pytest -q "$@" || status=1
 
+if [ "$soak" = 1 ]; then
+    echo "== soak tests =="
+    python -m pytest -q -m soak "$@" || status=1
+fi
+
 echo "== repro-lint =="
 python -m repro.analysis || status=1
+
+echo "== conformance =="
+if [ "$soak" = 1 ]; then
+    python -m repro conformance --seeds 300 --giab-seeds 12 || status=1
+else
+    python -m repro conformance || status=1
+fi
 
 echo "== bench smoke =="
 python -m repro hello || status=1

@@ -4,6 +4,9 @@ With no arguments, regenerates every figure from the paper's evaluation and
 prints it as a table.  Arguments select individual figures:
 ``fig2 fig3 fig4 fig6 sweep switch reliab xmldb hello``.
 
+``python -m repro conformance`` instead runs the differential dual-stack
+conformance sweep (see :mod:`repro.testkit.cli`).
+
 ``hello`` is the CI bench smoke: one signed round-trip per stack through
 the filter pipeline, reported per pipeline stage plus the full span tree.
 """
@@ -144,6 +147,10 @@ FIGURES = {
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "conformance":
+        from repro.testkit.cli import conformance_main
+
+        return conformance_main(argv[1:])
     wanted = argv or [name for name in FIGURES if name != "switch"]
     unknown = [name for name in wanted if name not in FIGURES]
     if unknown:

@@ -65,7 +65,10 @@ class WsrfCounterClient:
         self.soap.invoke(counter, rl_actions.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy"))
 
     def subscribe(
-        self, counter: EndpointReference, consumer: NotificationConsumer
+        self,
+        counter: EndpointReference,
+        consumer: NotificationConsumer,
+        termination_time: float | None = None,
     ) -> EndpointReference:
         body = element(
             f"{{{ns.WSNT}}}Subscribe",
@@ -76,8 +79,44 @@ class WsrfCounterClient:
                 attrs={"Dialect": TopicDialect.CONCRETE.value},
             ),
         )
+        if termination_time is not None:
+            body.append(
+                element(f"{{{ns.WSNT}}}InitialTerminationTime", repr(termination_time))
+            )
         response = self.soap.invoke(counter, wsnt_actions.SUBSCRIBE, body)
         return EndpointReference.from_xml(next(response.element_children()))
+
+    # -- subscription lifetime (WS-ResourceLifetime on the subscription) --------
+
+    def renew_subscription(
+        self, subscription: EndpointReference, termination_time: float | None
+    ) -> None:
+        """Extend (or make infinite) a subscription's lease: the WSRF idiom
+        is SetTerminationTime on the subscription WS-Resource."""
+        formatted = "infinity" if termination_time is None else repr(termination_time)
+        self.soap.invoke(
+            subscription,
+            rl_actions.SET_TERMINATION_TIME,
+            element(
+                f"{{{ns.WSRF_RL}}}SetTerminationTime",
+                element(f"{{{ns.WSRF_RL}}}RequestedTerminationTime", formatted),
+            ),
+        )
+
+    def subscription_status(self, subscription: EndpointReference) -> str:
+        """The subscription's TerminationTime RP: "infinity" or a float."""
+        response = self.soap.invoke(
+            subscription,
+            rp_actions.GET,
+            element(f"{{{ns.WSRF_RP}}}GetResourceProperty", "TerminationTime"),
+        )
+        return text_of(response.find(f"{{{ns.WSRF_RL}}}TerminationTime"))
+
+    def unsubscribe(self, subscription: EndpointReference) -> None:
+        """Unsubscribing is destroying the subscription resource."""
+        self.soap.invoke(
+            subscription, rl_actions.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy")
+        )
 
 
 class TransferCounterClient:
@@ -111,7 +150,10 @@ class TransferCounterClient:
         self.soap.invoke(counter, wxf_actions.DELETE, element(f"{{{ns.WXF}}}Delete"))
 
     def subscribe(
-        self, counter: EndpointReference, consumer: EventingConsumer
+        self,
+        counter: EndpointReference,
+        consumer: EventingConsumer,
+        expires: float | None = None,
     ) -> EndpointReference:
         """Subscription is per *service*; the filter narrows to one counter
         resource (WS-Eventing's substitute for per-resource subscriptions)."""
@@ -126,5 +168,31 @@ class TransferCounterClient:
             element(f"{{{ns.WSE}}}Delivery", consumer.epr.to_xml(f"{{{ns.WSE}}}NotifyTo")),
             element(f"{{{ns.WSE}}}Filter", filter_expression),
         )
+        if expires is not None:
+            body.append(element(f"{{{ns.WSE}}}Expires", repr(expires)))
         response = self.soap.invoke(self.service_epr, wse_actions.SUBSCRIBE, body)
         return EndpointReference.from_xml(response.find(f"{{{ns.WSE}}}SubscriptionManager"))
+
+    # -- subscription lifetime (WS-Eventing Renew/GetStatus/Unsubscribe) --------
+
+    def renew_subscription(
+        self, subscription: EndpointReference, expires: float | None
+    ) -> None:
+        formatted = "infinity" if expires is None else repr(expires)
+        self.soap.invoke(
+            subscription,
+            wse_actions.RENEW,
+            element(f"{{{ns.WSE}}}Renew", element(f"{{{ns.WSE}}}Expires", formatted)),
+        )
+
+    def subscription_status(self, subscription: EndpointReference) -> str:
+        """The subscription's Expires: "infinity" or a float."""
+        response = self.soap.invoke(
+            subscription, wse_actions.GET_STATUS, element(f"{{{ns.WSE}}}GetStatus")
+        )
+        return text_of(response.find(f"{{{ns.WSE}}}Expires"))
+
+    def unsubscribe(self, subscription: EndpointReference) -> None:
+        self.soap.invoke(
+            subscription, wse_actions.UNSUBSCRIBE, element(f"{{{ns.WSE}}}Unsubscribe")
+        )

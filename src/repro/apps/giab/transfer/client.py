@@ -73,6 +73,12 @@ class TransferGridClient:
     soap: SoapClient
     allocation_address: str
     dn: str
+    # The server-assigned file directory, learned from the first upload's
+    # ResourceCreated EPR.  The Data service keys files by the *verified*
+    # sender ("anonymous" on an unsigned wire), so guessing from our own DN
+    # only works under X.509 signing; honouring the minted EPR works in
+    # every security mode.
+    _server_dir: str | None = None
 
     # -- resource discovery: Get with the "1<app>" mode ------------------------------
 
@@ -139,6 +145,8 @@ class TransferGridClient:
     # -- files ------------------------------------------------------------------------------
 
     def _user_dir(self) -> str:
+        if self._server_dir is not None:
+            return self._server_dir
         return DistinguishedName.parse(self.dn).hashed()
 
     def upload_file(self, data_address: str, name: str, content: str) -> EndpointReference:
@@ -151,7 +159,11 @@ class TransferGridClient:
             ),
         )
         created = response.find(f"{{{ns.WXF}}}ResourceCreated")
-        return EndpointReference.from_xml(created.find_local("EndpointReference"))
+        epr = EndpointReference.from_xml(created.find_local("EndpointReference"))
+        key = epr.property(TRANSFER_RESOURCE_ID)
+        if key and "/" in key:
+            self._server_dir = key.partition("/")[0]
+        return epr
 
     def list_files(self, data_address: str) -> list[str]:
         response = self.soap.invoke(

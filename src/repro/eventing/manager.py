@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.container.service import MessageContext, ServiceSkeleton, web_method
 from repro.eventing.source import SUBSCRIPTION_ID, actions, parse_expires, _format_expires
 from repro.eventing.store import FlatFileSubscriptionStore
-from repro.soap.envelope import SoapFault
+from repro.wsrf.basefaults import base_fault
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
 
@@ -22,16 +22,29 @@ class EventSubscriptionManagerService(ServiceSkeleton):
     def _identify(self, context: MessageContext) -> str:
         identifier = context.headers.target_epr().property(SUBSCRIPTION_ID)
         if not identifier:
-            raise SoapFault("Client", "request EPR carries no subscription Identifier")
+            raise base_fault(
+                "request EPR carries no subscription Identifier",
+                error_code="ResourceUnknownFault",
+            )
         return identifier
 
     def _require(self, identifier: str):
         record = self.store.get(identifier)
         if record is None:
-            raise SoapFault("Client", f"unknown subscription: {identifier}")
+            raise base_fault(
+                f"unknown subscription: {identifier}",
+                error_code="ResourceUnknownFault",
+                originator=self.address,
+                timestamp=self.network.clock.now,
+            )
         if record.expired(self.network.clock.now):
             self.store.remove(identifier)
-            raise SoapFault("Client", f"subscription {identifier} has expired")
+            raise base_fault(
+                f"subscription {identifier} has expired",
+                error_code="ResourceUnknownFault",
+                originator=self.address,
+                timestamp=self.network.clock.now,
+            )
         return record
 
     @web_method(actions.GET_STATUS)
@@ -58,6 +71,8 @@ class EventSubscriptionManagerService(ServiceSkeleton):
     @web_method(actions.UNSUBSCRIBE)
     def wse_unsubscribe(self, context: MessageContext) -> XmlElement:
         identifier = self._identify(context)
-        if not self.store.remove(identifier):
-            raise SoapFault("Client", f"unknown subscription: {identifier}")
+        # _require faults on expired subscriptions too, so unsubscribing a
+        # lapsed lease reports the same taxonomy as WSRF Destroy-after-expiry.
+        self._require(identifier)
+        self.store.remove(identifier)
         return element(f"{{{ns.WSE}}}UnsubscribeResponse")

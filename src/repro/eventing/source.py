@@ -7,6 +7,7 @@ from repro.container.service import MessageContext, web_method
 from repro.eventing.filters import FILTER_DIALECT_XPATH
 from repro.eventing.store import SubscriptionRecord
 from repro.soap.envelope import SoapFault
+from repro.wsrf.basefaults import base_fault
 from repro.xmllib import QName, element, ns, text_of
 from repro.xmllib.element import XmlElement
 
@@ -40,9 +41,17 @@ def parse_expires(text: str, now: float) -> float | None:
     try:
         value = float(text)
     except ValueError:
-        raise SoapFault("Client", f"unintelligible Expires: {text!r}")
+        raise base_fault(
+            f"unintelligible Expires: {text!r}",
+            error_code="InvalidExpirationTimeFault",
+        )
+    # Inclusive boundary, same as WSRF SetTerminationTime: a lease whose
+    # instant is this very tick is already dead.
     if value <= now:
-        raise SoapFault("Client", f"Expires {value} is not in the future (now={now})")
+        raise base_fault(
+            f"Expires {value} is not in the future (now={now})",
+            error_code="InvalidExpirationTimeFault",
+        )
     return value
 
 

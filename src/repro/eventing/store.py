@@ -34,7 +34,9 @@ class SubscriptionRecord:
     delivery_mode: str = ns.WSE_DELIVERY_PUSH
 
     def expired(self, now: float) -> bool:
-        return self.expires is not None and now > self.expires
+        # Inclusive boundary: a lease used on the very tick it expires is
+        # already dead, matching WSRF timers which fire at fire_at <= now.
+        return self.expires is not None and now >= self.expires
 
     def to_xml(self) -> XmlElement:
         node = element(

@@ -1,0 +1,68 @@
+"""repro.testkit — the differential dual-stack conformance harness.
+
+The paper's core claim is architectural equivalence: the same grid
+applications run over WSRF/WS-Notification and over the lighter
+WS-Transfer/WS-Eventing stack.  This package turns that claim into an
+executable property.  Scenario *programs* written in a tiny stack-
+agnostic op DSL (:mod:`~repro.testkit.ops`) are executed against both
+stacks (:mod:`~repro.testkit.worlds`) across the paper's six
+security×placement cells, and pluggable comparators
+(:mod:`~repro.testkit.comparators`) assert that observable results,
+fault taxonomy, notification streams and per-op virtual costs agree.
+A seeded fuzzer (:mod:`~repro.testkit.generator`) manufactures programs
+and adversarial mutations; :mod:`~repro.testkit.shrinker` reduces any
+divergence to a minimal reproducer; ``python -m repro conformance``
+(:mod:`~repro.testkit.cli`) drives the whole sweep.
+"""
+
+from repro.testkit.comparators import (
+    COMPARATORS,
+    COST_TOLERANCES_MS,
+    FAULT_FAMILIES,
+    fault_family,
+    fault_signature,
+)
+from repro.testkit.generator import (
+    HOSTILE_TEXT,
+    TIME_QUANTUM_MS,
+    generate_program,
+    mutate,
+    random_xml_element,
+)
+from repro.testkit.harness import (
+    ALL_MODES,
+    DifferentialOutcome,
+    Divergence,
+    diverges,
+    mode_label,
+    run_differential,
+)
+from repro.testkit.ops import Op, OP_TYPES, Program, op_from_dict
+from repro.testkit.shrinker import shrink
+from repro.testkit.worlds import RunResult, build_world
+
+__all__ = [
+    "ALL_MODES",
+    "COMPARATORS",
+    "COST_TOLERANCES_MS",
+    "DifferentialOutcome",
+    "Divergence",
+    "FAULT_FAMILIES",
+    "HOSTILE_TEXT",
+    "Op",
+    "OP_TYPES",
+    "Program",
+    "RunResult",
+    "TIME_QUANTUM_MS",
+    "build_world",
+    "diverges",
+    "fault_family",
+    "fault_signature",
+    "generate_program",
+    "mode_label",
+    "mutate",
+    "op_from_dict",
+    "random_xml_element",
+    "run_differential",
+    "shrink",
+]

@@ -1,0 +1,159 @@
+"""``python -m repro conformance`` — the differential conformance sweep.
+
+With no options, runs the fixed tier-1 corpus: 54 seeded counter programs
+spread round-robin over the paper's six security×placement cells plus 6
+seeded Grid-in-a-Box programs over the three security modes — 60 programs,
+120 stack executions, each compared op-by-op.  ``--seeds N --seed S``
+grows/offsets the counter corpus for soak runs.
+
+Every divergence is shrunk to a minimal reproducer before reporting, and
+the report carries (seed, mode) so ``--seed`` replays it exactly.  Results
+land in ``results/conformance_summary.json`` (always) and
+``results/conformance_divergences.json`` (only when something diverged —
+its absence after a run is the green light).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.container.security import SecurityMode
+from repro.testkit.generator import generate_program
+from repro.testkit.harness import ALL_MODES, mode_label, run_differential
+from repro.testkit.shrinker import shrink
+
+#: Fixed tier-1 corpus sizes (54 + 6 = 60 programs ≥ the 50 the roadmap asks).
+DEFAULT_COUNTER_SEEDS = 54
+DEFAULT_GIAB_SEEDS = 6
+#: GiaB seeds live in their own range so growing the counter corpus never
+#: reshuffles them.
+GIAB_SEED_BASE = 100_000
+#: Every Nth program also replays each stack from scratch and asserts the
+#: rerun is bit-identical (the within-stack determinism half of the claim).
+REPLAY_EVERY = 10
+
+#: The GiaB VO topology is fixed (central container + one per node), so its
+#: cells are the three security modes; placement varies only for counters.
+GIAB_MODES = (SecurityMode.NONE, SecurityMode.X509, SecurityMode.HTTPS)
+
+
+def _plan(counter_seeds: int, base_seed: int, giab_seeds: int) -> list[tuple]:
+    jobs = []
+    for index in range(counter_seeds):
+        mode, colocated = ALL_MODES[index % len(ALL_MODES)]
+        jobs.append(("counter", base_seed + index, mode, colocated))
+    for index in range(giab_seeds):
+        mode = GIAB_MODES[index % len(GIAB_MODES)]
+        jobs.append(("giab", GIAB_SEED_BASE + base_seed + index, mode, True))
+    return jobs
+
+
+def run_conformance(
+    counter_seeds: int = DEFAULT_COUNTER_SEEDS,
+    base_seed: int = 0,
+    giab_seeds: int = DEFAULT_GIAB_SEEDS,
+    out_dir: str = "results",
+    verbose: bool = True,
+) -> dict:
+    """Run the sweep; returns (and writes) the summary dict."""
+    jobs = _plan(counter_seeds, base_seed, giab_seeds)
+    by_cell: dict[str, int] = {}
+    divergences = []
+    invalid = 0
+    replayed = 0
+    ops_executed = 0
+    for kind, seed, mode, colocated in jobs:
+        program = generate_program(seed, kind)
+        cell = mode_label(mode, colocated)
+        by_cell[cell] = by_cell.get(cell, 0) + 1
+        replay = seed % REPLAY_EVERY == 0
+        try:
+            outcome = run_differential(
+                program, mode, colocated, replay=replay, seed=seed
+            )
+        except RuntimeError as exc:
+            # The worlds refuse programs that express documented stack
+            # asymmetries (see worlds.py); a mutated program can land there.
+            # Not a divergence — but count it so a generator regression that
+            # floods the corpus with invalid programs is visible.
+            invalid += 1
+            if verbose:
+                print(f"  invalid: {kind} seed={seed} {cell}: {exc}")
+            continue
+        replayed += 2 if replay else 0
+        ops_executed += 2 * len(program)
+        for divergence in outcome.divergences:
+            small = shrink(
+                program, mode, colocated
+            ) if divergence.comparator != "replay" else program
+            record = divergence.to_dict()
+            record["shrunk"] = small.to_dict()
+            record["shrunk_length"] = len(small)
+            divergences.append(record)
+            if verbose:
+                print(
+                    f"  DIVERGENCE {kind} seed={seed} {cell} "
+                    f"[{divergence.comparator}] shrunk to {len(small)} ops"
+                )
+                for line in divergence.details[:4]:
+                    print(f"    {line}")
+    summary = {
+        "programs": len(jobs),
+        "stacks": ["wsrf", "transfer"],
+        "counter_seeds": counter_seeds,
+        "giab_seeds": giab_seeds,
+        "base_seed": base_seed,
+        "cells": dict(sorted(by_cell.items())),
+        "stack_executions": 2 * (len(jobs) - invalid) + replayed,
+        "ops_compared": ops_executed // 2,
+        "invalid_programs": invalid,
+        "divergences": len(divergences),
+    }
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "conformance_summary.json").write_text(
+        json.dumps(summary, indent=2) + "\n"
+    )
+    divergence_path = out / "conformance_divergences.json"
+    if divergences:
+        divergence_path.write_text(json.dumps(divergences, indent=2) + "\n")
+    elif divergence_path.exists():
+        divergence_path.unlink()
+    if verbose:
+        print(
+            f"conformance: {summary['programs']} programs "
+            f"({counter_seeds} counter + {giab_seeds} giab), "
+            f"{summary['stack_executions']} stack executions, "
+            f"{summary['ops_compared']} ops compared, "
+            f"{summary['divergences']} divergences, "
+            f"{invalid} invalid"
+        )
+    return summary
+
+
+def conformance_main(argv: list[str]) -> int:
+    """Argument handling for the ``conformance`` subcommand."""
+    counter_seeds = DEFAULT_COUNTER_SEEDS
+    giab_seeds = DEFAULT_GIAB_SEEDS
+    base_seed = 0
+    out_dir = "results"
+    arguments = list(argv)
+    while arguments:
+        flag = arguments.pop(0)
+        if flag == "--seeds" and arguments:
+            counter_seeds = int(arguments.pop(0))
+        elif flag == "--giab-seeds" and arguments:
+            giab_seeds = int(arguments.pop(0))
+        elif flag == "--seed" and arguments:
+            base_seed = int(arguments.pop(0))
+        elif flag == "--out" and arguments:
+            out_dir = arguments.pop(0)
+        else:
+            print(
+                "usage: python -m repro conformance "
+                "[--seeds N] [--giab-seeds N] [--seed S] [--out DIR]"
+            )
+            return 2
+    summary = run_conformance(counter_seeds, base_seed, giab_seeds, out_dir)
+    return 1 if summary["divergences"] else 0

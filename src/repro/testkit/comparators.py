@@ -1,0 +1,149 @@
+"""Equivalence comparators for differential runs.
+
+Each comparator inspects the same program's two :class:`RunResult`s (one
+per stack) and returns a list of human-readable divergence strings —
+empty means the stacks agreed on that dimension.  The registry at the
+bottom is what the harness runs; plug in more by adding to it.
+
+Fault taxonomy
+--------------
+Faults are compared by *family*, not by message: both stacks raise
+WS-BaseFaults with stable ``ErrorCode``s for the same client mistake
+(destroy-after-destroy, renew-after-expiry → ``ResourceUnknownFault``),
+but spec vocabulary legitimately differs in places — WSRF says
+``UnableToSetTerminationTimeFault`` where WS-Eventing says
+``InvalidExpirationTimeFault`` for the same bad lease instant.  The
+``FAULT_FAMILIES`` table folds those synonyms together; everything else
+compares by its literal error code (so a genuinely new divergence shows
+up instead of vanishing into a bucket).
+
+Costs
+-----
+Per-op virtual cost is compared cross-stack against *declared per-op-kind
+tolerances* — the paper's claim is "comparable", not "identical", and
+e.g. WSRF's StartJob legitimately pays several more signed out-calls than
+WS-Transfer's (Figure 6).  Within one stack, a replayed run must match
+*exactly* (bit-identical floats), the same standard today's golden cost
+ledgers enforce.
+"""
+
+from __future__ import annotations
+
+from repro.soap.envelope import SoapFault
+from repro.wsrf.basefaults import is_base_fault
+from repro.xmllib import ns, text_of
+
+#: Spec-synonym folding: error codes that mean the same client mistake.
+FAULT_FAMILIES: dict[str, str] = {
+    "ResourceUnknownFault": "unknown-resource",
+    "UnableToSetTerminationTimeFault": "invalid-lease-time",
+    "InvalidExpirationTimeFault": "invalid-lease-time",
+    "InvalidTopicExpressionFault": "invalid-topic",
+    "InvalidResourcePropertyQNameFault": "unknown-property",
+}
+
+
+def fault_signature(fault: SoapFault) -> tuple[str, str]:
+    """(SOAP code, WS-BaseFaults ErrorCode) — stable across runs."""
+    error_code = ""
+    if is_base_fault(fault):
+        error_code = text_of(fault.detail.find(f"{{{ns.WSRF_BF}}}ErrorCode"))
+    return fault.code, error_code
+
+
+def fault_family(fault: SoapFault) -> str:
+    """The normalized taxonomy bucket a fault compares under."""
+    code, error_code = fault_signature(fault)
+    if error_code:
+        return FAULT_FAMILIES.get(error_code, error_code)
+    return f"soap:{code}"
+
+
+# -- comparators ------------------------------------------------------------------
+
+
+def compare_results(program, wsrf, transfer) -> list:
+    """Op-by-op observable outcomes (values, acks, fault families)."""
+    divergences = []
+    for index, (a, b) in enumerate(zip(wsrf.steps, transfer.steps)):
+        if a != b:
+            divergences.append(
+                f"op[{index}] ({program.ops[index].kind}): wsrf observed {a[1]!r}, "
+                f"transfer observed {b[1]!r}"
+            )
+    return divergences
+
+
+def compare_events(program, wsrf, transfer) -> list:
+    """The notification streams, normalized by the worlds."""
+    if wsrf.events == transfer.events:
+        return []
+    return [
+        f"notification streams differ: wsrf delivered {wsrf.events!r}, "
+        f"transfer delivered {transfer.events!r}"
+    ]
+
+
+#: Cross-stack per-op cost tolerance in virtual ms, by op kind.  Generous by
+#: design: the stacks are *comparable*, not identical, and WSRF pays extra
+#: out-calls on several paths.  Tightening one of these is how a future perf
+#: claim gets enforced.
+COST_TOLERANCES_MS: dict[str, float] = {
+    "create": 60.0,
+    "get": 40.0,
+    "set": 60.0,
+    "destroy": 40.0,
+    "subscribe": 60.0,
+    "renew": 60.0,
+    "status": 40.0,
+    "unsubscribe": 60.0,
+    "advance": 150.0,
+    "faults": 1.0,
+    "giab_discover": 250.0,
+    "giab_reserve": 80.0,
+    "giab_upload": 300.0,
+    "giab_download": 120.0,
+    "giab_list": 80.0,
+    "giab_submit": 500.0,
+    "giab_status": 250.0,
+    "giab_await": 250.0,
+    "giab_delete": 80.0,
+    "giab_available": 250.0,
+}
+
+_DEFAULT_TOLERANCE_MS = 100.0
+
+
+def compare_costs(program, wsrf, transfer) -> list:
+    """Per-op virtual cost within the declared cross-stack envelope."""
+    divergences = []
+    for index, (a, b) in enumerate(zip(wsrf.elapsed_by_op, transfer.elapsed_by_op)):
+        kind = program.ops[index].kind
+        tolerance = COST_TOLERANCES_MS.get(kind, _DEFAULT_TOLERANCE_MS)
+        if abs(a - b) > tolerance:
+            divergences.append(
+                f"op[{index}] ({kind}): cost delta {abs(a - b):.3f}ms exceeds "
+                f"declared tolerance {tolerance}ms (wsrf {a:.3f}, transfer {b:.3f})"
+            )
+    return divergences
+
+
+def compare_replay(stack: str, first, second) -> list:
+    """Within-stack determinism: a replayed run must match *exactly* —
+    the same bit-identical standard as tests/pipeline's golden ledgers."""
+    divergences = []
+    if first.steps != second.steps:
+        divergences.append(f"{stack}: replay produced different observations")
+    if first.events != second.events:
+        divergences.append(f"{stack}: replay produced a different event stream")
+    if first.elapsed_by_op != second.elapsed_by_op:
+        divergences.append(f"{stack}: replay cost ledger is not bit-identical")
+    return divergences
+
+
+#: The pluggable registry the harness runs, in order.
+COMPARATORS = {
+    "results": compare_results,
+    "events": compare_events,
+    "costs": compare_costs,
+}

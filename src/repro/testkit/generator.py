@@ -1,0 +1,323 @@
+"""The deterministic seeded fuzzer: programs, mutations, XML generators.
+
+Everything here draws from one explicit ``random.Random(seed)`` — no
+wall-clock, no global RNG — so a program is a pure function of its seed
+and any divergence report replays from ``(seed, mode)`` alone.
+
+Programs are *valid by construction*: handles are created before use,
+expiries are relative and quantized coarsely enough that per-op cost
+differences between the stacks (tens of virtual ms) can never land the
+two runs on opposite sides of a lease boundary (quantum 60 s ≫ drift).
+The mutation pass then deliberately bends programs toward historical
+divergence territory — duplicated destroys, lapsed leases, delayed wires,
+reordered neighbours — all of which the stacks must *still* agree on
+(typically by faulting identically).
+
+Generation rules that encode *documented* stack asymmetries (DESIGN.md
+§12) rather than bugs:
+
+* never Set a destroyed counter — WS-Transfer Put resurrects
+  out-of-band resources (§3.2) where WSRF faults;
+* never Subscribe to a destroyed counter — WS-Eventing subscribes to the
+  *service* with a filter, so it cannot tell the counter is gone;
+* lease instants are always in the future — WSRF accepts a past
+  InitialTerminationTime (the timer fires immediately) where WS-Eventing
+  refuses it at Subscribe time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.testkit import ops as op
+from repro.testkit.ops import Program
+
+#: Lease/advance quantum (virtual ms).  Cross-stack per-op cost drift over a
+#: whole program is bounded well under this, so a lease can never be live on
+#: one stack and lapsed on the other at the same program point.
+TIME_QUANTUM_MS = 60_000.0
+
+#: XML-hostile text fragments the GiaB upload mutation splices in: every
+#: escaping hazard must round-trip identically through both stacks' wires.
+HOSTILE_TEXT = (
+    "plain",
+    "a<b&c>d",
+    "quotes '\" here",
+    "]]> cdata-breaker",
+    "white  space\n\tand tabs",
+    "unicode é☃中文",
+    "&amp; pre-escaped &lt;looking&gt;",
+)
+
+
+class _CounterState:
+    """Symbolic state the generator tracks to stay valid-by-construction."""
+
+    def __init__(self) -> None:
+        self.live: list[str] = []
+        self.destroyed: list[str] = []
+        self.subs: list[str] = []  # handles, live or lapsed — both are fair game
+        self.next_counter = 0
+        self.next_sub = 0
+
+    def new_counter(self) -> str:
+        name = f"c{self.next_counter}"
+        self.next_counter += 1
+        self.live.append(name)
+        return name
+
+    def new_sub(self) -> str:
+        handle = f"sub{self.next_sub}"
+        self.next_sub += 1
+        self.subs.append(handle)
+        return handle
+
+
+def generate_counter_program(rng: random.Random, length: int | None = None) -> Program:
+    """A valid counter scenario of ``length`` ops (default 8-16)."""
+    length = length if length is not None else rng.randint(8, 16)
+    state = _CounterState()
+    body: list[op.Op] = [op.CreateCounter(state.new_counter(), rng.randint(0, 9))]
+    while len(body) < length:
+        body.append(_next_counter_op(rng, state))
+    return Program("counter", tuple(body))
+
+
+def _next_counter_op(rng: random.Random, state: _CounterState) -> op.Op:
+    choices = ["create", "advance"]
+    if state.live:
+        choices += ["get", "get", "set", "set", "subscribe", "destroy"]
+    if state.subs:
+        choices += ["renew", "status", "unsubscribe"]
+    if state.destroyed:
+        # Use-after-destroy probes: both stacks must fault identically.
+        choices += ["get_dead", "destroy_dead"]
+    kind = rng.choice(choices)
+    if kind == "create":
+        return op.CreateCounter(state.new_counter(), rng.randint(0, 9))
+    if kind == "get":
+        return op.GetCounter(rng.choice(state.live))
+    if kind == "set":
+        return op.SetCounter(rng.choice(state.live), rng.randint(0, 99))
+    if kind == "subscribe":
+        expires = (
+            None
+            if rng.random() < 0.5
+            else TIME_QUANTUM_MS * rng.randint(1, 3)
+        )
+        return op.Subscribe(rng.choice(state.live), state.new_sub(), expires)
+    if kind == "destroy":
+        name = rng.choice(state.live)
+        state.live.remove(name)
+        state.destroyed.append(name)
+        return op.DestroyCounter(name)
+    if kind == "renew":
+        expires = (
+            None if rng.random() < 0.3 else TIME_QUANTUM_MS * rng.randint(1, 3)
+        )
+        return op.Renew(rng.choice(state.subs), expires)
+    if kind == "status":
+        return op.GetStatus(rng.choice(state.subs))
+    if kind == "unsubscribe":
+        handle = rng.choice(state.subs)
+        state.subs.remove(handle)
+        return op.Unsubscribe(handle)
+    if kind == "get_dead":
+        return op.GetCounter(rng.choice(state.destroyed))
+    if kind == "destroy_dead":
+        return op.DestroyCounter(rng.choice(state.destroyed))
+    return op.AdvanceClock(TIME_QUANTUM_MS * rng.randint(1, 2))
+
+
+def generate_giab_program(rng: random.Random) -> Program:
+    """A Figure-5 flow with seeded variation in payloads and probing."""
+    content = rng.choice(HOSTILE_TEXT) * rng.randint(1, 3)
+    exit_code = rng.choice((0, 0, 0, 3))
+    body: list[op.Op] = [
+        op.GiabDiscover("sort"),
+        op.GiabReserve(rng.randrange(4)),
+        op.GiabUpload("input.dat", content),
+    ]
+    if rng.random() < 0.5:
+        body.append(op.GiabListFiles())
+    if rng.random() < 0.5:
+        body.append(op.GiabDownload("input.dat"))
+    body.append(
+        op.GiabSubmit("sort", "input.dat", run_time_ms=250.0, exit_code=exit_code)
+    )
+    if rng.random() < 0.5:
+        body.append(op.GiabJobStatus())
+    body.append(op.GiabAwaitJob())
+    body.append(op.GiabJobStatus())
+    if rng.random() < 0.5:
+        body.append(op.GiabDeleteFile("input.dat"))
+    body.append(op.GiabCheckAvailable("sort"))
+    return Program("giab", tuple(body))
+
+
+# -- mutations --------------------------------------------------------------------
+
+
+def _mutate_duplicate(rng: random.Random, program: Program) -> Program:
+    """Replay one op verbatim (destroy-after-destroy, double unsubscribe)."""
+    index = rng.randrange(len(program.ops))
+    body = list(program.ops)
+    body.insert(index + 1, body[index])
+    return program.replace_ops(tuple(body))
+
+
+#: GiaB ops whose relative order is structural (Figure 5's flow): swapping
+#: them produces programs the world refuses (reserve-before-discover) or
+#: that probe *placement of authorization checks* rather than protocol
+#: equivalence (upload-before-reserve).
+_GIAB_STRUCTURAL = (
+    op.GiabDiscover,
+    op.GiabReserve,
+    op.GiabUpload,
+    op.GiabSubmit,
+    op.GiabAwaitJob,
+)
+
+
+def _swap_hazard(a: op.Op, b: op.Op) -> bool:
+    """Would swapping adjacent (a, b) put a Set/Subscribe outside its
+    counter's lifetime, or scramble the GiaB flow?  Those programs express
+    the *documented* stack asymmetries (Put resurrection, service-scoped
+    Subscribe) that the worlds refuse to run — see CounterWorld.apply."""
+    if isinstance(a, _GIAB_STRUCTURAL) and isinstance(b, _GIAB_STRUCTURAL):
+        return True
+    for first, second in ((a, b), (b, a)):
+        if isinstance(first, (op.CreateCounter, op.DestroyCounter)) and isinstance(
+            second, (op.SetCounter, op.Subscribe)
+        ):
+            if first.name == second.name:
+                return True
+    return False
+
+
+def _mutate_reorder(rng: random.Random, program: Program) -> Program:
+    """Swap two adjacent ops (messages arriving 'late')."""
+    if len(program.ops) < 2:
+        return program
+    candidates = [
+        i
+        for i in range(len(program.ops) - 1)
+        if not _swap_hazard(program.ops[i], program.ops[i + 1])
+    ]
+    if not candidates:
+        return program
+    index = rng.choice(candidates)
+    body = list(program.ops)
+    body[index], body[index + 1] = body[index + 1], body[index]
+    return program.replace_ops(tuple(body))
+
+
+def _mutate_lapse_lease(rng: random.Random, program: Program) -> Program:
+    """Shorten one subscription's lease and let it expire before first use:
+    every later Renew/GetStatus/Unsubscribe probes renew-after-expiry."""
+    subs = [
+        i for i, o in enumerate(program.ops) if isinstance(o, op.Subscribe)
+    ]
+    if not subs:
+        return program
+    index = rng.choice(subs)
+    body = list(program.ops)
+    subscribed = body[index]
+    body[index] = op.Subscribe(subscribed.name, subscribed.handle, TIME_QUANTUM_MS)
+    body.insert(index + 1, op.AdvanceClock(TIME_QUANTUM_MS * 2))
+    return program.replace_ops(tuple(body))
+
+
+def _mutate_delay_wire(rng: random.Random, program: Program) -> Program:
+    """Bracket a slice of the program with a degraded (delay-only) wire."""
+    if program.kind != "counter" or len(program.ops) < 2:
+        return program
+    start = rng.randrange(len(program.ops))
+    body = list(program.ops)
+    body.insert(start, op.FaultToggle(delay_mean_ms=2.0, delay_jitter_ms=1.0))
+    body.append(op.FaultToggle())
+    return program.replace_ops(tuple(body))
+
+
+def _mutate_hostile_payload(rng: random.Random, program: Program) -> Program:
+    """Swap a GiaB upload's content for an XML-escaping hazard."""
+    uploads = [
+        i for i, o in enumerate(program.ops) if isinstance(o, op.GiabUpload)
+    ]
+    if not uploads:
+        return program
+    index = rng.choice(uploads)
+    body = list(program.ops)
+    body[index] = op.GiabUpload(body[index].name, rng.choice(HOSTILE_TEXT))
+    return program.replace_ops(tuple(body))
+
+
+MUTATIONS = (
+    _mutate_duplicate,
+    _mutate_reorder,
+    _mutate_lapse_lease,
+    _mutate_delay_wire,
+    _mutate_hostile_payload,
+)
+
+
+def mutate(rng: random.Random, program: Program, rounds: int = 1) -> Program:
+    for _ in range(rounds):
+        program = rng.choice(MUTATIONS)(rng, program)
+    return program
+
+
+def generate_program(seed: int, kind: str = "counter") -> Program:
+    """The fuzzer's front door: seed → program, deterministically."""
+    rng = random.Random(seed)
+    if kind == "counter":
+        program = generate_counter_program(rng)
+    elif kind == "giab":
+        program = generate_giab_program(rng)
+    else:
+        raise ValueError(f"unknown program kind: {kind!r}")
+    if rng.random() < 0.6:
+        program = mutate(rng, program, rounds=rng.randint(1, 2))
+    return program
+
+
+# -- seeded XML generators (shared with the xmllib round-trip tests) --------------
+
+_NAME_ALPHABET = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+_NAME_TAIL = _NAME_ALPHABET + "0123456789-._"
+_NAMESPACES = (
+    "",
+    "urn:testkit:alpha",
+    "urn:testkit:beta",
+    "urn:testkit:names/with/slashes",
+)
+
+
+def random_name(rng: random.Random) -> str:
+    head = rng.choice(_NAME_ALPHABET)
+    tail = "".join(rng.choice(_NAME_TAIL) for _ in range(rng.randint(0, 8)))
+    return head + tail
+
+
+def random_text(rng: random.Random) -> str:
+    return rng.choice(HOSTILE_TEXT)
+
+
+def random_xml_element(rng: random.Random, depth: int = 0):
+    """A random well-formed tree exercising namespaces, attributes and
+    every text-escaping hazard in :data:`HOSTILE_TEXT`."""
+    from repro.xmllib import element
+
+    namespace = rng.choice(_NAMESPACES)
+    tag = f"{{{namespace}}}{random_name(rng)}" if namespace else random_name(rng)
+    node = element(tag)
+    for _ in range(rng.randint(0, 2)):
+        node.set(random_name(rng), random_text(rng))
+    for _ in range(rng.randint(0, 3 if depth < 3 else 0)):
+        if rng.random() < 0.5:
+            node.append(random_text(rng))
+        else:
+            node.append(random_xml_element(rng, depth + 1))
+    if not node.children and rng.random() < 0.5:
+        node.append(random_text(rng))
+    return node

@@ -1,0 +1,134 @@
+"""The differential harness: one program, both stacks, verdict.
+
+``run_differential`` builds a fresh world per stack (same security mode
+and placement), executes the program on each, and runs every registered
+comparator over the two results.  ``replay`` optionally runs each stack a
+second time from scratch and asserts bit-identical behaviour — the
+within-stack determinism half of the contract.
+
+A ``perturb_stack`` can be named to degrade one stack's wire with a lossy
+:class:`~repro.sim.faults.FaultSpec` *before* the run.  That makes the two
+runs genuinely inequivalent on purpose: it is the regression fixture for
+the shrinker and for the divergence-reporting path (a harness that can
+never fail is not testing anything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.container.security import SecurityMode
+from repro.sim.faults import FaultSpec
+from repro.testkit.comparators import COMPARATORS, compare_replay
+from repro.testkit.ops import Program
+from repro.testkit.worlds import RunResult, build_world
+
+#: The paper's 6-scenario matrix, as (mode, colocated) cells.
+ALL_MODES: tuple[tuple[SecurityMode, bool], ...] = tuple(
+    (mode, colocated)
+    for mode in (SecurityMode.NONE, SecurityMode.X509, SecurityMode.HTTPS)
+    for colocated in (True, False)
+)
+
+
+def mode_label(mode: SecurityMode, colocated: bool) -> str:
+    return f"{mode.value}/{'co-located' if colocated else 'distributed'}"
+
+
+@dataclass
+class Divergence:
+    """One program on which the stacks disagreed, with its replay recipe."""
+
+    comparator: str
+    details: list
+    program: Program
+    mode: SecurityMode
+    colocated: bool
+    seed: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "comparator": self.comparator,
+            "details": self.details,
+            "seed": self.seed,
+            "mode": self.mode.value,
+            "colocated": self.colocated,
+            "program": self.program.to_dict(),
+        }
+
+
+@dataclass
+class DifferentialOutcome:
+    program: Program
+    wsrf: RunResult
+    transfer: RunResult
+    divergences: list = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.divergences
+
+
+def _run_once(
+    program: Program,
+    stack: str,
+    mode: SecurityMode,
+    colocated: bool,
+    perturb_stack: str | None,
+) -> RunResult:
+    world = build_world(program.kind, stack, mode, colocated)
+    if perturb_stack == stack:
+        # A deliberately unfair wire for this stack only: lost and duplicated
+        # messages change what the consumer observes, forcing a divergence.
+        world.deployment.network.faults.set_default(FaultSpec.lossy(0.25))
+    return world.run(program)
+
+
+def run_differential(
+    program: Program,
+    mode: SecurityMode = SecurityMode.NONE,
+    colocated: bool = True,
+    *,
+    replay: bool = False,
+    perturb_stack: str | None = None,
+    seed: int | None = None,
+) -> DifferentialOutcome:
+    """Run ``program`` on both stacks and compare.  Deterministic: the
+    outcome is a pure function of (program, mode, colocated, perturb)."""
+    wsrf = _run_once(program, "wsrf", mode, colocated, perturb_stack)
+    transfer = _run_once(program, "transfer", mode, colocated, perturb_stack)
+    outcome = DifferentialOutcome(program, wsrf, transfer)
+    for name, comparator in COMPARATORS.items():
+        details = comparator(program, wsrf, transfer)
+        if details:
+            outcome.divergences.append(
+                Divergence(name, details, program, mode, colocated, seed)
+            )
+    if replay:
+        for stack, first in (("wsrf", wsrf), ("transfer", transfer)):
+            second = _run_once(program, stack, mode, colocated, perturb_stack)
+            details = compare_replay(stack, first, second)
+            if details:
+                outcome.divergences.append(
+                    Divergence("replay", details, program, mode, colocated, seed)
+                )
+    return outcome
+
+
+def diverges(
+    program: Program,
+    mode: SecurityMode,
+    colocated: bool,
+    *,
+    perturb_stack: str | None = None,
+) -> bool:
+    """Predicate form used by the shrinker."""
+    try:
+        outcome = run_differential(
+            program, mode, colocated, perturb_stack=perturb_stack
+        )
+    except Exception:
+        # A program the worlds cannot even execute (e.g. the shrinker removed
+        # the Discover a Reserve depended on) is not a divergence.
+        return False
+    return not outcome.equivalent

@@ -1,0 +1,262 @@
+"""The stack-agnostic scenario-program DSL.
+
+A *program* is a finite sequence of abstract operations naming resources
+by program-local handles ("c0", "sub1", ...) rather than wire EPRs — the
+same program runs unchanged against the WSRF/WS-Notification stack and
+the WS-Transfer/WS-Eventing stack, and the conformance harness compares
+what each stack *observably* did (DESIGN.md §12).
+
+Two program kinds exist: ``counter`` programs exercise the CRUD +
+subscription surface of the paper's counter service, ``giab`` programs
+drive the Figure-5 Grid-in-a-Box flow.  Every op (de)serialises to a
+plain dict so divergence reports are replayable JSON.
+
+Time is always *relative* here (``expires_in_ms``, ``AdvanceClock.ms``):
+the two stacks sit at different absolute virtual instants after the same
+prefix (their per-op costs differ), so absolute deadlines would never
+line up.  World adapters resolve relative times against their own clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Iterator
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class: one abstract step of a scenario program."""
+
+    kind: ClassVar[str] = "op"
+
+    def to_dict(self) -> dict:
+        record = {"op": self.kind}
+        for f in fields(self):
+            record[f.name] = getattr(self, f.name)
+        return record
+
+
+# -- counter-program ops ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateCounter(Op):
+    kind: ClassVar[str] = "create"
+    name: str = "c0"
+    initial: int = 0
+
+
+@dataclass(frozen=True)
+class GetCounter(Op):
+    kind: ClassVar[str] = "get"
+    name: str = "c0"
+
+
+@dataclass(frozen=True)
+class SetCounter(Op):
+    kind: ClassVar[str] = "set"
+    name: str = "c0"
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class DestroyCounter(Op):
+    kind: ClassVar[str] = "destroy"
+    name: str = "c0"
+
+
+@dataclass(frozen=True)
+class Subscribe(Op):
+    """Subscribe the program's consumer to one counter's value changes.
+
+    ``expires_in_ms`` is relative to the subscribing instant; ``None``
+    means no expiry (WSRF "infinity" / WS-Eventing absent Expires).
+    """
+
+    kind: ClassVar[str] = "subscribe"
+    name: str = "c0"
+    handle: str = "sub0"
+    expires_in_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class Renew(Op):
+    kind: ClassVar[str] = "renew"
+    handle: str = "sub0"
+    expires_in_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class GetStatus(Op):
+    kind: ClassVar[str] = "status"
+    handle: str = "sub0"
+
+
+@dataclass(frozen=True)
+class Unsubscribe(Op):
+    kind: ClassVar[str] = "unsubscribe"
+    handle: str = "sub0"
+
+
+# -- shared ops -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdvanceClock(Op):
+    """Let virtual time pass (fires lifetime timers, lapses leases)."""
+
+    kind: ClassVar[str] = "advance"
+    ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultToggle(Op):
+    """Degrade (or restore) the whole wire.
+
+    Only *delay* faults are allowed in conformance programs: loss,
+    duplication and resets consume link-level retries whose RNG draw
+    counts differ per stack, which would make the two runs diverge for
+    reasons that are simulation artefacts, not protocol semantics.
+    """
+
+    kind: ClassVar[str] = "faults"
+    delay_mean_ms: float = 0.0
+    delay_jitter_ms: float = 0.0
+
+
+# -- Grid-in-a-Box ops ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GiabDiscover(Op):
+    kind: ClassVar[str] = "giab_discover"
+    application: str = "sort"
+
+
+@dataclass(frozen=True)
+class GiabReserve(Op):
+    """Reserve the ``site_index``-th host of the latest discovery."""
+
+    kind: ClassVar[str] = "giab_reserve"
+    site_index: int = 0
+
+
+@dataclass(frozen=True)
+class GiabUpload(Op):
+    kind: ClassVar[str] = "giab_upload"
+    name: str = "input.dat"
+    content: str = "x"
+
+
+@dataclass(frozen=True)
+class GiabDownload(Op):
+    kind: ClassVar[str] = "giab_download"
+    name: str = "input.dat"
+
+
+@dataclass(frozen=True)
+class GiabListFiles(Op):
+    kind: ClassVar[str] = "giab_list"
+
+
+@dataclass(frozen=True)
+class GiabSubmit(Op):
+    kind: ClassVar[str] = "giab_submit"
+    application: str = "sort"
+    input_file: str = "input.dat"
+    run_time_ms: float = 250.0
+    exit_code: int = 0
+
+
+@dataclass(frozen=True)
+class GiabJobStatus(Op):
+    kind: ClassVar[str] = "giab_status"
+
+
+@dataclass(frozen=True)
+class GiabAwaitJob(Op):
+    """Advance the clock beyond the submitted job's run time."""
+
+    kind: ClassVar[str] = "giab_await"
+    grace_ms: float = 10.0
+
+
+@dataclass(frozen=True)
+class GiabDeleteFile(Op):
+    kind: ClassVar[str] = "giab_delete"
+    name: str = "input.dat"
+
+
+@dataclass(frozen=True)
+class GiabCheckAvailable(Op):
+    """Observable release check: which hosts does discovery offer now?
+
+    After the job exits and the lease lapses, both stacks must offer the
+    reserved host again (WSRF releases automatically, WS-Transfer via the
+    adapter's explicit unreserve — the paper's §4.2.2 asymmetry)."""
+
+    kind: ClassVar[str] = "giab_available"
+    application: str = "sort"
+
+
+OP_TYPES: dict[str, type[Op]] = {
+    cls.kind: cls
+    for cls in (
+        CreateCounter, GetCounter, SetCounter, DestroyCounter,
+        Subscribe, Renew, GetStatus, Unsubscribe,
+        AdvanceClock, FaultToggle,
+        GiabDiscover, GiabReserve, GiabUpload, GiabDownload, GiabListFiles,
+        GiabSubmit, GiabJobStatus, GiabAwaitJob, GiabDeleteFile,
+        GiabCheckAvailable,
+    )
+}
+
+COUNTER_KINDS = frozenset(
+    k for k in OP_TYPES if not k.startswith("giab_")
+)
+GIAB_KINDS = frozenset(
+    k for k in OP_TYPES if k.startswith("giab_") or k in ("advance", "faults")
+)
+
+
+def op_from_dict(record: dict) -> Op:
+    record = dict(record)
+    kind = record.pop("op")
+    cls = OP_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown op kind: {kind!r}")
+    return cls(**record)
+
+
+@dataclass(frozen=True)
+class Program:
+    """One scenario: an op sequence plus the kind of world it runs in."""
+
+    kind: str  # "counter" | "giab"
+    ops: tuple[Op, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("counter", "giab"):
+            raise ValueError(f"unknown program kind: {self.kind!r}")
+        allowed = COUNTER_KINDS if self.kind == "counter" else GIAB_KINDS
+        for op in self.ops:
+            if op.kind not in allowed:
+                raise ValueError(f"{op.kind} op is not valid in a {self.kind} program")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+    def replace_ops(self, ops: tuple[Op, ...]) -> "Program":
+        return Program(self.kind, tuple(ops))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "ops": [op.to_dict() for op in self.ops]}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Program":
+        return cls(
+            record["kind"], tuple(op_from_dict(op) for op in record["ops"])
+        )

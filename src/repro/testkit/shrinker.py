@@ -1,0 +1,64 @@
+"""Delta-debugging shrinker for divergent programs.
+
+Given a program on which :func:`repro.testkit.harness.diverges` is true,
+``shrink`` returns a (usually much) shorter program that still diverges
+under the same (mode, colocated, perturb) cell.  Classic ddmin over the
+op list, followed by a one-at-a-time sweep to squeeze out stragglers.
+
+Removing an op can leave later ops without their prerequisites (a Get on
+a never-created counter, a Reserve with no Discover).  That is fine: the
+worlds either fault (both stacks, identically — not a divergence) or the
+harness's ``diverges`` catches the crash and reports "no divergence", so
+the candidate is simply rejected and the shrink continues elsewhere.
+Validity is enforced by *rejection*, not by constraint propagation.
+"""
+
+from __future__ import annotations
+
+from repro.testkit.harness import diverges
+from repro.testkit.ops import Program
+
+
+def shrink(
+    program: Program,
+    mode,
+    colocated: bool,
+    *,
+    perturb_stack: str | None = None,
+    max_probes: int = 400,
+) -> Program:
+    """Smallest found sub-program that still diverges.  Deterministic —
+    no randomness, so the shrunk form is reproducible from the original."""
+
+    probes = 0
+
+    def still_diverges(candidate: Program) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        return diverges(
+            candidate, mode, colocated, perturb_stack=perturb_stack
+        )
+
+    if not still_diverges(program):
+        # Nothing to do — the caller's predicate does not hold to begin with.
+        return program
+
+    current = list(program.ops)
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        index = 0
+        removed_any = False
+        while index < len(current):
+            candidate = current[:index] + current[index + chunk :]
+            if candidate and still_diverges(program.replace_ops(tuple(candidate))):
+                current = candidate
+                removed_any = True
+                # Do not advance: the op now at `index` is new.
+            else:
+                index += chunk
+        if chunk == 1 and not removed_any:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if removed_any else 0)
+    return program.replace_ops(tuple(current))

@@ -1,0 +1,424 @@
+"""World adapters: run one scenario program against one concrete stack.
+
+A world owns a freshly-built deployment (counter rig or Grid-in-a-Box VO)
+and translates each abstract :mod:`~repro.testkit.ops` operation into that
+stack's wire idiom — the WSRF world renews a subscription with
+SetTerminationTime on the subscription WS-Resource, the WS-Transfer world
+with a WS-Eventing Renew, and so on.  What comes back is a *normalized
+observation* per op (values, "ok", or a fault family) plus the run's
+notification stream and per-op virtual cost, which is everything the
+comparators in :mod:`~repro.testkit.comparators` look at.
+
+Known, deliberate cross-stack asymmetries (documented in DESIGN.md §12)
+are resolved here, not papered over in the comparators:
+
+* WS-Transfer Put *resurrects* a deleted resource (the paper §3.2's
+  out-of-band-creation issue) where WSRF Set faults — the generator never
+  emits Set-after-Destroy, and the explicit divergence test pins the
+  difference.
+* Releasing a Grid-in-a-Box host is automatic in WSRF (reservation
+  destroyed when the job exits) but an explicit Put in WS-Transfer — the
+  ``giab_available`` op performs the transfer-side unreserve as part of
+  the observation, mirroring Figure 6's "Unreserve Resource" bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.addressing.epr import EndpointReference
+from repro.apps.counter.deploy import (
+    CounterScenario,
+    build_transfer_rig,
+    build_wsrf_rig,
+)
+from repro.apps.giab.jobs import JobSpec
+from repro.apps.giab.vo import build_transfer_vo, build_wsrf_vo
+from repro.container.security import SecurityMode
+from repro.sim.faults import DeliveryFault, FaultSpec, NO_FAULTS
+from repro.soap.envelope import SoapFault
+from repro.testkit import ops as op
+from repro.testkit.comparators import fault_family
+from repro.transfer.service import TRANSFER_RESOURCE_ID
+from repro.wsrf.resource import RESOURCE_ID
+from repro.xmllib import ns, text_of
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one program run on one stack."""
+
+    stack: str
+    steps: list = field(default_factory=list)  # one normalized entry per op
+    events: list = field(default_factory=list)  # (counter_name, old, new)
+    elapsed_by_op: list = field(default_factory=list)  # virtual ms per op
+    total_elapsed_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "stack": self.stack,
+            "steps": self.steps,
+            "events": self.events,
+            "elapsed_by_op": self.elapsed_by_op,
+            "total_elapsed_ms": self.total_elapsed_ms,
+        }
+
+
+def _status_class(text: str) -> str:
+    """Absolute expiry instants differ across stacks (their clocks sit at
+    different values after the same prefix) — only the *class* compares."""
+    return "infinity" if text.strip() == "infinity" else "finite"
+
+
+class _WorldBase:
+    """Op loop shared by both program kinds."""
+
+    def __init__(self, stack: str):
+        if stack not in ("wsrf", "transfer"):
+            raise ValueError(f"unknown stack: {stack!r}")
+        self.stack = stack
+
+    # Subclasses set self.deployment after building their rig/VO.
+
+    @property
+    def clock(self):
+        return self.deployment.network.clock
+
+    def run(self, program: op.Program) -> RunResult:
+        result = RunResult(self.stack)
+        for operation in program:
+            before = self.clock.now
+            try:
+                observed = self.apply(operation)
+            except SoapFault as fault:
+                observed = ["fault", fault_family(fault)]
+            except DeliveryFault as fault:
+                # Only reachable on a deliberately-degraded wire (the harness's
+                # perturb fixture): a conformance program's delay-only faults
+                # never lose messages.
+                observed = ["delivery-fault", type(fault).__name__]
+            result.steps.append([operation.kind, observed])
+            result.elapsed_by_op.append(self.clock.now - before)
+        result.events = self.collect_events()
+        result.total_elapsed_ms = self.clock.now
+        return result
+
+    # -- shared ops ----------------------------------------------------------
+
+    def _apply_shared(self, operation: op.Op):
+        if isinstance(operation, op.AdvanceClock):
+            self.clock.advance_to(self.clock.now + operation.ms)
+            return "ok"
+        if isinstance(operation, op.FaultToggle):
+            if operation.delay_mean_ms <= 0:
+                self.deployment.network.faults.set_default(NO_FAULTS)
+            else:
+                self.deployment.network.faults.set_default(
+                    FaultSpec(
+                        delay_mean_ms=operation.delay_mean_ms,
+                        delay_jitter_ms=operation.delay_jitter_ms,
+                    )
+                )
+            return "ok"
+        raise NotImplementedError(f"world cannot apply {operation.kind}")
+
+    def collect_events(self) -> list:
+        return []
+
+
+class CounterWorld(_WorldBase):
+    """The counter service under one of the paper's six scenarios."""
+
+    def __init__(
+        self,
+        stack: str,
+        mode: SecurityMode = SecurityMode.NONE,
+        colocated: bool = True,
+    ):
+        super().__init__(stack)
+        scenario = CounterScenario(mode=mode, colocated=colocated)
+        if stack == "wsrf":
+            self.rig = build_wsrf_rig(scenario)
+            self._resource_id = RESOURCE_ID
+        else:
+            self.rig = build_transfer_rig(scenario)
+            self._resource_id = TRANSFER_RESOURCE_ID
+        self.deployment = self.rig.deployment
+        self.client = self.rig.client
+        self.consumer = self.rig.consumer
+        self.counters: dict[str, EndpointReference] = {}
+        self.subscriptions: dict[str, EndpointReference] = {}
+
+    # -- handle resolution ---------------------------------------------------
+
+    def _counter_epr(self, name: str) -> EndpointReference:
+        """A live counter's EPR, or a well-formed EPR naming a resource
+        that does not exist (so unknown-name ops fault, same as on the
+        other stack, rather than erroring in the adapter)."""
+        epr = self.counters.get(name)
+        if epr is not None:
+            return epr
+        return EndpointReference.create(self.rig.service.address).with_property(
+            self._resource_id, f"missing-{name}"
+        )
+
+    def _subscription_epr(self, handle: str) -> EndpointReference:
+        epr = self.subscriptions.get(handle)
+        if epr is not None:
+            return epr
+        key = self._resource_id if self.stack == "wsrf" else self._wse_identifier()
+        return EndpointReference.create(
+            self.rig.subscription_manager.address
+        ).with_property(key, f"missing-{handle}")
+
+    @staticmethod
+    def _wse_identifier():
+        from repro.eventing.source import SUBSCRIPTION_ID
+
+        return SUBSCRIPTION_ID
+
+    # -- op execution --------------------------------------------------------
+
+    def apply(self, operation: op.Op):
+        if isinstance(operation, op.CreateCounter):
+            self.counters[operation.name] = self.client.create(operation.initial)
+            return "created"
+        if isinstance(operation, op.GetCounter):
+            return self.client.get(self._counter_epr(operation.name))
+        if isinstance(operation, op.SetCounter):
+            if operation.name not in self.counters:
+                # Set on a missing resource is a *documented* asymmetry (WXF
+                # Put resurrects, WSRF Set faults) — refuse to express it so
+                # shrinker candidates cannot escape into it.
+                raise RuntimeError(f"program sets counter {operation.name!r} while not live")
+            self.client.set(self.counters[operation.name], operation.value)
+            return "ok"
+        if isinstance(operation, op.DestroyCounter):
+            epr = self._counter_epr(operation.name)
+            if self.stack == "wsrf":
+                self.client.destroy(epr)
+            else:
+                self.client.delete(epr)
+            if self.counters.pop(operation.name, None) is not None:
+                self._retire(operation.name, epr)
+            return "ok"
+        if isinstance(operation, op.Subscribe):
+            if operation.name not in self.counters:
+                # Also documented: WS-Eventing subscribes to the *service*
+                # with a filter, so it cannot notice the counter is gone
+                # where WSNT's per-resource Subscribe faults.
+                raise RuntimeError(
+                    f"program subscribes to counter {operation.name!r} while not live"
+                )
+            deadline = (
+                None
+                if operation.expires_in_ms is None
+                else self.clock.now + operation.expires_in_ms
+            )
+            epr = self.counters[operation.name]
+            if self.stack == "wsrf":
+                sub = self.client.subscribe(epr, self.consumer, termination_time=deadline)
+            else:
+                sub = self.client.subscribe(epr, self.consumer, expires=deadline)
+            self.subscriptions[operation.handle] = sub
+            return "subscribed"
+        if isinstance(operation, op.Renew):
+            deadline = (
+                None
+                if operation.expires_in_ms is None
+                else self.clock.now + operation.expires_in_ms
+            )
+            self.client.renew_subscription(self._subscription_epr(operation.handle), deadline)
+            return "ok"
+        if isinstance(operation, op.GetStatus):
+            return _status_class(
+                self.client.subscription_status(self._subscription_epr(operation.handle))
+            )
+        if isinstance(operation, op.Unsubscribe):
+            self.client.unsubscribe(self._subscription_epr(operation.handle))
+            self.subscriptions.pop(operation.handle, None)
+            return "ok"
+        return self._apply_shared(operation)
+
+    # -- notification stream -------------------------------------------------
+
+    def collect_events(self) -> list:
+        """Normalize received value-change events to (name, old, new).
+
+        Wire resource keys are stack-specific (GUIDs vs home keys), so the
+        counter attribute is mapped back to the program-local name."""
+        key_to_name = {
+            epr.property(self._resource_id): name
+            for name, epr in self.counters.items()
+        }
+        key_to_name.update(self._retired_keys)
+        events = []
+        payloads = (
+            [payload for _topic, payload in self.consumer.received]
+            if self.stack == "wsrf"
+            else list(self.consumer.received)
+        )
+        for payload in payloads:
+            if payload.tag.local != "CounterValueChanged":
+                continue
+            key = payload.get("counter", "")
+            events.append(
+                [
+                    key_to_name.get(key, key),
+                    int(text_of(payload.find(f"{{{ns.COUNTER}}}OldValue"), "0")),
+                    int(text_of(payload.find(f"{{{ns.COUNTER}}}NewValue"), "0")),
+                ]
+            )
+        return events
+
+    @property
+    def _retired_keys(self) -> dict:
+        """Keys of destroyed counters, so late events still map to names."""
+        return self.__dict__.setdefault("_retired", {})
+
+    def _retire(self, name: str, epr: EndpointReference) -> None:
+        self._retired_keys[epr.property(self._resource_id)] = name
+
+
+class GiabWorld(_WorldBase):
+    """A Grid-in-a-Box VO running the Figure-5 flow on one stack."""
+
+    def __init__(self, stack: str, mode: SecurityMode = SecurityMode.X509):
+        super().__init__(stack)
+        if stack == "wsrf":
+            self.vo = build_wsrf_vo(mode=mode)
+        else:
+            self.vo = build_transfer_vo(mode=mode)
+        self.deployment = self.vo.deployment
+        self.client = self.vo.client
+        self.consumer = self.vo.consumer
+        self.sites: list[dict] = []
+        self.site: dict | None = None
+        self.reservation: EndpointReference | None = None  # wsrf only
+        self.directory: EndpointReference | None = None  # wsrf only
+        self.job: EndpointReference | None = None
+        self.job_spec: JobSpec | None = None
+
+    def _require_site(self) -> dict:
+        if self.site is None:
+            raise RuntimeError("program reserves before discovering")
+        return self.site
+
+    def _wsrf_directory(self, site: dict) -> EndpointReference:
+        """The WSRF stack's explicit data-directory resource, created
+        lazily so a reordered program probing files before its first
+        upload faults like the transfer stack does, instead of crashing
+        the adapter."""
+        if self.directory is None:
+            self.directory = self.client.create_data_directory(site["data_address"])
+        return self.directory
+
+    def apply(self, operation: op.Op):
+        if isinstance(operation, op.GiabDiscover):
+            self.sites = self.client.get_available_resources(operation.application)
+            return sorted(site["host"] for site in self.sites)
+        if isinstance(operation, op.GiabReserve):
+            if not self.sites:
+                raise RuntimeError("program reserves before discovering")
+            self.site = self.sites[operation.site_index % len(self.sites)]
+            if self.stack == "wsrf":
+                self.reservation = self.client.make_reservation(self.site["host"])
+            else:
+                self.client.make_reservation(self.site["host"])
+            return "reserved"
+        if isinstance(operation, op.GiabUpload):
+            site = self._require_site()
+            if self.stack == "wsrf":
+                self.client.upload_file(
+                    self._wsrf_directory(site), operation.name, operation.content
+                )
+            else:
+                self.client.upload_file(
+                    site["data_address"], operation.name, operation.content
+                )
+            return "uploaded"
+        if isinstance(operation, op.GiabDownload):
+            site = self._require_site()
+            if self.stack == "wsrf":
+                return self.client.download_file(
+                    self._wsrf_directory(site), operation.name
+                )
+            return self.client.download_file(site["data_address"], operation.name)
+        if isinstance(operation, op.GiabListFiles):
+            site = self._require_site()
+            if self.stack == "wsrf":
+                return sorted(self.client.list_files(self._wsrf_directory(site)))
+            return sorted(self.client.list_files(site["data_address"]))
+        if isinstance(operation, op.GiabSubmit):
+            site = self._require_site()
+            self.job_spec = JobSpec(
+                operation.application,
+                (operation.input_file,),
+                run_time_ms=operation.run_time_ms,
+                exit_code=operation.exit_code,
+            )
+            if self.stack == "wsrf":
+                self.job = self.client.start_job(
+                    site["exec_address"], self.reservation, self.directory, self.job_spec
+                )
+                self.client.subscribe_job_exit(self.job, self.consumer)
+            else:
+                self.job = self.client.start_job(site["exec_address"], self.job_spec)
+                self.client.subscribe_job_exit(
+                    site["exec_address"], self.job, self.consumer
+                )
+            return "submitted"
+        if isinstance(operation, op.GiabJobStatus):
+            if self.job is None:
+                raise RuntimeError("program queries status before submitting")
+            return self.client.job_status(self.job)
+        if isinstance(operation, op.GiabAwaitJob):
+            if self.job_spec is None:
+                raise RuntimeError("program awaits before submitting")
+            self.clock.advance_to(
+                self.clock.now + self.job_spec.run_time_ms + operation.grace_ms
+            )
+            return "ok"
+        if isinstance(operation, op.GiabDeleteFile):
+            site = self._require_site()
+            if self.stack == "wsrf":
+                self.client.delete_file(self._wsrf_directory(site), operation.name)
+            else:
+                self.client.delete_file(site["data_address"], operation.name)
+            return "deleted"
+        if isinstance(operation, op.GiabCheckAvailable):
+            if self.stack == "transfer" and self.site is not None:
+                # Figure 6's explicit Unreserve: the transfer stack's way of
+                # releasing what WSRF released automatically at job exit.
+                self.client.unreserve(self.site["host"])
+            return sorted(
+                site["host"]
+                for site in self.client.get_available_resources(operation.application)
+            )
+        return self._apply_shared(operation)
+
+    def collect_events(self) -> list:
+        """Normalize job-exit notifications to their exit codes."""
+        payloads = (
+            [payload for _topic, payload in self.consumer.received]
+            if self.stack == "wsrf"
+            else list(self.consumer.received)
+        )
+        return [
+            ["job-exited", int(text_of(payload.find(f"{{{ns.GIAB}}}ExitCode"), "0"))]
+            for payload in payloads
+            if payload.tag.local == "JobExited"
+        ]
+
+
+def build_world(
+    program_kind: str,
+    stack: str,
+    mode: SecurityMode,
+    colocated: bool = True,
+) -> _WorldBase:
+    if program_kind == "counter":
+        return CounterWorld(stack, mode=mode, colocated=colocated)
+    if program_kind == "giab":
+        return GiabWorld(stack, mode=mode)
+    raise ValueError(f"unknown program kind: {program_kind!r}")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.container.service import MessageContext, ServiceSkeleton, web_method
 from repro.soap.envelope import SoapFault
+from repro.wsrf.basefaults import base_fault
 from repro.xmldb.collection import Collection, DocumentNotFound
 from repro.xmllib import QName, element, ns
 from repro.xmllib.element import XmlElement
@@ -59,7 +60,13 @@ class TransferResourceService(ServiceSkeleton):
         if key is None:
             key = context.resource_key  # tolerate foreign ResourceID props
         if key is None:
-            raise SoapFault("Client", f"{self.service_name}: EPR names no resource")
+            # Same client mistake as addressing a WSRF service without a
+            # WS-Resource EPR: report it with the same stable taxonomy so
+            # the conformance harness sees one fault family on both stacks.
+            raise base_fault(
+                f"{self.service_name}: EPR names no resource",
+                error_code="ResourceUnknownFault",
+            )
         return key
 
     # -- the four operations --------------------------------------------------------
@@ -107,7 +114,12 @@ class TransferResourceService(ServiceSkeleton):
         try:
             self.collection.delete(key)
         except DocumentNotFound:
-            raise SoapFault("Client", f"no resource {key} to delete")
+            raise base_fault(
+                f"no resource {key} to delete",
+                error_code="ResourceUnknownFault",
+                originator=self.address,
+                timestamp=self.network.clock.now,
+            )
         return element(f"{{{ns.WXF}}}DeleteResponse")
 
     # -- hooks --------------------------------------------------------------------
@@ -131,7 +143,12 @@ class TransferResourceService(ServiceSkeleton):
         if document is None:
             document = self.resolve_out_of_band(key, context)
         if document is None:
-            raise SoapFault("Client", f"no resource {key}")
+            raise base_fault(
+                f"no resource {key}",
+                error_code="ResourceUnknownFault",
+                originator=self.address,
+                timestamp=self.network.clock.now,
+            )
         return document
 
     def process_put(

@@ -57,7 +57,10 @@ class ResourceLifetimeMixin:
             raise base_fault("SetTerminationTime has no RequestedTerminationTime")
         at = parse_termination_time(text_of(requested))
         now = self.network.clock.now
-        if at is not None and at < now:
+        # Inclusive boundary: a lease renewed to this very tick is already
+        # dead (timers fire at fire_at <= now), so reject it like a past
+        # instant — matching WS-Eventing's Expires <= now rule.
+        if at is not None and at <= now:
             raise base_fault(
                 f"termination time {at} is in the past (now={now})",
                 error_code="UnableToSetTerminationTimeFault",

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.giab import build_transfer_vo, build_wsrf_vo
+from tests.helpers import fresh_vo
 from repro.soap import SoapFault
 
 
@@ -10,7 +10,7 @@ class TestWsrfAdmin:
     def test_non_admin_cannot_add_accounts(self):
         from repro.apps.giab.wsrf import WsrfGridAdmin
 
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         impostor = WsrfGridAdmin(vo.client.soap, vo.account.address, vo.allocation.address)
         with pytest.raises(SoapFault, match="not a VO administrator"):
             impostor.add_account("CN=eve")
@@ -18,20 +18,20 @@ class TestWsrfAdmin:
     def test_non_admin_cannot_register_hosts(self):
         from repro.apps.giab.wsrf import WsrfGridAdmin
 
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         impostor = WsrfGridAdmin(vo.client.soap, vo.account.address, vo.allocation.address)
         with pytest.raises(SoapFault, match="not a VO administrator"):
             impostor.register_host("rogue", "soap://x/E", "soap://x/D", ["sort"])
 
     def test_admin_lifecycle_accounts(self):
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         vo.admin.add_account("CN=bob, O=Repro VO", privileges=["run-jobs"])
         vo.admin.remove_account("CN=bob, O=Repro VO")
         with pytest.raises(SoapFault, match="no account"):
             vo.admin.remove_account("CN=bob, O=Repro VO")
 
     def test_duplicate_account_rejected(self):
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         with pytest.raises(SoapFault, match="already exists"):
             vo.admin.add_account(vo.user_dn)
 
@@ -40,7 +40,7 @@ class TestWsrfAdmin:
         from repro.addressing import EndpointReference
         from repro.xmllib import element, ns
 
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         vo.admin.soap.invoke(
             EndpointReference.create(vo.allocation.address),
             wsrf_actions.UNREGISTER_HOST,
@@ -53,7 +53,7 @@ class TestWsrfAdmin:
         from repro.addressing import EndpointReference
         from repro.xmllib import element, ns
 
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         with pytest.raises(SoapFault, match="unknown host"):
             vo.admin.soap.invoke(
                 EndpointReference.create(vo.allocation.address),
@@ -66,7 +66,7 @@ class TestWsrfAdmin:
         from repro.addressing import EndpointReference
         from repro.xmllib import element, ns
 
-        vo = build_wsrf_vo()  # alice has run-jobs
+        vo = fresh_vo("wsrf")  # alice has run-jobs
 
         def check(privilege):
             response = vo.client.soap.invoke(
@@ -88,7 +88,7 @@ class TestTransferAdmin:
     def test_non_admin_cannot_register_sites(self):
         from repro.apps.giab.transfer import TransferGridAdmin
 
-        vo = build_transfer_vo()
+        vo = fresh_vo("transfer")
         impostor = TransferGridAdmin(vo.client.soap, vo.account.address, vo.allocation.address)
         with pytest.raises(SoapFault, match="may not register"):
             impostor.register_site("rogue", "x", "y", ["sort"])
@@ -96,13 +96,13 @@ class TestTransferAdmin:
     def test_non_admin_cannot_remove_sites(self):
         from repro.apps.giab.transfer import TransferGridAdmin
 
-        vo = build_transfer_vo()
+        vo = fresh_vo("transfer")
         impostor = TransferGridAdmin(vo.client.soap, vo.account.address, vo.allocation.address)
         with pytest.raises(SoapFault, match="may not remove"):
             impostor.remove_site("node1")
 
     def test_admin_site_lifecycle(self):
-        vo = build_transfer_vo()
+        vo = fresh_vo("transfer")
         vo.admin.register_site("node9", "soap://node9/E", "soap://node9/D", ["sort"])
         assert "node9" in {s["host"] for s in vo.client.get_available_resources("sort")}
         vo.admin.remove_site("node9")
@@ -115,7 +115,7 @@ class TestTransferAdmin:
         from repro.transfer.service import TRANSFER_RESOURCE_ID, actions
         from repro.xmllib import element, ns
 
-        vo = build_transfer_vo()
+        vo = fresh_vo("transfer")
         epr = EndpointReference.create(vo.account.address).with_property(
             TRANSFER_RESOURCE_ID, vo.user_dn
         )

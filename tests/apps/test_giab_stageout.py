@@ -3,7 +3,7 @@ arrows 10a/10b "Data input/output"), surveyable by the client."""
 
 import pytest
 
-from repro.apps.giab import build_transfer_vo, build_wsrf_vo
+from tests.helpers import fresh_vo
 from repro.apps.giab.jobs import JobSpec
 
 
@@ -21,25 +21,25 @@ class TestWsrfStageOut:
         return directory
 
     def test_outputs_visible_via_file_list_rp(self):
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         directory = self.run_job(vo)
         assert vo.client.list_files(directory) == ["input.dat", "log.txt", "output.dat"]
 
     def test_output_downloadable(self):
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         directory = self.run_job(vo)
         content = vo.client.download_file(directory, "output.dat")
         assert content.startswith("output of sort")
 
     def test_failed_job_leaves_no_outputs(self):
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         directory = self.run_job(vo, exit_code=1)
         assert vo.client.list_files(directory) == ["input.dat"]
 
     def test_destroyed_directory_tolerated(self):
         """The client destroys the directory while the job runs; the exit
         path must not blow up."""
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         site = vo.client.get_available_resources("sort")[0]
         reservation = vo.client.make_reservation(site["host"])
         directory = vo.client.create_data_directory(site["data_address"])
@@ -54,7 +54,7 @@ class TestWsrfStageOut:
 
 class TestTransferStageOut:
     def test_outputs_visible_in_user_directory(self):
-        vo = build_transfer_vo()
+        vo = fresh_vo("transfer")
         site = vo.client.get_available_resources("sort")[0]
         vo.client.make_reservation(site["host"])
         vo.client.upload_file(site["data_address"], "input.dat", "data")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.giab import build_transfer_vo
+from tests.helpers import fresh_vo
 from repro.apps.giab.jobs import JobSpec
 from repro.container import SecurityMode
 from repro.soap import SoapFault
@@ -10,7 +10,7 @@ from repro.soap import SoapFault
 
 @pytest.fixture()
 def vo():
-    return build_transfer_vo()
+    return fresh_vo("transfer")
 
 
 class TestAccounts:
@@ -210,5 +210,5 @@ class TestJobs:
 
 class TestSecurityModes:
     def test_unsigned_vo_works(self):
-        vo = build_transfer_vo(mode=SecurityMode.NONE)
+        vo = fresh_vo("transfer", mode=SecurityMode.NONE)
         assert vo.client.get_available_resources("sort")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.giab import build_wsrf_vo
+from tests.helpers import fresh_vo
 from repro.apps.giab.jobs import JobSpec
 from repro.container import SecurityMode
 from repro.soap import SoapFault
@@ -10,12 +10,12 @@ from repro.soap import SoapFault
 
 @pytest.fixture(scope="module")
 def vo():
-    return build_wsrf_vo()
+    return fresh_vo("wsrf")
 
 
 @pytest.fixture()
-def fresh_vo():
-    return build_wsrf_vo()
+def clean_vo():
+    return fresh_vo("wsrf")
 
 
 class TestDiscovery:
@@ -30,8 +30,8 @@ class TestDiscovery:
 
 
 class TestReservations:
-    def test_reserved_host_disappears_from_availability(self, fresh_vo):
-        vo = fresh_vo
+    def test_reserved_host_disappears_from_availability(self, clean_vo):
+        vo = clean_vo
         reservation = vo.client.make_reservation("node1")
         sites = vo.client.get_available_resources("sort")
         assert {s["host"] for s in sites} == {"node2"}
@@ -39,23 +39,23 @@ class TestReservations:
         sites = vo.client.get_available_resources("sort")
         assert {s["host"] for s in sites} == {"node1", "node2"}
 
-    def test_double_reservation_rejected(self, fresh_vo):
-        vo = fresh_vo
+    def test_double_reservation_rejected(self, clean_vo):
+        vo = clean_vo
         vo.client.make_reservation("node1")
         with pytest.raises(SoapFault, match="already reserved"):
             vo.client.make_reservation("node1")
 
-    def test_reservation_requires_account(self, fresh_vo):
+    def test_reservation_requires_account(self, clean_vo):
         """Figure 5 step 4: reservation checks the VO account."""
-        vo = fresh_vo
+        vo = clean_vo
         vo.admin.remove_account(vo.user_dn)
         with pytest.raises(SoapFault, match="no VO account"):
             vo.client.make_reservation("node1")
 
-    def test_unclaimed_reservation_expires(self, fresh_vo):
+    def test_unclaimed_reservation_expires(self, clean_vo):
         """Scheduled termination: an unclaimed reservation dies after the
         administrator delta and the host becomes available again."""
-        vo = fresh_vo
+        vo = clean_vo
         vo.client.make_reservation("node1")
         vo.deployment.network.clock.charge(4 * 3600 * 1000.0 + 1)
         sites = vo.client.get_available_resources("sort")
@@ -63,8 +63,8 @@ class TestReservations:
 
 
 class TestDataStaging:
-    def test_upload_list_download_delete(self, fresh_vo):
-        vo = fresh_vo
+    def test_upload_list_download_delete(self, clean_vo):
+        vo = clean_vo
         vo.client.make_reservation("node1")
         data_address = vo.nodes["node1"].data_service.address
         directory = vo.client.create_data_directory(data_address)
@@ -74,15 +74,15 @@ class TestDataStaging:
         vo.client.delete_file(directory, "input.dat")
         assert vo.client.list_files(directory) == []
 
-    def test_upload_without_reservation_rejected(self, fresh_vo):
-        vo = fresh_vo
+    def test_upload_without_reservation_rejected(self, clean_vo):
+        vo = clean_vo
         data_address = vo.nodes["node1"].data_service.address
         directory = vo.client.create_data_directory(data_address)
         with pytest.raises(SoapFault, match="no reservation"):
             vo.client.upload_file(directory, "x", "y")
 
-    def test_destroy_directory_removes_contents(self, fresh_vo):
-        vo = fresh_vo
+    def test_destroy_directory_removes_contents(self, clean_vo):
+        vo = clean_vo
         vo.client.make_reservation("node1")
         data_service = vo.nodes["node1"].data_service
         directory = vo.client.create_data_directory(data_service.address)
@@ -109,8 +109,8 @@ class TestJobExecution:
             vo.client.subscribe_job_exit(job, vo.consumer)
         return site, reservation, directory, job
 
-    def test_full_flow_with_notification(self, fresh_vo):
-        vo = fresh_vo
+    def test_full_flow_with_notification(self, clean_vo):
+        vo = clean_vo
         site, reservation, directory, job = self.run_flow(vo)
         assert vo.client.job_status(job) == "Running"
         vo.deployment.network.clock.charge(600)
@@ -122,17 +122,17 @@ class TestJobExecution:
         assert payload.find_local("JobEPR") is not None
         assert payload.find_local("ExitCode").text() == "0"
 
-    def test_reservation_autodestroyed_after_job(self, fresh_vo):
+    def test_reservation_autodestroyed_after_job(self, clean_vo):
         """Un-reserving happens automatically in the WSRF version —
         Figure 6 reports no WSRF bar for Unreserve Resource."""
-        vo = fresh_vo
+        vo = clean_vo
         site, reservation, directory, job = self.run_flow(vo, subscribe=False)
         vo.deployment.network.clock.charge(600)
         sites = vo.client.get_available_resources("sort")
         assert site["host"] in {s["host"] for s in sites}
 
-    def test_wrong_owner_rejected(self, fresh_vo):
-        vo = fresh_vo
+    def test_wrong_owner_rejected(self, clean_vo):
+        vo = clean_vo
         other_creds = vo.deployment.issue_credentials("mallory", seed=950)
         from repro.apps.giab.wsrf import WsrfGridClient
         from repro.container.client import SoapClient
@@ -153,8 +153,8 @@ class TestJobExecution:
                 JobSpec("sort"),
             )
 
-    def test_wrong_host_rejected(self, fresh_vo):
-        vo = fresh_vo
+    def test_wrong_host_rejected(self, clean_vo):
+        vo = clean_vo
         reservation = vo.client.make_reservation("node1")
         directory = vo.client.create_data_directory(vo.nodes["node2"].data_service.address)
         with pytest.raises(SoapFault, match="not this ExecService's host"):
@@ -165,8 +165,8 @@ class TestJobExecution:
                 JobSpec("sort"),
             )
 
-    def test_destroy_kills_running_job(self, fresh_vo):
-        vo = fresh_vo
+    def test_destroy_kills_running_job(self, clean_vo):
+        vo = clean_vo
         site, reservation, directory, job = self.run_flow(vo, run_time=1e9, subscribe=False)
         assert vo.client.job_status(job) == "Running"
         vo.client.destroy(job)
@@ -175,8 +175,8 @@ class TestJobExecution:
         spawner = vo.nodes[site["host"]].exec_service.spawner
         assert all(h.state.value != "Running" for h in spawner.processes.values())
 
-    def test_nonzero_exit_code_reported(self, fresh_vo):
-        vo = fresh_vo
+    def test_nonzero_exit_code_reported(self, clean_vo):
+        vo = clean_vo
         site, reservation, directory, job = self.run_flow(vo, exit_code=3)
         vo.deployment.network.clock.charge(600)
         _, payload = vo.consumer.received[0]
@@ -185,7 +185,7 @@ class TestJobExecution:
 
 class TestSecurityModes:
     def test_unsigned_vo_works_without_identity_checks(self):
-        vo = build_wsrf_vo(mode=SecurityMode.NONE)
+        vo = fresh_vo("wsrf", mode=SecurityMode.NONE)
         sites = vo.client.get_available_resources("sort")
         assert sites
 
@@ -196,7 +196,7 @@ class TestAllSecurityModes:
         """Smoke: the whole Figure 5 flow under every security scenario."""
         from repro.apps.giab.jobs import JobSpec as Spec
 
-        vo = build_wsrf_vo(mode=mode)
+        vo = fresh_vo("wsrf", mode=mode)
         site = vo.client.get_available_resources("sort")[0]
         reservation = vo.client.make_reservation(site["host"])
         directory = vo.client.create_data_directory(site["data_address"])
@@ -212,11 +212,11 @@ class TestJobResourceProperties:
     """"Clients can ... either poll for or subscribe to receive
     asynchronous notifications of job status" — the polling side."""
 
-    def test_poll_job_rps_through_lifecycle(self, fresh_vo):
+    def test_poll_job_rps_through_lifecycle(self, clean_vo):
         from repro.wsrf.properties import actions as rp_actions
         from repro.xmllib import element, ns
 
-        vo = fresh_vo
+        vo = clean_vo
         site = vo.client.get_available_resources("sort")[0]
         reservation = vo.client.make_reservation(site["host"])
         directory = vo.client.create_data_directory(site["data_address"])
@@ -255,12 +255,12 @@ class TestJobResourceProperties:
         assert status == "Exited" and exit_code == "5"
         assert running3 == pytest.approx(400.0)  # frozen at exit
 
-    def test_query_job_resource_properties(self, fresh_vo):
+    def test_query_job_resource_properties(self, clean_vo):
         """QueryResourceProperties over a job's RP document."""
         from repro.wsrf.properties import actions as rp_actions
         from repro.xmllib import element, ns
 
-        vo = fresh_vo
+        vo = clean_vo
         site = vo.client.get_available_resources("sort")[0]
         reservation = vo.client.make_reservation(site["host"])
         directory = vo.client.create_data_directory(site["data_address"])

@@ -1,6 +1,6 @@
 """The ``indexed`` VO builders: same answers, cheaper queries.
 
-``build_wsrf_vo(indexed=True)`` / ``build_transfer_vo(indexed=True)``
+``fresh_vo("wsrf", indexed=True)`` / ``fresh_vo("transfer", indexed=True)``
 declare the secondary indexes (host registry, reservations, directories,
 site applications) and swap the flat-file subscription store for the
 DB-backed one.  Every client-visible answer must match the default VO; the
@@ -9,7 +9,7 @@ per-query cost must stop growing with the registry size.
 
 import pytest
 
-from repro.apps.giab import build_transfer_vo, build_wsrf_vo
+from tests.helpers import fresh_vo
 from repro.bench.runner import measure_virtual
 from repro.container import SecurityMode
 from repro.eventing.store import XmlDbSubscriptionStore
@@ -23,17 +23,17 @@ def many_hosts(n: int) -> dict[str, list[str]]:
 
 
 class TestSameAnswers:
-    @pytest.mark.parametrize("builder", [build_wsrf_vo, build_transfer_vo])
-    def test_available_resources_match_default_vo(self, builder):
-        plain = builder(mode=SecurityMode.NONE)
-        indexed = builder(mode=SecurityMode.NONE, indexed=True)
+    @pytest.mark.parametrize("stack", ["wsrf", "transfer"])
+    def test_available_resources_match_default_vo(self, stack):
+        plain = fresh_vo(stack, mode=SecurityMode.NONE)
+        indexed = fresh_vo(stack, mode=SecurityMode.NONE, indexed=True)
         for application in ("sort", "blast", "render", "absent"):
             assert plain.client.get_available_resources(
                 application
             ) == indexed.client.get_available_resources(application)
 
     def test_wsrf_reservation_flow_on_indexed_vo(self):
-        vo = build_wsrf_vo(indexed=True)
+        vo = fresh_vo("wsrf", indexed=True)
         vo.client.make_reservation("node1")
         # reserved host disappears from availability (covering index read)
         hosts = [r["host"] for r in vo.client.get_available_resources("sort")]
@@ -45,7 +45,7 @@ class TestSameAnswers:
         assert vo.client.list_files(directory) == ["in.txt"]
 
     def test_transfer_reservation_flow_on_indexed_vo(self):
-        vo = build_transfer_vo(indexed=True)
+        vo = fresh_vo("transfer", indexed=True)
         vo.client.make_reservation("node1")
         hosts = [r["host"] for r in vo.client.get_available_resources("sort")]
         assert hosts == ["node2"]
@@ -54,14 +54,14 @@ class TestSameAnswers:
         assert hosts == ["node1", "node2"]
 
     def test_transfer_indexed_vo_uses_db_subscription_store(self):
-        vo = build_transfer_vo(mode=SecurityMode.NONE, indexed=True)
+        vo = fresh_vo("transfer", mode=SecurityMode.NONE, indexed=True)
         node = vo.nodes["node1"]
         manager = node.exec_service.notifications
         # the store swap is the only wiring difference on the eventing path
         assert isinstance(manager.store, XmlDbSubscriptionStore)
 
     def test_data_service_directory_index(self):
-        vo = build_wsrf_vo(indexed=True)
+        vo = fresh_vo("wsrf", indexed=True)
         vo.client.make_reservation("node1")
         data = vo.nodes["node1"].data_service
         vo.client.create_data_directory(data.address)
@@ -79,7 +79,7 @@ class TestQueryScaling:
     the reservation walk — which pays per document — goes flat."""
 
     def _candidate_cost(self, n: int) -> float:
-        vo = build_wsrf_vo(mode=SecurityMode.NONE, hosts=many_hosts(n), indexed=True)
+        vo = fresh_vo("wsrf", mode=SecurityMode.NONE, hosts=many_hosts(n), indexed=True)
         network = vo.deployment.network
         before = network.clock.now
         candidates = vo.allocation._hosts_with_application("rare")
@@ -93,7 +93,7 @@ class TestQueryScaling:
 
     def _reserved_listing_cost(self, indexed: bool, n_reserved: int) -> float:
         hosts = many_hosts(32)
-        vo = build_wsrf_vo(mode=SecurityMode.NONE, hosts=hosts, indexed=indexed)
+        vo = fresh_vo("wsrf", mode=SecurityMode.NONE, hosts=hosts, indexed=indexed)
         for host in sorted(hosts)[:n_reserved]:
             vo.client.make_reservation(host)
         network = vo.deployment.network

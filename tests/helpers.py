@@ -23,3 +23,25 @@ def server_container(deployment: Deployment, host: str = "server", name: str = "
 def make_client(deployment: Deployment, host: str = "client", cn: str = "alice", seed: int = 77):
     creds = deployment.issue_credentials(cn, seed=seed)
     return SoapClient(deployment, host, creds)
+
+
+def fresh_vo(
+    stack: str,
+    *,
+    mode: SecurityMode = SecurityMode.X509,
+    indexed: bool = False,
+    reliable: bool = False,
+    **overrides,
+):
+    """The canonical Grid-in-a-Box VO for tests: one factory for both
+    stacks so suites stop hand-rolling builder calls.  ``reliable`` turns
+    on the default WS-RM retry policy; extra keyword arguments pass
+    through to the underlying builder (hosts=, costs=, registered=...)."""
+    from repro.apps.giab import build_transfer_vo, build_wsrf_vo
+    from repro.reliable.policy import RetryPolicy
+
+    if stack not in ("wsrf", "transfer"):
+        raise ValueError(f"unknown stack: {stack!r}")
+    builder = build_wsrf_vo if stack == "wsrf" else build_transfer_vo
+    reliability = RetryPolicy() if reliable else None
+    return builder(mode=mode, indexed=indexed, reliability=reliability, **overrides)

@@ -103,9 +103,9 @@ class TestSpanTimings:
 
     def test_dispatch_nests_nested_outcalls(self):
         """A server out-call's client.invoke appears under dispatch."""
-        from repro.apps.giab.vo import build_wsrf_vo
+        from tests.helpers import fresh_vo
 
-        vo = build_wsrf_vo(mode=SecurityMode.X509)
+        vo = fresh_vo("wsrf", mode=SecurityMode.X509)
         tracer = vo.deployment.network.metrics.tracer
         tracer.clear()
         vo.client.get_available_resources("sort")

@@ -125,10 +125,10 @@ class TestGridRaces:
     def test_reservation_expires_before_job_start(self):
         """The unclaimed-reservation race: the client dawdles past the
         administrator delta, then tries to start the job."""
-        from repro.apps.giab import build_wsrf_vo
+        from tests.helpers import fresh_vo
         from repro.apps.giab.jobs import JobSpec
 
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         reservation = vo.client.make_reservation("node1")
         directory = vo.client.create_data_directory(vo.nodes["node1"].data_service.address)
         vo.deployment.network.clock.charge(4 * 3600 * 1000.0 + 1)  # past the delta
@@ -138,10 +138,10 @@ class TestGridRaces:
             )
 
     def test_consumer_death_does_not_break_job_completion(self):
-        from repro.apps.giab import build_wsrf_vo
+        from tests.helpers import fresh_vo
         from repro.apps.giab.jobs import JobSpec
 
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         exec_service = vo.nodes["node1"].exec_service
         observed = []
         exec_service.on_delivery_failure = lambda view, reason: observed.append(
@@ -174,10 +174,10 @@ class TestGridRaces:
         ) == []
 
     def test_transfer_consumer_death_is_observed_and_subscription_ended(self):
-        from repro.apps.giab import build_transfer_vo
+        from tests.helpers import fresh_vo
         from repro.apps.giab.jobs import JobSpec
 
-        vo = build_transfer_vo()
+        vo = fresh_vo("transfer")
         exec_service = vo.nodes["node1"].exec_service
         observed = []
         exec_service.notifications.on_delivery_failure = (
@@ -203,9 +203,9 @@ class TestGridRaces:
     def test_stale_transfer_reservation_blocks_until_admin_intervenes(self):
         """WS-Transfer's manual-lifetime failure mode, resolved the hard way:
         the admin deletes and re-registers the site."""
-        from repro.apps.giab import build_transfer_vo
+        from tests.helpers import fresh_vo
 
-        vo = build_transfer_vo()
+        vo = fresh_vo("transfer")
         vo.client.make_reservation("node1")
         # client vanishes; a week passes; node1 still blocked
         vo.deployment.network.clock.charge(7 * 24 * 3600 * 1000.0)

@@ -1,0 +1,81 @@
+"""The normalized fault taxonomy both stacks answer client mistakes with.
+
+Satellite of the conformance harness: destroy-after-destroy and
+renew-after-expiry must raise WS-BaseFaults with *stable error codes* on
+both stacks, so the comparators can match them by family instead of by
+message text.
+"""
+
+import pytest
+
+from repro.apps.counter.deploy import (
+    CounterScenario,
+    build_transfer_rig,
+    build_wsrf_rig,
+)
+from repro.container import SecurityMode
+from repro.soap import SoapFault
+from repro.testkit.comparators import FAULT_FAMILIES, fault_family, fault_signature
+from repro.wsrf.basefaults import base_fault, is_base_fault
+
+
+@pytest.fixture(params=["wsrf", "transfer"])
+def rig(request):
+    scenario = CounterScenario(mode=SecurityMode.NONE, colocated=True)
+    builder = build_wsrf_rig if request.param == "wsrf" else build_transfer_rig
+    built = builder(scenario)
+    built.stack = request.param
+    return built
+
+
+def _destroy(rig, counter):
+    if rig.stack == "wsrf":
+        rig.client.destroy(counter)
+    else:
+        rig.client.delete(counter)
+
+
+class TestUseAfterDestroy:
+    def test_destroy_after_destroy_is_unknown_resource(self, rig):
+        counter = rig.client.create(1)
+        _destroy(rig, counter)
+        with pytest.raises(SoapFault) as outcome:
+            _destroy(rig, counter)
+        assert is_base_fault(outcome.value)
+        assert fault_family(outcome.value) == "unknown-resource"
+
+    def test_get_after_destroy_is_unknown_resource(self, rig):
+        counter = rig.client.create(1)
+        _destroy(rig, counter)
+        with pytest.raises(SoapFault) as outcome:
+            rig.client.get(counter)
+        assert is_base_fault(outcome.value)
+        assert fault_family(outcome.value) == "unknown-resource"
+
+
+class TestSignatures:
+    def test_signature_carries_code_and_error_code(self):
+        fault = base_fault("gone", error_code="ResourceUnknownFault")
+        try:
+            raise fault
+        except SoapFault as caught:
+            assert fault_signature(caught) == ("Client", "ResourceUnknownFault")
+            assert fault_family(caught) == "unknown-resource"
+
+    def test_plain_soap_fault_families_keep_their_code(self):
+        fault = SoapFault("Server", "boom")
+        assert fault_family(fault) == "soap:Server"
+
+    def test_unmapped_error_codes_surface_verbatim(self):
+        """A new error code must NOT vanish into a bucket — genuine new
+        divergences should be visible, not folded away."""
+        fault = base_fault("odd", error_code="BrandNewFault")
+        assert fault_family(fault) == "BrandNewFault"
+
+    def test_spec_synonyms_fold_together(self):
+        """WSRF and WS-Eventing disagree on vocabulary for the same client
+        mistake; the family table is the Rosetta stone."""
+        assert (
+            FAULT_FAMILIES["UnableToSetTerminationTimeFault"]
+            == FAULT_FAMILIES["InvalidExpirationTimeFault"]
+        )

@@ -1,0 +1,83 @@
+"""The seeded fuzzer: determinism, validity-by-construction, mutations."""
+
+import random
+
+from repro.testkit import ops as op
+from repro.testkit.generator import (
+    TIME_QUANTUM_MS,
+    _swap_hazard,
+    generate_program,
+    mutate,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        for seed in range(20):
+            assert generate_program(seed) == generate_program(seed)
+            assert generate_program(seed, "giab") == generate_program(seed, "giab")
+
+    def test_different_seeds_differ_somewhere(self):
+        programs = {generate_program(seed).to_dict().__str__() for seed in range(20)}
+        assert len(programs) > 1
+
+
+class TestValidity:
+    def test_counter_programs_only_touch_live_counters_for_set_subscribe(self):
+        """The generator must never express the documented asymmetries:
+        Set/Subscribe outside the counter's lifetime."""
+        for seed in range(200):
+            live = set()
+            for operation in generate_program(seed, "counter"):
+                if isinstance(operation, op.CreateCounter):
+                    live.add(operation.name)
+                elif isinstance(operation, op.DestroyCounter):
+                    live.discard(operation.name)
+                elif isinstance(operation, (op.SetCounter, op.Subscribe)):
+                    assert operation.name in live, (
+                        f"seed {seed}: {operation.kind} on non-live "
+                        f"{operation.name}"
+                    )
+
+    def test_lease_times_are_positive_quantized_relative(self):
+        for seed in range(200):
+            for operation in generate_program(seed, "counter"):
+                expires = getattr(operation, "expires_in_ms", None)
+                if expires is not None:
+                    assert expires > 0
+                    assert expires % TIME_QUANTUM_MS == 0
+
+    def test_fault_toggles_are_delay_only(self):
+        """Loss/duplication would diverge the stacks through RNG draw
+        counts (a sim artifact); only latency shaping is allowed."""
+        for seed in range(200):
+            for operation in generate_program(seed, "counter"):
+                if isinstance(operation, op.FaultToggle):
+                    assert not hasattr(operation, "loss_rate")
+
+    def test_giab_flow_order_is_preserved(self):
+        order = {"giab_discover": 0, "giab_reserve": 1, "giab_upload": 2,
+                 "giab_submit": 3, "giab_await": 4}
+        for seed in range(100):
+            last = -1
+            for operation in generate_program(seed, "giab"):
+                rank = order.get(operation.kind)
+                if rank is not None:
+                    assert rank >= last
+                    last = rank
+
+
+class TestMutations:
+    def test_reorder_never_swaps_across_lifecycle_hazard(self):
+        assert _swap_hazard(op.CreateCounter("c0", 0), op.SetCounter("c0", 1))
+        assert _swap_hazard(op.SetCounter("c0", 1), op.DestroyCounter("c0"))
+        assert _swap_hazard(op.DestroyCounter("c0"), op.Subscribe("c0", "s0", None))
+        assert not _swap_hazard(op.CreateCounter("c0", 0), op.SetCounter("c1", 1))
+        assert not _swap_hazard(op.GetCounter("c0"), op.DestroyCounter("c0"))
+        assert _swap_hazard(op.GiabDiscover("sort"), op.GiabReserve(0))
+
+    def test_mutate_is_deterministic_per_rng_state(self):
+        base = generate_program(3, "counter")
+        assert mutate(random.Random(5), base, rounds=3) == mutate(
+            random.Random(5), base, rounds=3
+        )

@@ -1,0 +1,66 @@
+"""The op DSL itself: serialization round-trips and program validation."""
+
+import pytest
+
+from repro.testkit import ops as op
+from repro.testkit.ops import OP_TYPES, Program, op_from_dict
+
+
+class TestOpRoundTrip:
+    def test_every_op_kind_round_trips_through_dicts(self):
+        samples = [
+            op.CreateCounter("c0", 3),
+            op.GetCounter("c0"),
+            op.SetCounter("c0", 9),
+            op.DestroyCounter("c0"),
+            op.Subscribe("c0", "s0", 60_000.0),
+            op.Subscribe("c0", "s1", None),
+            op.Renew("s0", None),
+            op.GetStatus("s0"),
+            op.Unsubscribe("s0"),
+            op.AdvanceClock(120_000.0),
+            op.FaultToggle(delay_mean_ms=2.0, delay_jitter_ms=1.0),
+            op.FaultToggle(),
+            op.GiabDiscover("sort"),
+            op.GiabReserve(1),
+            op.GiabUpload("in.dat", "a<b&c>d"),
+            op.GiabDownload("in.dat"),
+            op.GiabListFiles(),
+            op.GiabSubmit("sort", "in.dat", 250.0, 3),
+            op.GiabJobStatus(),
+            op.GiabAwaitJob(100.0),
+            op.GiabDeleteFile("in.dat"),
+            op.GiabCheckAvailable("sort"),
+        ]
+        assert {s.kind for s in samples} == set(OP_TYPES)
+        for sample in samples:
+            assert op_from_dict(sample.to_dict()) == sample
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown op kind"):
+            op_from_dict({"op": "frobnicate"})
+
+
+class TestProgram:
+    def test_round_trips_through_dicts(self):
+        program = Program(
+            "counter",
+            (op.CreateCounter("c0", 1), op.GetCounter("c0"), op.DestroyCounter("c0")),
+        )
+        assert Program.from_dict(program.to_dict()) == program
+
+    def test_rejects_foreign_ops(self):
+        with pytest.raises(ValueError, match="not valid in a counter program"):
+            Program("counter", (op.GiabDiscover("sort"),))
+        with pytest.raises(ValueError, match="not valid in a giab program"):
+            Program("giab", (op.CreateCounter("c0", 0),))
+
+    def test_shared_ops_allowed_in_both_kinds(self):
+        Program("counter", (op.AdvanceClock(60_000.0),))
+        Program("giab", (op.AdvanceClock(60_000.0),))
+
+    def test_replace_ops_keeps_kind(self):
+        program = Program("counter", (op.CreateCounter("c0", 0),))
+        longer = program.replace_ops(program.ops + (op.GetCounter("c0"),))
+        assert longer.kind == "counter"
+        assert len(longer) == 2

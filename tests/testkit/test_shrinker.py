@@ -1,0 +1,67 @@
+"""The shrinker, proven against a deliberately-injected divergence.
+
+A harness that can never fail tests nothing, so the fixture here degrades
+one stack's wire with a lossy FaultSpec (``perturb_stack``) — the two runs
+then genuinely disagree, and the shrinker must cut the reproducer down to
+a handful of ops while preserving the disagreement.
+"""
+
+import pytest
+
+from repro.container import SecurityMode
+from repro.testkit import ops as op
+from repro.testkit.generator import generate_program
+from repro.testkit.harness import diverges, run_differential
+from repro.testkit.ops import Program
+from repro.testkit.shrinker import shrink
+
+
+class TestInjectedDivergence:
+    def test_perturbed_wire_diverges(self):
+        program = generate_program(7, "counter")
+        assert diverges(program, SecurityMode.NONE, True, perturb_stack="transfer")
+        assert not diverges(program, SecurityMode.NONE, True)
+
+    @pytest.mark.slow
+    def test_shrinks_injected_divergence_to_a_handful_of_ops(self):
+        """The roadmap's acceptance bar: a seeded injected divergence
+        shrinks to <= 5 ops."""
+        program = generate_program(7, "counter")
+        small = shrink(program, SecurityMode.NONE, True, perturb_stack="transfer")
+        assert len(small) <= 5
+        assert len(small) < len(program)
+        # and the shrunk program still reproduces the disagreement
+        outcome = run_differential(
+            small, SecurityMode.NONE, True, perturb_stack="transfer"
+        )
+        assert not outcome.equivalent
+
+    def test_shrink_returns_input_when_nothing_diverges(self):
+        program = generate_program(3, "counter")
+        assert shrink(program, SecurityMode.NONE, True) == program
+
+
+class TestRejectionDiscipline:
+    def test_prerequisite_free_candidates_are_rejected_not_divergent(self):
+        """Removing a Create leaves a Subscribe on a never-created counter —
+        the world refuses such programs, and `diverges` must report False
+        (candidate rejected), not crash or count it as a stack divergence."""
+        orphan = Program("counter", (op.Subscribe("c0", "s0", None),))
+        assert not diverges(orphan, SecurityMode.NONE, True)
+
+    def test_shrinker_never_lands_on_documented_asymmetries(self):
+        """The minimal reproducer must stay inside the DSL's expressible
+        (comparable) space: every Subscribe/Set it contains targets a
+        counter created earlier in the shrunk program."""
+        program = generate_program(23, "counter")
+        if not diverges(program, SecurityMode.NONE, True, perturb_stack="transfer"):
+            pytest.skip("seed no longer induces a perturbed divergence")
+        small = shrink(program, SecurityMode.NONE, True, perturb_stack="transfer")
+        live = set()
+        for operation in small:
+            if isinstance(operation, op.CreateCounter):
+                live.add(operation.name)
+            elif isinstance(operation, op.DestroyCounter):
+                live.discard(operation.name)
+            elif isinstance(operation, (op.SetCounter, op.Subscribe)):
+                assert operation.name in live

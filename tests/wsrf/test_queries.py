@@ -91,13 +91,13 @@ class TestQueryResources:
 class TestGridUsage:
     def test_admin_finds_reservations_by_owner(self):
         """The administrative use-case: which hosts has alice reserved?"""
-        from repro.apps.giab import build_wsrf_vo
+        from tests.helpers import fresh_vo
         from repro.apps.giab.wsrf.reservation import WsrfReservationService
 
         class QueryableReservations(ResourceQueryMixin, WsrfReservationService):
             service_name = "Reservation"
 
-        vo = build_wsrf_vo()
+        vo = fresh_vo("wsrf")
         # Upgrade the deployed reservation service in place:
         vo.reservation.__class__ = type(
             "QR", (ResourceQueryMixin, type(vo.reservation)), {}

@@ -1,0 +1,82 @@
+"""Property-style round-trip tests for xmllib, driven by the testkit's
+seeded generators: parse(serialize(tree)) must reproduce the tree, for
+hundreds of random documents covering namespaces, attributes and every
+text-escaping hazard the conformance fuzzer also feeds through the wire.
+
+Seeded ``random.Random`` throughout — a failure prints its seed, and the
+tree regenerates from it exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.testkit.generator import HOSTILE_TEXT, random_xml_element
+from repro.xmllib import QName, element, parse_xml, serialize
+from repro.xmllib.element import XmlElement
+
+
+def _canonical(node: XmlElement):
+    """Structural identity: tag, sorted attributes, merged text runs.
+
+    Adjacent text children may legally re-chunk across a parse, so text
+    is compared as the concatenation between element children.
+    """
+    chunks = []
+    merged_text = [""]
+    for child in node.children:
+        if isinstance(child, str):
+            merged_text[-1] += child
+        else:
+            chunks.append(_canonical(child))
+            merged_text.append("")
+    attributes = tuple(
+        sorted((str(key), value) for key, value in node.attributes.items())
+    )
+    return (str(node.tag), attributes, tuple(merged_text), tuple(chunks))
+
+
+class TestSeededRoundTrips:
+    def test_parse_serialize_parse_identity(self):
+        for seed in range(300):
+            tree = random_xml_element(random.Random(seed))
+            wire = serialize(tree)
+            reparsed = parse_xml(wire)
+            assert _canonical(reparsed) == _canonical(tree), f"seed {seed}:\n{wire}"
+            # And a second trip is a fixed point.
+            assert serialize(reparsed) == serialize(parse_xml(serialize(reparsed)))
+
+    def test_every_hostile_text_survives_as_element_text(self):
+        for hostile in HOSTILE_TEXT:
+            tree = element("probe", hostile)
+            assert parse_xml(serialize(tree)).text() == hostile
+
+    def test_every_hostile_text_survives_as_attribute_value(self):
+        for hostile in HOSTILE_TEXT:
+            if "\n" in hostile or "\t" in hostile:
+                # Literal tabs/newlines in attribute values are normalized
+                # to spaces by XML attribute-value normalization; skip the
+                # whitespace probes here (they are covered as text).
+                continue
+            tree = element("probe")
+            tree.set("value", hostile)
+            assert parse_xml(serialize(tree)).get("value") == hostile
+
+
+class TestQNameAndNamespaces:
+    def test_namespaced_tags_round_trip(self):
+        for seed in range(100):
+            rng = random.Random(10_000 + seed)
+            tree = random_xml_element(rng)
+            assert parse_xml(serialize(tree)).tag == tree.tag
+
+    def test_qname_parse_of_clark_notation(self):
+        name = QName.parse("{urn:testkit:alpha}Probe")
+        assert name.namespace == "urn:testkit:alpha"
+        assert name.local == "Probe"
+
+    def test_slash_namespace_survives(self):
+        tree = element("{urn:testkit:names/with/slashes}Leaf", "x")
+        reparsed = parse_xml(serialize(tree))
+        assert reparsed.tag.namespace == "urn:testkit:names/with/slashes"
+        assert reparsed.text() == "x"
