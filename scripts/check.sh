@@ -3,7 +3,8 @@
 #
 #   scripts/check.sh              # run everything
 #   scripts/check.sh --soak      # also run the large conformance sweeps
-#   scripts/check.sh tests/sim    # pass extra args through to pytest
+#   scripts/check.sh --lint-only # just repro-lint + the report gate (pre-commit)
+#   scripts/check.sh tests/sim   # pass extra args through to pytest
 #
 # Exits non-zero if any stage fails.
 
@@ -15,12 +16,22 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 export PYTHONPATH
 
 soak=0
+lint_only=0
 if [ "${1:-}" = "--soak" ]; then
     soak=1
+    shift
+elif [ "${1:-}" = "--lint-only" ]; then
+    lint_only=1
     shift
 fi
 
 status=0
+
+if [ "$lint_only" = 1 ]; then
+    echo "== repro-lint (report gate) =="
+    python -m repro.analysis --fail-on-new results/lint_report.json || status=1
+    exit $status
+fi
 
 echo "== tier-1 tests =="
 python -m pytest -q "$@" || status=1
@@ -31,7 +42,9 @@ if [ "$soak" = 1 ]; then
 fi
 
 echo "== repro-lint =="
-python -m repro.analysis || status=1
+# Any finding not in the committed report (even a baselined one) fails;
+# regenerate with: python -m repro.analysis --format json --out results/lint_report.json
+python -m repro.analysis --fail-on-new results/lint_report.json || status=1
 
 echo "== conformance =="
 if [ "$soak" = 1 ]; then

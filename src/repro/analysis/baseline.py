@@ -1,25 +1,32 @@
 """Baseline files: known, justified findings that do not fail the build.
 
-A baseline is a JSON document::
+A version-2 baseline is a JSON document::
 
     {
-      "version": 1,
+      "version": 2,
       "entries": [
         {
           "rule": "RPO05",
           "path": "src/repro/bench/giab.py",
           "symbol": "_measure_wsrf",
-          "message": "...exact finding message...",
+          "message": "...finding message...",
           "justification": "why this one is intentional"
         }
       ]
     }
 
-Matching is by the same (rule, path, symbol, message) tuple that forms a
-finding's fingerprint, so entries survive line-number drift but are
-invalidated the moment the underlying code (and hence the message or
-symbol) changes — a stale suppression fails the run instead of rotting.
-Every entry must carry a non-empty ``justification``.
+Matching is by the *normalized* (rule, path, symbol, message) tuple —
+whitespace collapsed, digit runs replaced by ``#`` — so entries survive
+line-number drift, message reflows, and count changes ("after 3
+attempts" vs "after 5 attempts"), but are invalidated the moment the
+code changes what the finding actually says.  A stale suppression fails
+the run instead of rotting.  Every entry must carry a non-empty
+``justification``.
+
+Version-1 documents (exact-message matching) still load: their entries
+are re-keyed by the normalized fingerprint on the fly, and saving any
+baseline writes version 2 — so ``--write-baseline`` over an old file is
+the migration.
 """
 
 from __future__ import annotations
@@ -29,7 +36,10 @@ from dataclasses import dataclass, field
 
 from repro.analysis.findings import Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
+
+#: Document versions ``load`` accepts; anything else is an error.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: The file the CLI auto-loads from the working directory when --baseline
 #: is not given (kept at the repository root).
@@ -42,16 +52,20 @@ class BaselineError(ValueError):
 
 @dataclass
 class Baseline:
-    """A set of accepted findings keyed by fingerprint."""
+    """A set of accepted findings keyed by normalized fingerprint."""
 
     entries: dict[str, dict] = field(default_factory=dict)
     path: str = ""
+    #: Version of the document this baseline was loaded from (or the
+    #: current version for fresh baselines); saving always writes the
+    #: current version.
+    loaded_version: int = BASELINE_VERSION
 
     def covers(self, finding: Finding) -> bool:
-        return finding.fingerprint in self.entries
+        return finding.normalized_fingerprint in self.entries
 
     def justification_for(self, finding: Finding) -> str:
-        entry = self.entries.get(finding.fingerprint)
+        entry = self.entries.get(finding.normalized_fingerprint)
         return entry.get("justification", "") if entry else ""
 
     def __len__(self) -> int:
@@ -63,7 +77,7 @@ class Baseline:
     def from_findings(cls, findings: list[Finding], justification: str) -> "Baseline":
         baseline = cls()
         for finding in findings:
-            baseline.entries[finding.fingerprint] = {
+            baseline.entries[finding.normalized_fingerprint] = {
                 "rule": finding.rule,
                 "path": finding.path,
                 "symbol": finding.symbol,
@@ -76,9 +90,11 @@ class Baseline:
     def load(cls, path: str) -> "Baseline":
         with open(path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
-        if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
-            raise BaselineError(f"{path}: not a version-{BASELINE_VERSION} baseline")
-        baseline = cls(path=path)
+        if not isinstance(document, dict) or document.get("version") not in SUPPORTED_VERSIONS:
+            raise BaselineError(
+                f"{path}: not a version-{'/'.join(map(str, SUPPORTED_VERSIONS))} baseline"
+            )
+        baseline = cls(path=path, loaded_version=document["version"])
         for index, entry in enumerate(document.get("entries", [])):
             missing = {"rule", "path", "symbol", "message"} - set(entry)
             if missing:
@@ -96,7 +112,9 @@ class Baseline:
                 symbol=entry["symbol"],
                 message=entry["message"],
             )
-            baseline.entries[shadow.fingerprint] = dict(entry)
+            # v1 entries carried exact messages; the normalized key makes
+            # them match the same findings they always did, plus reflows.
+            baseline.entries[shadow.normalized_fingerprint] = dict(entry)
         return baseline
 
     def save(self, path: str) -> None:
@@ -118,3 +136,4 @@ class Baseline:
             json.dump(document, handle, indent=2, sort_keys=False)
             handle.write("\n")
         self.path = path
+        self.loaded_version = BASELINE_VERSION

@@ -12,16 +12,36 @@ RPO06   ``@web_method`` handlers do not mutate module-level state
 RPO07   no wall-clock ``time.sleep`` — waits are charged virtually
 RPO08   ``SecurityHandler`` / ``InboundRequestLog`` stay inside
         ``repro.pipeline`` — everything else drives a ``FilterChain``
+RPO09   no module-level mutables / class-level mutable defaults
+        shared across simulated hosts outside Network/Clock/
+        ResourceHome mediation
+RPO10   no wall-clock reads, unseeded randomness, id()-keyed or
+        set-ordered data on cost-ledger/comparator paths
+RPO11   ``clock.charge`` laundered through wrappers still bypasses
+        Network.charge attribution (interprocedural)
+RPO12   filter/handler code settles state before notification
+        fan-out or yield, never after
+RPO13   WriteThroughCache/index internals are written only through
+        the owning Collection API
 ======  ==========================================================
+
+RPO09–RPO13 are the concurrency-readiness rules: they consult the
+project-wide call graph (``ModuleContext.project``) when the engine
+provides one and degrade to module-local scope otherwise.
 """
 
 from repro.analysis.checkers import (  # noqa: F401  (import registers)
+    cost_escape,
+    determinism,
     eventing_quartet,
     fault_discipline,
     handler_state,
+    host_isolation,
     namespace_hygiene,
     pipeline_boundary,
+    reentrancy,
     sim_cost,
+    store_discipline,
     transfer_quartet,
     wallclock,
 )

@@ -1,0 +1,148 @@
+"""RPO11 — interprocedural sim-cost escape: no laundered ``clock.charge``.
+
+RPO05 flags a *direct* ``<x>.clock.charge(...)`` because it bypasses
+``Network.charge``'s metrics attribution.  Its blind spot is one level of
+indirection: a helper that takes the clock as a parameter —
+
+    def bump(clock, ms):
+        clock.charge(ms)          # RPO05 cannot see this is the sim clock
+
+    def handler(...):
+        bump(self.network.clock, cost)   # charged time vanishes from the
+                                         # per-category breakdown
+
+RPO05's pattern needs the ``.clock`` attribute in the call expression;
+the wrapper's bare-name receiver defeats it, and every caller of the
+wrapper inherits the escape.  This rule closes the hole with the project
+call graph:
+
+w1. the wrapper itself — a function (outside the sim/SOAP substrate)
+    that calls ``charge``/``advance`` on a bare-name receiver bound to a
+    clock (parameter or local named ``clock``/``*_clock``);
+w2. every function that can transitively reach a wrapper — the laundered
+    charge escapes attribution at each of those call chains.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.project import ProjectContext
+
+_CLOCK_METHODS = frozenset({"charge", "advance"})
+
+
+def _exempt(path: str) -> bool:
+    # The substrate owns the clock; the analyzer only describes it.
+    return "repro/sim/" in path or "repro/soap/" in path or "repro/analysis/" in path
+
+
+def _is_clock_name(name: str) -> bool:
+    return name == "clock" or name.endswith("_clock")
+
+
+@register
+class CostEscapeChecker:
+    rule_id = "RPO11"
+    description = (
+        "clock.charge laundered through wrapper functions still bypasses "
+        "Network.charge attribution (interprocedural)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _exempt(module.path):
+            return
+        project = module.project
+        if not isinstance(project, ProjectContext):
+            project = ProjectContext.single(module)
+        wrappers = _wrapper_functions(project)
+
+        # w1 — wrappers defined in this module.
+        for info in wrappers.values():
+            if info.module.path != module.path:
+                continue
+            call = _bare_clock_charge(info.node)
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=call.lineno,
+                col=call.col_offset,
+                symbol=info.symbol,
+                message=(
+                    "charges the clock through a bare-name receiver, hiding "
+                    "the charge from RPO05 and from Network.charge metrics "
+                    "attribution; charge through Network.charge(ms, category)"
+                ),
+                severity="warning",
+            )
+
+        if not wrappers:
+            return
+
+        # w2 — callers in this module that reach a wrapper.
+        wrapper_names = frozenset(wrappers)
+        for info in project.functions.values():
+            if info.module.path != module.path or info.qualname in wrapper_names:
+                continue
+            reached = sorted(project.callees_closure(info.qualname) & wrapper_names)
+            if not reached:
+                continue
+            leaf = wrappers[reached[0]]
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=info.node.lineno,
+                col=info.node.col_offset,
+                symbol=info.symbol,
+                message=(
+                    f"reaches '{leaf.symbol}', which charges the clock "
+                    "outside Network.charge; the laundered time is missing "
+                    "from the per-category breakdown"
+                ),
+                severity="warning",
+            )
+
+
+def _wrapper_functions(project: ProjectContext):
+    """qualname -> FunctionInfo for every launder wrapper in the project.
+
+    Computed once per project (memoized): every module's check consults
+    the same table, and the body scan is the expensive part.
+    """
+    cached = project.memo.get("rpo11.wrappers")
+    if cached is not None:
+        return cached
+    wrappers = {}
+    for qualname, info in project.functions.items():
+        if _exempt(info.module.path):
+            continue
+        if _bare_clock_charge(info.node) is not None:
+            wrappers[qualname] = info
+    project.memo["rpo11.wrappers"] = wrappers
+    return wrappers
+
+
+def _bare_clock_charge(func: ast.FunctionDef | ast.AsyncFunctionDef) -> ast.Call | None:
+    """The first ``clock.charge(...)`` / ``clock.advance(...)`` call whose
+    receiver is a bare name bound to a clock, if any."""
+    frontier: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while frontier:
+        node = frontier.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # a nested def is its own FunctionInfo (and wrapper)
+        frontier.extend(ast.iter_child_nodes(node))
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in _CLOCK_METHODS
+            and isinstance(target.value, ast.Name)
+            and _is_clock_name(target.value.id)
+        ):
+            return node
+    return None

@@ -1,0 +1,260 @@
+"""RPO09 — host isolation: no shared mutable state across simulated hosts.
+
+The concurrent kernel (ROADMAP item 1) will interleave many requests on
+one virtual timeline.  Any module-level mutable, class-level mutable
+default, or module-level singleton instance is then *one* object shared
+by every simulated host in the process — a race and a fidelity bug,
+because two real Globus/WSRF.NET containers would each have their own
+copy.  State that two hosts must both observe has to travel through the
+mediated substrate (``Network`` messages, ``Clock`` timers,
+``ResourceHome`` stores), never through the interpreter's module dict.
+
+Two finding shapes:
+
+w1. a module-level mutable (``{}``/``[]``/``set()``/constructor call)
+    mutated from code that runs after import time — handlers or anything
+    transitively callable from a function.  Import-time-only mutation
+    (decorator registries populated while the module loads) is exempt:
+    it is finished before any host exists.
+w2. a class-level mutable default (``class C: items = []``) — every
+    instance on every host aliases one list.
+
+Pure memoization caches are still flagged — under concurrency they need
+an owner — and are expected to be *baselined* with a justification, not
+silently exempted, so the inventory of shared state stays visible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.project import MODULE_SCOPE, ProjectContext
+
+#: Constructor names whose call produces a fresh mutable container.
+_MUTABLE_CALLS = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+#: Method names that mutate a container in place.
+_MUTATORS = frozenset(
+    {
+        "append", "add", "update", "pop", "popitem", "remove", "clear",
+        "extend", "insert", "setdefault", "discard", "appendleft",
+    }
+)
+
+
+def _exempt(path: str) -> bool:
+    # The analyzer itself runs offline in a single thread (no hosts), and
+    # the sim substrate *is* the mediation layer the rule points to.
+    return "repro/analysis/" in path or "repro/sim/" in path
+
+
+@register
+class HostIsolationChecker:
+    rule_id = "RPO09"
+    description = (
+        "no module-level mutables, class-level mutable defaults, or "
+        "singletons shared across simulated hosts outside "
+        "Network/Clock/ResourceHome mediation"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _exempt(module.path):
+            return
+        yield from self._class_defaults(module)
+        yield from self._module_mutables(module)
+
+    # -- w2: class-level mutable defaults ------------------------------------
+
+    def _class_defaults(self, module: ModuleContext) -> Iterator[Finding]:
+        for klass in module.classes():
+            if _is_dataclass(klass) or klass.name == "actions" or klass.name.endswith("_actions"):
+                # dataclasses reject mutable defaults themselves; actions
+                # tables hold constant strings.
+                continue
+            for statement in klass.body:
+                target = _class_attr_target(statement)
+                if target is None or target.isupper():
+                    # SCREAMING_CASE class attributes are constant lookup
+                    # tables by convention; runtime mutation of one is
+                    # caught by the module-level pass when it happens.
+                    continue
+                value = statement.value
+                if value is not None and _is_mutable_value(value):
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.path,
+                        line=statement.lineno,
+                        col=statement.col_offset,
+                        symbol=f"{klass.name}.{target}",
+                        message=(
+                            "class-level mutable default is one object aliased "
+                            "by every instance on every simulated host; "
+                            "initialize it per-instance in __init__"
+                        ),
+                        severity="warning",
+                    )
+
+    # -- w1: module-level mutables mutated at runtime ------------------------
+
+    def _module_mutables(self, module: ModuleContext) -> Iterator[Finding]:
+        project = module.project
+        if not isinstance(project, ProjectContext):
+            project = ProjectContext.single(module)
+        mutables = _module_level_mutables(module)
+        if not mutables:
+            return
+        reported: set[str] = set()
+        for node in ast.walk(module.tree):
+            name = _mutated_name(node, mutables)
+            if name is None or name in reported:
+                continue
+            info = _enclosing_function(project, module, node)
+            if info is None:
+                # Mutation at module scope is part of building the table at
+                # import time — by definition single-threaded and pre-host.
+                continue
+            if not _runs_after_import(project, info.qualname):
+                continue
+            reported.add(name)
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                symbol=info.symbol,
+                message=(
+                    f"module-level mutable '{name}' is mutated at runtime and "
+                    "shared by every simulated host; move it behind "
+                    "Network/Clock/ResourceHome mediation or scope it "
+                    "per-host"
+                ),
+                severity="warning",
+            )
+
+
+def _is_dataclass(klass: ast.ClassDef) -> bool:
+    for decorator in klass.decorator_list:
+        name = decorator
+        if isinstance(name, ast.Call):
+            name = name.func
+        if isinstance(name, ast.Attribute) and name.attr == "dataclass":
+            return True
+        if isinstance(name, ast.Name) and name.id == "dataclass":
+            return True
+    return False
+
+
+def _class_attr_target(statement: ast.stmt) -> str | None:
+    if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+        target = statement.targets[0]
+        if isinstance(target, ast.Name):
+            return target.id
+    elif isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+        # ClassVar annotations are an explicit "shared on purpose" marker;
+        # still shared, still flagged — baselining is the opt-out.
+        return statement.target.id
+    return None
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name):
+            return func.id in _MUTABLE_CALLS
+        if isinstance(func, ast.Attribute):
+            return func.attr in _MUTABLE_CALLS
+    return False
+
+
+def _module_level_mutables(module: ModuleContext) -> set[str]:
+    names: set[str] = set()
+    for statement in module.tree.body:
+        if isinstance(statement, ast.Assign):
+            targets = [t for t in statement.targets if isinstance(t, ast.Name)]
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+            targets = [statement.target]
+            value = statement.value
+        else:
+            continue
+        if value is not None and _is_mutable_value(value):
+            names.update(t.id for t in targets)
+    return names
+
+
+def _mutated_name(node: ast.AST, mutables: set[str]) -> str | None:
+    """The module-level name ``node`` mutates, if any."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in mutables
+        ):
+            return func.value.id
+    elif isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in mutables
+            ):
+                return target.value.id
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in mutables
+            ):
+                return target.value.id
+    return None
+
+
+def _enclosing_function(project: ProjectContext, module: ModuleContext, target: ast.AST):
+    """FunctionInfo of the innermost def containing ``target``, else None."""
+
+    def find(node: ast.AST, current):
+        if node is target:
+            return current
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = project.function_at(module, node)
+            current = info if info is not None else current
+        for child in ast.iter_child_nodes(node):
+            found = find(child, current)
+            if found is not _MISS:
+                return found
+        return _MISS
+
+    result = find(module.tree, None)
+    return None if result is _MISS else result
+
+
+_MISS = object()
+
+
+def _runs_after_import(project: ProjectContext, qualname: str) -> bool:
+    """True unless every path to this function starts at module scope.
+
+    A function no one calls is assumed to be runtime API surface; one
+    only reachable from ``<module>`` scopes (decorator registries) runs
+    while the interpreter holds the import lock and is safe.
+    """
+    callers = project.callers_closure(qualname)
+    if not callers:
+        return True
+    if project.functions.get(qualname) is not None and project.functions[qualname].is_handler:
+        return True
+    return any(caller in project.functions for caller in callers) or not all(
+        caller.endswith(f".{MODULE_SCOPE}") for caller in callers
+    )

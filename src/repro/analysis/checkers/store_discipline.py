@@ -1,0 +1,158 @@
+"""RPO13 — store discipline: Collection owns its cache and posting lists.
+
+The XML database keeps derived state — the ``WriteThroughCache``'s LRU
+map and each index's posting lists — consistent with the backend only
+because every write funnels through the Collection API
+(``insert``/``update``/``upsert``/``delete``), which charges the cost
+model and refreshes the derived structures in one place.  Code outside
+``repro.xmldb`` that pokes those internals directly (``x._cache[k] = v``,
+``index._postings[v].add(k)``, ``collection.indexes[...] = ...``,
+``backend.store(...)``) silently desynchronizes cache, index, and
+backend — the "lock-free invariant drift" that only shows up once the
+concurrent kernel interleaves readers with the drifted writer.
+
+Flagged outside ``repro/xmldb/``:
+
+w1. subscript/del/mutator writes on ``_cache``/``_postings``/``postings``
+    attributes of any object;
+w2. direct ``backend.store``/``backend.remove`` calls — the backend is
+    Collection's private persistence leg;
+w3. assignment into a collection's ``indexes`` mapping — indexes are
+    attached via ``Collection.attach_index`` so they are backfilled.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Private derived-state attributes owned by the xmldb layer.
+_OWNED_ATTRS = frozenset({"_cache", "_postings", "postings"})
+
+_MUTATORS = frozenset(
+    {"append", "add", "update", "pop", "popitem", "remove", "clear",
+     "extend", "insert", "setdefault", "discard"}
+)
+
+_BACKEND_NAMES = frozenset({"backend", "_backend"})
+_BACKEND_WRITES = frozenset({"store", "remove"})
+
+
+def _exempt(path: str) -> bool:
+    # The owner may touch its own internals; the analyzer only names them.
+    return "repro/xmldb/" in path or "repro/analysis/" in path
+
+
+@register
+class StoreDisciplineChecker:
+    rule_id = "RPO13"
+    description = (
+        "WriteThroughCache/index internals are written only through the "
+        "owning Collection API, never poked from outside repro.xmldb"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _exempt(module.path):
+            return
+        for node in ast.walk(module.tree):
+            hit = _violation(node)
+            if hit is None:
+                continue
+            detail, site = hit
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=site.lineno,
+                col=site.col_offset,
+                symbol=_enclosing_symbol(module.tree, site),
+                message=(
+                    f"{detail} outside repro.xmldb desynchronizes cache, "
+                    "index, and backend; write through the Collection API "
+                    "(insert/update/upsert/delete/attach_index)"
+                ),
+                severity="warning",
+            )
+
+
+def _violation(node: ast.AST) -> tuple[str, ast.AST] | None:
+    # w1a — mutator method on an owned attribute: x._cache.pop(...),
+    # index._postings.setdefault(...).add(...)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            owned = _owned_attr_in_chain(func.value)
+            if owned is not None:
+                return f"mutates '{owned}'", node
+        # w2 — backend.store / backend.remove
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _BACKEND_WRITES
+            and _is_backend(func.value)
+        ):
+            return f"calls backend.{func.attr}(...)", node
+    # w1b / w3 — subscript assignment or deletion on owned attrs / indexes.
+    elif isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            owned = _owned_write_target(target)
+            if owned is not None:
+                return f"writes '{owned}'", target
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            owned = _owned_write_target(target)
+            if owned is not None:
+                return f"deletes from '{owned}'", target
+    return None
+
+
+def _owned_attr_in_chain(node: ast.expr) -> str | None:
+    """The owned attribute name appearing in an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and node.attr in _OWNED_ATTRS:
+            return node.attr
+        node = node.value
+    return None
+
+
+def _owned_write_target(target: ast.expr) -> str | None:
+    if isinstance(target, ast.Subscript):
+        value = target.value
+        if isinstance(value, ast.Attribute):
+            if value.attr in _OWNED_ATTRS:
+                return value.attr
+            if value.attr == "indexes":
+                return "indexes"
+        owned = _owned_attr_in_chain(value)
+        if owned is not None:
+            return owned
+    # A plain attribute assignment (``self._cache = {}``) defines a new
+    # object rather than poking xmldb's entries, so only subscript writes
+    # and in-place mutators count.
+    return None
+
+
+def _is_backend(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _BACKEND_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BACKEND_NAMES
+    return False
+
+
+def _enclosing_symbol(tree: ast.AST, target: ast.AST) -> str:
+    def find(node: ast.AST, trail: list[str]) -> str | None:
+        if node is target:
+            return ".".join(trail) or "<module>"
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            trail = trail + [node.name]
+        for child in ast.iter_child_nodes(node):
+            found = find(child, trail)
+            if found is not None:
+                return found
+        return None
+
+    return find(tree, []) or "<module>"

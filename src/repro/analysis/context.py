@@ -80,11 +80,18 @@ class ModuleContext:
     module_name: str = ""
     #: ``from X import Y as Z`` → imports["Z"] == ("X", "Y")
     imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: ``import a.b.c as x`` → plain_imports["x"] == "a.b.c";
+    #: ``import a.b.c`` → plain_imports["a"] == "a" (the bound root).
+    plain_imports: dict[str, str] = field(default_factory=dict)
     #: class name → attribute names, for classes named ``actions``/``*_actions``
     action_classes: dict[str, set[str]] = field(default_factory=dict)
     #: names assigned at module level (mutation targets for RPO06)
     module_level_names: set[str] = field(default_factory=set)
     web_methods: list[WebMethod] = field(default_factory=list)
+    #: Set by the engine after all files are parsed; single-file analyses
+    #: get a project of one module, so interprocedural checkers degrade
+    #: gracefully.  Typed loosely to avoid an import cycle with project.py.
+    project: object | None = None
 
     @classmethod
     def build(cls, path: str, source: str) -> "ModuleContext":
@@ -105,6 +112,13 @@ class ModuleContext:
             if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
                 for alias in node.names:
                     self.imports[alias.asname or alias.name] = (node.module, alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.plain_imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.plain_imports[root] = root
             elif isinstance(node, ast.ClassDef) and (
                 node.name == "actions" or node.name.endswith("_actions")
             ):

@@ -1,9 +1,13 @@
-"""The analysis engine: file discovery, the per-file checker pipeline,
-inline suppressions, and baseline filtering.
+"""The analysis engine: file discovery, the project-wide pass, the
+per-file checker pipeline, inline suppressions, and baseline filtering.
 
-The pipeline parses each file once, builds a
-:class:`~repro.analysis.context.ModuleContext`, and hands it to every
-registered checker.  Findings on lines carrying a
+The pipeline parses each file once (memoized by content hash, so repeated
+runs in one process — the test suite, engine + report passes — reparse
+nothing that did not change), builds a
+:class:`~repro.analysis.context.ModuleContext` per file plus one
+:class:`~repro.analysis.project.ProjectContext` over the whole file set
+(symbol table + call graph), and hands each module to every registered
+checker.  Findings on lines carrying a
 ``# repro-lint: disable=RULE[,RULE...]`` marker are dropped at collection
 time; findings matching the baseline are kept but flagged, so reporters
 can show them without failing the run.
@@ -11,12 +15,14 @@ can show them without failing the run.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectContext
 from repro.analysis.registry import all_checkers
 
 #: Files the analyzer never lints: the canonical namespace table (the one
@@ -25,6 +31,11 @@ from repro.analysis.registry import all_checkers
 _SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache"}
 
 _SUPPRESS_MARKER = "repro-lint: disable="
+
+#: Per-file AST cache: path -> (sha1 of source, ModuleContext).  Keyed by
+#: content hash so an edited file re-parses and an untouched one never
+#: does, across every run in this process.
+_CONTEXT_CACHE: dict[str, tuple[str, ModuleContext]] = {}
 
 
 @dataclass
@@ -62,11 +73,26 @@ def discover_files(paths: list[str]) -> list[str]:
     return [p.replace(os.sep, "/") for p in out]
 
 
-def analyze_file(path: str, *, rules: list[str] | None = None) -> list[Finding]:
-    """Run every (selected) checker over one file."""
+def context_for(path: str) -> ModuleContext:
+    """Parse ``path`` into a ModuleContext, memoized by content hash."""
+    normalized = path.replace(os.sep, "/")
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
-    context = ModuleContext.build(path.replace(os.sep, "/"), source)
+    digest = hashlib.sha1(source.encode("utf-8")).hexdigest()
+    cached = _CONTEXT_CACHE.get(normalized)
+    if cached is not None and cached[0] == digest:
+        return cached[1]
+    context = ModuleContext.build(normalized, source)
+    _CONTEXT_CACHE[normalized] = (digest, context)
+    return context
+
+
+def clear_context_cache() -> None:
+    """Drop the per-file AST cache (tests exercising the cache use this)."""
+    _CONTEXT_CACHE.clear()
+
+
+def _check_module(context: ModuleContext, rules: list[str] | None) -> list[Finding]:
     findings: list[Finding] = []
     for rule_id, checker_class in all_checkers().items():
         if rules is not None and rule_id not in rules:
@@ -75,22 +101,32 @@ def analyze_file(path: str, *, rules: list[str] | None = None) -> list[Finding]:
     return [f for f in findings if not _suppressed(context, f)]
 
 
+def analyze_file(path: str, *, rules: list[str] | None = None) -> list[Finding]:
+    """Run every (selected) checker over one file, as a project of one."""
+    context = context_for(path)
+    context.project = ProjectContext.single(context)
+    return _check_module(context, rules)
+
+
 def run_analysis(
     paths: list[str],
     *,
     baseline: Baseline | None = None,
     rules: list[str] | None = None,
 ) -> AnalysisResult:
-    """Analyze ``paths``; split findings into new vs baselined."""
+    """Analyze ``paths`` project-wide; split findings into new vs baselined."""
     result = AnalysisResult()
+    contexts: list[ModuleContext] = []
     for path in discover_files(paths):
         result.files_scanned += 1
         try:
-            file_findings = analyze_file(path, rules=rules)
+            contexts.append(context_for(path))
         except SyntaxError as exc:
             result.parse_failures.append((path, str(exc)))
-            continue
-        for finding in sorted(file_findings, key=Finding.sort_key):
+    project = ProjectContext(contexts)
+    for context in contexts:
+        context.project = project
+        for finding in sorted(_check_module(context, rules), key=Finding.sort_key):
             if baseline is not None and baseline.covers(finding):
                 result.baselined.append(finding)
             else:

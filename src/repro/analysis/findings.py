@@ -8,6 +8,7 @@ it is the tuple (rule, path, symbol, message) that names a violation.
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass, field
 
 #: Finding severities, in increasing order of concern.  Both count toward
@@ -37,6 +38,16 @@ class Finding:
         basis = "|".join((self.rule, self.path, self.symbol, self.message))
         return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
 
+    @property
+    def normalized_fingerprint(self) -> str:
+        """Baseline-v2 identity: message text is normalized first, so
+        entries survive refactors that shift counts or reflow wording
+        whitespace without changing what the finding *is*."""
+        basis = "|".join(
+            (self.rule, self.path, self.symbol, normalize_message(self.message))
+        )
+        return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
+
     def render(self) -> str:
         return (
             f"{self.path}:{self.line}:{self.col}: "
@@ -53,11 +64,19 @@ class Finding:
             "symbol": self.symbol,
             "message": self.message,
             "fingerprint": self.fingerprint,
+            "normalized_fingerprint": self.normalized_fingerprint,
             "baselined": baselined,
         }
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule, self.message)
+
+
+def normalize_message(message: str) -> str:
+    """Collapse whitespace and replace digit runs with ``#`` so messages
+    that embed counts ('after 3 attempts') fingerprint stably."""
+    collapsed = re.sub(r"\s+", " ", message).strip()
+    return re.sub(r"\d+", "#", collapsed)
 
 
 @dataclass

@@ -1,10 +1,10 @@
 """Text and JSON reporters.
 
-The JSON schema (version 1) is part of the tool's contract and is asserted
+The JSON schema (version 2) is part of the tool's contract and is asserted
 by the tier-1 tests::
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro-lint",
       "rules": {"RPO01": "<description>", ...},
       "summary": {
@@ -15,11 +15,14 @@ by the tier-1 tests::
         "parse_failures": <int>
       },
       "findings": [
-        {"rule", "severity", "path", "line", "col",
-         "symbol", "message", "fingerprint", "baselined"},
+        {"rule", "severity", "path", "line", "col", "symbol", "message",
+         "fingerprint", "normalized_fingerprint", "baselined"},
         ...
       ]
     }
+
+Version 2 added ``normalized_fingerprint`` (the baseline-v2 identity);
+``scripts/check.sh`` diffs committed vs. fresh reports by that key.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ import json
 from repro.analysis.engine import AnalysisResult
 from repro.analysis.registry import rule_table
 
-JSON_REPORT_VERSION = 1
+JSON_REPORT_VERSION = 2
 
 
 def render_text(result: AnalysisResult, *, show_baselined: bool = False) -> str:

@@ -88,24 +88,27 @@ class Container:
         filter passes charge server-side processing.
         """
         ctx = PipelineContext.server_request(self, message)
-        try:
-            self.chain.run_inbound(ctx)
-            if ctx.replayed:
-                return ctx.response_message
-            service = self.services.get(ctx.headers.to)
-            if service is None:
-                raise SoapFault("Client", f"no service at {ctx.headers.to}")
-            with ctx.span("dispatch", detail=ctx.headers.action):
-                context = MessageContext(
-                    headers=ctx.headers,
-                    body=ctx.request_envelope.body_child(),
-                    sender=ctx.sender,
-                    container=self,
-                )
-                ctx.result = service.dispatch(context)
-        except SoapFault as fault:
-            ctx.fault = fault
-        except SecurityError as exc:
-            ctx.fault = SoapFault("Client", f"security failure: {exc}")
-        self.chain.run_outbound(ctx)
-        return ctx.response_message
+        # Sanitizer execution context: every store mutation below is
+        # attributed to this host and this request (no-op when detached).
+        with self.network.sanitizer_scope(self.host.name):
+            try:
+                self.chain.run_inbound(ctx)
+                if ctx.replayed:
+                    return ctx.response_message
+                service = self.services.get(ctx.headers.to)
+                if service is None:
+                    raise SoapFault("Client", f"no service at {ctx.headers.to}")
+                with ctx.span("dispatch", detail=ctx.headers.action):
+                    context = MessageContext(
+                        headers=ctx.headers,
+                        body=ctx.request_envelope.body_child(),
+                        sender=ctx.sender,
+                        container=self,
+                    )
+                    ctx.result = service.dispatch(context)
+            except SoapFault as fault:
+                ctx.fault = fault
+            except SecurityError as exc:
+                ctx.fault = SoapFault("Client", f"security failure: {exc}")
+            self.chain.run_outbound(ctx)
+            return ctx.response_message

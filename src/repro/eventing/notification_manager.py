@@ -88,11 +88,16 @@ class NotificationManager:
     def _delivery_failed(
         self, source_service, record: SubscriptionRecord, reason: str
     ) -> None:
-        """Record the failure and end the subscription (WS-Eventing §3.5)."""
+        """Record the failure and end the subscription (WS-Eventing §3.5).
+
+        The subscription is removed *before* the observer runs: a
+        re-entrant observer (one that triggers another delivery) must see
+        the subscription already gone, not half-dead.
+        """
         self.delivery_failures.append((record.notify_to, reason))
+        self.store.remove(record.identifier)
         if self.on_delivery_failure is not None:
             self.on_delivery_failure(record, reason)
-        self.store.remove(record.identifier)
         self._send_subscription_end(source_service, record, "DeliveryFailure")
 
     def _payload(self, record: SubscriptionRecord, message, topic: str, now: float):

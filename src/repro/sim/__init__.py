@@ -22,6 +22,13 @@ from repro.sim.faults import (
 )
 from repro.sim.metrics import MetricsRecorder, OperationTrace, Span, SpanRecorder
 from repro.sim.network import Host, Network, TransportKind
+from repro.sim.sanitizer import (
+    SETUP_HOST,
+    TIMER_HOST,
+    MutationRecord,
+    SimSanitizer,
+    Violation,
+)
 
 __all__ = [
     "Clock",
@@ -41,4 +48,9 @@ __all__ = [
     "FaultOutcome",
     "FaultInjector",
     "NO_FAULTS",
+    "SimSanitizer",
+    "MutationRecord",
+    "Violation",
+    "TIMER_HOST",
+    "SETUP_HOST",
 ]

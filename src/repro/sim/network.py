@@ -28,10 +28,13 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from contextlib import nullcontext
+
 from repro.sim.clock import Clock
 from repro.sim.costs import CostModel
 from repro.sim.faults import ConnectionReset, FaultInjector, MessageLost
 from repro.sim.metrics import MetricsRecorder
+from repro.sim.sanitizer import SimSanitizer
 
 
 class TransportKind(enum.Enum):
@@ -71,6 +74,9 @@ class Network:
         self.clock = clock if clock is not None else Clock()
         self.metrics = metrics if metrics is not None else MetricsRecorder()
         self.faults = FaultInjector(self.clock.rng)
+        #: Optional cross-host mutation detector (see repro.sim.sanitizer);
+        #: None keeps every hook free.
+        self.sanitizer: SimSanitizer | None = None
         self._connections: dict[tuple[str, str, TransportKind], _ConnectionState] = {}
 
     # -- helpers ------------------------------------------------------------
@@ -79,6 +85,18 @@ class Network:
         """Advance virtual time and attribute it to ``category``."""
         self.clock.charge(ms)
         self.metrics.time_charged(ms, category)
+
+    def sanitizer_scope(self, host_name: str, message_id: str | None = None):
+        """Execution-context scope for the sanitizer; a no-op when the
+        sanitizer is detached, so callers can wrap unconditionally."""
+        if self.sanitizer is None:
+            return nullcontext()
+        return self.sanitizer.scope(host_name, message_id)
+
+    def note_mutation(self, store: str, key: str, op: str) -> None:
+        """Storage layers report each write here (no-op when detached)."""
+        if self.sanitizer is not None:
+            self.sanitizer.note_mutation(store, key, op)
 
     def _conn(self, src: Host, dst: Host, kind: TransportKind) -> _ConnectionState:
         key = (src.name, dst.name, kind)
@@ -203,6 +221,10 @@ class Network:
             self.charge(wire, "transport.wire")
         self.metrics.message_sent(n_bytes, service)
         if outcome is None or outcome.clean:
+            # Only a *delivered* message legitimizes a cross-host state
+            # handoff; lost/reset transmissions never reached the peer.
+            if self.sanitizer is not None:
+                self.sanitizer.transmission()
             return 1
         if outcome.reset:
             self._reset_connection(src, dst, kind)
@@ -217,5 +239,9 @@ class Network:
             if wire:
                 self.charge(wire, "transport.wire")
             self.metrics.message_sent(n_bytes, service)
+            if self.sanitizer is not None:
+                self.sanitizer.transmission()
             return 2
+        if self.sanitizer is not None:
+            self.sanitizer.transmission()
         return 1

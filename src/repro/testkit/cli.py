@@ -55,8 +55,14 @@ def run_conformance(
     giab_seeds: int = DEFAULT_GIAB_SEEDS,
     out_dir: str = "results",
     verbose: bool = True,
+    sanitize: bool = False,
 ) -> dict:
-    """Run the sweep; returns (and writes) the summary dict."""
+    """Run the sweep; returns (and writes) the summary dict.
+
+    With ``sanitize`` every stack execution carries the sim-state
+    sanitizer (see :mod:`repro.sim.sanitizer`); violations surface as
+    ``sanitizer`` divergences in the report.
+    """
     jobs = _plan(counter_seeds, base_seed, giab_seeds)
     by_cell: dict[str, int] = {}
     divergences = []
@@ -70,7 +76,8 @@ def run_conformance(
         replay = seed % REPLAY_EVERY == 0
         try:
             outcome = run_differential(
-                program, mode, colocated, replay=replay, seed=seed
+                program, mode, colocated, replay=replay, seed=seed,
+                sanitize=sanitize,
             )
         except RuntimeError as exc:
             # The worlds refuse programs that express documented stack
@@ -109,6 +116,7 @@ def run_conformance(
         "ops_compared": ops_executed // 2,
         "invalid_programs": invalid,
         "divergences": len(divergences),
+        "sanitized": sanitize,
     }
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -138,6 +146,7 @@ def conformance_main(argv: list[str]) -> int:
     giab_seeds = DEFAULT_GIAB_SEEDS
     base_seed = 0
     out_dir = "results"
+    sanitize = False
     arguments = list(argv)
     while arguments:
         flag = arguments.pop(0)
@@ -149,11 +158,16 @@ def conformance_main(argv: list[str]) -> int:
             base_seed = int(arguments.pop(0))
         elif flag == "--out" and arguments:
             out_dir = arguments.pop(0)
+        elif flag == "--sanitize":
+            sanitize = True
         else:
             print(
                 "usage: python -m repro conformance "
-                "[--seeds N] [--giab-seeds N] [--seed S] [--out DIR]"
+                "[--seeds N] [--giab-seeds N] [--seed S] [--out DIR] "
+                "[--sanitize]"
             )
             return 2
-    summary = run_conformance(counter_seeds, base_seed, giab_seeds, out_dir)
+    summary = run_conformance(
+        counter_seeds, base_seed, giab_seeds, out_dir, sanitize=sanitize
+    )
     return 1 if summary["divergences"] else 0

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.container.security import SecurityMode
 from repro.sim.faults import FaultSpec
+from repro.sim.sanitizer import SimSanitizer
 from repro.testkit.comparators import COMPARATORS, compare_replay
 from repro.testkit.ops import Program
 from repro.testkit.worlds import RunResult, build_world
@@ -75,13 +76,18 @@ def _run_once(
     mode: SecurityMode,
     colocated: bool,
     perturb_stack: str | None,
-) -> RunResult:
+    sanitize: bool = False,
+) -> tuple[RunResult, SimSanitizer | None]:
     world = build_world(program.kind, stack, mode, colocated)
     if perturb_stack == stack:
         # A deliberately unfair wire for this stack only: lost and duplicated
         # messages change what the consumer observes, forcing a divergence.
         world.deployment.network.faults.set_default(FaultSpec.lossy(0.25))
-    return world.run(program)
+    sanitizer = None
+    if sanitize:
+        sanitizer = SimSanitizer()
+        world.deployment.network.sanitizer = sanitizer
+    return world.run(program), sanitizer
 
 
 def run_differential(
@@ -92,12 +98,35 @@ def run_differential(
     replay: bool = False,
     perturb_stack: str | None = None,
     seed: int | None = None,
+    sanitize: bool = False,
 ) -> DifferentialOutcome:
     """Run ``program`` on both stacks and compare.  Deterministic: the
-    outcome is a pure function of (program, mode, colocated, perturb)."""
-    wsrf = _run_once(program, "wsrf", mode, colocated, perturb_stack)
-    transfer = _run_once(program, "transfer", mode, colocated, perturb_stack)
+    outcome is a pure function of (program, mode, colocated, perturb).
+
+    With ``sanitize`` each run carries a :class:`SimSanitizer`; any
+    cross-host mutation without an intervening transmission is reported
+    as a ``sanitizer`` divergence — within-run memory discipline checked
+    alongside the cross-stack comparison.
+    """
+    wsrf, wsrf_sanitizer = _run_once(
+        program, "wsrf", mode, colocated, perturb_stack, sanitize
+    )
+    transfer, transfer_sanitizer = _run_once(
+        program, "transfer", mode, colocated, perturb_stack, sanitize
+    )
     outcome = DifferentialOutcome(program, wsrf, transfer)
+    for stack, sanitizer in (("wsrf", wsrf_sanitizer), ("transfer", transfer_sanitizer)):
+        if sanitizer is not None and not sanitizer.clean:
+            outcome.divergences.append(
+                Divergence(
+                    "sanitizer",
+                    [f"{stack}: {line}" for line in sanitizer.report()],
+                    program,
+                    mode,
+                    colocated,
+                    seed,
+                )
+            )
     for name, comparator in COMPARATORS.items():
         details = comparator(program, wsrf, transfer)
         if details:
@@ -106,7 +135,7 @@ def run_differential(
             )
     if replay:
         for stack, first in (("wsrf", wsrf), ("transfer", transfer)):
-            second = _run_once(program, stack, mode, colocated, perturb_stack)
+            second, _ = _run_once(program, stack, mode, colocated, perturb_stack)
             details = compare_replay(stack, first, second)
             if details:
                 outcome.divergences.append(

@@ -12,6 +12,7 @@ from typing import Callable
 
 from repro.sim.clock import Timer
 from repro.sim.network import Network
+from repro.sim.sanitizer import TIMER_HOST
 from repro.xmldb.cache import WriteThroughCache
 from repro.xmldb.collection import Collection, DocumentNotFound
 from repro.xmllib import QName, ns
@@ -122,16 +123,20 @@ class ResourceHome:
         self._timers[key] = self.network.clock.schedule(at, lambda: self._terminate(key))
 
     def _terminate(self, key: str) -> None:
-        if not self.contains(key):
-            return
-        if self.on_terminate is not None:
-            self.on_terminate(key)
-        # The hook may itself have destroyed the resource.
-        if self.contains(key):
-            self.store.delete(key)
-        self._clear_schedule(key)
-        if self.after_terminate is not None:
-            self.after_terminate(key)
+        # Timer-fired: runs on the clock, on behalf of no request.  The
+        # <timer> pseudo-host tells the sanitizer this is the legitimate
+        # lease-expiry channel, not a cross-host memory poke.
+        with self.network.sanitizer_scope(TIMER_HOST, f"terminate:{key}"):
+            if not self.contains(key):
+                return
+            if self.on_terminate is not None:
+                self.on_terminate(key)
+            # The hook may itself have destroyed the resource.
+            if self.contains(key):
+                self.store.delete(key)
+            self._clear_schedule(key)
+            if self.after_terminate is not None:
+                self.after_terminate(key)
 
     def _clear_schedule(self, key: str) -> None:
         timer = self._timers.pop(key, None)

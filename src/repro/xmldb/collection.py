@@ -69,6 +69,7 @@ class Collection:
         if self.backend.load(key) is not None:
             raise ValueError(f"document already exists: {self.name}/{key}")
         self._charge(self.network.costs.db_insert)
+        self.network.note_mutation(self.name, key, "insert")
         text = serialize(document)
         self.backend.store(key, text)
         self._index_put(key, text)
@@ -85,6 +86,7 @@ class Collection:
         self._charge(self.network.costs.db_update)
         if self.backend.load(key) is None:
             raise DocumentNotFound(self.name, key)
+        self.network.note_mutation(self.name, key, "update")
         text = serialize(document)
         self.backend.store(key, text)
         self._index_put(key, text)
@@ -96,6 +98,7 @@ class Collection:
             self._charge(self.network.costs.db_insert)
         else:
             self._charge(self.network.costs.db_update)
+        self.network.note_mutation(self.name, key, "upsert")
         text = serialize(document)
         self.backend.store(key, text)
         self._index_put(key, text)
@@ -104,6 +107,7 @@ class Collection:
         self._charge(self.network.costs.db_delete)
         if not self.backend.remove(key):
             raise DocumentNotFound(self.name, key)
+        self.network.note_mutation(self.name, key, "delete")
         self._index_discard(key)
 
     def contains(self, key: str) -> bool:

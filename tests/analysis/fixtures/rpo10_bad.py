@@ -1,0 +1,67 @@
+"""Fixture: ambient entropy leaking into run results (RPO10)."""
+
+import os
+import random
+import time
+from datetime import datetime
+from os import urandom
+from uuid import uuid4
+
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+
+
+def stamp():
+    return time.time()
+
+
+def wall():
+    return datetime.now()
+
+
+def jitter():
+    return random.random() * 2
+
+
+def unseeded():
+    return random.Random()
+
+
+def os_entropy():
+    return os.urandom(8)
+
+
+def imported_entropy():
+    return urandom(4), uuid4()
+
+
+def by_address(items):
+    return sorted(items, key=id)
+
+
+def id_keyed(obj, cache):
+    cache[id(obj)] = obj
+    return {id(obj): obj}
+
+
+def set_order(parts):
+    out = []
+    for part in {"mail", "http", "ftp"}:
+        out.append(part)
+    for part in set(parts):
+        out.append(part)
+    return out
+
+
+def seeded_ok(seed):
+    # random.Random(seed) is explicitly seeded — must NOT be flagged.
+    return random.Random(seed).random()
+
+
+class TimestampService(ServiceSkeleton):
+    @web_method("http://example.org/made-up-time/Read")
+    def read_time(self, context: MessageContext):
+        return self._now()
+
+    def _now(self):
+        # Handler-reachable entropy: severity escalates to error.
+        return time.time()

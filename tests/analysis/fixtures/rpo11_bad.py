@@ -1,0 +1,23 @@
+"""Fixture: clock.charge laundered through wrapper functions (RPO11)."""
+
+
+def bump(clock, ms):
+    # The bare-name receiver hides the charge from RPO05's pattern.
+    clock.charge(ms)
+
+
+def advance_quietly(sim_clock, ms):
+    sim_clock.advance(ms)
+
+
+def handle_request(network, cost):
+    bump(network.clock, cost)
+
+
+def outer(network):
+    handle_request(network, 5)
+
+
+def charge_properly(network, ms):
+    # Attribution-preserving path — must NOT be flagged.
+    network.charge(ms, "soap")

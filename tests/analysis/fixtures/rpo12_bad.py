@@ -1,0 +1,36 @@
+"""Fixture: shared state settled after notification fan-out (RPO12)."""
+
+from contextlib import contextmanager
+
+
+class ChattyNotifier:
+    def __init__(self):
+        self.records = []
+        self.deliverer = None
+        self.sequence = 0
+        self.cursor = None
+
+    def drop(self, record):
+        self.deliverer.deliver(record)
+        self.records.remove(record)  # a re-entrant handler sees the record
+
+    def renumber(self, record):
+        self.deliverer.notify(record)
+        self.sequence = self.sequence + 1
+
+    def stream(self, items):
+        for item in items:
+            yield item
+            self.cursor = item
+
+    def settle_first(self, record):
+        # State settles before the fan-out — must NOT be flagged.
+        self.records.remove(record)
+        self.deliverer.deliver(record)
+
+
+@contextmanager
+def scope(ctx):
+    # Mutate-after-yield is the contextmanager contract — exempt.
+    yield ctx
+    ctx.depth = 0

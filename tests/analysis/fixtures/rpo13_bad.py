@@ -1,0 +1,30 @@
+"""Fixture: xmldb derived state poked from outside the Collection API (RPO13)."""
+
+
+def poison_cache(cache, key, document):
+    cache._cache[key] = document
+
+
+def drop_entry(cache, key):
+    del cache._cache[key]
+
+
+def hand_edit_index(index, value, key):
+    index._postings.setdefault(value, set()).add(key)
+
+
+def bypass_collection(backend, key, document):
+    backend.store(key, document)
+
+
+def forget(collection, key):
+    collection._backend.remove(key)
+
+
+def attach_raw(collection, path, index):
+    collection.indexes[path] = index
+
+
+def proper(collection, key, document):
+    # The owning API keeps cache/index/backend in sync — must NOT be flagged.
+    collection.upsert(key, document)

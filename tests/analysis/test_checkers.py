@@ -139,3 +139,119 @@ class TestRpo08PipelineBoundary:
 
     def test_clean_passes(self):
         assert findings_for("clean.py", "RPO08") == []
+
+
+class TestRpo09HostIsolation:
+    def test_runtime_mutated_module_mutables_flagged(self):
+        findings = findings_for("rpo09_bad.py", "RPO09")
+        by_symbol = {f.symbol for f in findings}
+        assert "record_lease" in by_symbol
+        assert "flush_pending" in by_symbol
+
+    def test_class_level_mutable_defaults_flagged(self):
+        findings = findings_for("rpo09_bad.py", "RPO09")
+        assert "SubscriptionBook.subscribers" in {f.symbol for f in findings}
+        assert "SubscriptionBook.index" in {f.symbol for f in findings}
+
+    def test_import_time_mutation_not_flagged(self):
+        # IMPORT_TIME is populated at module scope — pre-host, exempt.
+        findings = findings_for("rpo09_bad.py", "RPO09")
+        assert not any("IMPORT_TIME" in f.message for f in findings)
+
+    def test_screaming_case_class_constant_not_flagged(self):
+        findings = findings_for("rpo09_bad.py", "RPO09")
+        assert not any(f.symbol.endswith(".ROUTES") for f in findings)
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO09") == []
+
+
+class TestRpo10Determinism:
+    def test_entropy_sources_flagged(self):
+        findings = findings_for("rpo10_bad.py", "RPO10")
+        messages = " | ".join(f.message for f in findings)
+        assert "time.time()" in messages
+        assert "datetime.now()" in messages
+        assert "random.random()" in messages
+        assert "random.Random() with no seed" in messages
+        assert "os.urandom()" in messages
+        assert "uuid.uuid4()" in messages
+        assert "id()" in messages
+        assert "iteration order of a set" in messages
+        assert "sorting by id()" in messages
+
+    def test_seeded_random_not_flagged(self):
+        findings = findings_for("rpo10_bad.py", "RPO10")
+        assert not any(f.symbol == "seeded_ok" for f in findings)
+
+    def test_handler_reachable_entropy_is_error(self):
+        findings = findings_for("rpo10_bad.py", "RPO10")
+        severities = {f.symbol: f.severity for f in findings}
+        assert severities["TimestampService._now"] == "error"
+        assert severities["stamp"] == "warning"
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO10") == []
+
+
+class TestRpo11CostEscape:
+    def test_wrappers_flagged(self):
+        findings = findings_for("rpo11_bad.py", "RPO11")
+        wrappers = {f.symbol for f in findings if "bare-name receiver" in f.message}
+        assert wrappers == {"bump", "advance_quietly"}
+
+    def test_transitive_callers_flagged(self):
+        findings = findings_for("rpo11_bad.py", "RPO11")
+        launderers = {f.symbol for f in findings if "reaches" in f.message}
+        assert launderers == {"handle_request", "outer"}
+
+    def test_network_charge_not_flagged(self):
+        findings = findings_for("rpo11_bad.py", "RPO11")
+        assert not any(f.symbol == "charge_properly" for f in findings)
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO11") == []
+
+
+class TestRpo12Reentrancy:
+    def test_mutation_after_fanout_flagged(self):
+        findings = findings_for("rpo12_bad.py", "RPO12")
+        assert {f.symbol for f in findings} == {
+            "ChattyNotifier.drop",
+            "ChattyNotifier.renumber",
+            "ChattyNotifier.stream",
+        }
+
+    def test_settle_before_fanout_not_flagged(self):
+        findings = findings_for("rpo12_bad.py", "RPO12")
+        assert not any(f.symbol == "ChattyNotifier.settle_first" for f in findings)
+
+    def test_contextmanager_exempt(self):
+        findings = findings_for("rpo12_bad.py", "RPO12")
+        assert not any(f.symbol == "scope" for f in findings)
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO12") == []
+
+
+class TestRpo13StoreDiscipline:
+    def test_internal_pokes_flagged(self):
+        findings = findings_for("rpo13_bad.py", "RPO13")
+        assert {f.symbol for f in findings} == {
+            "poison_cache", "drop_entry", "hand_edit_index",
+            "bypass_collection", "forget", "attach_raw",
+        }
+
+    def test_collection_api_not_flagged(self):
+        findings = findings_for("rpo13_bad.py", "RPO13")
+        assert not any(f.symbol == "proper" for f in findings)
+
+    def test_owning_layer_is_exempt(self):
+        import repro.xmldb.cache as cache_mod
+        import repro.xmldb.index as index_mod
+
+        for mod in (cache_mod, index_mod):
+            assert [f for f in analyze_file(mod.__file__) if f.rule == "RPO13"] == []
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO13") == []

@@ -1,0 +1,129 @@
+"""Unit tests for the sim-state sanitizer: context tagging, the
+cross-host/no-transmission invariant, pseudo-host exemptions, and the
+Network/Collection wiring."""
+
+import pytest
+
+from repro.sim import (
+    SETUP_HOST,
+    TIMER_HOST,
+    CostModel,
+    Host,
+    Network,
+    SimSanitizer,
+    TransportKind,
+)
+from repro.xmldb.collection import Collection
+from repro.xmllib import element
+
+DOC = element("{urn:example:sanitizer}Doc")
+
+
+class TestContext:
+    def test_default_context_is_setup(self):
+        sanitizer = SimSanitizer()
+        assert sanitizer.current_context() == (SETUP_HOST, "")
+
+    def test_scope_tags_and_pops(self):
+        sanitizer = SimSanitizer()
+        with sanitizer.scope("alpha", "msg-a"):
+            assert sanitizer.current_context() == ("alpha", "msg-a")
+            with sanitizer.scope("beta"):
+                host, message_id = sanitizer.current_context()
+                assert host == "beta" and message_id.startswith("msg-")
+            assert sanitizer.current_context() == ("alpha", "msg-a")
+        assert sanitizer.current_context() == (SETUP_HOST, "")
+
+    def test_auto_message_ids_are_unique(self):
+        sanitizer = SimSanitizer()
+        seen = []
+        for _ in range(3):
+            with sanitizer.scope("alpha"):
+                seen.append(sanitizer.current_context()[1])
+        assert len(set(seen)) == 3
+
+
+class TestInvariant:
+    def test_cross_host_without_transmission_is_a_violation(self):
+        sanitizer = SimSanitizer()
+        with sanitizer.scope("alpha", "m1"):
+            sanitizer.note_mutation("counters", "k", "insert")
+        with sanitizer.scope("beta", "m2"):
+            sanitizer.note_mutation("counters", "k", "update")
+        assert not sanitizer.clean
+        [line] = sanitizer.report()
+        assert "counters/k" in line
+        assert "beta" in line and "alpha" in line
+        assert "no message transmission" in line
+
+    def test_transmission_between_writes_is_legitimate(self):
+        sanitizer = SimSanitizer()
+        with sanitizer.scope("alpha"):
+            sanitizer.note_mutation("counters", "k", "insert")
+        sanitizer.transmission()
+        with sanitizer.scope("beta"):
+            sanitizer.note_mutation("counters", "k", "update")
+        assert sanitizer.clean
+
+    def test_same_host_repeat_writes_are_clean(self):
+        sanitizer = SimSanitizer()
+        with sanitizer.scope("alpha"):
+            sanitizer.note_mutation("counters", "k", "insert")
+            sanitizer.note_mutation("counters", "k", "update")
+        assert sanitizer.clean
+
+    def test_different_keys_do_not_conflict(self):
+        sanitizer = SimSanitizer()
+        with sanitizer.scope("alpha"):
+            sanitizer.note_mutation("counters", "k1", "insert")
+        with sanitizer.scope("beta"):
+            sanitizer.note_mutation("counters", "k2", "insert")
+        assert sanitizer.clean
+
+    def test_timer_host_is_exempt_both_directions(self):
+        sanitizer = SimSanitizer()
+        with sanitizer.scope("alpha"):
+            sanitizer.note_mutation("counters", "k", "insert")
+        with sanitizer.scope(TIMER_HOST, "terminate:k"):
+            sanitizer.note_mutation("counters", "k", "delete")
+        with sanitizer.scope("beta"):
+            sanitizer.note_mutation("counters", "k", "insert")
+        assert sanitizer.clean
+
+    def test_setup_writes_never_conflict(self):
+        sanitizer = SimSanitizer()
+        sanitizer.note_mutation("counters", "k", "insert")  # no scope: <setup>
+        with sanitizer.scope("alpha"):
+            sanitizer.note_mutation("counters", "k", "update")
+        assert sanitizer.clean
+
+
+class TestNetworkWiring:
+    def test_detached_network_scopes_are_noops(self):
+        network = Network(CostModel())
+        with network.sanitizer_scope("alpha"):
+            network.note_mutation("counters", "k", "insert")
+        # No sanitizer attached: nothing recorded, nothing raised.
+
+    def test_collection_writes_are_tagged_through_network(self):
+        network = Network(CostModel())
+        network.sanitizer = SimSanitizer()
+        collection = Collection("counters", network)
+        with network.sanitizer_scope("alpha", "m1"):
+            collection.insert(DOC, "k")
+        with network.sanitizer_scope("beta", "m2"):
+            collection.update("k", DOC)
+        ops = [(m.host, m.op) for m in network.sanitizer.mutations]
+        assert ops == [("alpha", "insert"), ("beta", "update")]
+        assert len(network.sanitizer.violations) == 1
+
+    def test_delivered_message_counts_as_transmission(self):
+        network = Network(CostModel())
+        network.sanitizer = SimSanitizer()
+        collection = Collection("counters", network)
+        with network.sanitizer_scope("alpha"):
+            collection.insert(DOC, "k")
+        network.transmit(Host("alpha"), Host("beta"), 512, TransportKind.HTTP)
+        with network.sanitizer_scope("beta"):
+            collection.update("k", DOC)
+        assert network.sanitizer.clean

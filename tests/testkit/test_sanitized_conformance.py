@@ -1,0 +1,105 @@
+"""Sanitized conformance: differential runs with the sim-state sanitizer
+attached.  A representative corpus slice must come back clean, and a
+deliberately planted cross-host mutation must surface as a ``sanitizer``
+divergence — proving the detector is live on the conformance path, not
+just in unit tests."""
+
+import pytest
+
+from repro.container import SecurityMode
+from repro.testkit import harness
+from repro.testkit.generator import generate_program
+from repro.testkit.harness import run_differential
+from repro.xmldb.collection import Collection
+from repro.xmllib import element
+
+pytestmark = pytest.mark.sanitizer
+
+PLANT_DOC = element("{urn:example:sanitizer}Planted")
+
+
+class TestCleanRuns:
+    def test_counter_corpus_slice_is_sanitizer_clean(self):
+        for seed in range(4):
+            program = generate_program(seed, "counter")
+            outcome = run_differential(
+                program, SecurityMode.NONE, colocated=False, sanitize=True
+            )
+            assert outcome.equivalent, [d.comparator for d in outcome.divergences]
+
+    def test_giab_flow_is_sanitizer_clean(self):
+        program = generate_program(100_000, "giab")
+        outcome = run_differential(
+            program, SecurityMode.X509, colocated=True, sanitize=True
+        )
+        assert outcome.equivalent, [d.comparator for d in outcome.divergences]
+
+
+class TestPlantedRace:
+    def test_deliberate_cross_host_mutation_is_detected(self, monkeypatch):
+        """Two hosts poke the same (store, key) back-to-back through process
+        memory — no message in between.  Each stack's sanitizer must report
+        it as a divergence."""
+        real_build = harness.build_world
+
+        def planted_build(kind, stack, mode, colocated):
+            world = real_build(kind, stack, mode, colocated)
+            network = world.deployment.network
+            original_run = world.run
+
+            def run_with_plant(program):
+                result = original_run(program)
+                planted = Collection("planted", network)
+                with network.sanitizer_scope("node-a", "plant-1"):
+                    planted.upsert("shared", PLANT_DOC)
+                with network.sanitizer_scope("node-b", "plant-2"):
+                    planted.upsert("shared", PLANT_DOC)
+                return result
+
+            world.run = run_with_plant
+            return world
+
+        monkeypatch.setattr(harness, "build_world", planted_build)
+        program = generate_program(1, "counter")
+        outcome = run_differential(
+            program, SecurityMode.NONE, colocated=True, sanitize=True
+        )
+        sanitizer_divergences = [
+            d for d in outcome.divergences if d.comparator == "sanitizer"
+        ]
+        assert len(sanitizer_divergences) == 2  # one per stack
+        details = "\n".join(
+            line for d in sanitizer_divergences for line in d.details
+        )
+        assert "planted/shared" in details
+        assert "node-b" in details and "node-a" in details
+
+    def test_plant_is_invisible_without_sanitize(self, monkeypatch):
+        # Same plant, sanitizer detached: nothing can notice the poke —
+        # which is exactly why the static rules and the --sanitize runs
+        # exist.
+        real_build = harness.build_world
+
+        def planted_build(kind, stack, mode, colocated):
+            world = real_build(kind, stack, mode, colocated)
+            network = world.deployment.network
+            original_run = world.run
+
+            def run_with_plant(program):
+                result = original_run(program)
+                planted = Collection("planted", network)
+                with network.sanitizer_scope("node-a", "plant-1"):
+                    planted.upsert("shared", PLANT_DOC)
+                with network.sanitizer_scope("node-b", "plant-2"):
+                    planted.upsert("shared", PLANT_DOC)
+                return result
+
+            world.run = run_with_plant
+            return world
+
+        monkeypatch.setattr(harness, "build_world", planted_build)
+        program = generate_program(1, "counter")
+        outcome = run_differential(
+            program, SecurityMode.NONE, colocated=True, sanitize=False
+        )
+        assert outcome.equivalent
