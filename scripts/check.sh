@@ -59,4 +59,21 @@ python -m repro hello || status=1
 echo "== xmldb smoke =="
 python -m repro xmldb || status=1
 
+echo "== loadgen smoke =="
+# Fixed seed, both stacks, run twice inside the command: fails unless the
+# kernel's concurrent schedule reproduces identical percentiles.
+python -m repro loadgen --smoke || status=1
+
+echo "== loadgen trajectory =="
+# Regenerate the offered-load trajectory and diff against the committed
+# file; regenerate with:
+#   python -m repro loadgen --json results/BENCH_loadgen.json
+bench_tmp=$(mktemp)
+python -m repro loadgen --json "$bench_tmp" > /dev/null || status=1
+if ! diff -u results/BENCH_loadgen.json "$bench_tmp"; then
+    echo "BENCH_loadgen.json is stale (see diff above)"
+    status=1
+fi
+rm -f "$bench_tmp"
+
 exit $status

@@ -23,6 +23,8 @@ RPO12   filter/handler code settles state before notification
         fan-out or yield, never after
 RPO13   WriteThroughCache/index internals are written only through
         the owning Collection API
+RPO14   the kernel owns time: no direct ``Clock.advance`` or timer
+        mutation (schedule/cancel) outside ``repro.sim``
 ======  ==========================================================
 
 RPO09–RPO13 are the concurrency-readiness rules: they consult the
@@ -37,6 +39,7 @@ from repro.analysis.checkers import (  # noqa: F401  (import registers)
     fault_discipline,
     handler_state,
     host_isolation,
+    kernel_time,
     namespace_hygiene,
     pipeline_boundary,
     reentrancy,

@@ -1,0 +1,110 @@
+"""RPO14 — the kernel owns time: no direct clock advance or timer
+mutation outside ``repro.sim``.
+
+With the discrete-event kernel in place (DESIGN.md §14), virtual time
+moves in exactly two sanctioned ways: components *charge* costs
+(``clock.charge`` / ``Network.charge``, attributed to the ledger) and
+the kernel *advances* to scheduled events, firing due timers in deadline
+order.  Code elsewhere that calls ``clock.advance_to(...)`` jumps the
+shared timeline past other tasks' pending events, and ad-hoc
+``clock.schedule``/``schedule_after``/``cancel`` timers bypass the
+kernel's ``call_at``/``call_after`` — losing the sanitizer's ``<timer>``
+scoping and the deterministic ``(time, seq)`` ordering the kernel
+guarantees.
+
+Flagged outside ``repro/sim/``: calls to ``advance_to``/``advance``/
+``schedule``/``schedule_after``/``cancel`` whose receiver chain names a
+clock (``clock.advance_to``, ``self.network.clock.schedule`` …).  The
+legacy single-request paths (testkit world drivers, WSRF lifetime
+timers, GiaB job timers) are baselined until they migrate to the
+kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Methods that move the timeline or mutate the timer heap.
+_ADVANCES = frozenset({"advance_to", "advance"})
+_TIMER_MUTATORS = frozenset({"schedule", "schedule_after", "cancel"})
+
+#: Receiver names that denote the simulation clock.
+_CLOCK_NAMES = frozenset({"clock", "_clock"})
+
+
+def _exempt(path: str) -> bool:
+    # The sim substrate is the mediation layer (the kernel and the clock
+    # itself must do these things); the analyzer only names the methods.
+    return "repro/sim/" in path or "repro/analysis/" in path
+
+
+@register
+class KernelTimeChecker:
+    rule_id = "RPO14"
+    description = (
+        "the kernel owns time: no direct Clock.advance or timer mutation "
+        "(schedule/schedule_after/cancel) outside repro.sim"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _exempt(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in _ADVANCES and _is_clock(func.value):
+                remedy = (
+                    "only the kernel event loop advances the shared "
+                    "timeline; charge costs or run through the kernel"
+                )
+                detail = f"advances the clock directly (clock.{func.attr})"
+            elif func.attr in _TIMER_MUTATORS and _is_clock(func.value):
+                remedy = (
+                    "use Kernel.call_at/call_after so the callback runs "
+                    "under the sanitizer's <timer> scope in (time, seq) order"
+                )
+                detail = f"mutates clock timers directly (clock.{func.attr})"
+            else:
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                symbol=_enclosing_symbol(module.tree, node),
+                message=f"{detail} outside repro.sim.kernel; {remedy}",
+                severity="warning",
+            )
+
+
+def _is_clock(node: ast.expr) -> bool:
+    """True when the receiver chain ends in a clock name:
+    ``clock``, ``self.clock``, ``self.network.clock``, ``world._clock``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr in _CLOCK_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in _CLOCK_NAMES
+    return False
+
+
+def _enclosing_symbol(tree: ast.AST, target: ast.AST) -> str:
+    def find(node: ast.AST, trail: list[str]) -> str | None:
+        if node is target:
+            return ".".join(trail) or "<module>"
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            trail = trail + [node.name]
+        for child in ast.iter_child_nodes(node):
+            found = find(child, trail)
+            if found is not None:
+                return found
+        return None
+
+    return find(tree, []) or "<module>"

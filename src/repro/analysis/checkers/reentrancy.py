@@ -18,6 +18,10 @@ state (attribute assignment, container mutator, store write) that occurs
 after a fan-out call or a ``yield``.  ``@contextmanager`` generators are
 exempt — mutate-after-yield is their contract — and so is the sim
 substrate, whose Network/Clock internals are the mediation layer itself.
+Yields of kernel *effects* (``yield Work(...)``, ``yield Acquire(...)``,
+…) are scheduler suspension points, not observer fan-outs: the kernel
+resumes the task with a result, and the task's own state is exactly what
+it is supposed to update with it — those yields are skipped.
 """
 
 from __future__ import annotations
@@ -36,6 +40,10 @@ _FANOUT_NAMES = frozenset(
 
 #: Receivers whose state the rule protects.
 _GUARDED_ROOTS = frozenset({"self", "cls", "ctx", "context"})
+
+#: Kernel effect constructors (repro.sim.kernel): ``yield Work(...)`` is a
+#: cooperative suspension awaiting the scheduler, not a fan-out.
+_EFFECT_NAMES = frozenset({"Delay", "Work", "Send", "Recv", "Acquire", "Release"})
 
 _MUTATORS = frozenset(
     {
@@ -124,7 +132,8 @@ def _mutation_after_fanout(
             continue  # nested defs are analyzed on their own
         frontier.extend(ast.iter_child_nodes(node))
         if isinstance(node, (ast.Yield, ast.YieldFrom)):
-            events.append((node.lineno, node.col_offset, "fanout", node, "yield"))
+            if not _is_effect_yield(node):
+                events.append((node.lineno, node.col_offset, "fanout", node, "yield"))
         elif isinstance(node, ast.Call):
             fanout = _fanout_name(node)
             if fanout is not None:
@@ -144,6 +153,17 @@ def _mutation_after_fanout(
         elif kind == "mutation" and fanout_name is not None:
             return node, fanout_name
     return None
+
+
+def _is_effect_yield(node: ast.Yield | ast.YieldFrom) -> bool:
+    """True for ``yield Work(...)`` / ``yield kernel.Acquire(...)`` etc."""
+    value = getattr(node, "value", None)
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _EFFECT_NAMES
+    return isinstance(func, ast.Name) and func.id in _EFFECT_NAMES
 
 
 def _fanout_name(call: ast.Call) -> str | None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.addressing.epr import EndpointReference
 from repro.container.security import Credentials
 from repro.pipeline import PipelineContext
+from repro.sim.kernel import Acquire, Release, Work, drive_inline
 from repro.sim.network import Host
 from repro.xmllib.element import XmlElement
 
@@ -54,39 +55,93 @@ class SoapClient:
         :class:`~repro.reliable.channel.ReliableChannel` assigns; the
         pipeline's reliability filter stamps it onto the wire headers.
         """
+        task = self.invoke_task(
+            epr, action, body, reply_to=reply_to, rm_stamp=rm_stamp,
+        )
+        kernel = getattr(self.network, "kernel", None)
+        if kernel is not None and kernel.can_run_sync:
+            # The single-request fast path: eager stages, direct charging —
+            # bit-identical to the pre-kernel inline execution.
+            return kernel.run_sync(task)
+        # No kernel, or we are already inside a kernel stage (a server
+        # out-call nested in `container.handle`): run inline.  Nested
+        # out-calls must not re-enter the pools — their cost is part of
+        # the enclosing request's service stage.
+        return drive_inline(task)
+
+    def invoke_task(
+        self,
+        epr: EndpointReference,
+        action: str,
+        body: XmlElement,
+        *,
+        reply_to: EndpointReference | None = None,
+        rm_stamp: tuple[str, int] | None = None,
+    ):
+        """The request as a staged kernel task (generator of effects).
+
+        One stage per Figure-1 seam — client outbound pipeline, request
+        wire leg, server handling (bracketed by the server host's worker
+        pool), response wire leg + client inbound pipeline.  Under the
+        kernel's concurrent regime each stage's cost elapses as one
+        schedulable delay, so overlapping requests interleave between
+        stages; under the eager drivers the stages run back-to-back and
+        the charge order is exactly the legacy serial order.
+        """
         ctx = PipelineContext.client_request(
             self.deployment, self.credentials, epr, action, body,
             reply_to=reply_to, rm_stamp=rm_stamp,
         )
         network = self.network
         with ctx.span("client.invoke", detail=action):
-            self.chain.run_outbound(ctx)
+
+            def outbound():
+                self.chain.run_outbound(ctx)
+                return self.deployment.resolve(epr.address)
+
+            server_host, container = yield Work(outbound, "client.outbound")
             request = ctx.request_message
-            server_host, container = self.deployment.resolve(epr.address)
             transport = self.deployment.policy.transport
-            with ctx.span("wire.request"):
-                network.transmit(
-                    self.host, server_host, request.n_bytes, transport,
-                    service=epr.address,
-                )
-                network.metrics.log_message(
-                    network.clock.now, self.host.name, epr.address,
-                    action, request.n_bytes,
-                )
 
-            ctx.response_message = container.handle(request)
+            def send_request():
+                with ctx.span("wire.request"):
+                    network.transmit(
+                        self.host, server_host, request.n_bytes, transport,
+                        service=epr.address,
+                    )
+                    network.metrics.log_message(
+                        network.clock.now, self.host.name, epr.address,
+                        action, request.n_bytes,
+                    )
 
-            # The response flows back on the same connection: wire time only
-            # (and the same injected faults — a lossy link can eat replies).
-            with ctx.span("wire.response"):
-                network.transmit_response(
-                    server_host, self.host, ctx.response_message.n_bytes,
-                    transport, service=epr.address,
+            yield Work(send_request, "wire.request")
+
+            # A worker slot on the serving host: granted immediately when
+            # idle (zero wait — the serial ledgers never see a queue),
+            # otherwise the request waits in the host's bounded FIFO.
+            yield Acquire(server_host.name)
+            try:
+                ctx.response_message = yield Work(
+                    lambda: container.handle(request), "server.handle"
                 )
-                network.metrics.log_message(
-                    network.clock.now, epr.address, self.host.name,
-                    action + "Response", ctx.response_message.n_bytes,
-                    kind="response",
-                )
-            self.chain.run_inbound(ctx)
+            finally:
+                yield Release(server_host.name)
+
+            def receive_response():
+                # The response flows back on the same connection: wire time
+                # only (and the same injected faults — a lossy link can eat
+                # replies).
+                with ctx.span("wire.response"):
+                    network.transmit_response(
+                        server_host, self.host, ctx.response_message.n_bytes,
+                        transport, service=epr.address,
+                    )
+                    network.metrics.log_message(
+                        network.clock.now, epr.address, self.host.name,
+                        action + "Response", ctx.response_message.n_bytes,
+                        kind="response",
+                    )
+                self.chain.run_inbound(ctx)
+
+            yield Work(receive_response, "client.inbound")
         return ctx.response_body

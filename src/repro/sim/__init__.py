@@ -9,8 +9,9 @@ handshakes, LAN round trips — so the benchmark figures are deterministic and
 reproduce the paper's *shapes* rather than this machine's timings.
 """
 
-from repro.sim.clock import Clock, Timer
+from repro.sim.clock import Clock, DeferredCharges, Timer
 from repro.sim.costs import CostModel
+from repro.sim.errors import QueueFull, SimError
 from repro.sim.faults import (
     NO_FAULTS,
     ConnectionReset,
@@ -20,7 +21,30 @@ from repro.sim.faults import (
     FaultSpec,
     MessageLost,
 )
-from repro.sim.metrics import MetricsRecorder, OperationTrace, Span, SpanRecorder
+from repro.sim.kernel import (
+    Acquire,
+    Channel,
+    Delay,
+    Effect,
+    Kernel,
+    Recv,
+    Release,
+    Send,
+    Task,
+    Work,
+    WorkerPool,
+    drive_inline,
+)
+from repro.sim.metrics import (
+    MetricsRecorder,
+    OperationTrace,
+    QueueDepthMeter,
+    SampleSet,
+    Span,
+    SpanRecorder,
+    merge_sample_sets,
+    percentile,
+)
 from repro.sim.network import Host, Network, TransportKind
 from repro.sim.sanitizer import (
     SETUP_HOST,
@@ -32,12 +56,31 @@ from repro.sim.sanitizer import (
 
 __all__ = [
     "Clock",
+    "DeferredCharges",
     "Timer",
     "CostModel",
+    "SimError",
+    "QueueFull",
+    "Kernel",
+    "Task",
+    "Effect",
+    "Delay",
+    "Work",
+    "Send",
+    "Recv",
+    "Acquire",
+    "Release",
+    "Channel",
+    "WorkerPool",
+    "drive_inline",
     "MetricsRecorder",
     "OperationTrace",
     "Span",
     "SpanRecorder",
+    "SampleSet",
+    "QueueDepthMeter",
+    "percentile",
+    "merge_sample_sets",
     "Host",
     "Network",
     "TransportKind",

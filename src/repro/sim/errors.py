@@ -1,0 +1,35 @@
+"""Simulation-discipline errors.
+
+:class:`SimError` subclasses :class:`ValueError` so call sites (and
+tests) that predate it — the clock used to raise bare ``ValueError`` for
+backwards time — keep working, while new code can catch the precise
+class.
+"""
+
+from __future__ import annotations
+
+
+class SimError(ValueError):
+    """A violation of the simulation's time/concurrency discipline.
+
+    Raised for backwards clock movement, kernel misuse (nested charge
+    deferral, synchronous requests while tasks are in flight), and
+    worker-pool overflow (:class:`~repro.sim.kernel.QueueFull`).
+    """
+
+
+class QueueFull(SimError):
+    """A per-host worker pool's bounded FIFO queue rejected an arrival.
+
+    Thrown *into* the task that yielded the
+    :class:`~repro.sim.kernel.Acquire` effect, so open-loop load
+    generators observe rejection exactly where the request would have
+    queued.
+    """
+
+    def __init__(self, host: str, limit: int) -> None:
+        super().__init__(
+            f"worker pool on {host!r} is saturated: queue limit {limit} reached"
+        )
+        self.host = host
+        self.limit = limit

@@ -1,0 +1,624 @@
+"""The concurrent discrete-event kernel: tasks, effects, pools, timers.
+
+Until this module existed, every request ran to completion on the single
+virtual timeline — "two requests in flight" could not even be expressed.
+The kernel turns :mod:`repro.sim` into a true discrete-event engine while
+leaving every single-request cost ledger bit-identical (DESIGN.md §14):
+
+* **Scheduler** — a priority queue of ``(time, seq, action)`` with the
+  monotonic ``seq`` breaking ties FIFO, so runs are deterministic down to
+  event order.  The kernel advances the shared :class:`~repro.sim.clock
+  .Clock` to each event's instant, which fires any due clock timers first,
+  in deadline order — legacy timers and kernel events share one timeline.
+* **Tasks** — cooperative generators yielding :class:`Effect` values:
+  :class:`Delay` sleeps virtual time, :class:`Work` runs a synchronous
+  stage and sleeps its measured cost, :class:`Send`/:class:`Recv` pass
+  values through :class:`Channel` rendezvous, :class:`Acquire`/
+  :class:`Release` bracket a per-host worker slot.
+* **Worker pools** — each simulated host serves requests from a bounded
+  FIFO queue with ``workers`` slots.  Queueing delay (enqueue → grant) is
+  measured separately from service time, which is charged only *after*
+  dequeue — the paper's single-request bars stay intact while saturation
+  becomes observable as queue growth.
+* **Kernel-owned timers** — :meth:`Kernel.call_at`/:meth:`call_after` run
+  callbacks under the sanitizer's ``<timer>`` pseudo-host, subsuming the
+  ad-hoc ``clock.schedule`` idiom (lint rule RPO14 now fences direct
+  clock/timer mutation outside this module).
+
+Two execution regimes keep the goldens safe:
+
+* With **one live task** (or via :meth:`run_sync`, the single-request fast
+  path every :class:`~repro.container.client.SoapClient` uses when no
+  tasks are in flight) stages execute *eagerly*: charges advance the
+  clock immediately and timers fire mid-charge, exactly like the legacy
+  serial path — bit-identical by construction.
+* With **two or more live tasks** a stage runs under
+  :meth:`Clock.defer_charges`: its synchronous computation is virtually
+  instantaneous, its accumulated cost becomes one :class:`Delay`, and
+  other tasks' events interleave inside that window.  Per-category cost
+  totals are unchanged — only the wall-clock *shape* (overlap, queueing)
+  differs, which is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable
+
+from repro.sim.clock import Clock
+from repro.sim.errors import QueueFull, SimError
+from repro.sim.metrics import SampleSet, SpanRecorder
+from repro.sim.sanitizer import TIMER_HOST
+
+__all__ = [
+    "Acquire",
+    "Channel",
+    "Delay",
+    "Effect",
+    "Kernel",
+    "QueueFull",
+    "Recv",
+    "Release",
+    "Send",
+    "Task",
+    "Work",
+    "WorkerPool",
+    "drive_inline",
+]
+
+
+# -- effects -----------------------------------------------------------------
+
+
+class Effect:
+    """Base class for everything a task may yield to the kernel."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Delay(Effect):
+    """Sleep ``ms`` of virtual time; other tasks run inside the window."""
+
+    ms: float
+
+
+@dataclass(frozen=True)
+class Work(Effect):
+    """Run ``fn()`` as one atomic stage and sleep its charged cost.
+
+    The stage's synchronous computation — SOAP marshalling, signing, a
+    container dispatch — executes unchanged; the kernel measures what it
+    charged (deferred mode) or lets it charge directly (eager mode) and
+    resumes the task with ``fn``'s return value.  Exceptions raised by
+    ``fn`` are re-thrown *into* the task at the yield point, after any
+    partial cost (a lost message still paid its wire time) has elapsed.
+    """
+
+    fn: Callable[[], object]
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Deposit ``value`` into ``channel`` (never blocks; FIFO buffered)."""
+
+    channel: "Channel"
+    value: object = None
+
+
+@dataclass(frozen=True)
+class Recv(Effect):
+    """Wait for the next value from ``channel`` (FIFO among waiters)."""
+
+    channel: "Channel"
+
+
+@dataclass(frozen=True)
+class Acquire(Effect):
+    """Wait for a worker slot on ``host``'s pool; resumes with the
+    queueing delay in ms.  Raises :class:`QueueFull` in the task when the
+    pool's bounded FIFO is saturated."""
+
+    host: str
+
+
+@dataclass(frozen=True)
+class Release(Effect):
+    """Give the worker slot on ``host`` back (hands it to the queue head)."""
+
+    host: str
+
+
+# -- tasks -------------------------------------------------------------------
+
+
+@dataclass
+class Task:
+    """One cooperative task: a generator plus its lifecycle bookkeeping."""
+
+    gen: Generator
+    name: str
+    tid: int
+    #: Virtual instant the task was scheduled to start (its arrival).
+    scheduled_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Total time spent waiting in worker-pool queues.
+    queueing_delay_ms: float = 0.0
+    result: object = None
+    error: BaseException | None = None
+    done: bool = False
+    #: Per-task span recorder, swapped into the shared metrics while the
+    #: task runs so interleaved requests cannot corrupt each other's trees.
+    tracer: SpanRecorder = field(default_factory=SpanRecorder)
+
+    @property
+    def ok(self) -> bool:
+        return self.done and self.error is None
+
+    @property
+    def latency_ms(self) -> float:
+        """Arrival-to-completion time (queueing included)."""
+        if self.finished_at is None:
+            raise SimError(f"task {self.name!r} has not finished")
+        return self.finished_at - self.scheduled_at
+
+
+class Channel:
+    """Unbounded FIFO rendezvous between tasks (Send never blocks)."""
+
+    def __init__(self, name: str = "chan") -> None:
+        self.name = name
+        self._buffer: deque = deque()
+        self._waiters: deque[Task] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Channel({self.name!r}, buffered={len(self._buffer)})"
+
+
+class WorkerPool:
+    """A host's request servers: ``workers`` slots + a bounded FIFO queue.
+
+    Service time is charged by the task *after* its :class:`Acquire` is
+    granted (i.e. on dequeue); the time between enqueue and grant is the
+    queueing delay, recorded per pool in :attr:`waits` and on the task.
+    """
+
+    def __init__(self, host: str, workers: int = 1, queue_limit: int = 16) -> None:
+        if workers < 1:
+            raise SimError(f"pool for {host!r} needs at least one worker")
+        if queue_limit < 0:
+            raise SimError(f"pool for {host!r} needs a non-negative queue limit")
+        self.host = host
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.busy = 0
+        self._queue: deque[tuple[Task, float]] = deque()
+        #: High-water mark of the FIFO queue (the saturation signal).
+        self.max_depth = 0
+        #: Queueing delays (enqueue → grant), one sample per queued grant.
+        self.waits = SampleSet()
+        self.granted = 0
+        self.rejected = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def snapshot(self) -> dict:
+        return {
+            "host": self.host,
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "granted": self.granted,
+            "rejected": self.rejected,
+            "max_depth": self.max_depth,
+        }
+
+
+def drive_inline(gen: Generator) -> object:
+    """Run a staged task generator synchronously with no kernel at all.
+
+    The legacy execution model as a driver: :class:`Work` stages run
+    immediately (their charges advance the clock directly), pool and
+    channel effects are meaningless without a kernel — pools are skipped,
+    channels refused.  This is what a kernel-less
+    :class:`~repro.container.client.SoapClient` uses, and it is
+    bit-identical to the pre-kernel inline code path.
+    """
+    payload: object = None
+    thrown: BaseException | None = None
+    while True:
+        try:
+            effect = gen.throw(thrown) if thrown is not None else gen.send(payload)
+        except StopIteration as stop:
+            return stop.value
+        payload, thrown = None, None
+        if isinstance(effect, Work):
+            try:
+                payload = effect.fn()
+            except BaseException as exc:  # rethrown at the yield point
+                thrown = exc
+        elif isinstance(effect, Acquire):
+            payload = 0.0
+        elif isinstance(effect, Release):
+            payload = None
+        elif isinstance(effect, Delay):
+            raise SimError("Delay requires a kernel; inline tasks cannot sleep")
+        else:
+            raise SimError(f"inline driver cannot execute {type(effect).__name__}")
+
+
+class Kernel:
+    """The discrete-event engine owning one clock's concurrent timeline."""
+
+    def __init__(
+        self,
+        network=None,
+        clock: Clock | None = None,
+        *,
+        default_workers: int = 1,
+        default_queue_limit: int = 16,
+    ) -> None:
+        if clock is None:
+            if network is None:
+                raise SimError("Kernel needs a network or a clock")
+            clock = network.clock
+        self.network = network
+        self.clock = clock
+        self.default_workers = default_workers
+        self.default_queue_limit = default_queue_limit
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._tid = itertools.count()
+        self.tasks: list[Task] = []
+        #: Unfinished spawned tasks; 1 selects the eager (serial) regime.
+        self._live = 0
+        self.current: Task | None = None
+        self._in_stage = False
+        self._pools: dict[str, WorkerPool] = {}
+        #: Requests completed through :meth:`run_sync` (the fast path).
+        self.sync_requests = 0
+
+    # -- worker pools --------------------------------------------------------
+
+    def pool(self, host: str) -> WorkerPool:
+        """The host's worker pool, created with the defaults on first use."""
+        existing = self._pools.get(host)
+        if existing is None:
+            existing = WorkerPool(host, self.default_workers, self.default_queue_limit)
+            self._pools[host] = existing
+        return existing
+
+    def configure_pool(self, host: str, workers: int, queue_limit: int) -> WorkerPool:
+        """Size a host's pool before load arrives (replaces any default)."""
+        self._pools[host] = WorkerPool(host, workers, queue_limit)
+        return self._pools[host]
+
+    def pools(self) -> dict[str, WorkerPool]:
+        return dict(sorted(self._pools.items()))
+
+    def max_queue_depths(self) -> dict[str, int]:
+        """Per-host high-water queue depth (the saturation report)."""
+        return {host: pool.max_depth for host, pool in sorted(self._pools.items())}
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _post(self, at: float, action: Callable[[], None]) -> None:
+        heapq.heappush(
+            self._heap, (max(at, self.clock.now), next(self._seq), action)
+        )
+
+    def spawn(
+        self,
+        gen: Generator,
+        name: str = "task",
+        *,
+        at: float | None = None,
+        delay: float = 0.0,
+    ) -> Task:
+        """Schedule a task generator to start at ``at`` (default now+delay)."""
+        start = self.clock.now + delay if at is None else at
+        task = Task(gen=gen, name=name, tid=next(self._tid), scheduled_at=start)
+        self.tasks.append(task)
+        self._live += 1
+        self._post(start, lambda: self._begin(task))
+        return task
+
+    def call_at(self, fire_at: float, callback: Callable[[], None], label: str = "timer") -> None:
+        """Kernel-owned timer: ``callback`` runs at ``fire_at`` under the
+        sanitizer's ``<timer>`` pseudo-host (expiry is the one legitimate
+        cross-host mutation channel besides the wire)."""
+
+        def fire() -> None:
+            if self.network is not None:
+                with self.network.sanitizer_scope(TIMER_HOST, f"kernel:{label}"):
+                    callback()
+            else:
+                callback()
+
+        self._post(fire_at, fire)
+
+    def call_after(self, delay_ms: float, callback: Callable[[], None], label: str = "timer") -> None:
+        self.call_at(self.clock.now + delay_ms, callback, label)
+
+    # -- the event loop ------------------------------------------------------
+
+    @property
+    def live_tasks(self) -> int:
+        return self._live
+
+    @property
+    def idle(self) -> bool:
+        """No events pending and no task mid-flight."""
+        return not self._heap and self.current is None
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in ``(time, seq)`` order until the heap drains.
+
+        Advancing the shared clock to each event's instant fires any due
+        legacy clock timers first (in deadline order), so kernel events
+        and ad-hoc timers observe one totally-ordered virtual timeline.
+        """
+        while self._heap:
+            at, _seq, action = self._heap[0]
+            if until is not None and at > until:
+                break
+            heapq.heappop(self._heap)
+            self.clock.advance_to(at)
+            action()
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+
+    # -- task stepping -------------------------------------------------------
+
+    def _begin(self, task: Task) -> None:
+        task.started_at = self.clock.now
+        self._step(task, None, None)
+
+    def _swap_tracer(self, task: Task):
+        if self.network is None:
+            return None
+        metrics = self.network.metrics
+        previous = metrics.tracer
+        metrics.tracer = task.tracer
+        return (metrics, previous)
+
+    def _restore_tracer(self, swapped) -> None:
+        if swapped is not None:
+            metrics, previous = swapped
+            metrics.tracer = previous
+
+    def _step(self, task: Task, payload, thrown: BaseException | None) -> None:
+        previous_task, self.current = self.current, task
+        swapped = self._swap_tracer(task)
+        try:
+            try:
+                effect = (
+                    task.gen.throw(thrown)
+                    if thrown is not None
+                    else task.gen.send(payload)
+                )
+            except StopIteration as stop:
+                self._finish(task, stop.value, None)
+                return
+            except BaseException as exc:
+                self._finish(task, None, exc)
+                return
+            self._dispatch(task, effect)
+        finally:
+            self._restore_tracer(swapped)
+            self.current = previous_task
+
+    def _finish(self, task: Task, result, error: BaseException | None) -> None:
+        task.result = result
+        task.error = error
+        task.done = True
+        task.finished_at = self.clock.now
+        self._live -= 1
+
+    def _resume_later(self, at: float, task: Task, payload=None, thrown=None) -> None:
+        self._post(at, lambda: self._step(task, payload, thrown))
+
+    # -- effect dispatch -----------------------------------------------------
+
+    def _dispatch(self, task: Task, effect: Effect) -> None:
+        if isinstance(effect, Work):
+            self._run_stage(task, effect)
+        elif isinstance(effect, Delay):
+            if effect.ms < 0:
+                self._resume_later(
+                    self.clock.now, task,
+                    thrown=SimError(f"cannot delay negative time: {effect.ms}"),
+                )
+            else:
+                self._resume_later(self.clock.now + effect.ms, task)
+        elif isinstance(effect, Acquire):
+            self._acquire(task, self.pool(effect.host))
+        elif isinstance(effect, Release):
+            self._release(self.pool(effect.host))
+            self._resume_later(self.clock.now, task)
+        elif isinstance(effect, Send):
+            self._send(effect.channel, effect.value)
+            self._resume_later(self.clock.now, task)
+        elif isinstance(effect, Recv):
+            self._recv(task, effect.channel)
+        else:
+            self._resume_later(
+                self.clock.now, task,
+                thrown=SimError(f"task yielded a non-effect: {effect!r}"),
+            )
+
+    def _run_stage(self, task: Task, work: Work) -> None:
+        """Execute one stage; eager when this is the only live task."""
+        if self._in_stage:
+            raise SimError("kernel stages cannot nest")
+        eager = self._live == 1
+        thrown: BaseException | None = None
+        payload: object = None
+        self._in_stage = True
+        try:
+            if eager:
+                # Fast path: charges advance the clock immediately, timers
+                # fire mid-charge — bit-identical to the serial regime.
+                try:
+                    payload = work.fn()
+                except BaseException as exc:
+                    thrown = exc
+                resume_at = self.clock.now
+            else:
+                # Concurrent regime: the stage computes instantaneously,
+                # then its accumulated cost elapses as one schedulable
+                # delay other tasks interleave into.
+                with self.clock.defer_charges() as pending:
+                    try:
+                        payload = work.fn()
+                    except BaseException as exc:
+                        thrown = exc
+                resume_at = self.clock.now + pending.ms
+        finally:
+            self._in_stage = False
+        self._resume_later(resume_at, task, payload, thrown)
+
+    # -- pool mechanics ------------------------------------------------------
+
+    def _acquire(self, task: Task, pool: WorkerPool) -> None:
+        if pool.busy < pool.workers:
+            pool.busy += 1
+            pool.granted += 1
+            pool.waits.add(0.0)
+            self._resume_later(self.clock.now, task, payload=0.0)
+            return
+        if pool.depth >= pool.queue_limit:
+            pool.rejected += 1
+            self._resume_later(
+                self.clock.now, task, thrown=QueueFull(pool.host, pool.queue_limit)
+            )
+            return
+        pool._queue.append((task, self.clock.now))
+        pool.max_depth = max(pool.max_depth, pool.depth)
+
+    def _release(self, pool: WorkerPool) -> None:
+        if pool._queue:
+            # Hand the slot straight to the queue head: service time is
+            # charged by the dequeued task from this instant on.
+            waiter, enqueued_at = pool._queue.popleft()
+            wait = self.clock.now - enqueued_at
+            waiter.queueing_delay_ms += wait
+            pool.granted += 1
+            pool.waits.add(wait)
+            self._resume_later(self.clock.now, waiter, payload=wait)
+            return
+        if pool.busy <= 0:
+            raise SimError(f"release without acquire on pool {pool.host!r}")
+        pool.busy -= 1
+
+    # -- channel mechanics ---------------------------------------------------
+
+    def _send(self, channel: Channel, value) -> None:
+        if channel._waiters:
+            waiter = channel._waiters.popleft()
+            self._resume_later(self.clock.now, waiter, payload=value)
+            return
+        channel._buffer.append(value)
+
+    def _recv(self, task: Task, channel: Channel) -> None:
+        if channel._buffer:
+            self._resume_later(self.clock.now, task, payload=channel._buffer.popleft())
+            return
+        channel._waiters.append(task)
+
+    # -- the single-request fast path ---------------------------------------
+
+    @property
+    def can_run_sync(self) -> bool:
+        """True when a synchronous request may execute eagerly: nothing is
+        in flight, so pool slots are guaranteed free and charge order is
+        exactly the legacy serial order."""
+        return self.current is None and not self._in_stage and self._live == 0
+
+    def run_sync(self, gen: Generator) -> object:
+        """Drive one request generator to completion, eagerly.
+
+        This is the single-request fast path: every stage charges the
+        clock directly (timers fire mid-charge), pool effects do immediate
+        bookkeeping (a busy pool here would mean concurrency, which
+        :attr:`can_run_sync` excludes), and the result/exception surfaces
+        synchronously.  Cost ledgers are bit-identical to the pre-kernel
+        inline path by construction.
+        """
+        if not self.can_run_sync:
+            raise SimError(
+                "run_sync while tasks are in flight; spawn a task instead"
+            )
+        self._in_stage = False
+        held: list[WorkerPool] = []
+        payload: object = None
+        thrown: BaseException | None = None
+        try:
+            while True:
+                try:
+                    effect = (
+                        gen.throw(thrown) if thrown is not None else gen.send(payload)
+                    )
+                except StopIteration as stop:
+                    self.sync_requests += 1
+                    return stop.value
+                payload, thrown = None, None
+                if isinstance(effect, Work):
+                    self._in_stage = True
+                    try:
+                        payload = effect.fn()
+                    except BaseException as exc:
+                        thrown = exc
+                    finally:
+                        self._in_stage = False
+                elif isinstance(effect, Acquire):
+                    pool = self.pool(effect.host)
+                    if pool.busy >= pool.workers:
+                        thrown = SimError(
+                            f"pool {effect.host!r} busy during a synchronous request"
+                        )
+                    else:
+                        pool.busy += 1
+                        pool.granted += 1
+                        pool.waits.add(0.0)
+                        held.append(pool)
+                        payload = 0.0
+                elif isinstance(effect, Release):
+                    pool = self.pool(effect.host)
+                    if pool in held:
+                        held.remove(pool)
+                    self._release(pool)
+                elif isinstance(effect, Delay):
+                    if effect.ms < 0:
+                        thrown = SimError(f"cannot delay negative time: {effect.ms}")
+                    else:
+                        self.clock.charge(effect.ms)
+                else:
+                    thrown = SimError(
+                        f"{type(effect).__name__} is not available in a "
+                        "synchronous request"
+                    )
+        finally:
+            # A request abandoned mid-flight (generator raised) must not
+            # leak its worker slot.
+            for pool in held:
+                self._release(pool)
+
+    # -- helpers -------------------------------------------------------------
+
+    def gather(self, tasks: Iterable[Task]) -> list[object]:
+        """Results of finished tasks, re-raising the first failure."""
+        results = []
+        for task in tasks:
+            if not task.done:
+                raise SimError(f"task {task.name!r} has not finished")
+            if task.error is not None:
+                raise task.error
+            results.append(task.result)
+        return results

@@ -258,3 +258,144 @@ class MetricsRecorder:
 
     def reset(self) -> None:
         self.__init__()
+
+
+# -- load statistics ---------------------------------------------------------
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """The ``p``-th percentile of ``samples`` by linear interpolation.
+
+    The rank is ``(n - 1) * p / 100`` (the "inclusive"/numpy-default
+    definition): p=0 is the minimum, p=100 the maximum, a single sample is
+    every percentile of itself.  Empty input is an error — an empty load
+    run has no latency, and silently returning 0 would fabricate one.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * p / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+class SampleSet:
+    """An exact sample collection with percentile/mean/merge support.
+
+    Load runs are small enough (thousands of requests) that exact
+    quantiles beat approximate histograms — no bucketing error to explain
+    in a reproduction.  ``merge`` combines per-host sets into a fleet-wide
+    view; it concatenates rather than summarizes, so a merged set's
+    percentiles equal those of the pooled raw data.
+    """
+
+    def __init__(self, samples: list[float] | None = None) -> None:
+        self._samples: list[float] = list(samples) if samples else []
+
+    def add(self, value: float) -> None:
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def empty(self) -> bool:
+        return not self._samples
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("mean of an empty sample set")
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        if not self._samples:
+            raise ValueError("max of an empty sample set")
+        return max(self._samples)
+
+    @property
+    def min(self) -> float:
+        if not self._samples:
+            raise ValueError("min of an empty sample set")
+        return min(self._samples)
+
+    def percentile(self, p: float) -> float:
+        return percentile(self._samples, p)
+
+    def merge(self, other: "SampleSet") -> "SampleSet":
+        """A new set pooling this one's samples with ``other``'s."""
+        return SampleSet(self._samples + other._samples)
+
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def summary(self) -> dict:
+        """The standard load-report block: count, mean, p50/p95/p99, max."""
+        if self.empty:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean_ms": self.mean,
+            "p50_ms": self.percentile(50),
+            "p95_ms": self.percentile(95),
+            "p99_ms": self.percentile(99),
+            "max_ms": self.max,
+        }
+
+
+def merge_sample_sets(per_host: dict[str, SampleSet]) -> SampleSet:
+    """Pool per-host sample sets into one fleet-wide set.
+
+    Hosts are merged in sorted-name order so the pooled sample list — and
+    anything derived from its insertion order — is deterministic.
+    """
+    merged = SampleSet()
+    for _host, samples in sorted(per_host.items()):
+        merged = merged.merge(samples)
+    return merged
+
+
+class QueueDepthMeter:
+    """Tracks a queue's occupancy over virtual time.
+
+    Records every transition, so besides the high-water mark it can report
+    the time-weighted average depth — the difference between "briefly
+    spiked to 10" and "sat at 10 for the whole run".
+    """
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.max_depth = 0
+        self._transitions: list[tuple[float, int]] = []
+
+    def record(self, now: float, depth: int) -> None:
+        if depth < 0:
+            raise ValueError(f"queue depth cannot be negative: {depth}")
+        self.depth = depth
+        self.max_depth = max(self.max_depth, depth)
+        self._transitions.append((now, depth))
+
+    def time_weighted_mean(self, until: float) -> float:
+        """Average depth over [first transition, ``until``]."""
+        if not self._transitions:
+            return 0.0
+        total = 0.0
+        start = self._transitions[0][0]
+        if until < start:
+            raise ValueError(f"until={until} precedes first transition at {start}")
+        for (at, depth), (next_at, _next_depth) in zip(
+            self._transitions, self._transitions[1:]
+        ):
+            total += depth * (next_at - at)
+        last_at, last_depth = self._transitions[-1]
+        total += last_depth * (until - last_at)
+        window = until - start
+        return total / window if window > 0 else float(self._transitions[-1][1])

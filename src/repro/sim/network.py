@@ -33,6 +33,7 @@ from contextlib import nullcontext
 from repro.sim.clock import Clock
 from repro.sim.costs import CostModel
 from repro.sim.faults import ConnectionReset, FaultInjector, MessageLost
+from repro.sim.kernel import Kernel
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.sanitizer import SimSanitizer
 
@@ -78,6 +79,10 @@ class Network:
         #: None keeps every hook free.
         self.sanitizer: SimSanitizer | None = None
         self._connections: dict[tuple[str, str, TransportKind], _ConnectionState] = {}
+        #: The discrete-event kernel owning this network's concurrent
+        #: timeline (DESIGN.md §14).  Serial requests route through its
+        #: single-request fast path; load generators spawn tasks on it.
+        self.kernel = Kernel(self)
 
     # -- helpers ------------------------------------------------------------
 

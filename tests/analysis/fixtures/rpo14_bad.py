@@ -1,0 +1,40 @@
+"""Fixture: virtual time moved or timers mutated outside the kernel (RPO14)."""
+
+
+def jump_timeline(clock, ms):
+    clock.advance_to(clock.now + ms)
+
+
+def jump_via_network(self):
+    self.network.clock.advance_to(1000.0)
+
+
+def adhoc_timer(self, deadline, callback):
+    return self.clock.schedule(deadline, callback)
+
+
+def adhoc_delayed_timer(clock, callback):
+    return clock.schedule_after(250.0, callback)
+
+
+def forget_timer(self, handle):
+    self.network.clock.cancel(handle)
+
+
+def proper_charge(clock):
+    # Charging cost is the sanctioned way to consume time — must NOT be flagged.
+    clock.charge(12.5)
+
+
+def proper_kernel_timer(kernel, callback):
+    # Kernel-owned timers carry the sanitizer's <timer> scope — not flagged.
+    kernel.call_after(250.0, callback)
+
+
+def unrelated_schedule(planner, job):
+    # 'schedule' on a non-clock receiver is not this rule's business.
+    planner.schedule(job)
+
+
+def unrelated_cancel(subscription):
+    subscription.cancel(reason="expired")

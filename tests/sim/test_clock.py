@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import Clock
+from repro.sim import Clock, SimError
 
 
 class TestCharge:
@@ -115,3 +115,80 @@ class TestTimers:
         clock.schedule(20, lambda: None)
         clock.cancel(t1)
         assert clock.pending_timers() == 1
+
+
+class TestSimErrors:
+    def test_backwards_advance_raises_sim_error(self):
+        clock = Clock(start=100)
+        with pytest.raises(SimError, match="cannot move backwards"):
+            clock.advance_to(50.0)
+        assert clock.now == 100.0  # the timeline did not silently rewind
+
+    def test_negative_charge_raises_sim_error(self):
+        clock = Clock()
+        with pytest.raises(SimError, match="negative"):
+            clock.charge(-1.0)
+
+    def test_sim_error_is_a_value_error(self):
+        # Call sites predating SimError catch ValueError; keep them working.
+        assert issubclass(SimError, ValueError)
+
+
+class TestDeferredCharges:
+    def test_charges_accumulate_without_advancing(self):
+        clock = Clock()
+        with clock.defer_charges() as pending:
+            clock.charge(5.0)
+            clock.charge(7.0)
+            assert pending.ms == 12.0
+            assert clock.now == 12.0  # locally-elapsed view inside the stage
+            assert clock._now == 0.0  # the shared timeline has not moved
+        assert clock.now == 0.0  # the kernel owns the eventual advance
+
+    def test_deferred_timers_do_not_fire(self):
+        clock = Clock()
+        fired = []
+        clock.schedule(3.0, lambda: fired.append(clock.now))
+        with clock.defer_charges():
+            clock.charge(10.0)
+            assert fired == []  # stages are atomic; timers wait for the sleep
+        clock.advance_to(10.0)
+        assert fired == [3.0]
+
+    def test_deferral_cannot_nest(self):
+        clock = Clock()
+        with clock.defer_charges():
+            with pytest.raises(SimError, match="cannot nest"):
+                with clock.defer_charges():
+                    pass
+
+    def test_deferred_advance_to_moves_local_time(self):
+        # Lease-expiry math mid-stage uses advance_to(now + ms); inside a
+        # stage that must extend the pending total, not the shared clock.
+        clock = Clock(start=50)
+        with clock.defer_charges() as pending:
+            clock.advance_to(clock.now + 20.0)
+            assert pending.ms == 20.0
+            with pytest.raises(SimError, match="cannot move backwards"):
+                clock.advance_to(60.0)  # behind the local now of 70
+        assert clock._now == 50.0
+
+    def test_deferring_property(self):
+        clock = Clock()
+        assert not clock.deferring
+        with clock.defer_charges():
+            assert clock.deferring
+        assert not clock.deferring
+
+
+class TestNextTimerAt:
+    def test_earliest_live_deadline(self):
+        clock = Clock()
+        early = clock.schedule(5.0, lambda: None)
+        clock.schedule(9.0, lambda: None)
+        assert clock.next_timer_at() == 5.0
+        clock.cancel(early)
+        assert clock.next_timer_at() == 9.0
+
+    def test_idle_clock_has_none(self):
+        assert Clock().next_timer_at() is None

@@ -1,0 +1,464 @@
+"""The discrete-event kernel: scheduling, effects, pools, timers."""
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    Channel,
+    Clock,
+    Delay,
+    Kernel,
+    QueueFull,
+    Recv,
+    Release,
+    Send,
+    SimError,
+    Work,
+    drive_inline,
+)
+
+
+def fresh_kernel(**overrides):
+    return Kernel(clock=Clock(), **overrides)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        kernel = fresh_kernel()
+        order = []
+
+        def task(label, ms):
+            yield Delay(ms)
+            order.append((label, kernel.clock.now))
+
+        kernel.spawn(task("late", 30.0))
+        kernel.spawn(task("early", 10.0))
+        kernel.spawn(task("mid", 20.0))
+        kernel.run()
+        assert order == [("early", 10.0), ("mid", 20.0), ("late", 30.0)]
+
+    def test_simultaneous_events_keep_fifo_order(self):
+        # Deterministic tie-breaking: the (time, seq) heap resolves equal
+        # instants by spawn order, run after run.
+        kernel = fresh_kernel()
+        order = []
+
+        def task(label):
+            yield Delay(5.0)
+            order.append(label)
+
+        for label in ("a", "b", "c", "d"):
+            kernel.spawn(task(label))
+        kernel.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_spawn_at_absolute_instant(self):
+        kernel = fresh_kernel()
+        seen = []
+
+        def task():
+            seen.append(kernel.clock.now)
+            return "done"
+            yield  # pragma: no cover - marks this def as a generator
+
+        spawned = kernel.spawn(task(), at=42.0)
+        kernel.run()
+        assert seen == [42.0]
+        assert spawned.result == "done"
+        assert spawned.scheduled_at == 42.0
+
+    def test_run_until_stops_early_and_advances(self):
+        kernel = fresh_kernel()
+        done = []
+
+        def task():
+            yield Delay(100.0)
+            done.append(True)
+
+        kernel.spawn(task())
+        kernel.run(until=50.0)
+        assert not done
+        assert kernel.clock.now == 50.0
+        kernel.run()
+        assert done
+
+    def test_negative_delay_is_a_sim_error(self):
+        kernel = fresh_kernel()
+
+        def task():
+            yield Delay(-1.0)
+
+        spawned = kernel.spawn(task())
+        kernel.run()
+        assert isinstance(spawned.error, SimError)
+
+    def test_non_effect_yield_is_a_sim_error(self):
+        kernel = fresh_kernel()
+
+        def task():
+            yield "not an effect"
+
+        spawned = kernel.spawn(task())
+        kernel.run()
+        assert isinstance(spawned.error, SimError)
+
+    def test_gather_reraises_first_failure(self):
+        kernel = fresh_kernel()
+
+        def ok():
+            yield Delay(1.0)
+            return 1
+
+        def bad():
+            yield Delay(2.0)
+            raise RuntimeError("boom")
+
+        tasks = [kernel.spawn(ok()), kernel.spawn(bad())]
+        kernel.run()
+        with pytest.raises(RuntimeError, match="boom"):
+            kernel.gather(tasks)
+
+
+class TestWorkStages:
+    def test_single_task_charges_eagerly(self):
+        # With one live task the stage advances the clock directly — the
+        # serial regime the golden ledgers were pinned against.
+        kernel = fresh_kernel()
+        observed = []
+
+        def task():
+            def stage():
+                kernel.clock.charge(7.0)
+                observed.append(kernel.clock.now)
+                return "v"
+
+            value = yield Work(stage)
+            return value
+
+        spawned = kernel.spawn(task())
+        kernel.run()
+        assert spawned.result == "v"
+        assert observed == [7.0]
+        assert not kernel.clock.deferring
+
+    def test_concurrent_stages_defer_and_interleave(self):
+        # Two tasks, each one 10ms stage: under deferral the second task's
+        # stage starts at its arrival instant, not after the first stage.
+        kernel = fresh_kernel()
+        starts = []
+
+        def task(label):
+            def stage():
+                starts.append((label, kernel.clock._now))
+                kernel.clock.charge(10.0)
+
+            yield Work(stage)
+
+        kernel.spawn(task("a"), at=0.0)
+        kernel.spawn(task("b"), at=1.0)
+        kernel.run()
+        # b's stage computed at its own arrival (t=1), inside a's window.
+        assert starts == [("a", 0.0), ("b", 1.0)]
+        assert kernel.clock.now == 11.0
+
+    def test_stage_sees_locally_elapsed_time(self):
+        # Deadline math inside a deferred stage must match the serial
+        # regime: now includes the pending charges.
+        kernel = fresh_kernel()
+        seen = []
+
+        def charging(label):
+            def stage():
+                kernel.clock.charge(5.0)
+                seen.append((label, kernel.clock.now))
+                kernel.clock.charge(5.0)
+                seen.append((label, kernel.clock.now))
+
+            yield Work(stage)
+
+        kernel.spawn(charging("a"))
+        kernel.spawn(charging("b"))
+        kernel.run()
+        assert ("a", 5.0) in seen and ("a", 10.0) in seen
+
+    def test_stage_exception_rethrown_into_task(self):
+        kernel = fresh_kernel()
+
+        def task():
+            try:
+                yield Work(lambda: (_ for _ in ()).throw(ValueError("bad")))
+            except ValueError:
+                return "caught"
+
+        spawned = kernel.spawn(task())
+        kernel.run()
+        assert spawned.result == "caught"
+
+    def test_failed_stage_still_pays_partial_cost(self):
+        # A stage that charges then raises (a lost message paid wire time)
+        # must elapse the charged portion before the throw lands.
+        kernel = fresh_kernel()
+
+        def task(label):
+            def stage():
+                kernel.clock.charge(8.0)
+                raise RuntimeError("lost")
+
+            try:
+                yield Work(stage)
+            except RuntimeError:
+                return kernel.clock.now
+
+        a = kernel.spawn(task("a"))
+        b = kernel.spawn(task("b"))
+        kernel.run()
+        assert a.result == 8.0
+        assert b.result == 8.0  # b's stage also ran at t=0, concurrently
+
+
+class TestWorkerPools:
+    def test_second_request_queues_and_measures_wait(self):
+        kernel = fresh_kernel()
+        waits = {}
+
+        def request(label):
+            wait = yield Acquire("opteron1")
+            waits[label] = wait
+            yield Delay(10.0)  # service time after the grant
+            yield Release("opteron1")
+
+        kernel.spawn(request("first"), at=0.0)
+        kernel.spawn(request("second"), at=2.0)
+        kernel.run()
+        assert waits["first"] == 0.0
+        assert waits["second"] == 8.0  # arrived at 2, granted at 10
+        pool = kernel.pool("opteron1")
+        assert pool.max_depth == 1
+        assert pool.granted == 2
+
+    def test_queue_overflow_throws_queue_full(self):
+        kernel = fresh_kernel()
+        kernel.configure_pool("h", workers=1, queue_limit=1)
+        outcomes = {}
+
+        def request(label):
+            try:
+                yield Acquire("h")
+            except QueueFull as exc:
+                outcomes[label] = exc
+                return
+            yield Delay(10.0)
+            yield Release("h")
+            outcomes[label] = "served"
+
+        for i, label in enumerate(("a", "b", "c")):
+            kernel.spawn(request(label), at=float(i))
+        kernel.run()
+        assert outcomes["a"] == "served"
+        assert outcomes["b"] == "served"  # waited in the queue
+        assert isinstance(outcomes["c"], QueueFull)
+        assert outcomes["c"].host == "h"
+        assert kernel.pool("h").rejected == 1
+
+    def test_queue_grants_in_fifo_order(self):
+        kernel = fresh_kernel()
+        kernel.configure_pool("h", workers=1, queue_limit=8)
+        order = []
+
+        def request(label):
+            yield Acquire("h")
+            yield Delay(5.0)
+            yield Release("h")
+            order.append(label)
+
+        for i, label in enumerate(("a", "b", "c", "d")):
+            kernel.spawn(request(label), at=float(i))
+        kernel.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_release_without_acquire_is_a_sim_error(self):
+        kernel = fresh_kernel()
+
+        def task():
+            yield Release("h")
+
+        spawned = kernel.spawn(task())
+        with pytest.raises(SimError, match="release without acquire"):
+            kernel.run()
+        assert spawned.done is False
+
+    def test_task_queueing_delay_accumulates(self):
+        kernel = fresh_kernel()
+
+        def request():
+            yield Acquire("h")
+            yield Delay(10.0)
+            yield Release("h")
+
+        kernel.spawn(request(), at=0.0)
+        waiter = kernel.spawn(request(), at=3.0)
+        kernel.run()
+        assert waiter.queueing_delay_ms == 7.0
+        assert waiter.latency_ms == 17.0  # 7 queued + 10 service
+
+
+class TestChannels:
+    def test_send_then_recv(self):
+        kernel = fresh_kernel()
+        chan = Channel("c")
+        got = []
+
+        def producer():
+            yield Delay(5.0)
+            yield Send(chan, "payload")
+
+        def consumer():
+            value = yield Recv(chan)
+            got.append((value, kernel.clock.now))
+
+        kernel.spawn(consumer())
+        kernel.spawn(producer())
+        kernel.run()
+        assert got == [("payload", 5.0)]
+
+    def test_buffered_send_does_not_block(self):
+        kernel = fresh_kernel()
+        chan = Channel("c")
+
+        def producer():
+            yield Send(chan, 1)
+            yield Send(chan, 2)
+            return "sent"
+
+        def late_consumer():
+            yield Delay(10.0)
+            first = yield Recv(chan)
+            second = yield Recv(chan)
+            return (first, second)
+
+        sender = kernel.spawn(producer())
+        receiver = kernel.spawn(late_consumer())
+        kernel.run()
+        assert sender.result == "sent"
+        assert receiver.result == (1, 2)
+
+
+class TestKernelTimers:
+    def test_call_at_interleaves_with_tasks(self):
+        kernel = fresh_kernel()
+        order = []
+
+        def task():
+            yield Delay(10.0)
+            order.append(("task", kernel.clock.now))
+
+        kernel.call_at(5.0, lambda: order.append(("timer", kernel.clock.now)))
+        kernel.spawn(task())
+        kernel.run()
+        assert order == [("timer", 5.0), ("task", 10.0)]
+
+    def test_legacy_clock_timers_fire_in_global_order(self):
+        # Ad-hoc clock.schedule timers and kernel events share one
+        # timeline: a clock timer due before the next kernel event fires
+        # first.
+        kernel = fresh_kernel()
+        order = []
+        kernel.clock.schedule(3.0, lambda: order.append(("clock", 3.0)))
+
+        def task():
+            yield Delay(7.0)
+            order.append(("task", kernel.clock.now))
+
+        kernel.spawn(task())
+        kernel.run()
+        assert order == [("clock", 3.0), ("task", 7.0)]
+
+
+class TestRunSync:
+    def test_drives_request_to_completion(self):
+        kernel = fresh_kernel()
+
+        def request():
+            yield Acquire("h")
+            value = yield Work(lambda: kernel.clock.charge(5.0) or "ok")
+            yield Release("h")
+            return value
+
+        assert kernel.run_sync(request()) == "ok"
+        assert kernel.clock.now == 5.0
+        assert kernel.pool("h").busy == 0
+        assert kernel.sync_requests == 1
+
+    def test_refused_while_tasks_live(self):
+        kernel = fresh_kernel()
+
+        def task():
+            yield Delay(10.0)
+
+        kernel.spawn(task())
+        assert not kernel.can_run_sync
+        with pytest.raises(SimError, match="in flight"):
+            kernel.run_sync(task())
+
+    def test_abandoned_request_releases_its_worker(self):
+        kernel = fresh_kernel()
+
+        def request():
+            yield Acquire("h")
+            raise RuntimeError("mid-flight failure")
+
+        with pytest.raises(RuntimeError):
+            kernel.run_sync(request())
+        assert kernel.pool("h").busy == 0
+
+    def test_exceptions_propagate_synchronously(self):
+        kernel = fresh_kernel()
+
+        def request():
+            yield Work(lambda: (_ for _ in ()).throw(ValueError("bad")))
+
+        with pytest.raises(ValueError, match="bad"):
+            kernel.run_sync(request())
+
+
+class TestDriveInline:
+    def test_runs_stages_with_no_kernel(self):
+        clock = Clock()
+
+        def request():
+            yield Acquire("h")  # bookkeeping-free without a kernel
+            value = yield Work(lambda: clock.charge(3.0) or 9)
+            yield Release("h")
+            return value
+
+        assert drive_inline(request()) == 9
+        assert clock.now == 3.0
+
+    def test_delay_requires_a_kernel(self):
+        def request():
+            yield Delay(1.0)
+
+        with pytest.raises(SimError, match="requires a kernel"):
+            drive_inline(request())
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        def run_once():
+            kernel = fresh_kernel()
+            kernel.clock.reseed(99)
+            trace = []
+
+            def task(i):
+                yield Delay(kernel.clock.rng.uniform(0, 20))
+                yield Acquire("h")
+                yield Delay(5.0)
+                yield Release("h")
+                trace.append((i, kernel.clock.now))
+
+            for i in range(6):
+                kernel.spawn(task(i))
+            kernel.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,133 @@
+"""Percentile / sample-set / queue-depth math (the loadgen's statistics)."""
+
+import pytest
+
+from repro.sim import QueueDepthMeter, SampleSet, merge_sample_sets, percentile
+
+
+class TestPercentile:
+    def test_exact_quantiles_on_known_distribution(self):
+        # 0..100 inclusive: rank (n-1)*p/100 lands on integers exactly.
+        samples = [float(i) for i in range(101)]
+        assert percentile(samples, 0) == 0.0
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+
+    def test_linear_interpolation_between_ranks(self):
+        assert percentile([10.0, 20.0], 50) == 15.0
+        assert percentile([0.0, 10.0, 20.0, 30.0], 25) == 7.5
+
+    def test_order_independent(self):
+        shuffled = [30.0, 0.0, 20.0, 10.0]
+        assert percentile(shuffled, 75) == percentile(sorted(shuffled), 75)
+
+    def test_single_sample_is_every_percentile(self):
+        for p in (0, 50, 95, 99, 100):
+            assert percentile([7.5], p) == 7.5
+
+    def test_empty_samples_error(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_percentile_errors(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestSampleSet:
+    def test_accumulates_and_summarizes(self):
+        samples = SampleSet()
+        for value in (5.0, 15.0, 10.0):
+            samples.add(value)
+        assert samples.count == 3
+        assert samples.mean == 10.0
+        assert samples.min == 5.0
+        assert samples.max == 15.0
+        assert samples.percentile(50) == 10.0
+
+    def test_empty_set_statistics_error(self):
+        empty = SampleSet()
+        assert empty.empty
+        for stat in ("mean", "max", "min"):
+            with pytest.raises(ValueError):
+                getattr(empty, stat)
+        with pytest.raises(ValueError):
+            empty.percentile(50)
+
+    def test_empty_summary_is_just_a_count(self):
+        assert SampleSet().summary() == {"count": 0}
+
+    def test_summary_block_fields(self):
+        block = SampleSet([1.0, 2.0, 3.0]).summary()
+        assert set(block) == {
+            "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+        }
+        assert block["count"] == 3
+        assert block["p50_ms"] == 2.0
+
+    def test_merge_equals_pooled_raw_data(self):
+        # Merging per-host sets concatenates samples, so the merged
+        # percentile equals the percentile of the pooled data — no
+        # histogram-bucket approximation error.
+        host_a = SampleSet([1.0, 2.0, 3.0])
+        host_b = SampleSet([10.0, 20.0])
+        merged = host_a.merge(host_b)
+        pooled = [1.0, 2.0, 3.0, 10.0, 20.0]
+        assert merged.count == 5
+        for p in (0, 25, 50, 75, 95, 100):
+            assert merged.percentile(p) == percentile(pooled, p)
+        # Merge is non-destructive.
+        assert host_a.count == 3 and host_b.count == 2
+
+    def test_merge_sample_sets_is_host_order_independent(self):
+        per_host = {
+            "opteron2": SampleSet([4.0, 5.0]),
+            "opteron1": SampleSet([1.0, 2.0, 3.0]),
+        }
+        merged = merge_sample_sets(per_host)
+        assert merged.count == 5
+        assert merged.samples() == [1.0, 2.0, 3.0, 4.0, 5.0]  # sorted-name order
+
+
+class TestQueueDepthMeter:
+    def test_tracks_high_water_mark(self):
+        meter = QueueDepthMeter()
+        for now, depth in ((0.0, 1), (5.0, 3), (10.0, 2)):
+            meter.record(now, depth)
+        assert meter.max_depth == 3
+        assert meter.depth == 2
+
+    def test_time_weighted_mean(self):
+        meter = QueueDepthMeter()
+        meter.record(0.0, 0)
+        meter.record(10.0, 4)   # depth 0 for 10ms
+        meter.record(20.0, 0)   # depth 4 for 10ms
+        # 0*10 + 4*10 + 0*10 over 30ms
+        assert meter.time_weighted_mean(until=30.0) == pytest.approx(4 / 3)
+
+    def test_mean_distinguishes_spike_from_plateau(self):
+        spike = QueueDepthMeter()
+        spike.record(0.0, 10)
+        spike.record(1.0, 0)
+        plateau = QueueDepthMeter()
+        plateau.record(0.0, 10)
+        plateau.record(99.0, 0)
+        assert spike.max_depth == plateau.max_depth == 10
+        assert spike.time_weighted_mean(100.0) < plateau.time_weighted_mean(100.0)
+
+    def test_empty_meter_mean_is_zero(self):
+        assert QueueDepthMeter().time_weighted_mean(100.0) == 0.0
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            QueueDepthMeter().record(0.0, -1)
+
+    def test_until_before_first_transition_rejected(self):
+        meter = QueueDepthMeter()
+        meter.record(50.0, 1)
+        with pytest.raises(ValueError):
+            meter.time_weighted_mean(until=10.0)
