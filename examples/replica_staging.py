@@ -1,0 +1,66 @@
+"""Replica staging: one service declaration, two stacks, zero forked logic.
+
+Walks the declared ReplicaCatalog + DataTransfer pair (repro.apps.datagrid)
+through an EU-DataGrid-flavoured flow — register replicas of a logical
+file, replicate it to a new storage element from the cheapest source, then
+stage a working copy in for a job — and runs the *same* steps on the WSRF
+stack and the WS-Transfer stack.  Both services are single ServiceDecl
+objects: the WSRF binding exposes one app-namespace action per operation,
+the WS-Transfer binding maps them onto CRUD verbs with explicit resource
+keys, and the nearest-replica decision lives in one shared logic layer,
+which is why the two stacks always pick the same source.
+
+Run:  python examples/replica_staging.py
+"""
+
+from repro.apps.datagrid import DatagridScenario, build_datagrid, site_of
+from repro.container import SecurityMode
+
+
+def stage_on(stack: str) -> None:
+    scenario = DatagridScenario(mode=SecurityMode.X509, colocated=False)
+    rig = build_datagrid(stack, scenario)
+    clock = rig.deployment.network.clock
+    metrics = rig.deployment.network.metrics
+
+    print(f"[{stack}] catalog at {rig.catalog_service.address}")
+    print(f"[{stack}] transfer at {rig.transfer_service.address}")
+
+    # The experiment's dataset starts with two copies: one at CERN, one
+    # across the WAN at FNAL.
+    rig.catalog.register_replica("lfn:run42/events", "se1.cern")
+    rig.catalog.register_replica("lfn:run42/events", "se1.fnal")
+    print(f"[{stack}] replicas: {rig.catalog.locate_replicas('lfn:run42/events')}")
+
+    # Replicate to a second CERN storage element: the shared logic picks
+    # the LAN source (40 virtual ms) over the WAN one (400 virtual ms).
+    t0 = clock.now
+    source = rig.transfer.replicate("lfn:run42/events", "se2.cern")
+    print(f"[{stack}] replicated to se2.cern from {source} "
+          f"({site_of(source)} LAN, {clock.now - t0:.1f} virtual ms incl. wire)")
+
+    # Stage a working copy in for a job at FNAL: the same-site replica
+    # wins, and the catalog is left untouched.
+    source = rig.transfer.stage_in("lfn:run42/events", "se2.fnal")
+    print(f"[{stack}] staged into se2.fnal from {source}")
+    print(f"[{stack}] catalog still lists: "
+          f"{rig.catalog.locate_replicas('lfn:run42/events')}")
+    print(f"[{stack}] link time charged: "
+          f"{metrics.time_by_category['link']:.0f} virtual ms")
+
+    # Business rules fault identically on both wires (one LogicError,
+    # rendered as a WS-BaseFault here and a bare SOAP fault there).
+    try:
+        rig.transfer.replicate("lfn:run42/events", "se2.cern")
+    except Exception as exc:
+        print(f"[{stack}] as expected, duplicate replication faults: {exc}")
+
+
+def main() -> None:
+    for stack in ("wsrf", "transfer"):
+        stage_on(stack)
+        print()
+
+
+if __name__ == "__main__":
+    main()

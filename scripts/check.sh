@@ -64,6 +64,23 @@ echo "== loadgen smoke =="
 # kernel's concurrent schedule reproduces identical percentiles.
 python -m repro loadgen --smoke || status=1
 
+echo "== datagrid smoke =="
+# The layered-services gate: the fixed staging workload must be
+# deterministic and both stacks must pick identical replica sources.
+python -m repro datagrid --smoke || status=1
+
+echo "== datagrid sweep =="
+# Regenerate the replica-staging sweep and diff against the committed
+# file; regenerate with:
+#   python -m repro datagrid --json results/BENCH_datagrid.json
+bench_tmp=$(mktemp)
+python -m repro datagrid --json "$bench_tmp" > /dev/null || status=1
+if ! diff -u results/BENCH_datagrid.json "$bench_tmp"; then
+    echo "BENCH_datagrid.json is stale (see diff above)"
+    status=1
+fi
+rm -f "$bench_tmp"
+
 echo "== loadgen trajectory =="
 # Regenerate the offered-load trajectory and diff against the committed
 # file; regenerate with:

@@ -5,9 +5,11 @@ prints it as a table.  Arguments select individual figures:
 ``fig2 fig3 fig4 fig6 sweep switch reliab xmldb hello``.
 
 ``python -m repro conformance`` instead runs the differential dual-stack
-conformance sweep (see :mod:`repro.testkit.cli`), and ``python -m repro
+conformance sweep (see :mod:`repro.testkit.cli`), ``python -m repro
 loadgen`` the open-loop kernel load generator (see
-:mod:`repro.bench.loadgen`; ``--smoke`` is the CI determinism gate).
+:mod:`repro.bench.loadgen`; ``--smoke`` is the CI determinism gate), and
+``python -m repro datagrid`` the declared-services replica-staging sweep
+(see :mod:`repro.bench.datagrid`).
 
 ``hello`` is the CI bench smoke: one signed round-trip per stack through
 the filter pipeline, reported per pipeline stage plus the full span tree.
@@ -157,6 +159,10 @@ def main(argv: list[str]) -> int:
         from repro.bench.loadgen import loadgen_main
 
         return loadgen_main(argv[1:])
+    if argv and argv[0] == "datagrid":
+        from repro.bench.datagrid import datagrid_main
+
+        return datagrid_main(argv[1:])
     wanted = argv or [name for name in FIGURES if name != "switch"]
     unknown = [name for name in wanted if name not in FIGURES]
     if unknown:

@@ -25,6 +25,9 @@ RPO13   WriteThroughCache/index internals are written only through
         the owning Collection API
 RPO14   the kernel owns time: no direct ``Clock.advance`` or timer
         mutation (schedule/cancel) outside ``repro.sim``
+RPO15   logic-/db-layer modules stay stack-blind: no ``repro.soap``/
+        ``repro.container``/``repro.pipeline`` imports below the
+        router seam
 ======  ==========================================================
 
 RPO09–RPO13 are the concurrency-readiness rules: they consult the
@@ -40,6 +43,7 @@ from repro.analysis.checkers import (  # noqa: F401  (import registers)
     handler_state,
     host_isolation,
     kernel_time,
+    layer_discipline,
     namespace_hygiene,
     pipeline_boundary,
     reentrancy,

@@ -1,0 +1,93 @@
+"""RPO15 — layer discipline: logic and db layers never see the wire.
+
+The layered service-authoring framework (DESIGN.md §15) earns its keep
+only if the inner layers stay stack-blind: routers translate SOAP to
+plain python calls and faults back, so the logic layer (``logic.py``)
+and the db layer (``db.py``) of an app package must be importable — and
+testable — without any stack at all.  An inner-layer module that imports
+``repro.soap``, ``repro.container`` or ``repro.pipeline`` has smuggled
+wire machinery below the seam, which is exactly the per-stack fork the
+refactor removed.
+
+In scope: modules named ``logic.py`` or ``db.py`` under ``repro/apps/``
+(the convention the framework documents), plus any file whose name ends
+in ``_logic.py`` / ``_db.py`` (how the lint fixtures opt in, mirroring
+RPO03's ``wsrf_`` prefix convention).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Package roots the inner layers must never import.
+_BANNED_ROOTS = ("repro.soap", "repro.container", "repro.pipeline")
+_BANNED_LEAVES = frozenset({"soap", "container", "pipeline"})
+
+_LAYER_FILES = frozenset({"logic.py", "db.py"})
+
+
+def _in_scope(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    filename = parts[-1]
+    if filename in _LAYER_FILES:
+        return "apps" in parts
+    return filename.endswith(("_logic.py", "_db.py"))
+
+
+def _banned_module(name: str) -> str | None:
+    for root in _BANNED_ROOTS:
+        if name == root or name.startswith(root + "."):
+            return root
+    return None
+
+
+@register
+class LayerDisciplineChecker:
+    rule_id = "RPO15"
+    description = (
+        "logic-/db-layer modules stay stack-blind: no repro.soap / "
+        "repro.container / repro.pipeline imports below the router seam"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not _in_scope(module.path):
+            return
+        layer = "db" if module.path.endswith("db.py") else "logic"
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = _banned_module(alias.name)
+                    if root is not None:
+                        yield self._finding(module, node, layer, root)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = _banned_module(node.module)
+                if root is not None:
+                    yield self._finding(module, node, layer, root)
+                elif node.module == "repro":
+                    for alias in node.names:
+                        if alias.name in _BANNED_LEAVES:
+                            yield self._finding(
+                                module, node, layer, f"repro.{alias.name}"
+                            )
+
+    def _finding(
+        self, module: ModuleContext, node: ast.AST, layer: str, root: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            symbol=module.module_name,
+            message=(
+                f"{layer}-layer module imports {root}; the wire belongs to "
+                "the router layer — raise LogicError/AccessDenied and let "
+                "wsrf_fault/transfer_fault translate"
+            ),
+            severity="error",
+        )

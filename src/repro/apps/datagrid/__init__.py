@@ -1,0 +1,43 @@
+"""The datagrid scenario: a replica catalog plus replica-aware transfer.
+
+The new-service-costs-a-module proof for :mod:`repro.apps.layers` (see
+DESIGN.md §15): both services are single :class:`ServiceDecl`\\ s bound
+into both stacks by the framework, with logic/db/links layers that never
+touch SOAP.  The workload follows the EU DataGrid data-management pair —
+a catalog of logical-file replicas across storage hosts, and transfers
+that pick sources by simulated link cost.
+"""
+
+from repro.apps.datagrid.decl import DATA_TRANSFER, REPLICA_CATALOG
+from repro.apps.datagrid.db import ReplicaTable
+from repro.apps.datagrid.deploy import (
+    STORAGE_HOSTS,
+    DatagridRig,
+    DatagridScenario,
+    build_datagrid,
+    build_transfer_datagrid,
+    build_wsrf_datagrid,
+)
+from repro.apps.datagrid.links import LinkFabric, site_of
+from repro.apps.datagrid.logic import (
+    DataTransferLogic,
+    ReplicaCatalogLogic,
+    nearest_replica,
+)
+
+__all__ = [
+    "DATA_TRANSFER",
+    "REPLICA_CATALOG",
+    "ReplicaTable",
+    "STORAGE_HOSTS",
+    "DatagridRig",
+    "DatagridScenario",
+    "build_datagrid",
+    "build_transfer_datagrid",
+    "build_wsrf_datagrid",
+    "LinkFabric",
+    "site_of",
+    "DataTransferLogic",
+    "ReplicaCatalogLogic",
+    "nearest_replica",
+]

@@ -1,0 +1,82 @@
+"""The datagrid db layer: the replica catalog's collection accessor.
+
+One ``{dg}Replicas`` document per logical file, keyed by the logical file
+name, holding one ``{dg}Host`` child per storage host with a copy.  The
+host index (opt-in via :meth:`~repro.apps.layers.db.Table.declare_indexes`,
+always declared by the deployment builders) answers "which files does this
+host hold" from a posting list instead of a collection scan.
+
+Layer discipline (lint rule RPO15): no ``repro.soap`` /
+``repro.container`` / ``repro.pipeline`` imports here.
+"""
+
+from __future__ import annotations
+
+from repro.apps.layers.db import IndexSpec, Table
+from repro.xmldb.collection import DocumentNotFound
+from repro.xmllib import element, ns
+from repro.xmllib.element import XmlElement
+
+_DATAGRID_PREFIXES = {"d": ns.DATAGRID}
+
+
+class ReplicaTable(Table):
+    """Typed accessor over the ``replicas`` collection."""
+
+    HOST = IndexSpec("//d:Host", _DATAGRID_PREFIXES)
+    indexes = (HOST,)
+
+    def _document(self, logical_file: str) -> XmlElement | None:
+        try:
+            return self.store.read(logical_file)
+        except DocumentNotFound:
+            return None
+
+    @staticmethod
+    def _hosts(document: XmlElement) -> list[str]:
+        return [
+            child.text().strip()
+            for child in document.element_children()
+            if child.tag.local == "Host"
+        ]
+
+    def replicas(self, logical_file: str) -> list[str]:
+        """Hosts holding a copy, in registration order ([] when unknown)."""
+        document = self._document(logical_file)
+        return [] if document is None else self._hosts(document)
+
+    def add(self, logical_file: str, host: str) -> None:
+        document = self._document(logical_file)
+        if document is None:
+            document = element(f"{{{ns.DATAGRID}}}Replicas")
+        document.append(element(f"{{{ns.DATAGRID}}}Host", host))
+        self.store.upsert(logical_file, document)
+
+    def remove(self, logical_file: str, host: str) -> None:
+        """Drop one host's replica; the last replica removes the document
+        entirely, so a logical file with zero copies cannot exist."""
+        document = self.store.read(logical_file)
+        document.children = [
+            child
+            for child in document.element_children()
+            if not (child.tag.local == "Host" and child.text().strip() == host)
+        ]
+        if next(document.element_children(), None) is None:
+            self.store.delete(logical_file)
+        else:
+            self.store.update(logical_file, document)
+
+    def logical_files(self) -> list[str]:
+        return sorted(self.store.keys())
+
+    def files_on(self, host: str) -> list[str]:
+        """Logical files with a replica on ``host`` — the index posting
+        list when declared, else a collection scan."""
+        keys = self.match_keys(self.HOST, host)
+        if keys is not None:
+            return sorted(keys)
+        return sorted(
+            key
+            for key, document in self.store.documents()
+            if host in self._hosts(document)
+        )

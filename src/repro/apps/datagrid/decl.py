@@ -1,0 +1,95 @@
+"""The datagrid service declarations — written exactly once.
+
+This is the tentpole's proof: neither service below has a hand-written
+WSRF or WS-Transfer class.  Each is one :class:`ServiceDecl` that
+:mod:`repro.apps.layers` binds into both stacks (services *and* clients),
+with the stack idioms living entirely in the binding:
+
+* the WSRF binding exposes ``registerReplica`` / ``locateReplicas`` / ...
+  as app-namespace actions;
+* the WS-Transfer binding maps them onto Create/Get/Put/Delete with the
+  operation and its arguments encoded in the EPR's explicit resource key
+  (``r:<lfn>|<host>``, ``f:<lfn>``, ... — the mode-prefix style of §3.2).
+
+The workload itself is the EU DataGrid pair: a replica catalog mapping
+logical file names to the storage hosts holding copies, and a
+replica-aware transfer service that picks sources by simulated link cost.
+"""
+
+from __future__ import annotations
+
+from repro.apps.layers import Operation, ServiceDecl
+from repro.xmllib import ns
+
+#: Logical-file → hosts-with-a-copy mapping for the whole VO.
+REPLICA_CATALOG = ServiceDecl(
+    name="ReplicaCatalog",
+    namespace=ns.DATAGRID,
+    operations=(
+        Operation(
+            "RegisterReplica",
+            params=("LogicalFile", "Host"),
+            verb="create",
+            key_prefix="r:",
+            key_params=("LogicalFile", "Host"),
+        ),
+        Operation(
+            "UnregisterReplica",
+            params=("LogicalFile", "Host"),
+            verb="delete",
+            key_prefix="r:",
+            key_params=("LogicalFile", "Host"),
+        ),
+        Operation(
+            "LocateReplicas",
+            params=("LogicalFile",),
+            result="Host",
+            arity="list",
+            verb="get",
+            key_prefix="f:",
+            key_params=("LogicalFile",),
+        ),
+        Operation(
+            "ListFiles",
+            result="LogicalFile",
+            arity="list",
+            verb="get",
+            key_prefix="all",
+        ),
+        Operation(
+            "FilesOn",
+            params=("Host",),
+            result="LogicalFile",
+            arity="list",
+            verb="get",
+            key_prefix="h:",
+            key_params=("Host",),
+        ),
+    ),
+)
+
+#: Replica-aware transfer: replicate to a host, stage in from the nearest.
+DATA_TRANSFER = ServiceDecl(
+    name="DataTransfer",
+    namespace=ns.DATAGRID,
+    operations=(
+        Operation(
+            "Replicate",
+            params=("LogicalFile", "ToHost"),
+            result="SourceHost",
+            arity="one",
+            verb="create",
+            key_prefix="x:",
+            key_params=("LogicalFile", "ToHost"),
+        ),
+        Operation(
+            "StageIn",
+            params=("LogicalFile", "ToHost"),
+            result="SourceHost",
+            arity="one",
+            verb="get",
+            key_prefix="s:",
+            key_params=("LogicalFile", "ToHost"),
+        ),
+    ),
+)

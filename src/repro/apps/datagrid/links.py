@@ -1,0 +1,56 @@
+"""Simulated wide-area links between storage hosts.
+
+The EU DataGrid picture: storage elements grouped into sites, cheap links
+inside a site, expensive ones between sites.  A host's site is the part
+after the first ``.`` of its name (``se1.cern`` and ``se2.cern`` share a
+LAN; ``se1.fnal`` is across the WAN), so the whole fabric is a pure
+function of host names — deterministic, and therefore identical under
+both stacks.  Actual transfers charge their link cost to the virtual
+clock (category ``link``), like the filesystem substrate charges ``fs``.
+
+Layer discipline (lint rule RPO15): no ``repro.soap`` /
+``repro.container`` / ``repro.pipeline`` imports here.
+"""
+
+from __future__ import annotations
+
+from repro.sim.network import Network
+
+#: Default virtual-ms cost of moving one replica over each link class.
+LAN_TRANSFER_MS = 40.0
+WAN_TRANSFER_MS = 400.0
+
+
+def site_of(host: str) -> str:
+    """``se1.cern`` → ``cern``; a dotless host is its own site."""
+    _, _, site = host.partition(".")
+    return site or host
+
+
+class LinkFabric:
+    """Link costs between storage hosts, charged on use."""
+
+    def __init__(
+        self,
+        network: Network,
+        lan_ms: float = LAN_TRANSFER_MS,
+        wan_ms: float = WAN_TRANSFER_MS,
+    ):
+        self.network = network
+        self.lan_ms = lan_ms
+        self.wan_ms = wan_ms
+
+    def cost(self, src: str, dst: str) -> float:
+        """The virtual-ms cost of one transfer (free on the same host)."""
+        if src == dst:
+            return 0.0
+        if site_of(src) == site_of(dst):
+            return self.lan_ms
+        return self.wan_ms
+
+    def transfer(self, src: str, dst: str) -> float:
+        """Move one replica, charging its link cost to the clock."""
+        ms = self.cost(src, dst)
+        if ms:
+            self.network.charge(ms, "link")
+        return ms

@@ -1,0 +1,88 @@
+"""The datagrid logic layer: catalog and transfer rules, stack-agnostic.
+
+The transfer logic reaches the catalog through a *port* — any object with
+the generated catalog-client surface (``locate_replicas``,
+``register_replica``).  The deployment wiring binds the port to a real
+out-call through whichever stack owns the service, so "DataTransfer asks
+the catalog" is one SOAP exchange on the wire of either stack, exactly
+like GiaB's allocation→reservation out-call.
+
+Layer discipline (lint rule RPO15): no ``repro.soap`` /
+``repro.container`` / ``repro.pipeline`` imports here.
+"""
+
+from __future__ import annotations
+
+from repro.apps.datagrid.db import ReplicaTable
+from repro.apps.datagrid.links import LinkFabric
+from repro.apps.layers.logic import UnknownEntity, require
+
+
+class ReplicaCatalogLogic:
+    """One method per declared ReplicaCatalog operation."""
+
+    def __init__(self, table: ReplicaTable):
+        self.table = table
+
+    def register_replica(self, logical_file: str, host: str) -> None:
+        require(
+            host not in self.table.replicas(logical_file),
+            f"{host} already holds a replica of {logical_file}",
+        )
+        self.table.add(logical_file, host)
+
+    def unregister_replica(self, logical_file: str, host: str) -> None:
+        if host not in self.table.replicas(logical_file):
+            raise UnknownEntity(f"no replica of {logical_file} on {host}")
+        self.table.remove(logical_file, host)
+
+    def locate_replicas(self, logical_file: str) -> list[str]:
+        hosts = self.table.replicas(logical_file)
+        if not hosts:
+            raise UnknownEntity(f"no replicas of {logical_file}")
+        return hosts
+
+    def list_files(self) -> list[str]:
+        return self.table.logical_files()
+
+    def files_on(self, host: str) -> list[str]:
+        return self.table.files_on(host)
+
+
+def nearest_replica(sources: list[str], to_host: str, links: LinkFabric) -> str:
+    """The EU DataGrid source-selection rule: cheapest link wins, host-name
+    order breaking ties — deterministic, so both stacks always agree."""
+    return min(sources, key=lambda host: (links.cost(host, to_host), host))
+
+
+class DataTransferLogic:
+    """One method per declared DataTransfer operation."""
+
+    def __init__(self, catalog, links: LinkFabric):
+        #: The catalog port: generated-client surface, bound by the wiring.
+        self.catalog = catalog
+        self.links = links
+
+    def replicate(self, logical_file: str, to_host: str) -> str:
+        """Copy a logical file to a new host from its cheapest source and
+        register the new replica; returns the chosen source host."""
+        sources = self.catalog.locate_replicas(logical_file)
+        require(
+            to_host not in sources,
+            f"{to_host} already holds a replica of {logical_file}",
+        )
+        source = nearest_replica(sources, to_host, self.links)
+        self.links.transfer(source, to_host)
+        self.catalog.register_replica(logical_file, to_host)
+        return source
+
+    def stage_in(self, logical_file: str, to_host: str) -> str:
+        """Pull a working copy to ``to_host`` (for a job) from the cheapest
+        source without touching the catalog; a host holding a replica
+        stages from itself for free."""
+        sources = self.catalog.locate_replicas(logical_file)
+        source = to_host if to_host in sources else nearest_replica(
+            sources, to_host, self.links
+        )
+        self.links.transfer(source, to_host)
+        return source

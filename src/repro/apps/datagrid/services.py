@@ -1,0 +1,27 @@
+"""Generated datagrid service and client classes, one pair per stack.
+
+Nothing here is hand-written per stack — every class below is produced by
+the :mod:`repro.apps.layers` bindings from the declarations in
+:mod:`repro.apps.datagrid.decl`.  Adding a datagrid operation means
+editing the declaration and the logic class; both stacks pick it up.
+"""
+
+from __future__ import annotations
+
+from repro.apps.datagrid.decl import DATA_TRANSFER, REPLICA_CATALOG
+from repro.apps.layers import (
+    declared_transfer_client,
+    declared_transfer_service,
+    declared_wsrf_client,
+    declared_wsrf_service,
+)
+
+WsrfReplicaCatalogService = declared_wsrf_service(REPLICA_CATALOG)
+TransferReplicaCatalogService = declared_transfer_service(REPLICA_CATALOG)
+WsrfReplicaCatalogClient = declared_wsrf_client(REPLICA_CATALOG)
+TransferReplicaCatalogClient = declared_transfer_client(REPLICA_CATALOG)
+
+WsrfDataTransferService = declared_wsrf_service(DATA_TRANSFER)
+TransferDataTransferService = declared_transfer_service(DATA_TRANSFER)
+WsrfDataTransferClient = declared_wsrf_client(DATA_TRANSFER)
+TransferDataTransferClient = declared_transfer_client(DATA_TRANSFER)

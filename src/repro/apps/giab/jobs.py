@@ -121,7 +121,9 @@ class ProcessSpawner:
             if on_exit is not None:
                 on_exit(handle)
 
-        handle._timer = self.network.clock.schedule_after(spec.run_time_ms, exit_now)
+        handle._timer = self.network.kernel.call_after(
+            spec.run_time_ms, exit_now, label=f"job-exit:{handle.pid}"
+        )
         return handle
 
     def kill(self, pid: int) -> bool:
@@ -133,7 +135,7 @@ class ProcessSpawner:
         handle.exit_code = -9
         handle.exited_at = self.network.clock.now
         if handle._timer is not None:
-            self.network.clock.cancel(handle._timer)
+            self.network.kernel.cancel(handle._timer)
         return True
 
     def get(self, pid: int) -> ProcessHandle | None:

@@ -1,0 +1,181 @@
+"""Grid-in-a-Box business rules, shared by both stacks (the logic layer).
+
+Every *decision* the five services make — who may administer, what an
+account grants, which hosts are available, whose reservation this is,
+what a finished job leaves behind — lives here exactly once, as plain
+python over domain XML.  The per-stack service classes are routers: they
+parse their stack's wire shapes, call these rules, and phrase faults in
+their stack's historical vocabulary (see
+:mod:`repro.apps.layers.router`).
+
+Layer discipline (lint rule RPO15): no ``repro.soap`` /
+``repro.container`` / ``repro.pipeline`` imports here.
+"""
+
+from __future__ import annotations
+
+from repro.apps.giab.storage import FileSystemError
+from repro.apps.layers.logic import AccessDenied, LogicError
+from repro.xmllib import element, ns
+from repro.xmllib.element import XmlElement
+
+# -- administration (§4.2.1/§4.2.2) -------------------------------------------
+
+
+class AdminPolicy:
+    """Who may administer the VO (accounts, host/site registry).
+
+    The rule both stacks share: an unsigned wire cannot enforce identity,
+    so an anonymous sender passes; a signed sender must be one of the
+    configured administrators.
+    """
+
+    def __init__(self, admins: set[str] | None = None):
+        self.admins = admins or set()
+
+    def require_admin(self, sender) -> None:
+        if sender is None:
+            return
+        if str(sender) not in self.admins:
+            raise AccessDenied(sender)
+
+
+# -- accounts -----------------------------------------------------------------
+
+
+def account_element(dn: str, privileges: list[str]) -> XmlElement:
+    """The canonical ``{giab}Account`` document body."""
+    account = element(f"{{{ns.GIAB}}}Account", element(f"{{{ns.GIAB}}}DN", dn))
+    for privilege in privileges:
+        account.append(element(f"{{{ns.GIAB}}}Privilege", privilege))
+    return account
+
+
+def account_grants(account: XmlElement | None, privilege: str) -> bool:
+    """Does this account document carry the privilege?"""
+    return account is not None and any(
+        p.text().strip() == privilege
+        for p in account.element_children()
+        if p.tag.local == "Privilege"
+    )
+
+
+# -- resource allocation ------------------------------------------------------
+
+
+def application_available(applications: list[str], application: str, reserved: bool) -> bool:
+    """The availability rule: the application is installed on the host and
+    the host is not currently reserved.  Both stacks filter their candidate
+    sets (index posting list or full registry) through this one predicate."""
+    return application in applications and not reserved
+
+
+# -- reservations -------------------------------------------------------------
+
+
+class AlreadyReserved(LogicError):
+    """The host/site already carries a live reservation."""
+
+    def __init__(self, subject: str):
+        super().__init__(f"{subject} is already reserved")
+        self.subject = subject
+
+
+class NotReserved(LogicError):
+    """An un-reserve/claim was attempted on an unreserved host/site."""
+
+    def __init__(self, subject: str):
+        super().__init__(f"{subject} is not reserved")
+        self.subject = subject
+
+
+class WrongHolder(LogicError):
+    """The reservation belongs to somebody else."""
+
+    def __init__(self, subject: str, holder: str):
+        super().__init__(f"reservation on {subject} belongs to {holder}")
+        self.subject = subject
+        self.holder = holder
+
+
+def require_reservation_holder(held: bool, dn: str, host: str) -> None:
+    """The upload rule (Figure 5's "pair of calls"): the uploader must hold
+    a live reservation on the serving node.  Each stack verifies this with
+    its own out-call; the refusal is phrased identically on both."""
+    if not held:
+        raise LogicError(f"{dn} holds no reservation on {host}")
+
+
+def list_directory(filesystem, path: str) -> list[str]:
+    """The listing rule both stacks share: a directory that does not exist
+    (never created, or already destroyed) lists as empty rather than
+    faulting."""
+    try:
+        return filesystem.listdir(path)
+    except FileSystemError:
+        return []
+
+
+class ReservationRules:
+    """Reservation invariants shared by both stacks."""
+
+    @staticmethod
+    def require_account(exists: bool, owner: str) -> None:
+        """Figure 5 step 4: "Does this user have an account in this VO?"
+        Checked only on signed wires; both stacks phrase the refusal
+        identically."""
+        if not exists:
+            raise LogicError(f"no VO account for {owner}")
+
+    @staticmethod
+    def require_unreserved(already_reserved: bool, subject: str) -> None:
+        if already_reserved:
+            raise AlreadyReserved(subject)
+
+    @staticmethod
+    def require_holder(holder: str, sender: str, subject: str) -> None:
+        """Releasing a reservation: it must exist, and a signed sender must
+        be the holder (an anonymous wire cannot check ownership)."""
+        if not holder:
+            raise NotReserved(subject)
+        if holder != sender and sender != "anonymous":
+            raise WrongHolder(subject, holder)
+
+    @staticmethod
+    def require_reservation_for_host(reserved_host: str, host: str) -> None:
+        """Starting a job: the presented reservation must be for the node
+        this ExecService serves."""
+        if reserved_host != host:
+            raise LogicError(
+                f"reservation is for {reserved_host}, not this ExecService's host {host}"
+            )
+
+    @staticmethod
+    def require_reservation_owner(owner: str, sender: str) -> None:
+        """Starting a job: the caller must be the reservation's owner."""
+        if owner != sender:
+            raise LogicError(f"reservation belongs to {owner}, not {sender}")
+
+
+# -- jobs ---------------------------------------------------------------------
+
+
+def write_job_outputs(filesystem, handle) -> None:
+    """What a finished job leaves behind — identical on both stacks: a
+    successful job writes one file per declared output name into its
+    working directory; a failed job, or one whose directory was destroyed
+    while it ran, leaves nothing."""
+    if filesystem is None or handle.exit_code != 0:
+        return
+    if not filesystem.exists_dir(handle.working_dir):
+        return
+    for name in handle.spec.output_files:
+        filesystem.write(
+            handle.working_dir, name, f"output of {handle.spec.command} (pid {handle.pid})\n"
+        )
+
+
+def job_running_time_text(handle, now: float) -> str:
+    """Both stacks report a job's running time the same way: the repr of
+    the spawner's measurement at the current virtual time."""
+    return repr(handle.running_time(now))

@@ -5,10 +5,17 @@ functionality to the corresponding WS-Transfer operations is very
 intuitive": Create stores a new account resource whose EPR contains the
 user's X.509 DN; Get answers whether a user may perform an action; Delete
 removes all privileges.  Create and Delete are administrative.
+
+This module is a *router*: the CRUD mapping and this stack's fault
+phrasing over the shared account rules in :mod:`repro.apps.giab.logic`
+and the document-per-DN layout in :mod:`repro.apps.giab.db`.
 """
 
 from __future__ import annotations
 
+from repro.apps.giab.db import TransferAccountsStore
+from repro.apps.giab.logic import AdminPolicy, account_grants
+from repro.apps.layers.logic import AccessDenied
 from repro.container.service import MessageContext
 from repro.soap.envelope import SoapFault
 from repro.transfer.service import TransferResourceService
@@ -21,15 +28,16 @@ class TransferAccountService(TransferResourceService):
 
     def __init__(self, collection, admins: set[str] | None = None):
         super().__init__(collection)
-        self.admins = admins or set()
+        self.accounts = TransferAccountsStore(collection)
+        self.policy = AdminPolicy(admins)
 
     def _require_admin(self, context: MessageContext) -> None:
-        if context.sender is None:
-            return
-        if str(context.sender) not in self.admins:
+        try:
+            self.policy.require_admin(context.sender)
+        except AccessDenied as denied:
             raise SoapFault(
-                "Client", f"{context.sender} may not administer accounts"
-            )
+                "Client", f"{denied.subject} may not administer accounts"
+            ) from denied
 
     def process_create(self, representation: XmlElement, context: MessageContext):
         self._require_admin(context)
@@ -43,16 +51,12 @@ class TransferAccountService(TransferResourceService):
         """Get = "queries the account service whether a particular user can
         perform a certain action".  The EPR names the user (DN); the body
         may name an action; the answer is a yes/no document."""
-        account = self._load(key)
+        account = self.accounts.find(key)
         action = text_of(context.body.find_local("Action"))
         if account is None:
             allowed = False
         elif action:
-            allowed = any(
-                p.text().strip() == action
-                for p in account.element_children()
-                if p.tag.local == "Privilege"
-            )
+            allowed = account_grants(account, action)
         else:
             allowed = True  # account exists
         return element(f"{{{ns.GIAB}}}AccountCheck", "true" if allowed else "false")

@@ -13,11 +13,27 @@ The cost is mode-dispatch on the *shape of the EPR*:
 Since WS-Transfer lacks lifetime management, "reservation lifetimes must be
 managed manually": nothing expires a reservation here, and a client that
 forgets to unreserve blocks the site — a failure mode the tests exercise.
+
+This module is a *router*: the CRUD/mode-dispatch mapping and this
+stack's fault phrasing over the shared availability and reservation rules
+in :mod:`repro.apps.giab.logic` and the :class:`SiteRegistry` accessor in
+:mod:`repro.apps.giab.db`.
 """
 
 from __future__ import annotations
 
 from repro.addressing.epr import EndpointReference
+from repro.apps.giab.db import SiteRegistry, site_applications, site_field
+from repro.apps.giab.logic import (
+    AdminPolicy,
+    AlreadyReserved,
+    NotReserved,
+    ReservationRules,
+    WrongHolder,
+    application_available,
+)
+from repro.apps.layers.logic import AccessDenied, LogicError
+from repro.apps.layers.router import transfer_fault, transfer_faults
 from repro.container.service import MessageContext, web_method
 from repro.soap.envelope import SoapFault
 from repro.transfer.service import (
@@ -27,11 +43,6 @@ from repro.transfer.service import (
 )
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
-from repro.xmllib.xpath import xpath_literal
-
-_GIAB_PREFIXES = {"g": ns.GIAB}
-#: Index path over Site documents (opt-in via ``enable_indexes``).
-APPLICATION_INDEX_PATH = "//g:Application"
 
 
 def site_representation(
@@ -47,13 +58,6 @@ def site_representation(
     )
     for app in applications:
         node.append(element(f"{{{ns.GIAB}}}Application", app))
-    return node
-
-
-def _field(doc: XmlElement, local: str) -> XmlElement:
-    node = doc.find_local(local)
-    if node is None:
-        raise SoapFault("Server", f"site document lacks {local}")
     return node
 
 
@@ -74,20 +78,23 @@ class TransferResourceAllocationService(TransferResourceService):
 
     def __init__(self, collection, account_address: str = "", admins: set[str] | None = None):
         super().__init__(collection)
+        self.sites = SiteRegistry(collection)
         self.account_address = account_address
-        self.admins = admins or set()
+        self.policy = AdminPolicy(admins)
 
     def enable_indexes(self) -> None:
         """Declare the application index over Site documents.  Opt-in: the
         "1<app>" availability query then walks the posting list for the
         application instead of every site; default costs are unchanged."""
-        self.collection.declare_index(APPLICATION_INDEX_PATH, _GIAB_PREFIXES)
+        self.sites.declare_indexes()
 
     # -- Create / Delete: computing sites (administrative) --------------------------
 
     def process_create(self, representation: XmlElement, context: MessageContext):
-        if context.sender is not None and str(context.sender) not in self.admins:
-            raise SoapFault("Client", f"{context.sender} may not register sites")
+        try:
+            self.policy.require_admin(context.sender)
+        except AccessDenied as denied:
+            raise SoapFault("Client", f"{denied.subject} may not register sites") from denied
         name = text_of(representation.find_local("Name"))
         if not name:
             raise SoapFault("Client", "site representation needs a Name")
@@ -98,50 +105,31 @@ class TransferResourceAllocationService(TransferResourceService):
         return representation, None, name
 
     def process_delete(self, key: str, context: MessageContext) -> None:
-        if context.sender is not None and str(context.sender) not in self.admins:
-            raise SoapFault("Client", f"{context.sender} may not remove sites")
+        try:
+            self.policy.require_admin(context.sender)
+        except AccessDenied as denied:
+            raise SoapFault("Client", f"{denied.subject} may not remove sites") from denied
 
     # -- Get: mode dispatch ----------------------------------------------------------
 
     def process_get(self, key: str, context: MessageContext) -> XmlElement:
         if key.startswith("1"):
             return self._available_resources(key[1:])
-        site = self._load(key)
+        site = self.sites.find(key)
         if site is None:
             raise SoapFault("Client", f"no site {key}")
-        return element(
-            f"{{{ns.GIAB}}}ReservationHolder", text_of(_field(site, "ReservedBy"))
-        )
+        with transfer_faults():
+            holder = text_of(site_field(site, "ReservedBy"))
+        return element(f"{{{ns.GIAB}}}ReservationHolder", holder)
 
     def _available_resources(self, application: str) -> XmlElement:
         response = element(f"{{{ns.GIAB}}}AvailableResources")
-        for key, site in self._candidate_sites(application):
-            apps = [
-                a.text().strip()
-                for a in site.element_children()
-                if a.tag.local == "Application"
-            ]
-            if application not in apps:
-                continue
-            if text_of(_field(site, "ReservedBy")):
-                continue
-            response.append(site.copy())
+        with transfer_faults():
+            for _key, site in self.sites.with_application(application):
+                reserved = bool(text_of(site_field(site, "ReservedBy")))
+                if application_available(site_applications(site), application, reserved):
+                    response.append(site.copy())
         return response
-
-    def _candidate_sites(self, application: str):
-        """(key, Site) pairs to consider for an availability query: the
-        application index's posting list when declared (and the value is
-        spellable as an XPath literal), else every site.  The caller
-        re-applies the full filter, so responses are identical."""
-        literal = xpath_literal(application)
-        if literal is not None and (
-            self.collection.find_index(APPLICATION_INDEX_PATH, _GIAB_PREFIXES) is not None
-        ):
-            keys = self.collection.query_keys(
-                f"{APPLICATION_INDEX_PATH}[. = {literal}]", _GIAB_PREFIXES
-            )
-            return [(key, self.collection.read(key)) for key in keys]
-        return list(self.collection.documents())
 
     # -- Put: three reservation modes --------------------------------------------------
 
@@ -156,7 +144,7 @@ class TransferResourceAllocationService(TransferResourceService):
         mode, site_name = key[:1], key[1:]
         if mode not in ("R", "U", "T"):
             raise SoapFault("Client", f"Put EPR has no reservation mode: {key}")
-        site = self._load(site_name)
+        site = self.sites.find(site_name)
         if site is None:
             raise SoapFault("Client", f"no site {site_name}")
         sender = str(context.sender) if context.sender is not None else "anonymous"
@@ -166,14 +154,20 @@ class TransferResourceAllocationService(TransferResourceService):
             self._remove_reservation(site, site_name, sender)
         else:
             self._change_time(site, context)
-        self.collection.update(site_name, site)
+        self.sites.save(site_name, site)
         return element(f"{{{ns.WXF}}}PutResponse", site.copy())
 
     def _make_reservation(
         self, site: XmlElement, site_name: str, sender: str, context: MessageContext
     ) -> None:
-        if text_of(_field(site, "ReservedBy")):
-            raise SoapFault("Client", f"site {site_name} is already reserved")
+        try:
+            ReservationRules.require_unreserved(
+                bool(text_of(site_field(site, "ReservedBy"))), site_name
+            )
+        except AlreadyReserved as already:
+            raise SoapFault("Client", f"site {already.subject} is already reserved") from already
+        except LogicError as error:
+            raise transfer_fault(error) from error
         # Identity checks need signed messages; unsigned deployments skip.
         if self.account_address and sender != "anonymous":
             check = context.client().invoke(
@@ -183,25 +177,37 @@ class TransferResourceAllocationService(TransferResourceService):
                 wxf_actions.GET,
                 element(f"{{{ns.WXF}}}Get"),
             )
-            if check.text().strip() != "true":
-                raise SoapFault("Client", f"no VO account for {sender}")
+            try:
+                ReservationRules.require_account(check.text().strip() == "true", sender)
+            except LogicError as error:
+                raise transfer_fault(error) from error
         until = _deep_text(context.body, "ReservedUntil")
-        _field(site, "ReservedBy").children = [sender]
-        _field(site, "ReservedUntil").children = [until] if until else []
+        with transfer_faults():
+            site_field(site, "ReservedBy").children = [sender]
+            site_field(site, "ReservedUntil").children = [until] if until else []
 
     def _remove_reservation(self, site: XmlElement, site_name: str, sender: str) -> None:
-        holder = text_of(_field(site, "ReservedBy"))
-        if not holder:
-            raise SoapFault("Client", f"site {site_name} is not reserved")
-        if holder != sender and sender != "anonymous":
-            raise SoapFault("Client", f"reservation on {site_name} belongs to {holder}")
-        _field(site, "ReservedBy").children = []
-        _field(site, "ReservedUntil").children = []
+        with transfer_faults():
+            holder = text_of(site_field(site, "ReservedBy"))
+        try:
+            ReservationRules.require_holder(holder, sender, site_name)
+        except NotReserved as unreserved:
+            raise SoapFault("Client", f"site {unreserved.subject} is not reserved") from unreserved
+        except WrongHolder as wrong:
+            raise SoapFault(
+                "Client", f"reservation on {wrong.subject} belongs to {wrong.holder}"
+            ) from wrong
+        with transfer_faults():
+            site_field(site, "ReservedBy").children = []
+            site_field(site, "ReservedUntil").children = []
 
     def _change_time(self, site: XmlElement, context: MessageContext) -> None:
-        if not text_of(_field(site, "ReservedBy")):
+        with transfer_faults():
+            reserved = bool(text_of(site_field(site, "ReservedBy")))
+        if not reserved:
             raise SoapFault("Client", "cannot change time of an unreserved site")
         until = _deep_text(context.body, "ReservedUntil")
         if not until:
             raise SoapFault("Client", "mode T needs a ReservedUntil in the body")
-        _field(site, "ReservedUntil").children = [until]
+        with transfer_faults():
+            site_field(site, "ReservedUntil").children = [until]

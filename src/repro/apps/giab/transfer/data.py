@@ -7,12 +7,20 @@ one directory, created automatically on first upload.  A Get whose EPR ends
 with ``/`` returns a directory listing; otherwise it is a download.
 Upload (Create) checks the uploader's reservation with the
 ResourceAllocation service — the operation's second call.
+
+This module is a *router*: the CRUD-over-filesystem mapping and this
+stack's fault phrasing over the shared data rules in
+:mod:`repro.apps.giab.logic` (there is no db layer here — files live on
+the filesystem, not in a collection).
 """
 
 from __future__ import annotations
 
 from repro.addressing.epr import EndpointReference
+from repro.apps.giab.logic import list_directory, require_reservation_holder
 from repro.apps.giab.storage import FileSystemError, SimulatedFileSystem
+from repro.apps.layers.logic import LogicError
+from repro.apps.layers.router import transfer_fault
 from repro.container.service import MessageContext, ServiceSkeleton, web_method
 from repro.crypto.x509 import DistinguishedName
 from repro.soap.envelope import SoapFault
@@ -75,10 +83,10 @@ class TransferDataService(ServiceSkeleton):
             element(f"{{{ns.WXF}}}Get"),
         )
         sender = str(context.sender) if context.sender is not None else "anonymous"
-        if text_of(holder) != sender:
-            raise SoapFault(
-                "Client", f"{sender} holds no reservation on {self.site_name}"
-            )
+        try:
+            require_reservation_holder(text_of(holder) == sender, sender, self.site_name)
+        except LogicError as error:
+            raise transfer_fault(error) from error
 
     # -- the four operations -----------------------------------------------------------
 
@@ -109,12 +117,8 @@ class TransferDataService(ServiceSkeleton):
         user_dir, filename = self._split_key(context)
         if not filename:
             # EPR ends with "/": directory listing.
-            try:
-                names = self.filesystem.listdir(user_dir)
-            except FileSystemError:
-                names = []
             listing = element(f"{{{ns.GIAB}}}FileListing")
-            for name in names:
+            for name in list_directory(self.filesystem, user_dir):
                 listing.append(element(f"{{{ns.GIAB}}}File", name))
             return element(f"{{{ns.WXF}}}GetResponse", listing)
         try:

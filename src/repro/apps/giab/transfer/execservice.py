@@ -6,6 +6,10 @@ returns job status, Delete kills the process and removes the representation.
 The representation/resource split matters here: "The representation of the
 resource may remain even when the resource (e.g., process) does not exist
 anymore."  Completion is announced over WS-Eventing.
+
+This module is a *router*: the CRUD mapping and this stack's fault
+phrasing over the shared job and reservation rules in
+:mod:`repro.apps.giab.logic`.
 """
 
 from __future__ import annotations
@@ -13,6 +17,13 @@ from __future__ import annotations
 from repro.addressing.epr import EndpointReference
 from repro.apps.giab.common import TOPIC_JOB_EXITED
 from repro.apps.giab.jobs import JobSpec, JobState, ProcessSpawner
+from repro.apps.giab.logic import (
+    job_running_time_text,
+    require_reservation_holder,
+    write_job_outputs,
+)
+from repro.apps.layers.logic import LogicError
+from repro.apps.layers.router import transfer_fault
 from repro.container.service import MessageContext
 from repro.crypto.x509 import DistinguishedName
 from repro.eventing.manager import EventSubscriptionManagerService
@@ -81,20 +92,13 @@ class TransferExecService(EventSourceMixin, TransferResourceService):
             element(f"{{{ns.WXF}}}Get"),
         )
         sender = str(context.sender) if context.sender is not None else "anonymous"
-        if text_of(holder) != sender:
-            raise SoapFault("Client", f"{sender} holds no reservation on {self.site_name}")
+        try:
+            require_reservation_holder(text_of(holder) == sender, sender, self.site_name)
+        except LogicError as error:
+            raise transfer_fault(error) from error
 
     def _job_exited(self, key: str, handle) -> None:
-        if (
-            self.filesystem is not None
-            and handle.exit_code == 0
-            and self.filesystem.exists_dir(handle.working_dir)
-        ):
-            for name in handle.spec.output_files:
-                self.filesystem.write(
-                    handle.working_dir, name,
-                    f"output of {handle.spec.command} (pid {handle.pid})\n",
-                )
+        write_job_outputs(self.filesystem, handle)
         self.notifications.fire(
             self,
             element(
@@ -124,7 +128,7 @@ class TransferExecService(EventSourceMixin, TransferResourceService):
             status.append(
                 element(
                     f"{{{ns.GIAB}}}RunningTime",
-                    repr(handle.running_time(self.network.clock.now)),
+                    job_running_time_text(handle, self.network.clock.now),
                 )
             )
         return status

@@ -5,18 +5,23 @@ uses the same state information (the mapping of users to privileges) ...
 and so the WS-Resource concept is not utilized" (§4.2.1).  State lives in a
 single accounts document in the database; operations have meaningful names
 (addAccount, accountExists) rather than CRUD (§4.2.3).
+
+This module is a *router*: wire parsing and WSRF fault phrasing over the
+shared account rules in :mod:`repro.apps.giab.logic` and the
+single-document layout in :mod:`repro.apps.giab.db`.
 """
 
 from __future__ import annotations
 
 from repro.apps.giab.common import wsrf_actions as actions
+from repro.apps.giab.db import WsrfAccountsStore
+from repro.apps.giab.logic import AdminPolicy, account_element, account_grants
+from repro.apps.layers.logic import AccessDenied
 from repro.container.service import MessageContext, ServiceSkeleton, web_method
 from repro.wsrf.basefaults import base_fault
-from repro.xmldb.collection import Collection, DocumentNotFound
+from repro.xmldb.collection import Collection
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
-
-_DOC_KEY = "accounts"
 
 
 class WsrfAccountService(ServiceSkeleton):
@@ -24,31 +29,14 @@ class WsrfAccountService(ServiceSkeleton):
 
     def __init__(self, collection: Collection, admins: set[str] | None = None):
         super().__init__()
-        self.collection = collection
-        self.admins = admins or set()
-
-    # -- state document helpers ---------------------------------------------------
-
-    def _load(self) -> XmlElement:
-        try:
-            return self.collection.read(_DOC_KEY)
-        except DocumentNotFound:
-            return element(f"{{{ns.GIAB}}}Accounts")
-
-    def _save(self, doc: XmlElement) -> None:
-        self.collection.upsert(_DOC_KEY, doc)
-
-    def _find_account(self, doc: XmlElement, dn: str) -> XmlElement | None:
-        for account in doc.element_children():
-            if text_of(account.find_local("DN")) == dn:
-                return account
-        return None
+        self.accounts = WsrfAccountsStore(collection)
+        self.policy = AdminPolicy(admins)
 
     def _require_admin(self, context: MessageContext) -> None:
-        if context.sender is None:
-            return  # unsigned deployments cannot enforce identity
-        if str(context.sender) not in self.admins:
-            raise base_fault(f"{context.sender} is not a VO administrator")
+        try:
+            self.policy.require_admin(context.sender)
+        except AccessDenied as denied:
+            raise base_fault(f"{denied.subject} is not a VO administrator") from denied
 
     # -- operations ------------------------------------------------------------------
 
@@ -61,42 +49,35 @@ class WsrfAccountService(ServiceSkeleton):
         privileges = [
             p.text().strip() for p in context.body.element_children() if p.tag.local == "Privilege"
         ]
-        doc = self._load()
-        if self._find_account(doc, dn) is not None:
+        doc = self.accounts.document()
+        if self.accounts.find(doc, dn) is not None:
             raise base_fault(f"account already exists for {dn}")
-        account = element(f"{{{ns.GIAB}}}Account", element(f"{{{ns.GIAB}}}DN", dn))
-        for privilege in privileges:
-            account.append(element(f"{{{ns.GIAB}}}Privilege", privilege))
-        doc.append(account)
-        self._save(doc)
+        doc.append(account_element(dn, privileges))
+        self.accounts.save(doc)
         return element(f"{{{ns.GIAB}}}addAccountResponse")
 
     @web_method(actions.REMOVE_ACCOUNT)
     def remove_account(self, context: MessageContext) -> XmlElement:
         self._require_admin(context)
         dn = text_of(context.body.find_local("DN"))
-        doc = self._load()
-        account = self._find_account(doc, dn)
+        doc = self.accounts.document()
+        account = self.accounts.find(doc, dn)
         if account is None:
             raise base_fault(f"no account for {dn}")
         doc.children.remove(account)
-        self._save(doc)
+        self.accounts.save(doc)
         return element(f"{{{ns.GIAB}}}removeAccountResponse")
 
     @web_method(actions.ACCOUNT_EXISTS)
     def account_exists(self, context: MessageContext) -> XmlElement:
         dn = text_of(context.body.find_local("DN"))
-        exists = self._find_account(self._load(), dn) is not None
+        exists = self.accounts.find(self.accounts.document(), dn) is not None
         return element(f"{{{ns.GIAB}}}accountExistsResponse", "true" if exists else "false")
 
     @web_method(actions.CHECK_PRIVILEGE)
     def check_privilege(self, context: MessageContext) -> XmlElement:
         dn = text_of(context.body.find_local("DN"))
         privilege = text_of(context.body.find_local("Privilege"))
-        account = self._find_account(self._load(), dn)
-        allowed = account is not None and any(
-            p.text().strip() == privilege
-            for p in account.element_children()
-            if p.tag.local == "Privilege"
-        )
+        account = self.accounts.find(self.accounts.document(), dn)
+        allowed = account_grants(account, privilege)
         return element(f"{{{ns.GIAB}}}checkPrivilegeResponse", "true" if allowed else "false")

@@ -3,24 +3,25 @@
 Also not resource-oriented: the mapping of installed applications to
 ExecServices is shared state.  GetAvailableResources answers "in concert
 with the ReservationService" — a server out-call per query.
+
+This module is a *router*: wire parsing, the out-call to the reservation
+service, and WSRF fault phrasing over the shared availability rule in
+:mod:`repro.apps.giab.logic` and the :class:`HostRegistry` accessor in
+:mod:`repro.apps.giab.db`.
 """
 
 from __future__ import annotations
 
 from repro.addressing.epr import EndpointReference
 from repro.apps.giab.common import host_info, parse_host_info, wsrf_actions as actions
+from repro.apps.giab.db import HostRegistry
+from repro.apps.giab.logic import AdminPolicy, application_available
+from repro.apps.layers.logic import AccessDenied
 from repro.container.service import MessageContext, ServiceSkeleton, web_method
 from repro.wsrf.basefaults import base_fault
 from repro.xmldb.collection import Collection, DocumentNotFound
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
-from repro.xmllib.xpath import xpath_literal
-
-_GIAB_PREFIXES = {"g": ns.GIAB}
-#: Index paths over the registered-host documents (opt-in via
-#: ``enable_indexes``): the installed applications and the host name.
-APPLICATION_INDEX_PATH = "//g:Application"
-HOST_INDEX_PATH = "//g:Host"
 
 
 class WsrfResourceAllocationService(ServiceSkeleton):
@@ -33,9 +34,9 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         admins: set[str] | None = None,
     ):
         super().__init__()
-        self.collection = collection
+        self.hosts = HostRegistry(collection)
         self.reservation_address = reservation_address
-        self.admins = admins or set()
+        self.policy = AdminPolicy(admins)
 
     def enable_indexes(self) -> None:
         """Declare the application and host indexes over the registry.
@@ -45,22 +46,17 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         scanning every registered host; the default cost profile without
         this call is unchanged.
         """
-        self.collection.declare_index(APPLICATION_INDEX_PATH, _GIAB_PREFIXES)
-        self.collection.declare_index(HOST_INDEX_PATH, _GIAB_PREFIXES)
+        self.hosts.declare_indexes()
 
     def registered_hosts(self) -> list[str]:
         """All registered host names — a covering index read when indexed."""
-        if self.collection.find_index(HOST_INDEX_PATH, _GIAB_PREFIXES) is not None:
-            return self.collection.index_values(HOST_INDEX_PATH, _GIAB_PREFIXES)
-        return sorted(
-            parse_host_info(doc)["host"] for _, doc in self.collection.documents()
-        )
+        return self.hosts.host_names()
 
     def _require_admin(self, context: MessageContext) -> None:
-        if context.sender is None:
-            return
-        if str(context.sender) not in self.admins:
-            raise base_fault(f"{context.sender} is not a VO administrator")
+        try:
+            self.policy.require_admin(context.sender)
+        except AccessDenied as denied:
+            raise base_fault(f"{denied.subject} is not a VO administrator") from denied
 
     # -- administration ------------------------------------------------------------
 
@@ -70,7 +66,7 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         info = parse_host_info(context.body)
         if not info["host"]:
             raise base_fault("registerHost needs a Host")
-        self.collection.upsert(info["host"], context.body.copy())
+        self.hosts.register(info["host"], context.body.copy())
         return element(f"{{{ns.GIAB}}}registerHostResponse")
 
     @web_method(actions.UNREGISTER_HOST)
@@ -78,7 +74,7 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         self._require_admin(context)
         host = text_of(context.body.find_local("Host"))
         try:
-            self.collection.delete(host)
+            self.hosts.unregister(host)
         except DocumentNotFound:
             raise base_fault(f"unknown host: {host}")
         return element(f"{{{ns.GIAB}}}unregisterHostResponse")
@@ -98,34 +94,15 @@ class WsrfResourceAllocationService(ServiceSkeleton):
         )
         reserved = {h.text().strip() for h in reserved_response.element_children()}
         response = element(f"{{{ns.GIAB}}}getAvailableResourcesResponse")
-        for _key, doc in self._hosts_with_application(application):
+        for _key, doc in self.hosts.with_application(application):
             info = parse_host_info(doc)
-            if application in info["applications"] and info["host"] not in reserved:
+            if application_available(info["applications"], application, info["host"] in reserved):
                 response.append(
                     host_info(
                         info["host"], info["exec_address"], info["data_address"], info["applications"]
                     )
                 )
         return response
-
-    def _hosts_with_application(self, application: str):
-        """Candidate (key, document) pairs for an Application predicate.
-
-        With the application index declared this is the posting list for
-        the requested value; otherwise (or for a value that cannot be
-        spelled as an XPath literal) it is every registered host.  The
-        caller re-applies the same membership filter either way, so the
-        response is identical — only the candidate set shrinks.
-        """
-        literal = xpath_literal(application)
-        if literal is not None and (
-            self.collection.find_index(APPLICATION_INDEX_PATH, _GIAB_PREFIXES) is not None
-        ):
-            keys = self.collection.query_keys(
-                f"{APPLICATION_INDEX_PATH}[. = {literal}]", _GIAB_PREFIXES
-            )
-            return [(key, self.collection.read(key)) for key in keys]
-        return list(self.collection.documents())
 
 
 class ServiceGroupAllocationService(ServiceSkeleton):
@@ -163,7 +140,7 @@ class ServiceGroupAllocationService(ServiceSkeleton):
             if content is None:
                 continue
             info = parse_host_info(content)
-            if application in info["applications"] and info["host"] not in reserved:
+            if application_available(info["applications"], application, info["host"] in reserved):
                 response.append(
                     host_info(
                         info["host"], info["exec_address"], info["data_address"], info["applications"]

@@ -4,6 +4,11 @@
 (although do not name them), upload data to them, and pass the EPRs ... to
 the ExecService."  The file list is a *dynamic* resource property computed
 by examining the directory; Destroy removes the directory and its contents.
+
+This module is a *router*: wire parsing, the directory-as-WS-Resource
+idiom and WSRF fault phrasing over the shared data rules in
+:mod:`repro.apps.giab.logic` and the :class:`DirectoriesTable` accessor
+in :mod:`repro.apps.giab.db`.
 """
 
 from __future__ import annotations
@@ -12,7 +17,11 @@ import itertools
 
 from repro.addressing.epr import EndpointReference
 from repro.apps.giab.common import wsrf_actions as actions
+from repro.apps.giab.db import DirectoriesTable
+from repro.apps.giab.logic import list_directory, require_reservation_holder
 from repro.apps.giab.storage import FileSystemError, SimulatedFileSystem
+from repro.apps.layers.logic import LogicError
+from repro.apps.layers.router import wsrf_fault
 from repro.container.service import MessageContext, web_method
 from repro.wsrf.basefaults import base_fault
 from repro.wsrf.lifetime import ResourceLifetimeMixin
@@ -20,11 +29,6 @@ from repro.wsrf.programming import ResourceField, WsResourceService, resource_pr
 from repro.wsrf.properties import ResourcePropertiesMixin
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
-from repro.xmllib.xpath import xpath_literal
-
-_FIELDS_PREFIXES = {"f": ns.WSRF_FIELDS}
-#: Index path over directory resources (opt-in via ``enable_indexes``).
-DIRECTORY_INDEX_PATH = "//f:directory"
 
 
 class WsrfDataService(
@@ -43,6 +47,7 @@ class WsrfDataService(
         reservation_address: str = "",
     ):
         super().__init__(home)
+        self.dirs = DirectoriesTable(home)
         self.filesystem = filesystem
         self.node_host = node_host
         self.reservation_address = reservation_address
@@ -52,30 +57,16 @@ class WsrfDataService(
         """Declare the directory-path index.  Opt-in: listing and reverse
         lookup of directory resources then run off the index; default
         costs are unchanged."""
-        self.home.declare_index(DIRECTORY_INDEX_PATH, _FIELDS_PREFIXES)
+        self.dirs.declare_indexes()
 
     def directories(self) -> list[str]:
         """All directory paths managed by this service — a covering index
         read when indexed, otherwise a load of each resource document."""
-        if self.home.find_index(DIRECTORY_INDEX_PATH, _FIELDS_PREFIXES) is not None:
-            return self.home.index_values(DIRECTORY_INDEX_PATH, _FIELDS_PREFIXES)
-        return sorted(
-            text_of(self.home.load(key).find(f"{{{ns.WSRF_FIELDS}}}directory"))
-            for key in self.home.keys()
-        )
+        return self.dirs.directories()
 
     def keys_for_directory(self, path: str) -> list[str]:
         """Resource keys whose directory field equals ``path`` (normally one)."""
-        literal = xpath_literal(path)
-        if literal is not None:
-            return self.home.query_keys(
-                f"{DIRECTORY_INDEX_PATH}[. = {literal}]", _FIELDS_PREFIXES
-            )
-        return [
-            key
-            for key in self.home.keys()
-            if text_of(self.home.load(key).find(f"{{{ns.WSRF_FIELDS}}}directory")) == path
-        ]
+        return self.dirs.keys_for(path)
 
     # -- operations ---------------------------------------------------------------
 
@@ -138,8 +129,12 @@ class WsrfDataService(
                 element(f"{{{ns.GIAB}}}DN", dn),
             ),
         )
-        if response.text().strip() != "true":
-            raise base_fault(f"{dn} holds no reservation on {self.node_host}")
+        try:
+            require_reservation_holder(
+                response.text().strip() == "true", dn, self.node_host
+            )
+        except LogicError as error:
+            raise wsrf_fault(error) from error
 
     # -- resource properties --------------------------------------------------------
 
@@ -153,11 +148,8 @@ class WsrfDataService(
         "No information for individual files is actually stored as
         resources"."""
         listing = element(f"{{{ns.GIAB}}}FileList")
-        try:
-            for name in self.filesystem.listdir(self.directory):
-                listing.append(element(f"{{{ns.GIAB}}}File", name))
-        except FileSystemError:
-            pass
+        for name in list_directory(self.filesystem, self.directory):
+            listing.append(element(f"{{{ns.GIAB}}}File", name))
         return listing
 
     # -- lifetime ------------------------------------------------------------------------

@@ -7,6 +7,10 @@ details, the claim (SetTerminationTime), and the working-directory lookup,
 plus the spawn.  When the job exits, subscribed clients get a WS-Notification
 containing the job's EPR and the reservation is destroyed automatically
 (why Figure 6 reports no WSRF bar for Un-reserve).
+
+This module is a *router*: wire parsing, the job-as-WS-Resource idiom and
+WSRF fault phrasing over the shared job and reservation-ownership rules
+in :mod:`repro.apps.giab.logic`.
 """
 
 from __future__ import annotations
@@ -14,6 +18,13 @@ from __future__ import annotations
 from repro.addressing.epr import EndpointReference
 from repro.apps.giab.common import TOPIC_JOB_EXITED, wsrf_actions as actions
 from repro.apps.giab.jobs import JobSpec, JobState, ProcessSpawner
+from repro.apps.giab.logic import (
+    ReservationRules,
+    job_running_time_text,
+    write_job_outputs,
+)
+from repro.apps.layers.logic import LogicError
+from repro.apps.layers.router import wsrf_fault
 from repro.container.service import MessageContext, web_method
 from repro.soap.envelope import SoapFault
 from repro.wsn.base import NotificationProducerMixin
@@ -76,13 +87,12 @@ class WsrfExecService(
         )
         reserved_host = text_of(details.find(f"{{{ns.GIAB}}}Host"))
         owner = text_of(details.find(f"{{{ns.GIAB}}}Owner"))
-        if reserved_host != self.node_host:
-            raise base_fault(
-                f"reservation is for {reserved_host}, not this ExecService's host {self.node_host}"
-            )
         sender = str(context.sender) if context.sender is not None else owner
-        if owner != sender:
-            raise base_fault(f"reservation belongs to {owner}, not {sender}")
+        try:
+            ReservationRules.require_reservation_for_host(reserved_host, self.node_host)
+            ReservationRules.require_reservation_owner(owner, sender)
+        except LogicError as error:
+            raise wsrf_fault(error) from error
 
         # Out-call 2: claim the reservation by lengthening its lifetime.
         client.invoke(
@@ -147,14 +157,7 @@ class WsrfExecService(
                     pass  # already destroyed — nothing to unreserve
 
     def _write_outputs(self, handle) -> None:
-        if self.filesystem is None or handle.exit_code != 0:
-            return
-        if not self.filesystem.exists_dir(handle.working_dir):
-            return  # directory resource destroyed while the job ran
-        for name in handle.spec.output_files:
-            self.filesystem.write(
-                handle.working_dir, name, f"output of {handle.spec.command} (pid {handle.pid})\n"
-            )
+        write_job_outputs(self.filesystem, handle)
 
     # -- resource properties -----------------------------------------------------------
 
@@ -178,7 +181,7 @@ class WsrfExecService(
         handle = self._handle()
         if handle is None:
             return None
-        return repr(handle.running_time(self.network.clock.now))
+        return job_running_time_text(handle, self.network.clock.now)
 
     # -- lifetime -------------------------------------------------------------------------
 

@@ -4,12 +4,21 @@ A new reservation terminates at now + an administrator delta; the
 ExecService "claims" it by lengthening the termination time (to infinity in
 this Grid-in-a-Box, as in the paper), and destroys it once the job is done —
 which is why Un-reserve is free in the WSRF column of Figure 6.
+
+This module is a *router*: wire parsing, the lease/EPR idiom and WSRF
+fault phrasing over the shared reservation rules in
+:mod:`repro.apps.giab.logic` and the :class:`ReservationsTable` accessor
+in :mod:`repro.apps.giab.db`.
 """
 
 from __future__ import annotations
 
 from repro.addressing.epr import EndpointReference
 from repro.apps.giab.common import RESERVATION_DELTA_MS, wsrf_actions as actions
+from repro.apps.giab.db import ReservationsTable
+from repro.apps.giab.logic import AlreadyReserved, ReservationRules
+from repro.apps.layers.logic import LogicError
+from repro.apps.layers.router import wsrf_fault
 from repro.container.service import MessageContext, web_method
 from repro.wsrf.basefaults import base_fault
 from repro.wsrf.lifetime import ResourceLifetimeMixin
@@ -18,12 +27,6 @@ from repro.wsrf.properties import ResourcePropertiesMixin
 from repro.wsrf.resource import RESOURCE_ID
 from repro.xmllib import element, ns, text_of
 from repro.xmllib.element import XmlElement
-from repro.xmllib.xpath import xpath_literal
-
-_FIELDS_PREFIXES = {"f": ns.WSRF_FIELDS}
-#: Index path over reservation documents (opt-in via ``enable_indexes``):
-#: the reserved host name field.
-RESERVED_HOST_INDEX_PATH = "//f:host"
 
 
 class WsrfReservationService(
@@ -37,6 +40,7 @@ class WsrfReservationService(
 
     def __init__(self, home, account_address: str = "", delta_ms: float = RESERVATION_DELTA_MS):
         super().__init__(home)
+        self.reservations = ReservationsTable(home)
         self.account_address = account_address
         self.delta_ms = delta_ms
 
@@ -44,7 +48,7 @@ class WsrfReservationService(
         """Declare the reserved-host index.  Opt-in: the reserved-hosts
         listing then becomes a covering index read and checkReservation an
         O(hits) lookup; without this call costs are unchanged."""
-        self.home.declare_index(RESERVED_HOST_INDEX_PATH, _FIELDS_PREFIXES)
+        self.reservations.declare_indexes()
 
     # -- creation (application-specific, as WSRF mandates nothing) ----------------
 
@@ -62,10 +66,16 @@ class WsrfReservationService(
                 actions.ACCOUNT_EXISTS,
                 element(f"{{{ns.GIAB}}}accountExists", element(f"{{{ns.GIAB}}}DN", owner)),
             )
-            if response.text().strip() != "true":
-                raise base_fault(f"no VO account for {owner}")
-        if host in self._live_reserved_hosts():
-            raise base_fault(f"host {host} is already reserved")
+            try:
+                ReservationRules.require_account(response.text().strip() == "true", owner)
+            except LogicError as error:
+                raise wsrf_fault(error) from error
+        try:
+            ReservationRules.require_unreserved(
+                host in self.reservations.reserved_hosts(), host
+            )
+        except AlreadyReserved as already:
+            raise base_fault(f"host {already.subject} is already reserved") from already
         epr = self.create_resource(host=host, owner=owner)
         key = epr.property(RESOURCE_ID)
         self.home.set_termination_time(key, self.network.clock.now + self.delta_ms)
@@ -76,7 +86,7 @@ class WsrfReservationService(
     @web_method(actions.LIST_RESERVED_HOSTS)
     def list_reserved_hosts(self, context: MessageContext) -> XmlElement:
         response = element(f"{{{ns.GIAB}}}listReservedHostsResponse")
-        for host in sorted(self._live_reserved_hosts()):
+        for host in sorted(self.reservations.reserved_hosts()):
             response.append(element(f"{{{ns.GIAB}}}Host", host))
         return response
 
@@ -84,39 +94,10 @@ class WsrfReservationService(
     def check_reservation(self, context: MessageContext) -> XmlElement:
         host = text_of(context.body.find_local("Host"))
         dn = text_of(context.body.find_local("DN"))
-        held = self._holds_reservation(host, dn)
+        held = self.reservations.held_by(host, dn)
         return element(
             f"{{{ns.GIAB}}}checkReservationResponse", "true" if held else "false"
         )
-
-    def _holds_reservation(self, host: str, dn: str) -> bool:
-        literal = xpath_literal(host)
-        if literal is not None and (
-            self.home.find_index(RESERVED_HOST_INDEX_PATH, _FIELDS_PREFIXES) is not None
-        ):
-            for key in self.home.query_keys(
-                f"{RESERVED_HOST_INDEX_PATH}[. = {literal}]", _FIELDS_PREFIXES
-            ):
-                doc = self.home.load(key)
-                if text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}owner")) == dn:
-                    return True
-            return False
-        return any(entry == (host, dn) for entry in self._reservation_pairs())
-
-    def _reservation_pairs(self) -> list[tuple[str, str]]:
-        pairs = []
-        for key in self.home.keys():
-            doc = self.home.load(key)
-            host = text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}host"))
-            owner = text_of(doc.find(f"{{{ns.WSRF_FIELDS}}}owner"))
-            pairs.append((host, owner))
-        return pairs
-
-    def _live_reserved_hosts(self) -> set[str]:
-        if self.home.find_index(RESERVED_HOST_INDEX_PATH, _FIELDS_PREFIXES) is not None:
-            # Covering read: the host list is exactly the index's value set.
-            return set(self.home.index_values(RESERVED_HOST_INDEX_PATH, _FIELDS_PREFIXES))
-        return {host for host, _ in self._reservation_pairs()}
 
     # -- resource properties -----------------------------------------------------------
 

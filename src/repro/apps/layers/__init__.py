@@ -1,0 +1,57 @@
+"""Service authoring layers: routers / logic / db / generated clients.
+
+The Grid-in-a-Box services originally mixed SOAP transport, business rules
+and XML-DB access in one class per service *per stack*, so every new
+scenario cost a fork of both stacks.  This package re-layers service
+authoring along the split used by production grid middleware (ROADMAP item
+3, after DIRAC's routers/logic/db refactor):
+
+* :mod:`repro.apps.layers.logic` — stack-agnostic business faults and
+  rules.  Plain python, no wire types.
+* :mod:`repro.apps.layers.db` — typed accessors over ``repro.xmldb``
+  stores, owning index declarations and the index-or-scan decision.
+* :mod:`repro.apps.layers.router` — fault translation for hand-written
+  routers, plus a declarative binding that turns one
+  :class:`~repro.apps.layers.router.ServiceDecl` into *both* a WSRF-stack
+  service (app-namespace action per operation) and a WS-Transfer-stack
+  service (CRUD verbs over explicit-key EPRs).
+* :mod:`repro.apps.layers.clients` — client classes generated from the
+  same declaration, one per stack, with identical python signatures.
+
+Layer discipline is linted: rule RPO15 rejects ``repro.soap`` /
+``repro.container`` / ``repro.pipeline`` imports from logic- and db-layer
+modules.
+"""
+
+from repro.apps.layers.clients import declared_transfer_client, declared_wsrf_client
+from repro.apps.layers.db import IndexSpec, Table
+from repro.apps.layers.logic import AccessDenied, LogicError, UnknownEntity, require
+from repro.apps.layers.router import (
+    Operation,
+    ServiceDecl,
+    declared_transfer_service,
+    declared_wsrf_service,
+    transfer_fault,
+    transfer_faults,
+    wsrf_fault,
+    wsrf_faults,
+)
+
+__all__ = [
+    "AccessDenied",
+    "IndexSpec",
+    "LogicError",
+    "Operation",
+    "ServiceDecl",
+    "Table",
+    "UnknownEntity",
+    "declared_transfer_client",
+    "declared_transfer_service",
+    "declared_wsrf_client",
+    "declared_wsrf_service",
+    "require",
+    "transfer_fault",
+    "transfer_faults",
+    "wsrf_fault",
+    "wsrf_faults",
+]

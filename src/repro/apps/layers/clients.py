@@ -1,0 +1,140 @@
+"""Generated clients for declared services, one class per stack.
+
+Both generated classes expose the same python surface — one method per
+:class:`~repro.apps.layers.router.Operation`, positional arguments in
+``params`` order, scalar/list/None return per the declared arity — so
+test worlds and benchmarks drive either stack through an identical
+interface.  What differs is the wire: the WSRF client speaks app-namespace
+actions, the WS-Transfer client speaks CRUD verbs with the operation
+encoded into the EPR's resource key.
+"""
+
+from __future__ import annotations
+
+from repro.addressing.epr import EndpointReference
+from repro.apps.layers.router import Operation, ServiceDecl, lower_camel
+from repro.transfer.service import TRANSFER_RESOURCE_ID, actions as wxf_actions
+from repro.xmllib import element, ns
+from repro.xmllib.element import XmlElement
+
+
+def _read_items(op: Operation, wrapper: XmlElement | None):
+    if op.arity == "none":
+        return None
+    items = [] if wrapper is None else [
+        child.text().strip() for child in wrapper.element_children()
+    ]
+    if op.arity == "one":
+        return items[0] if items else ""
+    return items
+
+
+def _request_children(decl: ServiceDecl, names, args) -> list[XmlElement]:
+    return [
+        element(f"{{{decl.namespace}}}{param}", value)
+        for param, value in zip(names, args)
+    ]
+
+
+# -- WSRF client --------------------------------------------------------------
+
+
+def _wsrf_call(decl: ServiceDecl, op: Operation):
+    def call(self, *args):
+        body = element(
+            f"{{{decl.namespace}}}{lower_camel(op.name)}",
+            *_request_children(decl, op.params, args),
+        )
+        response = self.soap.invoke(
+            EndpointReference.create(self.address), decl.wsrf_action(op), body
+        )
+        return _read_items(op, response)
+
+    call.__name__ = op.method
+    return call
+
+
+def declared_wsrf_client(decl: ServiceDecl) -> type:
+    def __init__(self, soap, address: str) -> None:
+        self.soap = soap
+        self.address = address
+
+    members: dict = {
+        "__doc__": f"Generated WSRF client for {decl.name}.",
+        "__init__": __init__,
+    }
+    for op in decl.operations:
+        members[op.method] = _wsrf_call(decl, op)
+    return type(f"Wsrf{decl.name}Client", (object,), members)
+
+
+# -- WS-Transfer client -------------------------------------------------------
+
+
+def _transfer_epr(address: str, key: str | None = None) -> EndpointReference:
+    epr = EndpointReference.create(address)
+    if key is not None:
+        epr = epr.with_property(TRANSFER_RESOURCE_ID, key)
+    return epr
+
+
+def _transfer_call(decl: ServiceDecl, op: Operation):
+    body_params = tuple(p for p in op.params if p not in op.key_params)
+
+    def call(self, *args):
+        kwargs = dict(zip(op.params, args))
+        key = op.key_prefix + "|".join(str(kwargs[p]) for p in op.key_params)
+        if op.verb == "create":
+            representation = element(
+                f"{{{decl.namespace}}}{op.name}",
+                *_request_children(decl, op.params, [kwargs[p] for p in op.params]),
+            )
+            response = self.soap.invoke(
+                _transfer_epr(self.address),
+                wxf_actions.CREATE,
+                element(f"{{{ns.WXF}}}Create", representation),
+            )
+            created = response.find(f"{{{ns.WXF}}}ResourceCreated")
+            wrapper = None if created is None else created.find_local(f"{op.name}Result")
+            return _read_items(op, wrapper)
+        if op.verb == "get":
+            response = self.soap.invoke(
+                _transfer_epr(self.address, key),
+                wxf_actions.GET,
+                element(f"{{{ns.WXF}}}Get"),
+            )
+            return _read_items(op, response.find_local(f"{op.name}Result"))
+        if op.verb == "put":
+            representation = element(
+                f"{{{decl.namespace}}}{op.name}",
+                *_request_children(decl, body_params, [kwargs[p] for p in body_params]),
+            )
+            response = self.soap.invoke(
+                _transfer_epr(self.address, key),
+                wxf_actions.PUT,
+                element(f"{{{ns.WXF}}}Put", representation),
+            )
+            return _read_items(op, response.find_local(f"{op.name}Result"))
+        self.soap.invoke(
+            _transfer_epr(self.address, key),
+            wxf_actions.DELETE,
+            element(f"{{{ns.WXF}}}Delete"),
+        )
+        return None
+
+    call.__name__ = op.method
+    return call
+
+
+def declared_transfer_client(decl: ServiceDecl) -> type:
+    def __init__(self, soap, address: str) -> None:
+        self.soap = soap
+        self.address = address
+
+    members: dict = {
+        "__doc__": f"Generated WS-Transfer client for {decl.name}.",
+        "__init__": __init__,
+    }
+    for op in decl.operations:
+        members[op.method] = _transfer_call(decl, op)
+    return type(f"Transfer{decl.name}Client", (object,), members)

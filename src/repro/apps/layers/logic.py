@@ -1,0 +1,59 @@
+"""The logic layer: business rules as plain python, no wire anywhere.
+
+A logic object encodes *what the service decides* — who may administer,
+which hosts are available, whose reservation this is — and signals
+violations with :class:`LogicError`.  The router layer translates those
+into each stack's wire idiom (WS-BaseFaults on WSRF, bare SOAP faults on
+WS-Transfer), so a rule is written once and both stacks stay
+observationally aligned under the conformance comparator's fault taxonomy.
+
+Layer discipline (lint rule RPO15): logic- and db-layer modules must not
+import ``repro.soap``, ``repro.container`` or ``repro.pipeline``.
+"""
+
+from __future__ import annotations
+
+
+class LogicError(Exception):
+    """A business-rule violation, independent of any SOAP rendering.
+
+    ``kind`` selects the wire translation:
+
+    * ``"client"`` — the caller's mistake (soap:Client on both stacks).
+    * ``"server"`` — a service-side invariant failed.
+    * ``"unknown-resource"`` — the addressed entity does not exist; both
+      stacks render this with the ``ResourceUnknownFault`` error code so
+      the conformance harness sees a single fault family.
+    """
+
+    def __init__(self, message: str, *, kind: str = "client"):
+        super().__init__(message)
+        self.message = message
+        self.kind = kind
+
+
+class AccessDenied(LogicError):
+    """The sender may not perform this operation.
+
+    Carries the denied ``subject`` so a router can keep its stack's
+    historical phrasing (the WSRF account service says "is not a VO
+    administrator", the WS-Transfer one "may not administer accounts")
+    while the *decision* lives here exactly once.
+    """
+
+    def __init__(self, subject, message: str | None = None):
+        super().__init__(message if message is not None else f"{subject} is denied")
+        self.subject = subject
+
+
+class UnknownEntity(LogicError):
+    """The addressed entity does not exist (ResourceUnknownFault family)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, kind="unknown-resource")
+
+
+def require(condition: object, message: str, *, kind: str = "client") -> None:
+    """Raise :class:`LogicError` unless ``condition`` is truthy."""
+    if not condition:
+        raise LogicError(message, kind=kind)

@@ -1,0 +1,338 @@
+"""The router layer: SOAP operation dispatch, declared once per service.
+
+Two levels of support:
+
+* **Hand-written routers** (the migrated Grid-in-a-Box services) keep
+  their historical wire surface — action URIs, element names, fault
+  strings — and use :func:`wsrf_faults` / :func:`transfer_faults` to
+  translate the logic layer's :class:`~repro.apps.layers.logic.LogicError`
+  into the owning stack's fault idiom.
+
+* **Declared services** (the datagrid scenario) write no per-stack service
+  code at all: a :class:`ServiceDecl` names the operations once and
+  :func:`declared_wsrf_service` / :func:`declared_transfer_service`
+  generate one service class per stack.  The stack idioms live in the
+  binding, exactly as the paper contrasts them: the WSRF binding exposes
+  one app-namespace action per operation ("operations have meaningful
+  names", §4.2.3) while the WS-Transfer binding maps every operation onto
+  the four CRUD verbs with the behaviour encoded in the EPR's explicit
+  resource key (the mode-prefix style of §3.2).
+"""
+
+from __future__ import annotations
+
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.apps.layers.logic import LogicError
+from repro.container.service import MessageContext, ServiceSkeleton, web_method
+from repro.soap.envelope import SoapFault
+from repro.transfer.service import TransferResourceService, actions as wxf_actions
+from repro.wsrf.basefaults import base_fault
+from repro.xmllib import element, ns, text_of
+from repro.xmllib.element import XmlElement
+
+# -- fault translation ----------------------------------------------------------
+
+
+def wsrf_fault(error: LogicError) -> SoapFault:
+    """Render a LogicError the WSRF way: a WS-BaseFaults detail."""
+    if error.kind == "unknown-resource":
+        return base_fault(error.message, error_code="ResourceUnknownFault")
+    return base_fault(error.message, code="Server" if error.kind == "server" else "Client")
+
+
+def transfer_fault(error: LogicError) -> SoapFault:
+    """Render a LogicError the WS-Transfer way: a bare SOAP fault (the spec
+    defines no fault vocabulary) — except unknown resources, which keep the
+    ResourceUnknownFault error code both stacks' comparators bucket by."""
+    if error.kind == "unknown-resource":
+        return base_fault(error.message, error_code="ResourceUnknownFault")
+    return SoapFault("Server" if error.kind == "server" else "Client", error.message)
+
+
+@contextmanager
+def _translating(render: Callable[[LogicError], SoapFault]):
+    try:
+        yield
+    except LogicError as error:
+        raise render(error) from error
+
+
+def wsrf_faults():
+    """``with wsrf_faults():`` — LogicError becomes a WS-BaseFault."""
+    return _translating(wsrf_fault)
+
+
+def transfer_faults():
+    """``with transfer_faults():`` — LogicError becomes a bare SOAP fault."""
+    return _translating(transfer_fault)
+
+
+# -- the declaration ---------------------------------------------------------------
+
+_SNAKE_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def lower_camel(name: str) -> str:
+    return name[:1].lower() + name[1:]
+
+
+def snake_case(name: str) -> str:
+    return _SNAKE_BOUNDARY.sub("_", name).lower()
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One declared operation.
+
+    ``params`` are CamelCase wire names; logic methods and generated
+    clients use their snake_case forms.  The WS-Transfer binding carries
+    ``key_params`` inside the EPR's resource key (prefixed with
+    ``key_prefix`` when several operations share a verb) and the remaining
+    params in the request representation.
+    """
+
+    name: str
+    params: tuple[str, ...] = ()
+    #: Local name of each rendered result child (ignored for arity "none").
+    result: str | None = None
+    #: "none" (ack only), "one" (scalar) or "list".
+    arity: str = "none"
+    #: Which WS-Transfer verb carries this operation.
+    verb: str = "get"
+    key_prefix: str = ""
+    key_params: tuple[str, ...] = ()
+
+    @property
+    def method(self) -> str:
+        """The logic-layer / client method name for this operation."""
+        return snake_case(self.name)
+
+    def key_for(self, kwargs: dict) -> str:
+        return self.key_prefix + "|".join(
+            str(kwargs[snake_case(param)]) for param in self.key_params
+        )
+
+    def parse_key(self, key: str) -> dict | None:
+        """Decode an explicit resource key, or None when it is not ours."""
+        if not key.startswith(self.key_prefix):
+            return None
+        rest = key[len(self.key_prefix) :]
+        if not self.key_params:
+            return {} if not rest else None
+        parts = rest.split("|")
+        if len(parts) != len(self.key_params):
+            return None
+        return {snake_case(param): value for param, value in zip(self.key_params, parts)}
+
+
+@dataclass(frozen=True)
+class ServiceDecl:
+    """A service declared once, bindable into both stacks."""
+
+    name: str
+    namespace: str
+    operations: tuple[Operation, ...]
+
+    def wsrf_action(self, operation: Operation) -> str:
+        return f"{self.namespace}/{lower_camel(operation.name)}"
+
+    def validate(self) -> None:
+        for op in self.operations:
+            if op.verb not in ("create", "get", "put", "delete"):
+                raise ValueError(f"{self.name}.{op.name}: unknown verb {op.verb!r}")
+            if op.verb in ("get", "delete") and set(op.params) != set(op.key_params):
+                raise ValueError(
+                    f"{self.name}.{op.name}: {op.verb} carries no body, so every "
+                    "param must ride in the resource key"
+                )
+            if not set(op.key_params) <= set(op.params):
+                raise ValueError(f"{self.name}.{op.name}: key_params must be params")
+
+
+# -- shared parse/render helpers ---------------------------------------------------
+
+
+def _parse_params(op: Operation, node: XmlElement, names: tuple[str, ...]) -> dict:
+    kwargs = {}
+    for param in names:
+        value = text_of(node.find_local(param))
+        if not value:
+            raise LogicError(f"{lower_camel(op.name)} needs a {param}")
+        kwargs[snake_case(param)] = value
+    return kwargs
+
+
+def _render_items(decl: ServiceDecl, op: Operation, value) -> list[XmlElement]:
+    if op.arity == "none":
+        return []
+    values = [value] if op.arity == "one" else list(value)
+    return [
+        item if isinstance(item, XmlElement)
+        else element(f"{{{decl.namespace}}}{op.result}", item)
+        for item in values
+    ]
+
+
+def _match_key(service: ServiceSkeleton, ops: list[Operation], key: str):
+    for op in ops:
+        kwargs = op.parse_key(key)
+        if kwargs is not None:
+            return op, kwargs
+    raise base_fault(
+        f"no resource {key}",
+        error_code="ResourceUnknownFault",
+        originator=service.address,
+        timestamp=service.network.clock.now,
+    )
+
+
+# -- the WSRF binding: one action per operation ------------------------------------
+
+
+def _wsrf_operation(decl: ServiceDecl, op: Operation):
+    @web_method(decl.wsrf_action(op))
+    def operation(self, context: MessageContext) -> XmlElement:
+        with wsrf_faults():
+            kwargs = _parse_params(op, context.body, op.params)
+            result = getattr(self.logic, op.method)(**kwargs)
+        return element(
+            f"{{{decl.namespace}}}{lower_camel(op.name)}Response",
+            *_render_items(decl, op, result),
+        )
+
+    operation.__name__ = op.method
+    return operation
+
+
+def declared_wsrf_service(decl: ServiceDecl) -> type[ServiceSkeleton]:
+    """Generate the WSRF-stack service class for ``decl``."""
+    decl.validate()
+
+    def __init__(self, logic) -> None:
+        ServiceSkeleton.__init__(self)
+        self.logic = logic
+
+    members: dict = {
+        "__doc__": f"WSRF binding of the {decl.name} declaration "
+        "(one app-namespace action per operation).",
+        "__init__": __init__,
+        "service_name": decl.name,
+    }
+    for op in decl.operations:
+        members[op.method] = _wsrf_operation(decl, op)
+    return type(f"Wsrf{decl.name}Service", (ServiceSkeleton,), members)
+
+
+# -- the WS-Transfer binding: CRUD verbs over explicit keys -------------------------
+
+
+def _transfer_create(decl: ServiceDecl, ops: list[Operation]):
+    @web_method(wxf_actions.CREATE)
+    def wxf_create(self, context: MessageContext) -> XmlElement:
+        representation = next(context.body.element_children(), None)
+        if representation is None:
+            raise SoapFault("Client", "Create carries no resource representation")
+        op = next((o for o in ops if o.name == representation.tag.local), None)
+        if op is None:
+            raise SoapFault(
+                "Client",
+                f"{self.service_name} cannot create {representation.tag.local}",
+            )
+        with transfer_faults():
+            kwargs = _parse_params(op, representation, op.params)
+            result = getattr(self.logic, op.method)(**kwargs)
+        created = element(
+            f"{{{ns.WXF}}}ResourceCreated", self.resource_epr(op.key_for(kwargs)).to_xml()
+        )
+        items = _render_items(decl, op, result)
+        if items:
+            created.append(element(f"{{{decl.namespace}}}{op.name}Result", *items))
+        return element(f"{{{ns.WXF}}}CreateResponse", created)
+
+    return wxf_create
+
+
+def _transfer_get(decl: ServiceDecl, ops: list[Operation]):
+    @web_method(wxf_actions.GET)
+    def wxf_get(self, context: MessageContext) -> XmlElement:
+        op, kwargs = _match_key(self, ops, self._require_key(context))
+        with transfer_faults():
+            result = getattr(self.logic, op.method)(**kwargs)
+        return element(
+            f"{{{ns.WXF}}}GetResponse",
+            element(
+                f"{{{decl.namespace}}}{op.name}Result", *_render_items(decl, op, result)
+            ),
+        )
+
+    return wxf_get
+
+
+def _transfer_put(decl: ServiceDecl, ops: list[Operation]):
+    @web_method(wxf_actions.PUT)
+    def wxf_put(self, context: MessageContext) -> XmlElement:
+        key = self._require_key(context)
+        replacement = next(context.body.element_children(), None)
+        if replacement is None:
+            raise SoapFault("Client", "Put carries no replacement representation")
+        op, kwargs = _match_key(self, ops, key)
+        body_params = tuple(p for p in op.params if p not in op.key_params)
+        with transfer_faults():
+            kwargs.update(_parse_params(op, replacement, body_params))
+            result = getattr(self.logic, op.method)(**kwargs)
+        return element(
+            f"{{{ns.WXF}}}PutResponse",
+            element(
+                f"{{{decl.namespace}}}{op.name}Result", *_render_items(decl, op, result)
+            ),
+        )
+
+    return wxf_put
+
+
+def _transfer_delete(decl: ServiceDecl, ops: list[Operation]):
+    @web_method(wxf_actions.DELETE)
+    def wxf_delete(self, context: MessageContext) -> XmlElement:
+        op, kwargs = _match_key(self, ops, self._require_key(context))
+        with transfer_faults():
+            getattr(self.logic, op.method)(**kwargs)
+        return element(f"{{{ns.WXF}}}DeleteResponse")
+
+    return wxf_delete
+
+
+_TRANSFER_VERBS = {
+    "create": _transfer_create,
+    "get": _transfer_get,
+    "put": _transfer_put,
+    "delete": _transfer_delete,
+}
+
+
+def declared_transfer_service(decl: ServiceDecl) -> type[TransferResourceService]:
+    """Generate the WS-Transfer-stack service class for ``decl``.
+
+    Verbs with no declared operation keep the base CRUD semantics over the
+    service's collection, exactly like any other Transfer service.
+    """
+    decl.validate()
+
+    def __init__(self, collection, logic) -> None:
+        TransferResourceService.__init__(self, collection)
+        self.logic = logic
+
+    members: dict = {
+        "__doc__": f"WS-Transfer binding of the {decl.name} declaration "
+        "(CRUD verbs over explicit resource keys).",
+        "__init__": __init__,
+        "service_name": decl.name,
+    }
+    for verb, factory in _TRANSFER_VERBS.items():
+        ops = [op for op in decl.operations if op.verb == verb]
+        if ops:
+            members[f"wxf_{verb}"] = factory(decl, ops)
+    return type(f"Transfer{decl.name}Service", (TransferResourceService,), members)

@@ -48,7 +48,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterable
 
-from repro.sim.clock import Clock
+from repro.sim.clock import Clock, Timer
 from repro.sim.errors import QueueFull, SimError
 from repro.sim.metrics import SampleSet, SpanRecorder
 from repro.sim.sanitizer import TIMER_HOST
@@ -329,10 +329,18 @@ class Kernel:
         self._post(start, lambda: self._begin(task))
         return task
 
-    def call_at(self, fire_at: float, callback: Callable[[], None], label: str = "timer") -> None:
+    def call_at(self, fire_at: float, callback: Callable[[], None], label: str = "timer") -> Timer:
         """Kernel-owned timer: ``callback`` runs at ``fire_at`` under the
         sanitizer's ``<timer>`` pseudo-host (expiry is the one legitimate
-        cross-host mutation channel besides the wire)."""
+        cross-host mutation channel besides the wire).
+
+        Timers live on the clock's deadline heap, not the kernel event
+        heap: they fire during *any* advance past their deadline — a
+        kernel event, a serial request's charge, or ``run(until=...)`` —
+        so the lease-expiry semantics every golden ledger was pinned
+        against (timers firing mid-charge) are preserved verbatim.
+        Returns a handle for :meth:`cancel`.
+        """
 
         def fire() -> None:
             if self.network is not None:
@@ -341,10 +349,15 @@ class Kernel:
             else:
                 callback()
 
-        self._post(fire_at, fire)
+        return self.clock.schedule(fire_at, fire)
 
-    def call_after(self, delay_ms: float, callback: Callable[[], None], label: str = "timer") -> None:
-        self.call_at(self.clock.now + delay_ms, callback, label)
+    def call_after(self, delay_ms: float, callback: Callable[[], None], label: str = "timer") -> Timer:
+        return self.call_at(self.clock.now + delay_ms, callback, label)
+
+    def cancel(self, timer: Timer) -> None:
+        """Cancel a timer returned by :meth:`call_at`/:meth:`call_after`
+        (idempotent; a cancelled deadline is skipped, never fired)."""
+        self.clock.cancel(timer)
 
     # -- the event loop ------------------------------------------------------
 

@@ -1,10 +1,11 @@
 """``python -m repro conformance`` — the differential conformance sweep.
 
 With no options, runs the fixed tier-1 corpus: 54 seeded counter programs
-spread round-robin over the paper's six security×placement cells plus 6
-seeded Grid-in-a-Box programs over the three security modes — 60 programs,
-120 stack executions, each compared op-by-op.  ``--seeds N --seed S``
-grows/offsets the counter corpus for soak runs.
+spread round-robin over the paper's six security×placement cells, 6
+seeded Grid-in-a-Box programs over the three security modes, and 6 seeded
+datagrid programs over all six cells — 66 programs, 132+ stack
+executions, each compared op-by-op.  ``--seeds N --seed S`` grows/offsets
+the counter corpus for soak runs.
 
 Every divergence is shrunk to a minimal reproducer before reporting, and
 the report carries (seed, mode) so ``--seed`` replays it exactly.  Results
@@ -23,12 +24,14 @@ from repro.testkit.generator import generate_program
 from repro.testkit.harness import ALL_MODES, mode_label, run_differential
 from repro.testkit.shrinker import shrink
 
-#: Fixed tier-1 corpus sizes (54 + 6 = 60 programs ≥ the 50 the roadmap asks).
+#: Fixed tier-1 corpus sizes (54 + 6 + 6 ≥ the 50 the roadmap asks).
 DEFAULT_COUNTER_SEEDS = 54
 DEFAULT_GIAB_SEEDS = 6
-#: GiaB seeds live in their own range so growing the counter corpus never
-#: reshuffles them.
+DEFAULT_DATAGRID_SEEDS = 6
+#: GiaB and datagrid seeds live in their own ranges so growing the counter
+#: corpus never reshuffles them.
 GIAB_SEED_BASE = 100_000
+DATAGRID_SEED_BASE = 200_000
 #: Every Nth program also replays each stack from scratch and asserts the
 #: rerun is bit-identical (the within-stack determinism half of the claim).
 REPLAY_EVERY = 10
@@ -38,7 +41,9 @@ REPLAY_EVERY = 10
 GIAB_MODES = (SecurityMode.NONE, SecurityMode.X509, SecurityMode.HTTPS)
 
 
-def _plan(counter_seeds: int, base_seed: int, giab_seeds: int) -> list[tuple]:
+def _plan(
+    counter_seeds: int, base_seed: int, giab_seeds: int, datagrid_seeds: int
+) -> list[tuple]:
     jobs = []
     for index in range(counter_seeds):
         mode, colocated = ALL_MODES[index % len(ALL_MODES)]
@@ -46,6 +51,11 @@ def _plan(counter_seeds: int, base_seed: int, giab_seeds: int) -> list[tuple]:
     for index in range(giab_seeds):
         mode = GIAB_MODES[index % len(GIAB_MODES)]
         jobs.append(("giab", GIAB_SEED_BASE + base_seed + index, mode, True))
+    for index in range(datagrid_seeds):
+        # The datagrid container/client split varies like the counter one,
+        # so its seeds sweep all six security×placement cells.
+        mode, colocated = ALL_MODES[index % len(ALL_MODES)]
+        jobs.append(("datagrid", DATAGRID_SEED_BASE + base_seed + index, mode, colocated))
     return jobs
 
 
@@ -56,6 +66,7 @@ def run_conformance(
     out_dir: str = "results",
     verbose: bool = True,
     sanitize: bool = False,
+    datagrid_seeds: int = DEFAULT_DATAGRID_SEEDS,
 ) -> dict:
     """Run the sweep; returns (and writes) the summary dict.
 
@@ -63,7 +74,7 @@ def run_conformance(
     sanitizer (see :mod:`repro.sim.sanitizer`); violations surface as
     ``sanitizer`` divergences in the report.
     """
-    jobs = _plan(counter_seeds, base_seed, giab_seeds)
+    jobs = _plan(counter_seeds, base_seed, giab_seeds, datagrid_seeds)
     by_cell: dict[str, int] = {}
     divergences = []
     invalid = 0
@@ -110,6 +121,7 @@ def run_conformance(
         "stacks": ["wsrf", "transfer"],
         "counter_seeds": counter_seeds,
         "giab_seeds": giab_seeds,
+        "datagrid_seeds": datagrid_seeds,
         "base_seed": base_seed,
         "cells": dict(sorted(by_cell.items())),
         "stack_executions": 2 * (len(jobs) - invalid) + replayed,
@@ -131,7 +143,8 @@ def run_conformance(
     if verbose:
         print(
             f"conformance: {summary['programs']} programs "
-            f"({counter_seeds} counter + {giab_seeds} giab), "
+            f"({counter_seeds} counter + {giab_seeds} giab + "
+            f"{datagrid_seeds} datagrid), "
             f"{summary['stack_executions']} stack executions, "
             f"{summary['ops_compared']} ops compared, "
             f"{summary['divergences']} divergences, "
@@ -144,6 +157,7 @@ def conformance_main(argv: list[str]) -> int:
     """Argument handling for the ``conformance`` subcommand."""
     counter_seeds = DEFAULT_COUNTER_SEEDS
     giab_seeds = DEFAULT_GIAB_SEEDS
+    datagrid_seeds = DEFAULT_DATAGRID_SEEDS
     base_seed = 0
     out_dir = "results"
     sanitize = False
@@ -154,6 +168,8 @@ def conformance_main(argv: list[str]) -> int:
             counter_seeds = int(arguments.pop(0))
         elif flag == "--giab-seeds" and arguments:
             giab_seeds = int(arguments.pop(0))
+        elif flag == "--datagrid-seeds" and arguments:
+            datagrid_seeds = int(arguments.pop(0))
         elif flag == "--seed" and arguments:
             base_seed = int(arguments.pop(0))
         elif flag == "--out" and arguments:
@@ -163,11 +179,12 @@ def conformance_main(argv: list[str]) -> int:
         else:
             print(
                 "usage: python -m repro conformance "
-                "[--seeds N] [--giab-seeds N] [--seed S] [--out DIR] "
-                "[--sanitize]"
+                "[--seeds N] [--giab-seeds N] [--datagrid-seeds N] "
+                "[--seed S] [--out DIR] [--sanitize]"
             )
             return 2
     summary = run_conformance(
-        counter_seeds, base_seed, giab_seeds, out_dir, sanitize=sanitize
+        counter_seeds, base_seed, giab_seeds, out_dir, sanitize=sanitize,
+        datagrid_seeds=datagrid_seeds,
     )
     return 1 if summary["divergences"] else 0

@@ -155,6 +155,59 @@ def generate_giab_program(rng: random.Random) -> Program:
     return Program("giab", tuple(body))
 
 
+#: The datagrid scenario's storage-element vocabulary (two CERN hosts on a
+#: LAN, one FNAL host across the WAN) plus hosts with no container anywhere
+#: near them — replicas live in the catalog, not on deployed services.
+DATAGRID_HOSTS = ("se1.cern", "se2.cern", "se1.fnal", "se2.fnal", "se1.ral")
+
+
+def generate_datagrid_program(rng: random.Random, length: int | None = None) -> Program:
+    """A replica-catalog/transfer scenario of ``length`` ops (default 8-16).
+
+    Unlike the counter generator there are *no* validity hazards to dodge:
+    both stacks run the same logic layer, so probes of unknown files,
+    double registrations and replicate-to-holder all fault identically —
+    the generator emits them freely."""
+    length = length if length is not None else rng.randint(8, 16)
+    files: list[str] = []
+    next_file = 0
+    body: list[op.Op] = []
+    while len(body) < length:
+        choices = ["register", "list"]
+        if files:
+            choices += [
+                "register_dup", "locate", "locate", "files_on",
+                "replicate", "replicate", "stage_in", "stage_in", "unregister",
+            ]
+        else:
+            choices += ["locate_unknown"]
+        kind = rng.choice(choices)
+        if kind == "register":
+            name = f"lfn:f{next_file}"
+            next_file += 1
+            files.append(name)
+            body.append(op.DgRegister(name, rng.choice(DATAGRID_HOSTS)))
+        elif kind == "register_dup":
+            # May or may not collide with the existing replica set — either
+            # way both stacks must agree (ok or "already holds" fault).
+            body.append(op.DgRegister(rng.choice(files), rng.choice(DATAGRID_HOSTS)))
+        elif kind == "locate":
+            body.append(op.DgLocate(rng.choice(files)))
+        elif kind == "locate_unknown":
+            body.append(op.DgLocate("lfn:never-registered"))
+        elif kind == "files_on":
+            body.append(op.DgFilesOn(rng.choice(DATAGRID_HOSTS)))
+        elif kind == "replicate":
+            body.append(op.DgReplicate(rng.choice(files), rng.choice(DATAGRID_HOSTS)))
+        elif kind == "stage_in":
+            body.append(op.DgStageIn(rng.choice(files), rng.choice(DATAGRID_HOSTS)))
+        elif kind == "unregister":
+            body.append(op.DgUnregister(rng.choice(files), rng.choice(DATAGRID_HOSTS)))
+        else:
+            body.append(op.DgListFiles())
+    return Program("datagrid", tuple(body))
+
+
 # -- mutations --------------------------------------------------------------------
 
 
@@ -274,6 +327,8 @@ def generate_program(seed: int, kind: str = "counter") -> Program:
         program = generate_counter_program(rng)
     elif kind == "giab":
         program = generate_giab_program(rng)
+    elif kind == "datagrid":
+        program = generate_datagrid_program(rng)
     else:
         raise ValueError(f"unknown program kind: {kind!r}")
     if rng.random() < 0.6:

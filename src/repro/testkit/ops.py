@@ -6,10 +6,11 @@ same program runs unchanged against the WSRF/WS-Notification stack and
 the WS-Transfer/WS-Eventing stack, and the conformance harness compares
 what each stack *observably* did (DESIGN.md §12).
 
-Two program kinds exist: ``counter`` programs exercise the CRUD +
+Three program kinds exist: ``counter`` programs exercise the CRUD +
 subscription surface of the paper's counter service, ``giab`` programs
-drive the Figure-5 Grid-in-a-Box flow.  Every op (de)serialises to a
-plain dict so divergence reports are replayable JSON.
+drive the Figure-5 Grid-in-a-Box flow, and ``datagrid`` programs exercise
+the declared replica-catalog/data-transfer pair.  Every op (de)serialises
+to a plain dict so divergence reports are replayable JSON.
 
 Time is always *relative* here (``expires_in_ms``, ``AdvanceClock.ms``):
 the two stacks sit at different absolute virtual instants after the same
@@ -199,6 +200,57 @@ class GiabCheckAvailable(Op):
     application: str = "sort"
 
 
+# -- datagrid ops -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DgRegister(Op):
+    kind: ClassVar[str] = "dg_register"
+    logical_file: str = "lfn:f0"
+    host: str = "se1.cern"
+
+
+@dataclass(frozen=True)
+class DgUnregister(Op):
+    kind: ClassVar[str] = "dg_unregister"
+    logical_file: str = "lfn:f0"
+    host: str = "se1.cern"
+
+
+@dataclass(frozen=True)
+class DgLocate(Op):
+    kind: ClassVar[str] = "dg_locate"
+    logical_file: str = "lfn:f0"
+
+
+@dataclass(frozen=True)
+class DgListFiles(Op):
+    kind: ClassVar[str] = "dg_list"
+
+
+@dataclass(frozen=True)
+class DgFilesOn(Op):
+    kind: ClassVar[str] = "dg_files_on"
+    host: str = "se1.cern"
+
+
+@dataclass(frozen=True)
+class DgReplicate(Op):
+    """Replicate via the DataTransfer service (catalog out-call + link
+    charge); the observation is the chosen source host."""
+
+    kind: ClassVar[str] = "dg_replicate"
+    logical_file: str = "lfn:f0"
+    to_host: str = "se2.cern"
+
+
+@dataclass(frozen=True)
+class DgStageIn(Op):
+    kind: ClassVar[str] = "dg_stage_in"
+    logical_file: str = "lfn:f0"
+    to_host: str = "se2.cern"
+
+
 OP_TYPES: dict[str, type[Op]] = {
     cls.kind: cls
     for cls in (
@@ -208,14 +260,19 @@ OP_TYPES: dict[str, type[Op]] = {
         GiabDiscover, GiabReserve, GiabUpload, GiabDownload, GiabListFiles,
         GiabSubmit, GiabJobStatus, GiabAwaitJob, GiabDeleteFile,
         GiabCheckAvailable,
+        DgRegister, DgUnregister, DgLocate, DgListFiles, DgFilesOn,
+        DgReplicate, DgStageIn,
     )
 }
 
 COUNTER_KINDS = frozenset(
-    k for k in OP_TYPES if not k.startswith("giab_")
+    k for k in OP_TYPES if not k.startswith(("giab_", "dg_"))
 )
 GIAB_KINDS = frozenset(
     k for k in OP_TYPES if k.startswith("giab_") or k in ("advance", "faults")
+)
+DATAGRID_KINDS = frozenset(
+    k for k in OP_TYPES if k.startswith("dg_") or k in ("advance", "faults")
 )
 
 
@@ -232,13 +289,18 @@ def op_from_dict(record: dict) -> Op:
 class Program:
     """One scenario: an op sequence plus the kind of world it runs in."""
 
-    kind: str  # "counter" | "giab"
+    kind: str  # "counter" | "giab" | "datagrid"
     ops: tuple[Op, ...]
 
     def __post_init__(self) -> None:
-        if self.kind not in ("counter", "giab"):
+        allowed_by_kind = {
+            "counter": COUNTER_KINDS,
+            "giab": GIAB_KINDS,
+            "datagrid": DATAGRID_KINDS,
+        }
+        if self.kind not in allowed_by_kind:
             raise ValueError(f"unknown program kind: {self.kind!r}")
-        allowed = COUNTER_KINDS if self.kind == "counter" else GIAB_KINDS
+        allowed = allowed_by_kind[self.kind]
         for op in self.ops:
             if op.kind not in allowed:
                 raise ValueError(f"{op.kind} op is not valid in a {self.kind} program")

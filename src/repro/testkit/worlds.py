@@ -84,6 +84,10 @@ class _WorldBase:
     def clock(self):
         return self.deployment.network.clock
 
+    @property
+    def kernel(self):
+        return self.deployment.network.kernel
+
     def run(self, program: op.Program) -> RunResult:
         result = RunResult(self.stack)
         for operation in program:
@@ -107,7 +111,7 @@ class _WorldBase:
 
     def _apply_shared(self, operation: op.Op):
         if isinstance(operation, op.AdvanceClock):
-            self.clock.advance_to(self.clock.now + operation.ms)
+            self.kernel.run(until=self.clock.now + operation.ms)
             return "ok"
         if isinstance(operation, op.FaultToggle):
             if operation.delay_mean_ms <= 0:
@@ -375,8 +379,8 @@ class GiabWorld(_WorldBase):
         if isinstance(operation, op.GiabAwaitJob):
             if self.job_spec is None:
                 raise RuntimeError("program awaits before submitting")
-            self.clock.advance_to(
-                self.clock.now + self.job_spec.run_time_ms + operation.grace_ms
+            self.kernel.run(
+                until=self.clock.now + self.job_spec.run_time_ms + operation.grace_ms
             )
             return "ok"
         if isinstance(operation, op.GiabDeleteFile):
@@ -411,6 +415,49 @@ class GiabWorld(_WorldBase):
         ]
 
 
+class DatagridWorld(_WorldBase):
+    """The declared replica-catalog/data-transfer pair on one stack.
+
+    Both stacks run the *same* logic and db layers (that is the layered
+    framework's point), so every op observation — locations, chosen
+    source hosts, fault families — must match exactly; the wire idioms
+    (app-namespace actions vs CRUD-with-key-prefixes) are all that
+    differs."""
+
+    def __init__(
+        self,
+        stack: str,
+        mode: SecurityMode = SecurityMode.NONE,
+        colocated: bool = True,
+    ):
+        super().__init__(stack)
+        from repro.apps.datagrid import DatagridScenario, build_datagrid
+
+        self.rig = build_datagrid(stack, DatagridScenario(mode=mode, colocated=colocated))
+        self.deployment = self.rig.deployment
+        self.catalog = self.rig.catalog
+        self.transfer = self.rig.transfer
+
+    def apply(self, operation: op.Op):
+        if isinstance(operation, op.DgRegister):
+            self.catalog.register_replica(operation.logical_file, operation.host)
+            return "registered"
+        if isinstance(operation, op.DgUnregister):
+            self.catalog.unregister_replica(operation.logical_file, operation.host)
+            return "unregistered"
+        if isinstance(operation, op.DgLocate):
+            return self.catalog.locate_replicas(operation.logical_file)
+        if isinstance(operation, op.DgListFiles):
+            return self.catalog.list_files()
+        if isinstance(operation, op.DgFilesOn):
+            return self.catalog.files_on(operation.host)
+        if isinstance(operation, op.DgReplicate):
+            return self.transfer.replicate(operation.logical_file, operation.to_host)
+        if isinstance(operation, op.DgStageIn):
+            return self.transfer.stage_in(operation.logical_file, operation.to_host)
+        return self._apply_shared(operation)
+
+
 def build_world(
     program_kind: str,
     stack: str,
@@ -421,4 +468,6 @@ def build_world(
         return CounterWorld(stack, mode=mode, colocated=colocated)
     if program_kind == "giab":
         return GiabWorld(stack, mode=mode)
+    if program_kind == "datagrid":
+        return DatagridWorld(stack, mode=mode, colocated=colocated)
     raise ValueError(f"unknown program kind: {program_kind!r}")

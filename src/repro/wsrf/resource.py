@@ -12,7 +12,6 @@ from typing import Callable
 
 from repro.sim.clock import Timer
 from repro.sim.network import Network
-from repro.sim.sanitizer import TIMER_HOST
 from repro.xmldb.cache import WriteThroughCache
 from repro.xmldb.collection import Collection, DocumentNotFound
 from repro.xmllib import QName, ns
@@ -120,26 +119,27 @@ class ResourceHome:
         if at is None:
             return
         self._termination_time[key] = at
-        self._timers[key] = self.network.clock.schedule(at, lambda: self._terminate(key))
+        self._timers[key] = self.network.kernel.call_at(
+            at, lambda: self._terminate(key), label=f"terminate:{key}"
+        )
 
     def _terminate(self, key: str) -> None:
-        # Timer-fired: runs on the clock, on behalf of no request.  The
-        # <timer> pseudo-host tells the sanitizer this is the legitimate
-        # lease-expiry channel, not a cross-host memory poke.
-        with self.network.sanitizer_scope(TIMER_HOST, f"terminate:{key}"):
-            if not self.contains(key):
-                return
-            if self.on_terminate is not None:
-                self.on_terminate(key)
-            # The hook may itself have destroyed the resource.
-            if self.contains(key):
-                self.store.delete(key)
-            self._clear_schedule(key)
-            if self.after_terminate is not None:
-                self.after_terminate(key)
+        # Timer-fired: runs on the clock, on behalf of no request, under
+        # the kernel timer's <timer> pseudo-host — the sanitizer's one
+        # legitimate lease-expiry channel, not a cross-host memory poke.
+        if not self.contains(key):
+            return
+        if self.on_terminate is not None:
+            self.on_terminate(key)
+        # The hook may itself have destroyed the resource.
+        if self.contains(key):
+            self.store.delete(key)
+        self._clear_schedule(key)
+        if self.after_terminate is not None:
+            self.after_terminate(key)
 
     def _clear_schedule(self, key: str) -> None:
         timer = self._timers.pop(key, None)
         if timer is not None:
-            self.network.clock.cancel(timer)
+            self.network.kernel.cancel(timer)
         self._termination_time.pop(key, None)

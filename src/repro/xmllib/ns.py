@@ -44,6 +44,7 @@ WSE_DELIVERY_PUSH = WSE + "/DeliveryModes/Push"
 # This reproduction's application namespaces
 COUNTER = "http://repro.example.org/counter"
 GIAB = "http://repro.example.org/grid-in-a-box"
+DATAGRID = "http://repro.example.org/datagrid"
 REPRO_WSRF = "http://repro.example.org/wsrf"
 WSRF_FIELDS = "http://repro.example.org/wsrf/fields"
 WSRF_APP = "http://repro.example.org/wsrf/app"
@@ -78,4 +79,5 @@ PREFERRED_PREFIXES = {
     WSRM: "wsrm",
     COUNTER: "cnt",
     GIAB: "giab",
+    DATAGRID: "dg",
 }

@@ -1,0 +1,22 @@
+"""Fixture: a logic-layer module that smuggles wire machinery below the
+router seam (the ``_logic.py`` suffix opts this file into RPO15)."""
+
+import repro.soap
+from repro.container import SecurityMode
+from repro.pipeline.filters import SecurityFilter
+from repro import container
+
+
+def decide_with_the_wire(policy, sender):
+    # Inner layers must not know SOAP exists: this ties business rules to
+    # one stack's envelope/security types.
+    fault = repro.soap.SoapFault("Sender", "no")
+    if policy.mode is SecurityMode.X509:
+        return SecurityFilter, fault
+    return container, None
+
+
+def sanctioned_shape(accounts, sender):
+    # The clean alternative: pure rules over plain values; the router
+    # translates any LogicError into the stack's fault idiom.
+    return sender in accounts

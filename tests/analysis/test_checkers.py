@@ -291,3 +291,43 @@ class TestRpo14KernelOwnsTime:
 
     def test_clean_passes(self):
         assert findings_for("clean.py", "RPO14") == []
+
+
+class TestRpo15LayerDiscipline:
+    def test_every_banned_import_shape_flagged(self):
+        findings = findings_for("rpo15_bad_logic.py", "RPO15")
+        # import repro.soap / from repro.container import / from
+        # repro.pipeline.filters import / from repro import container.
+        assert len(findings) == 4
+        roots = " | ".join(f.message for f in findings)
+        assert "repro.soap" in roots
+        assert "repro.container" in roots
+        assert "repro.pipeline" in roots
+        assert all(f.severity == "error" for f in findings)
+
+    def test_message_points_at_the_router_seam(self):
+        findings = findings_for("rpo15_bad_logic.py", "RPO15")
+        assert all("router layer" in f.message for f in findings)
+
+    def test_real_inner_layers_are_clean(self):
+        import repro.apps.datagrid.db as dg_db
+        import repro.apps.datagrid.logic as dg_logic
+        import repro.apps.giab.db as giab_db
+        import repro.apps.giab.logic as giab_logic
+        import repro.apps.layers.db as layers_db
+        import repro.apps.layers.logic as layers_logic
+
+        for mod in (
+            dg_db, dg_logic, giab_db, giab_logic, layers_db, layers_logic,
+        ):
+            assert [f for f in analyze_file(mod.__file__) if f.rule == "RPO15"] == []
+
+    def test_routers_stay_out_of_scope(self):
+        # Routers are *supposed* to touch the wire: the rule keys on the
+        # logic.py/db.py layer convention, not on the package.
+        import repro.apps.giab.wsrf.data as router_mod
+
+        assert [f for f in analyze_file(router_mod.__file__) if f.rule == "RPO15"] == []
+
+    def test_clean_passes(self):
+        assert findings_for("clean.py", "RPO15") == []

@@ -39,7 +39,7 @@ class TestSameAnswers:
         hosts = [r["host"] for r in vo.client.get_available_resources("sort")]
         assert hosts == ["node2"]
         # upload triggers Data→Reservation checkReservation: the indexed
-        # _holds_reservation branch must agree with the scan
+        # held_by branch must agree with the scan
         directory = vo.client.create_data_directory(vo.nodes["node1"].data_service.address)
         vo.client.upload_file(directory, "in.txt", "payload")
         assert vo.client.list_files(directory) == ["in.txt"]
@@ -82,7 +82,7 @@ class TestQueryScaling:
         vo = fresh_vo("wsrf", mode=SecurityMode.NONE, hosts=many_hosts(n), indexed=True)
         network = vo.deployment.network
         before = network.clock.now
-        candidates = vo.allocation._hosts_with_application("rare")
+        candidates = vo.allocation.hosts.with_application("rare")
         assert len(candidates) == 1
         return network.clock.now - before
 
@@ -98,7 +98,7 @@ class TestQueryScaling:
             vo.client.make_reservation(host)
         network = vo.deployment.network
         before = network.clock.now
-        listing = vo.reservation._live_reserved_hosts()
+        listing = vo.reservation.reservations.reserved_hosts()
         assert len(listing) == n_reserved
         return network.clock.now - before
 

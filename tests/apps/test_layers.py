@@ -1,0 +1,164 @@
+"""The service-authoring framework itself: declarations, key codecs,
+fault translation, and the per-stack surfaces it generates."""
+
+import pytest
+
+from repro.apps.layers import (
+    LogicError,
+    Operation,
+    ServiceDecl,
+    UnknownEntity,
+    declared_transfer_client,
+    declared_transfer_service,
+    declared_wsrf_client,
+    declared_wsrf_service,
+    transfer_fault,
+    transfer_faults,
+    wsrf_fault,
+    wsrf_faults,
+)
+from repro.apps.layers.router import lower_camel, snake_case
+from repro.soap.envelope import SoapFault
+from repro.testkit.comparators import fault_family
+from repro.wsrf.basefaults import is_base_fault
+
+
+class TestNaming:
+    def test_lower_camel(self):
+        assert lower_camel("RegisterReplica") == "registerReplica"
+        assert lower_camel("Get") == "get"
+
+    def test_snake_case(self):
+        assert snake_case("RegisterReplica") == "register_replica"
+        assert snake_case("LogicalFile") == "logical_file"
+        assert snake_case("Host") == "host"
+
+
+class TestOperationKeys:
+    OP = Operation(
+        "RegisterReplica", params=("LogicalFile", "Host"),
+        verb="create", key_prefix="r:", key_params=("LogicalFile", "Host"),
+    )
+
+    def test_key_round_trips(self):
+        key = self.OP.key_for({"logical_file": "lfn:f0", "host": "se1.cern"})
+        assert key == "r:lfn:f0|se1.cern"
+        assert self.OP.parse_key(key) == {
+            "logical_file": "lfn:f0", "host": "se1.cern",
+        }
+
+    def test_foreign_prefix_rejected(self):
+        assert self.OP.parse_key("x:lfn:f0|se1.cern") is None
+
+    def test_wrong_arity_rejected(self):
+        assert self.OP.parse_key("r:lfn:f0") is None
+
+    def test_paramless_key_must_be_bare(self):
+        bare = Operation("ListFiles", verb="get", key_prefix="all")
+        assert bare.parse_key("all") == {}
+        assert bare.parse_key("all-the-rest") is None
+
+
+class TestServiceDeclValidation:
+    def test_unknown_verb_rejected(self):
+        decl = ServiceDecl("Bad", "http://x", (Operation("Zap", verb="patch"),))
+        with pytest.raises(ValueError, match="unknown verb"):
+            decl.validate()
+
+    def test_get_with_body_params_rejected(self):
+        # get/delete carry no representation: every param must ride the key.
+        decl = ServiceDecl(
+            "Bad", "http://x",
+            (Operation("Find", params=("A", "B"), verb="get", key_params=("A",)),),
+        )
+        with pytest.raises(ValueError, match="resource key"):
+            decl.validate()
+
+    def test_key_params_must_be_params(self):
+        decl = ServiceDecl(
+            "Bad", "http://x",
+            (Operation("Make", params=("A",), verb="create", key_params=("B",)),),
+        )
+        with pytest.raises(ValueError, match="key_params"):
+            decl.validate()
+
+
+class TestFaultTranslation:
+    def test_client_error_renders_per_stack(self):
+        error = LogicError("you may not")
+        wsrf = wsrf_fault(error)
+        wxf = transfer_fault(error)
+        assert is_base_fault(wsrf) and wsrf.code == "Client"
+        assert not is_base_fault(wxf) and wxf.code == "Client"
+        assert wsrf.reason == wxf.reason == "you may not"
+
+    def test_server_error_keeps_kind(self):
+        assert wsrf_fault(LogicError("broken", kind="server")).code == "Server"
+        assert transfer_fault(LogicError("broken", kind="server")).code == "Server"
+
+    def test_unknown_entity_converges_on_resource_unknown(self):
+        # The one place both stacks deliberately share a fault vocabulary:
+        # the comparator buckets by (code, error_code), so unknown
+        # resources must land in the same family on both wires.
+        error = UnknownEntity("no replicas of lfn:x")
+        assert fault_family(wsrf_fault(error)) == fault_family(transfer_fault(error))
+
+    def test_context_managers_translate_and_chain(self):
+        with pytest.raises(SoapFault) as caught:
+            with wsrf_faults():
+                raise LogicError("nope")
+        assert is_base_fault(caught.value)
+        assert isinstance(caught.value.__cause__, LogicError)
+        with pytest.raises(SoapFault) as caught:
+            with transfer_faults():
+                raise LogicError("nope")
+        assert not is_base_fault(caught.value)
+
+    def test_non_logic_errors_pass_through(self):
+        with pytest.raises(KeyError):
+            with wsrf_faults():
+                raise KeyError("untranslated")
+
+
+DECL = ServiceDecl(
+    "Echo", "http://repro.example.org/echo",
+    (
+        Operation(
+            "Put", params=("Name", "Value"), verb="create",
+            key_prefix="e:", key_params=("Name",),
+        ),
+        Operation(
+            "Get", params=("Name",), verb="get",
+            key_prefix="e:", key_params=("Name",), result="Value", arity="one",
+        ),
+    ),
+)
+
+
+class TestGeneratedSurfaces:
+    def test_wsrf_service_exposes_one_action_per_op(self):
+        service_type = declared_wsrf_service(DECL)
+        assert service_type.__name__ == "WsrfEchoService"
+        actions = {
+            method.__soap_action__
+            for method in vars(service_type).values()
+            if hasattr(method, "__soap_action__")
+        }
+        assert actions == {
+            "http://repro.example.org/echo/put",
+            "http://repro.example.org/echo/get",
+        }
+
+    def test_transfer_service_exposes_declared_verbs_only(self):
+        service_type = declared_transfer_service(DECL)
+        members = vars(service_type)
+        assert "wxf_create" in members and "wxf_get" in members
+        # No declared put/delete ops: the base CRUD semantics stay.
+        assert "wxf_put" not in members and "wxf_delete" not in members
+
+    def test_clients_share_one_python_surface(self):
+        wsrf = declared_wsrf_client(DECL)
+        wxf = declared_transfer_client(DECL)
+        for client_type in (wsrf, wxf):
+            assert callable(getattr(client_type, "put"))
+            assert callable(getattr(client_type, "get"))

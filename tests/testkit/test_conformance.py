@@ -74,6 +74,27 @@ class TestHandWrittenPrograms:
         assert outcome.wsrf.steps[3] == ["status", "infinity"]
         assert outcome.wsrf.events == [["c0", 0, 1]]
 
+    def test_datagrid_replication_flow_all_six_cells(self):
+        program = Program("datagrid", (
+            op.DgRegister("lfn:f0", "se1.cern"),
+            op.DgRegister("lfn:f0", "se1.fnal"),
+            op.DgLocate("lfn:f0"),
+            op.DgReplicate("lfn:f0", "se2.cern"),
+            op.DgStageIn("lfn:f0", "se2.fnal"),
+            op.DgFilesOn("se2.cern"),
+            op.DgListFiles(),
+            op.DgUnregister("lfn:f0", "se1.cern"),
+            op.DgLocate("lfn:f0"),
+            op.DgLocate("lfn:missing"),
+        ))
+        for mode, colocated in ALL_MODES:
+            outcome = run_differential(program, mode, colocated)
+            _assert_equivalent(outcome)
+            # Replicate to se2.cern must pick the LAN source (se1.cern),
+            # stage-in to se2.fnal the same-site one (se1.fnal).
+            assert outcome.wsrf.steps[3] == ["dg_replicate", "se1.cern"]
+            assert outcome.wsrf.steps[4] == ["dg_stage_in", "se1.fnal"]
+
     def test_replay_is_bit_identical(self):
         program = generate_program(0)
         outcome = run_differential(program, SecurityMode.X509, False, replay=True)
@@ -110,9 +131,13 @@ class TestCli:
     def test_cli_writes_summary_and_exit_status(self, tmp_path):
         from repro.testkit.cli import conformance_main
 
-        assert conformance_main(["--seeds", "6", "--giab-seeds", "0", "--out", str(tmp_path)]) == 0
+        assert conformance_main([
+            "--seeds", "6", "--giab-seeds", "0", "--datagrid-seeds", "1",
+            "--out", str(tmp_path),
+        ]) == 0
         summary = json.loads((tmp_path / "conformance_summary.json").read_text())
-        assert summary["programs"] == 6
+        assert summary["programs"] == 7
+        assert summary["datagrid_seeds"] == 1
         assert summary["divergences"] == 0
         assert not (tmp_path / "conformance_divergences.json").exists()
 

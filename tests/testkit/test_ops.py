@@ -31,6 +31,13 @@ class TestOpRoundTrip:
             op.GiabAwaitJob(100.0),
             op.GiabDeleteFile("in.dat"),
             op.GiabCheckAvailable("sort"),
+            op.DgRegister("lfn:f0", "se1.cern"),
+            op.DgUnregister("lfn:f0", "se1.cern"),
+            op.DgLocate("lfn:f0"),
+            op.DgListFiles(),
+            op.DgFilesOn("se1.cern"),
+            op.DgReplicate("lfn:f0", "se2.cern"),
+            op.DgStageIn("lfn:f0", "se2.fnal"),
         ]
         assert {s.kind for s in samples} == set(OP_TYPES)
         for sample in samples:
@@ -54,6 +61,11 @@ class TestProgram:
             Program("counter", (op.GiabDiscover("sort"),))
         with pytest.raises(ValueError, match="not valid in a giab program"):
             Program("giab", (op.CreateCounter("c0", 0),))
+        with pytest.raises(ValueError, match="not valid in a datagrid program"):
+            Program("datagrid", (op.GiabDiscover("sort"),))
+
+    def test_shared_ops_allowed_in_datagrid(self):
+        Program("datagrid", (op.AdvanceClock(60_000.0), op.FaultToggle()))
 
     def test_shared_ops_allowed_in_both_kinds(self):
         Program("counter", (op.AdvanceClock(60_000.0),))
