@@ -1,0 +1,86 @@
+"""Msgperf — wall-clock message-path throughput, memoized vs uncached
+(ISSUE 9 / ROADMAP item 2; no figure in the paper).
+
+Unlike the other benches, the headline numbers here are *wall-clock* and
+therefore machine-dependent: ``results/BENCH_msgperf.json`` is regenerated
+by this bench (or ``python -m repro msgperf --json``) but gated in
+``scripts/check.sh`` by the shape check ``python -m repro msgperf --check``
+— structure, deterministic virtual costs and the cached/uncached ordering
+must hold, while absolute throughput may drift with the host.  The tests
+below pin exactly the machine-independent claims: the 10x speedup floor on
+the signed soak, virtual-cost invariance across caching modes, and caches
+that actually get hit.
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks.conftest import record_figure
+from repro.bench.msgperf import MIN_SOAK_SPEEDUP, TITLE, run_msgperf, run_soak
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_msgperf.json")
+
+
+@pytest.fixture(scope="module")
+def msgperf_report():
+    report = run_msgperf()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    record_figure(
+        TITLE,
+        {
+            "soak (msg/s)": {
+                "cached": report["soak"]["cached"]["messages_per_sec"],
+                "uncached": report["soak"]["uncached"]["messages_per_sec"],
+                "speedup x": report["soak"]["speedup"],
+            },
+            "xmldb (doc/s)": {
+                "cached": report["xmldb"]["cached"]["docs_per_sec"],
+                "uncached": report["xmldb"]["uncached"]["docs_per_sec"],
+                "speedup x": report["xmldb"]["speedup"],
+            },
+        },
+    )
+    return report
+
+
+class TestTrajectoryShape:
+    def test_soak_speedup_meets_the_floor(self, msgperf_report):
+        soak = msgperf_report["soak"]
+        assert soak["speedup"] >= MIN_SOAK_SPEEDUP == soak["min_speedup"]
+
+    def test_virtual_costs_identical_across_modes(self, msgperf_report):
+        soak = msgperf_report["soak"]
+        assert (
+            soak["cached"]["virtual_ms_per_op"]
+            == soak["uncached"]["virtual_ms_per_op"]
+            > 0
+        )
+
+    def test_caches_were_exercised(self, msgperf_report):
+        stats = msgperf_report["cache_stats"]
+        assert stats["dsig.sign"]["hits"] > stats["dsig.sign"]["misses"]
+        assert stats["dsig.verify"]["hits"] > 0
+        assert sum(s["hits"] for s in stats.values()) > 0
+
+    def test_xmldb_not_pessimized(self, msgperf_report):
+        # Caching must never cost the one-shot document workload more than
+        # noise: the cached build stays within 25% of the uncached one.
+        assert msgperf_report["xmldb"]["speedup"] >= 0.75
+
+    def test_report_round_trips_through_json(self, msgperf_report):
+        with open(BENCH_PATH, encoding="utf-8") as fh:
+            assert json.load(fh) == msgperf_report
+
+
+class TestWallClock:
+    def test_bench_cached_soak(self, benchmark):
+        benchmark(lambda: run_soak(30))
+
+    def test_bench_uncached_soak(self, benchmark):
+        benchmark(lambda: run_soak(10, uncached=True))

@@ -93,4 +93,16 @@ if ! diff -u results/BENCH_loadgen.json "$bench_tmp"; then
 fi
 rm -f "$bench_tmp"
 
+echo "== msgperf smoke =="
+# The message-path caching gate: cached must beat uncached and virtual
+# costs must be identical in both modes (asserted inside the run).
+python -m repro msgperf --smoke || status=1
+
+echo "== msgperf trajectory =="
+# Wall-clock numbers are machine-dependent, so this is a shape check, not
+# a byte diff: structure, deterministic virtual costs and the speedup
+# floor must hold against the committed file; regenerate with:
+#   python -m repro msgperf --json results/BENCH_msgperf.json
+python -m repro msgperf --check results/BENCH_msgperf.json || status=1
+
 exit $status

@@ -7,9 +7,11 @@ prints it as a table.  Arguments select individual figures:
 ``python -m repro conformance`` instead runs the differential dual-stack
 conformance sweep (see :mod:`repro.testkit.cli`), ``python -m repro
 loadgen`` the open-loop kernel load generator (see
-:mod:`repro.bench.loadgen`; ``--smoke`` is the CI determinism gate), and
+:mod:`repro.bench.loadgen`; ``--smoke`` is the CI determinism gate),
 ``python -m repro datagrid`` the declared-services replica-staging sweep
-(see :mod:`repro.bench.datagrid`).
+(see :mod:`repro.bench.datagrid`), and ``python -m repro msgperf`` the
+wall-clock message-path throughput bench (see :mod:`repro.bench.msgperf`;
+``--smoke`` and ``--check`` are the CI gates).
 
 ``hello`` is the CI bench smoke: one signed round-trip per stack through
 the filter pipeline, reported per pipeline stage plus the full span tree.
@@ -163,6 +165,10 @@ def main(argv: list[str]) -> int:
         from repro.bench.datagrid import datagrid_main
 
         return datagrid_main(argv[1:])
+    if argv and argv[0] == "msgperf":
+        from repro.bench.msgperf import msgperf_main
+
+        return msgperf_main(argv[1:])
     wanted = argv or [name for name in FIGURES if name != "switch"]
     unknown = [name for name in wanted if name not in FIGURES]
     if unknown:

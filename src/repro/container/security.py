@@ -140,15 +140,13 @@ def _approx_kb(node: XmlElement) -> float:
     # Cheap size proxy for cost scaling: count of text + tags. The exact wire
     # size is charged by the transport; this only scales crypto cost.
     total = 0
-
-    def visit(n: XmlElement) -> None:
-        nonlocal total
-        total += 16 + len(n.tag.local)
-        for child in n.children:
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        total += 16 + len(current.tag.local)
+        for child in current.children:
             if isinstance(child, str):
                 total += len(child)
             else:
-                visit(child)
-
-    visit(node)
+                stack.append(child)
     return total / 1024.0

@@ -14,10 +14,18 @@ from dataclasses import dataclass, field
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, SignatureError
 from repro.xmllib import canonicalize, element
 from repro.xmllib.element import XmlElement
+from repro.xmllib.memo import ContentCache, memo_enabled
 
 
 class CertificateError(ValueError):
     """Raised for invalid, expired or untrusted certificates."""
+
+
+# Successful issuer-signature checks, keyed by the (frozen, hashable)
+# certificate and issuer key.  Only the time-independent signature check is
+# cached; the validity window is evaluated on every call because ``at_time``
+# moves with the virtual clock.  Failures are never cached.
+_CHECKED = ContentCache("x509.check", capacity=1024)
 
 
 @dataclass(frozen=True)
@@ -85,11 +93,16 @@ class Certificate:
             raise CertificateError(
                 f"certificate for {self.subject} not valid at t={at_time}"
             )
+        enabled = memo_enabled()
+        if enabled and _CHECKED.get((self, issuer_key)) is not None:
+            return
         payload = canonicalize(self.tbs_element()).encode()
         try:
             issuer_key.verify(payload, self.signature)
         except SignatureError as exc:
             raise CertificateError(f"bad issuer signature on {self.subject}") from exc
+        if enabled:
+            _CHECKED.put((self, issuer_key), True)
 
 
 def _tbs_element(

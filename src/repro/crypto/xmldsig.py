@@ -16,7 +16,8 @@ from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, SignatureError
 from repro.crypto.x509 import Certificate
 from repro.xmllib import canonicalize, element, text_of
 from repro.xmllib import ns
-from repro.xmllib.element import XmlElement
+from repro.xmllib.element import XmlElement, content_key
+from repro.xmllib.memo import ContentCache, memo_enabled
 
 
 class DsigError(ValueError):
@@ -27,10 +28,30 @@ _C14N_ALG = "urn:repro:c14n:exclusive-lite"
 _SIG_ALG = ns.DSIG_RSA_SHA1
 _DIGEST_ALG = ns.DSIG_SHA1
 
+# Content-keyed memoization (DESIGN.md §16).  Digests, signatures and
+# verification verdicts are pure functions of (content, key material):
+# PKCS#1 v1.5 signing is deterministic, so a cached signature is
+# byte-identical to a freshly computed one, and content keys change on any
+# mutation of the covered tree, so stale entries can only miss.  Cached
+# Signature elements are private copies — callers get a fresh copy per hit
+# and can never mutate the cached instance.  Verification caches successes
+# only; failures always re-raise through the full path.
+_DIGESTS = ContentCache("dsig.digest", capacity=8192)
+_SIGNATURES = ContentCache("dsig.sign", capacity=2048)
+_VERIFIED = ContentCache("dsig.verify", capacity=8192)
+
 
 def _digest(target: XmlElement) -> str:
+    if memo_enabled():
+        key = content_key(target)
+        cached = _DIGESTS.get(key)
+        if cached is not None:
+            return cached
     payload = canonicalize(target).encode()
-    return base64.b64encode(hashlib.sha1(payload).digest()).decode()
+    value = base64.b64encode(hashlib.sha1(payload).digest()).decode()
+    if memo_enabled():
+        _DIGESTS.put(key, value)
+    return value
 
 
 def _signed_info(digest_value: str, reference_uri: str) -> XmlElement:
@@ -55,9 +76,21 @@ def sign_element(
     reference_uri: str = "#Body",
 ) -> XmlElement:
     """Produce a ``ds:Signature`` element covering ``target``."""
+    enabled = memo_enabled()
+    if enabled:
+        cache_key = (
+            content_key(target),
+            reference_uri,
+            keypair.n,
+            keypair.d,
+            str(certificate.subject),
+        )
+        cached = _SIGNATURES.get(cache_key)
+        if cached is not None:
+            return cached.copy()
     signed_info = _signed_info(_digest(target), reference_uri)
     signature_bytes = keypair.sign(canonicalize(signed_info).encode())
-    return element(
+    signature = element(
         f"{{{ns.DS}}}Signature",
         signed_info,
         element(f"{{{ns.DS}}}SignatureValue", base64.b64encode(signature_bytes).decode()),
@@ -66,6 +99,9 @@ def sign_element(
             element(f"{{{ns.DS}}}X509SubjectName", str(certificate.subject)),
         ),
     )
+    if enabled:
+        _SIGNATURES.put(cache_key, signature.copy())
+    return signature
 
 
 def signer_subject(signature: XmlElement) -> str:
@@ -89,6 +125,16 @@ def verify_element(
     target (tamper evidence) and the RSA signature over SignedInfo
     (authenticity).
     """
+    enabled = memo_enabled()
+    if enabled:
+        cache_key = (
+            content_key(target),
+            content_key(signature),
+            public_key.n,
+            public_key.e,
+        )
+        if _VERIFIED.get(cache_key) is not None:
+            return
     signed_info = signature.find(f"{{{ns.DS}}}SignedInfo")
     if signed_info is None:
         raise DsigError("signature has no SignedInfo")
@@ -109,3 +155,5 @@ def verify_element(
         public_key.verify(canonicalize(signed_info).encode(), signature_bytes)
     except SignatureError as exc:
         raise DsigError("RSA signature verification failed") from exc
+    if enabled:
+        _VERIFIED.put(cache_key, True)

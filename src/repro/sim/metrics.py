@@ -35,10 +35,14 @@ class Span:
         return self.ended_at - self.started_at
 
     def walk(self, depth: int = 0):
-        """Yield ``(depth, span)`` pairs in document order."""
-        yield depth, self
-        for child in self.children:
-            yield from child.walk(depth + 1)
+        """Yield ``(depth, span)`` pairs in document order (iterative, so
+        pathologically deep span trees cannot exhaust the recursion limit)."""
+        stack = [(depth, self)]
+        while stack:
+            level, span = stack.pop()
+            yield level, span
+            for child in reversed(span.children):
+                stack.append((level + 1, child))
 
     def tree(self) -> list[str]:
         """The span names as an indented text outline (for tests/reports)."""

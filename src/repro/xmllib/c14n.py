@@ -15,23 +15,46 @@ implemented here follows the spirit of Exclusive XML Canonicalization:
   normalized;
 * empty elements use an explicit start/end tag pair (never ``<a/>``).
 
-Two structurally-equal trees therefore canonicalize to identical bytes.
+Two structurally-equal trees therefore canonicalize to identical bytes —
+which also makes the canonical text a pure function of the tree's *content*,
+so whole-tree results are memoized in a content-keyed cache: the second
+message of a soak canonicalizes its (unchanged) body in one dict lookup.
+Mutating any node bumps version counters up the tree (see
+:mod:`repro.xmllib.element`), changing the content key, so a stale entry can
+never be replayed.  The writer itself is iterative and survives ~1000-deep
+documents.
 """
 
 from __future__ import annotations
 
-from repro.xmllib.element import XmlElement
+from operator import attrgetter
+
+from repro.xmllib.element import XmlElement, content_key
+from repro.xmllib.memo import ContentCache, memo_enabled
 from repro.xmllib.qname import QName
 from repro.xmllib.serialize import collect_namespaces
+
+_sort_key = attrgetter("_key")
+
+_C14N = ContentCache("c14n.text", capacity=8192)
 
 
 def canonicalize(root: XmlElement) -> str:
     """Render ``root`` in the canonical form described above."""
+    enabled = memo_enabled()
+    if enabled:
+        key = content_key(root)
+        cached = _C14N.get(key)
+        if cached is not None:
+            return cached
     uris = collect_namespaces(root)
     prefixes = _canonical_prefixes(uris)
     parts: list[str] = []
-    _write(root, prefixes, set(), parts)
-    return "".join(parts)
+    _write(root, prefixes, parts)
+    text = "".join(parts)
+    if enabled:
+        _C14N.put(key, text)
+    return text
 
 
 def _canonical_prefixes(uris: list[str]) -> dict[str, str]:
@@ -79,30 +102,50 @@ def _qname_str(name: QName, prefixes: dict[str, str]) -> str:
     return f"{prefixes[name.namespace]}:{name.local}"
 
 
+# Op codes for the iterative writer's explicit stack.
+_OPEN, _TEXT, _END = 0, 1, 2
+
+
 def _write(
-    node: XmlElement,
+    root: XmlElement,
     prefixes: dict[str, str],
-    declared: set[str],
     parts: list[str],
 ) -> None:
-    tag = _qname_str(node.tag, prefixes)
-    parts.append(f"<{tag}")
+    append = parts.append
+    # Each _OPEN entry carries the set of URIs declared by its ancestors;
+    # the common case adds nothing and reuses the parent's frozenset.
+    stack: list[tuple] = [(_OPEN, root, frozenset())]
+    while stack:
+        op, payload, declared = stack.pop()
+        if op == _TEXT:
+            append(_canon_text(payload))
+            continue
+        if op == _END:
+            append(payload)
+            continue
+        node = payload
+        tag = _qname_str(node.tag, prefixes)
+        append(f"<{tag}")
 
-    newly = sorted(
-        (prefixes[uri], uri) for uri in _visibly_used(node) if uri not in declared
-    )
-    child_declared = declared | {uri for _, uri in newly}
-    for prefix, uri in newly:
-        parts.append(f' xmlns:{prefix}="{_canon_attr(uri)}"')
-
-    for attr in sorted(node.attributes, key=QName.sort_key):
-        parts.append(f' {_qname_str(attr, prefixes)}="{_canon_attr(node.attributes[attr])}"')
-    parts.append(">")
-
-    for child in node.children:
-        if isinstance(child, str):
-            parts.append(_canon_text(child))
+        newly = sorted(
+            (prefixes[uri], uri) for uri in _visibly_used(node) if uri not in declared
+        )
+        if newly:
+            child_declared = declared | {uri for _, uri in newly}
+            for prefix, uri in newly:
+                append(f' xmlns:{prefix}="{_canon_attr(uri)}"')
         else:
-            _write(child, prefixes, child_declared, parts)
+            child_declared = declared
 
-    parts.append(f"</{tag}>")
+        attrs = node.attributes
+        if attrs:
+            for attr in sorted(attrs, key=_sort_key):
+                append(f' {_qname_str(attr, prefixes)}="{_canon_attr(attrs[attr])}"')
+        append(">")
+
+        stack.append((_END, f"</{tag}>", None))
+        for child in reversed(node.children):
+            if isinstance(child, str):
+                stack.append((_TEXT, child, None))
+            else:
+                stack.append((_OPEN, child, child_declared))

@@ -1,0 +1,146 @@
+"""Cache infrastructure for the message-path memoization layer.
+
+The wall-clock cost of a soak is dominated by re-canonicalizing,
+re-digesting and re-signing near-identical XML (DESIGN.md §16).  This
+module owns the machinery every cache in ``repro.xmllib`` and
+``repro.crypto`` shares:
+
+* :class:`CacheStats` — observable hit/miss counters, one per cache,
+  reachable through :func:`cache_stats` so benchmarks and tier-1 tests
+  can assert cache behavior instead of guessing at it;
+* :class:`ContentCache` — a bounded insertion-ordered dict keyed by
+  *content* (structural keys from
+  :func:`repro.xmllib.element.content_key`), so a freshly re-parsed tree
+  that is byte-identical to one seen before still hits;
+* :func:`caching_disabled` — the uncached-baseline switch the
+  ``msgperf`` benchmark uses to measure honest speedups.
+
+Every cached value is a pure function of its key, and keys incorporate
+either content hashes or the mutation version counters maintained by
+:class:`~repro.xmllib.element.XmlElement` — mutating a tree can never
+yield a stale cached answer, only a miss (the property tests in
+``tests/xmllib/test_memo_coherence.py`` pin this down).  The caches are
+process-wide and shared across simulated hosts; that is sound for the
+same reason ``rsa._KEY_CACHE`` is: the worst outcome of sharing is a
+duplicated computation, never divergent state, and no virtual-clock cost
+depends on whether a computation was cached.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_ENABLED = True
+
+
+def memo_enabled() -> bool:
+    """True unless running inside :func:`caching_disabled`."""
+    return _ENABLED
+
+
+@contextmanager
+def caching_disabled():
+    """Run with every content cache bypassed (the uncached baseline).
+
+    Global caches are cleared on entry so a following cached measurement
+    starts cold and earns its hits; element-level memos are version-keyed
+    and need no clearing to stay correct.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    clear_caches()
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+class CacheStats:
+    """Hit/miss counters for one named cache."""
+
+    __slots__ = ("name", "hits", "misses")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CacheStats {self.name} hits={self.hits} misses={self.misses}>"
+
+
+class ContentCache:
+    """A bounded content-keyed cache with observable statistics.
+
+    Keys must be hashable and fully determine the value.  When the cache
+    fills, the oldest half of the entries is dropped (dict insertion
+    order) — cheap, and a soak's working set is re-established within a
+    handful of messages.
+    """
+
+    __slots__ = ("_data", "capacity", "stats")
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        if capacity < 2:
+            raise ValueError(f"cache capacity must be >= 2: {capacity}")
+        self._data: dict = {}
+        self.capacity = capacity
+        self.stats = CacheStats(name)
+        _CACHES[name] = self
+
+    def get(self, key):
+        """The cached value, counting a hit or a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if len(data) >= self.capacity:
+            for old in list(data)[: self.capacity // 2]:
+                del data[old]
+        data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_MISSING = object()
+
+#: Registry of every named cache, populated as cache owners import.
+_CACHES: dict[str, ContentCache] = {}
+
+
+def cache_stats() -> dict[str, dict]:
+    """Snapshot of every cache's counters, keyed by cache name."""
+    return {name: cache.stats.as_dict() for name, cache in sorted(_CACHES.items())}
+
+
+def reset_cache_stats() -> None:
+    for cache in _CACHES.values():
+        cache.stats.reset()
+
+
+def clear_caches() -> None:
+    """Drop every cached value (test isolation / baseline runs)."""
+    for cache in _CACHES.values():
+        cache.clear()
+
+
+def get_cache(name: str) -> ContentCache:
+    """Look up a registered cache by name (tests, benchmarks)."""
+    return _CACHES[name]

@@ -2,14 +2,18 @@
 
 We lean on the standard library's expat-backed ``xml.etree.ElementTree`` for
 tokenization and namespace resolution (it emits Clark-notation tags), then
-rebuild the tree in our own mixed-content representation.
+rebuild the tree in our own mixed-content representation.  The rebuild is
+iterative (an explicit work stack) and links freshly built nodes directly,
+so deep documents neither exhaust the recursion limit nor pay any
+version-bump propagation during construction.
 """
 
 from __future__ import annotations
 
+import weakref
 import xml.etree.ElementTree as ET
 
-from repro.xmllib.element import XmlElement
+from repro.xmllib.element import XmlElement, _blank
 from repro.xmllib.qname import QName
 
 
@@ -31,16 +35,30 @@ def parse_xml(text: str | bytes) -> XmlElement:
     return _convert(root)
 
 
-def _convert(node: ET.Element) -> XmlElement:
-    tag = QName.parse(node.tag)
-    attributes: dict[QName, str] = {}
-    for key, value in node.attrib.items():
-        attributes[QName.parse(key)] = value
-    out = XmlElement(tag, attributes)
-    if node.text:
-        out.append(node.text)
-    for child in node:
-        out.append(_convert(child))
-        if child.tail:
-            out.append(child.tail)
-    return out
+def _convert(root: ET.Element) -> XmlElement:
+    parse = QName.parse
+    ref = weakref.ref
+
+    def make(node: ET.Element) -> XmlElement:
+        attributes: dict[QName, str] = {}
+        for key, value in node.attrib.items():
+            attributes[parse(key)] = value
+        return _blank(parse(node.tag), attributes)
+
+    out_root = make(root)
+    stack: list[tuple[ET.Element, XmlElement]] = [(root, out_root)]
+    # Fresh nodes carry no memos, so children are attached with raw list
+    # appends and explicit parent links — no version bumps to propagate.
+    while stack:
+        src, dst = stack.pop()
+        children = dst._children
+        if src.text:
+            list.append(children, src.text)
+        for child in src:
+            converted = make(child)
+            converted._parents.append(ref(dst))
+            list.append(children, converted)
+            stack.append((child, converted))
+            if child.tail:
+                list.append(children, child.tail)
+    return out_root

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True, slots=True)
@@ -12,28 +12,42 @@ class QName:
     ``namespace`` is the full namespace URI ("" for no namespace) and
     ``local`` the local part.  The Clark notation ``{uri}local`` is accepted
     by :meth:`parse` and produced by :meth:`clark`.
+
+    Instances are immutable, so :meth:`parse` interns them: parsing the
+    same Clark string twice returns the same object, which makes the
+    per-message tag churn on the SOAP path allocation-free.
     """
 
     namespace: str
     local: str
+    _key: tuple[str, str] = field(init=False, repr=False, compare=False, default=("", ""))
 
     def __post_init__(self) -> None:
         if not self.local:
             raise ValueError("QName local part must be non-empty")
         if "{" in self.local or "}" in self.local:
             raise ValueError(f"invalid local part: {self.local!r}")
+        object.__setattr__(self, "_key", (self.namespace, self.local))
 
     @classmethod
     def parse(cls, name: "str | QName") -> "QName":
         """Accept a QName, a Clark-notation string, or a bare local name."""
         if isinstance(name, QName):
             return name
+        cached = _PARSE_CACHE.get(name)
+        if cached is not None:
+            return cached
         if name.startswith("{"):
             end = name.find("}")
             if end < 0:
                 raise ValueError(f"malformed Clark name: {name!r}")
-            return cls(name[1:end], name[end + 1 :])
-        return cls("", name)
+            parsed = cls(name[1:end], name[end + 1 :])
+        else:
+            parsed = cls("", name)
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[name] = parsed
+        return parsed
 
     def clark(self) -> str:
         """Render in Clark notation (``{uri}local``; bare local if no ns)."""
@@ -46,4 +60,12 @@ class QName:
 
     def sort_key(self) -> tuple[str, str]:
         """Canonical ordering key: namespace URI first, then local part."""
-        return (self.namespace, self.local)
+        return self._key
+
+
+# QName is frozen, so interning parsed names is safe; the cache is reset
+# wholesale if a pathological workload ever produces unbounded distinct
+# names.  Worst case on a collision or reset is a re-parse, never a
+# different QName.
+_PARSE_CACHE: dict[str, QName] = {}
+_PARSE_CACHE_LIMIT = 8192

@@ -5,13 +5,28 @@ Prefixes are allocated deterministically (preferred prefixes from
 order) and every namespace is declared on the root, which keeps output
 stable and easy to read in logs.  The canonical form used for signing
 lives in :mod:`repro.xmllib.c14n`.
+
+The writer is iterative (an explicit op stack), so ~1000-deep documents
+serialize without hitting the interpreter recursion limit, and it reuses
+serialized fragments for repeated envelope skeletons: subtrees at depth
+1-2 under the serialized root (SOAP headers, the Body payload) are cached
+by ``(content_key, namespace-allocation token)``.  The token is the
+whole-document first-use URI tuple, which fully determines the prefix
+map, so a cached fragment is only ever replayed under the identical
+prefix allocation; fragments below the root never contain ``xmlns``
+declarations.  Output is byte-identical to the uncached writer.
 """
 
 from __future__ import annotations
 
+from operator import attrgetter
+
 from repro.xmllib import ns as nsmod
-from repro.xmllib.element import XmlElement
+from repro.xmllib.element import _CK, XmlElement
+from repro.xmllib.memo import ContentCache, memo_enabled
 from repro.xmllib.qname import QName
+
+_sort_key = attrgetter("_key")
 
 
 def escape_text(value: str) -> str:
@@ -35,21 +50,77 @@ def escape_attr(value: str) -> str:
     )
 
 
-def collect_namespaces(root: XmlElement) -> list[str]:
-    """Namespace URIs used anywhere in the tree, in first-use document order."""
-    seen: dict[str, None] = {}
+_NS = "ns"
 
-    def visit(node: XmlElement) -> None:
+
+def _ns_tuple(root: XmlElement) -> tuple[str, ...]:
+    """First-use document-order URI tuple, memoized per element.
+
+    Computed bottom-up: a node's tuple is the first-use dedup of its own
+    tag/attribute URIs followed by its children's tuples, which equals the
+    preorder walk's result.  Memo entries live in the element's version
+    -keyed memo dict, so any mutation below a node drops its tuple.
+    """
+    memo = root._memo
+    if memo is not None:
+        cached = memo.get(_NS)
+        if cached is not None:
+            return cached
+    stack = [root]
+    while stack:
+        el = stack[-1]
+        memo = el._memo
+        if memo is not None and _NS in memo:
+            stack.pop()
+            continue
+        pending = [
+            c
+            for c in el._children
+            if isinstance(c, XmlElement) and (c._memo is None or _NS not in c._memo)
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        seen: dict[str, None] = {}
+        if el.tag.namespace:
+            seen[el.tag.namespace] = None
+        for attr in el._attributes:
+            if attr.namespace:
+                seen.setdefault(attr.namespace, None)
+        for c in el._children:
+            if isinstance(c, XmlElement):
+                for uri in c._memo[_NS]:
+                    seen.setdefault(uri, None)
+        uris = tuple(seen)
+        if el._memo is None:
+            el._memo = {}
+        el._memo[_NS] = uris
+        stack.pop()
+    return root._memo[_NS]
+
+
+def _collect_plain(root: XmlElement) -> list[str]:
+    """Memo-free preorder namespace collection (the uncached baseline)."""
+    seen: dict[str, None] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
         if node.tag.namespace:
             seen.setdefault(node.tag.namespace, None)
         for attr in node.attributes:
             if attr.namespace:
                 seen.setdefault(attr.namespace, None)
-        for child in node.element_children():
-            visit(child)
-
-    visit(root)
+        stack.extend(
+            c for c in reversed(node.children) if isinstance(c, XmlElement)
+        )
     return list(seen)
+
+
+def collect_namespaces(root: XmlElement) -> list[str]:
+    """Namespace URIs used anywhere in the tree, in first-use document order."""
+    if memo_enabled():
+        return list(_ns_tuple(root))
+    return _collect_plain(root)
 
 
 def allocate_prefixes(uris: list[str]) -> dict[str, str]:
@@ -71,14 +142,37 @@ def allocate_prefixes(uris: list[str]) -> dict[str, str]:
     return out
 
 
+_FRAGMENTS = ContentCache("serialize.fragment", capacity=8192)
+
+# Op codes for the iterative writer's explicit stack.
+_OPEN, _TEXT, _END, _STORE = 0, 1, 2, 3
+
+# Fragments are cached for subtrees this deep under the serialized root:
+# depth 1-2 covers SOAP Header/Body children (Security blocks, payloads)
+# without caching every leaf.
+_FRAGMENT_MIN_DEPTH = 1
+_FRAGMENT_MAX_DEPTH = 2
+
+
 def serialize(root: XmlElement, *, xml_declaration: bool = False) -> str:
-    """Serialize to compact XML with all namespaces declared on the root."""
-    uris = collect_namespaces(root)
-    prefixes = allocate_prefixes(uris)
+    """Serialize to compact XML with all namespaces declared on the root.
+
+    Fragment reuse is opportunistic: it engages only when the root's
+    content key is already memoized (the SOAP message path computes it
+    before serializing — see ``WireMessage.from_envelope``), so one-shot
+    trees like xmldb documents pay no caching overhead at all.
+    """
+    memo = root._memo
+    warm = memo is not None and _CK in memo and memo_enabled()
+    if warm:
+        uris = _ns_tuple(root)
+    else:
+        uris = tuple(_collect_plain(root))
+    prefixes = allocate_prefixes(list(uris))
     parts: list[str] = []
     if xml_declaration:
         parts.append('<?xml version="1.0" encoding="utf-8"?>')
-    _write(root, prefixes, parts, declare=True)
+    _write(root, prefixes, uris, parts, warm)
     return "".join(parts)
 
 
@@ -91,24 +185,58 @@ def _qname_str(name: QName, prefixes: dict[str, str]) -> str:
 def _write(
     node: XmlElement,
     prefixes: dict[str, str],
+    token: tuple[str, ...],
     parts: list[str],
-    *,
-    declare: bool,
+    warm: bool,
 ) -> None:
-    tag = _qname_str(node.tag, prefixes)
-    parts.append(f"<{tag}")
-    if declare:
-        for uri, prefix in prefixes.items():
-            parts.append(f' xmlns:{prefix}="{escape_attr(uri)}"')
-    for attr in sorted(node.attributes, key=QName.sort_key):
-        parts.append(f' {_qname_str(attr, prefixes)}="{escape_attr(node.attributes[attr])}"')
-    if not node.children:
-        parts.append("/>")
-        return
-    parts.append(">")
-    for child in node.children:
-        if isinstance(child, str):
-            parts.append(escape_text(child))
-        else:
-            _write(child, prefixes, parts, declare=False)
-    parts.append(f"</{tag}>")
+    append = parts.append
+    stack: list[tuple] = [(_OPEN, node, 0)]
+    while stack:
+        op, payload, depth = stack.pop()
+        if op == _TEXT:
+            append(escape_text(payload))
+            continue
+        if op == _END:
+            append(payload)
+            continue
+        if op == _STORE:
+            fragment = "".join(parts[depth:])
+            del parts[depth:]
+            append(fragment)
+            _FRAGMENTS.put((payload._memo[_CK], token), fragment)
+            continue
+        el = payload
+        if warm and _FRAGMENT_MIN_DEPTH <= depth <= _FRAGMENT_MAX_DEPTH:
+            # Only subtrees with a memoized content key participate (a
+            # mutated-since-keying subtree has none — it is written plainly).
+            memo = el._memo
+            key = memo.get(_CK) if memo is not None else None
+            if key is not None:
+                fragment = _FRAGMENTS.get((key, token))
+                if fragment is not None:
+                    append(fragment)
+                    continue
+                # Everything parts gains from here until this entry pops is
+                # the element's complete markup; _STORE reuses `depth` as
+                # the starting index into parts.
+                stack.append((_STORE, el, len(parts)))
+        tag = _qname_str(el.tag, prefixes)
+        append(f"<{tag}")
+        if depth == 0:
+            for uri, prefix in prefixes.items():
+                append(f' xmlns:{prefix}="{escape_attr(uri)}"')
+        attrs = el.attributes
+        if attrs:
+            for attr in sorted(attrs, key=_sort_key):
+                append(f' {_qname_str(attr, prefixes)}="{escape_attr(attrs[attr])}"')
+        children = el.children
+        if not children:
+            append("/>")
+            continue
+        append(">")
+        stack.append((_END, f"</{tag}>", 0))
+        for child in reversed(children):
+            if isinstance(child, str):
+                stack.append((_TEXT, child, 0))
+            else:
+                stack.append((_OPEN, child, depth + 1))

@@ -1,0 +1,194 @@
+"""Mutation-safe memoization: cached bytes must never go stale.
+
+The element tree carries a version counter that every mutation bumps (and
+propagates to all ancestors), and the c14n/DSig caches key on the
+content key derived from it.  These tests pin the contract from both
+sides: version bookkeeping at the unit level, and a seeded property test
+asserting that *any* mutation after a cached ``canonicalize()`` /
+``sign_element()`` produces output byte-identical to ground truth —
+the same computation run under :func:`caching_disabled` on a fresh deep
+copy — including mutations made through aliased child references.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import CertificateAuthority, DsigError, sign_element, verify_element
+from repro.xmllib import QName
+from repro.xmllib.c14n import canonicalize
+from repro.xmllib.element import XmlElement, content_key, element
+from repro.xmllib.memo import caching_disabled
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority.create(seed=7)
+
+
+@pytest.fixture(scope="module")
+def identity(ca):
+    return ca.issue_identity("alice", seed=11)
+
+
+class TestVersionCounter:
+    def test_append_bumps_self_and_ancestors(self):
+        child = element("{u}child")
+        root = element("{u}root", child)
+        before_root, before_child = root.version, child.version
+        child.append("text")
+        assert child.version > before_child
+        assert root.version > before_root
+
+    def test_attribute_set_bumps(self):
+        root = element("{u}root")
+        before = root.version
+        root.set("{u}attr", "v")
+        assert root.version > before
+
+    def test_children_reassignment_bumps(self):
+        root = element("{u}root", element("{u}old"))
+        before = root.version
+        root.children = [element("{u}new")]
+        assert root.version > before
+
+    def test_children_inplace_ops_bump(self):
+        root = element("{u}root")
+        v0 = root.version
+        root.children += [element("{u}a")]
+        v1 = root.version
+        assert v1 > v0
+        root.children.insert(0, "lead")
+        v2 = root.version
+        assert v2 > v1
+        root.children.pop()
+        assert root.version > v2
+
+    def test_attrs_dict_mutators_bump(self):
+        root = element("{u}root", attrs={"a": "1"})
+        v0 = root.version
+        root.attributes.update({QName.parse("b"): "2"})
+        v1 = root.version
+        assert v1 > v0
+        root.attributes.pop(next(iter(root.attributes)))
+        assert root.version > v1
+
+    def test_content_key_changes_on_mutation(self):
+        root = element("{u}root", element("{u}child", "x"))
+        key = content_key(root)
+        assert content_key(root) == key  # memoized, stable
+        root.children[0].set("id", "1")
+        assert content_key(root) != key
+
+    def test_mutation_via_aliased_reference_invalidates(self):
+        shared = element("{u}shared", "payload")
+        root = element("{u}root", shared)
+        key = content_key(root)
+        alias = root.children[0]
+        assert alias is shared
+        alias.append("more")
+        assert content_key(root) != key
+
+
+def random_tree(rng: random.Random, depth: int = 0) -> XmlElement:
+    """A small random tree mixing namespaces, attributes and text."""
+    ns = rng.choice(["urn:a", "urn:b", ""])
+    node = element(f"{{{ns}}}n{rng.randrange(4)}" if ns else f"n{rng.randrange(4)}")
+    for _ in range(rng.randrange(3)):
+        node.set(
+            rng.choice(["k", "{urn:attr}k", "id"]) + str(rng.randrange(3)),
+            f"v{rng.randrange(10)}",
+        )
+    for _ in range(rng.randrange(4) if depth < 3 else 0):
+        if rng.random() < 0.4:
+            node.append(f"text{rng.randrange(10)}")
+        else:
+            node.append(random_tree(rng, depth + 1))
+    return node
+
+
+def mutate(rng: random.Random, root: XmlElement) -> None:
+    """One random mutation somewhere in the tree, possibly via an alias."""
+    nodes = [root, *root.descendants()]
+    target = rng.choice(nodes)
+    kind = rng.randrange(3)
+    if kind == 0:
+        target.append(f"mutated{rng.randrange(100)}")
+    elif kind == 1:
+        target.set("mutated", str(rng.randrange(100)))
+    else:
+        target.children.insert(
+            rng.randrange(len(target.children) + 1), element("{urn:mut}new")
+        )
+
+
+def ground_truth_c14n(root: XmlElement) -> str:
+    with caching_disabled():
+        return canonicalize(root.copy())
+
+
+class TestMutationCoherence:
+    def test_canonicalize_after_mutation_matches_fresh_copy(self):
+        rng = random.Random(90901)
+        for _ in range(40):
+            tree = random_tree(rng)
+            canonicalize(tree)  # populate the cache
+            mutate(rng, tree)
+            assert canonicalize(tree) == ground_truth_c14n(tree)
+
+    def test_each_mutation_kind_explicitly(self):
+        for mutator in (
+            lambda t: t.children[0].append("tail"),
+            lambda t: t.children[0].set("{urn:x}a", "v"),
+            lambda t: t.children.insert(1, element("{urn:x}ins")),
+            lambda t: setattr(t, "children", [element("{urn:x}only")]),
+            lambda t: t.attributes.update({QName.parse("top"): "1"}),
+        ):
+            tree = element("{urn:x}root", element("{urn:x}child", "text"), "mid")
+            canonicalize(tree)
+            mutator(tree)
+            assert canonicalize(tree) == ground_truth_c14n(tree)
+
+    def test_aliased_child_mutation_invalidates_both_trees(self):
+        shared = element("{urn:x}shared", "payload")
+        left = element("{urn:x}left", shared)
+        right = element("{urn:x}right", shared)
+        canonicalize(left)
+        canonicalize(right)
+        shared.append("tampered")
+        assert canonicalize(left) == ground_truth_c14n(left)
+        assert canonicalize(right) == ground_truth_c14n(right)
+
+    def test_sign_after_mutation_matches_uncached_signature(self, identity):
+        cert, keypair = identity
+        rng = random.Random(90902)
+        for _ in range(8):
+            body = random_tree(rng)
+            sign_element(body, keypair, cert)  # populate the signature cache
+            mutate(rng, body)
+            cached = canonicalize(sign_element(body, keypair, cert))
+            with caching_disabled():
+                fresh = canonicalize(sign_element(body.copy(), keypair, cert))
+            assert cached == fresh
+
+    def test_stale_signature_fails_verification_after_mutation(self, identity):
+        cert, keypair = identity
+        body = element("{urn:x}Body", element("{urn:x}value", "7"))
+        signature = sign_element(body, keypair, cert)
+        verify_element(body, signature, keypair.public)
+        body.children[0].append("8")
+        with pytest.raises(DsigError):
+            verify_element(body, signature, keypair.public)
+
+    def test_signature_cache_returns_private_copies(self, identity):
+        cert, keypair = identity
+        body = element("{urn:x}Body", "x")
+        first = sign_element(body, keypair, cert)
+        second = sign_element(body, keypair, cert)
+        assert first is not second
+        assert canonicalize(first) == canonicalize(second)
+        first.set("tampered", "1")  # mutating one must not poison the cache
+        third = sign_element(body, keypair, cert)
+        assert canonicalize(third) == canonicalize(second)

@@ -50,3 +50,45 @@ class TestRendering:
         names = [QName("b", "a"), QName("a", "z"), QName("a", "a")]
         ordered = sorted(names, key=QName.sort_key)
         assert ordered == [QName("a", "a"), QName("a", "z"), QName("b", "a")]
+
+
+class TestInterning:
+    """``QName.parse`` memoizes (ISSUE 9): repeated Clark strings — the
+    overwhelmingly common case on the message path — return the same
+    instance, and the sort key is precomputed at construction."""
+
+    def test_parse_returns_interned_instance(self):
+        first = QName.parse("{urn:intern}name")
+        second = QName.parse("{urn:intern}name")
+        assert first is second
+
+    def test_bare_names_interned_too(self):
+        assert QName.parse("interned-bare") is QName.parse("interned-bare")
+
+    def test_distinct_strings_distinct_instances(self):
+        assert QName.parse("{urn:a}x") is not QName.parse("{urn:b}x")
+        assert QName.parse("{urn:a}x") != QName.parse("{urn:b}x")
+
+    def test_interned_equal_to_directly_constructed(self):
+        assert QName.parse("{urn:intern}eq") == QName("urn:intern", "eq")
+        assert hash(QName.parse("{urn:intern}eq")) == hash(QName("urn:intern", "eq"))
+
+    def test_sort_key_is_precomputed(self):
+        qn = QName("urn:k", "local")
+        assert qn.sort_key() == ("urn:k", "local")
+        assert qn.sort_key() is qn._key
+
+    def test_cache_overflow_resets_not_breaks(self):
+        from repro.xmllib import qname as qname_mod
+
+        limit = qname_mod._PARSE_CACHE_LIMIT
+        original = dict(qname_mod._PARSE_CACHE)
+        try:
+            for i in range(limit + 10):
+                QName.parse(f"{{urn:flood}}n{i}")
+            # The cache stayed bounded and parsing still works afterwards.
+            assert len(qname_mod._PARSE_CACHE) <= limit
+            assert QName.parse("{urn:flood}after") == QName("urn:flood", "after")
+        finally:
+            qname_mod._PARSE_CACHE.clear()
+            qname_mod._PARSE_CACHE.update(original)
