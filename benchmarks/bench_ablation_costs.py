@@ -5,10 +5,12 @@ Three kinds of checks:
 1. **Mechanism ablations** — disable one modelled mechanism (write-through
    cache, persistent-TCP delivery, TLS resumption) and verify the paper's
    corresponding observation disappears, i.e. the result really is caused
-   by the mechanism the paper credits.
-2. **Robustness sweep** — perturb each load-bearing cost-model entry by
-   ±50% and verify the headline orderings survive, i.e. the conclusions are
-   not artifacts of the calibration constants.
+   by the mechanism the paper credits.  These stay here: they compare
+   *modified* cost models, outside the spec's fixed grid.
+2. **Robustness sweep** — the ``ablation_robustness`` experiment spec:
+   perturb each load-bearing cost-model entry by ±50% and verify the
+   headline orderings survive, i.e. the conclusions are not artifacts of
+   the calibration constants.
 3. Wall-clock benches of the ablated configurations.
 """
 
@@ -16,10 +18,14 @@ import pytest
 
 from benchmarks.conftest import record_figure
 from repro.bench import measure_hello_world
+from repro.bench.ablation import PERTURBED_ENTRIES, orderings_hold
 from repro.container import SecurityMode
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 from repro.sim.costs import CostModel
 
 BASE = CostModel()
+SPEC = get_spec("ablation_robustness")
 
 
 def hello(stack: str, mode=SecurityMode.NONE, costs: CostModel | None = None):
@@ -66,45 +72,6 @@ class TestMechanismAblations:
         assert signed_free["Get"] < 2 * plain["Get"]
 
 
-#: The entries the headline results lean on.
-PERTURBED_ENTRIES = (
-    "db_read",
-    "db_update",
-    "db_insert",
-    "db_delete",
-    "cache_hit",
-    "notify_http_overhead",
-    "notify_tcp_overhead",
-    "rsa_sign",
-    "soap_dispatch",
-    "lan_latency",
-    "xml_parse_per_kb",
-)
-
-
-def _orderings_hold(costs: CostModel) -> list[str]:
-    """Return the list of violated headline orderings under ``costs``.
-
-    Note the deliberate scope: Create-vs-Set is *not* checked here because
-    it is genuinely calibration-sensitive — WS-Transfer's Set pays
-    read+update, so "Create is slowest" requires insert ≳ read+update,
-    which held for Xindice but flips if insert cost is halved.  That
-    sensitivity is pinned by ``test_create_vs_set_needs_slow_inserts``.
-    """
-    wsrf = hello("wsrf", costs=costs)
-    transfer = hello("transfer", costs=costs)
-    violations = []
-    for series, label in ((wsrf, "wsrf"), (transfer, "transfer")):
-        for op in ("Get", "Destroy"):
-            if series["Create"] <= series[op]:
-                violations.append(f"{label}: Create <= {op}")
-    if wsrf["Set"] >= transfer["Set"]:
-        violations.append("cache advantage lost")
-    if transfer["Notify"] >= wsrf["Notify"]:
-        violations.append("notify advantage lost")
-    return violations
-
-
 class TestCalibrationRobustness:
     def test_create_vs_set_needs_slow_inserts(self):
         """The one genuinely calibration-sensitive ordering: WS-Transfer's
@@ -121,18 +88,12 @@ class TestCalibrationRobustness:
     @pytest.mark.parametrize("factor", (0.5, 1.5))
     def test_orderings_survive_perturbation(self, entry, factor):
         perturbed = BASE.replace(**{entry: getattr(BASE, entry) * factor})
-        assert _orderings_hold(perturbed) == []
+        assert orderings_hold(perturbed) == []
 
     def test_sweep_summary_recorded(self):
-        table = {}
-        for entry in PERTURBED_ENTRIES:
-            row = {}
-            for factor in (0.5, 1.5):
-                perturbed = BASE.replace(**{entry: getattr(BASE, entry) * factor})
-                row[f"x{factor}"] = float(len(_orderings_hold(perturbed)))
-            table[entry] = row
-        record_figure("Calibration robustness: ordering violations per perturbation", table)
-        assert all(v == 0.0 for row in table.values() for v in row.values())
+        record = run_in_memory(SPEC)
+        record_figure(SPEC.title, SPEC.figure(record))
+        assert evaluate_invariants(SPEC, record) == []
 
 
 class TestWallClock:

@@ -1,134 +1,46 @@
 """MSG-BROKER — §3.1's demand-based publishing claims.
 
-"In total ... a demand based publisher registration interaction can involve
-as many as six separate Web services.  More messages are generated in
+Thin wrapper over the ``brokered_messages`` experiment spec: "In total
+... a demand based publisher registration interaction can involve as
+many as six separate Web services.  More messages are generated in
 response to a demand based publisher scenario than in any other spec, by
-what we estimate to be an order of magnitude at a minimum."
+what we estimate to be an order of magnitude at a minimum."  The message
+explosion claims live in the spec's ``brokered_claims`` predicate; the
+rig and scenario drivers live in :mod:`repro.bench.brokered`.
 """
 
 import pytest
 
 from benchmarks.conftest import record_figure
-from repro.addressing import EndpointReference
-from repro.bench.runner import measure_virtual
-from repro.wsn import (
-    NotificationBrokerService,
-    NotificationConsumer,
-    SubscriptionManagerService,
+from repro.bench.brokered import (
+    build_brokered_rig,
+    run_demand_scenario,
+    run_plain_subscribe,
 )
-from repro.wsn.base import actions as wsnt_actions
-from repro.wsn.broker import PublisherRegistrationManagerService, actions as wsbr_actions
-from repro.wsn.topics import TopicDialect
-from repro.wsrf import ResourceHome
-from repro.wsrf.lifetime import actions as rl_actions
-from repro.xmllib import element, ns
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import cell_values, get_spec
 
-from tests.helpers import make_client, make_deployment, server_container
-from tests.wsn.conftest import EMIT, NS, SensorService
-
-TITLE = "Brokered-notification message counts (per §3.1 scenario)"
-
-
-def build_brokered_rig():
-    deployment = make_deployment()
-    pub_container = server_container(deployment, host="pubhost", name="Pub")
-    pub_manager = SubscriptionManagerService(ResourceHome("pub-subs", deployment.network))
-    pub_container.add_service(pub_manager)
-    publisher = SensorService(ResourceHome("pub-sensor", deployment.network))
-    publisher.subscription_manager = pub_manager
-    pub_container.add_service(publisher)
-
-    broker_container = server_container(deployment, host="brokerhost", name="Broker")
-    broker_manager = SubscriptionManagerService(ResourceHome("broker-subs", deployment.network))
-    broker_container.add_service(broker_manager)
-    registrations = PublisherRegistrationManagerService(
-        ResourceHome("registrations", deployment.network)
-    )
-    broker_container.add_service(registrations)
-    broker = NotificationBrokerService(
-        ResourceHome("broker", deployment.network), broker_manager, registrations
-    )
-    broker_container.add_service(broker)
-
-    client = make_client(deployment)
-    consumer = NotificationConsumer(deployment, "client")
-    return deployment, publisher, broker, client, consumer
-
-
-def run_demand_scenario(deployment, publisher, broker, client, consumer):
-    """Register a demand-based publisher, subscribe, publish, unsubscribe."""
-    register = element(
-        f"{{{ns.WSBR}}}RegisterPublisher",
-        EndpointReference.create(publisher.address).to_xml(f"{{{ns.WSBR}}}PublisherReference"),
-        element(f"{{{ns.WSBR}}}Topic", "readings"),
-        element(f"{{{ns.WSBR}}}Demand", "true"),
-    )
-    client.invoke(broker.epr(), wsbr_actions.REGISTER_PUBLISHER, register)
-    subscribe = element(
-        f"{{{ns.WSNT}}}Subscribe",
-        consumer.epr.to_xml(f"{{{ns.WSNT}}}ConsumerReference"),
-        element(f"{{{ns.WSNT}}}TopicExpression", "readings",
-                attrs={"Dialect": TopicDialect.CONCRETE.value}),
-    )
-    response = client.invoke(broker.epr(), wsnt_actions.SUBSCRIBE, subscribe)
-    subscription = EndpointReference.from_xml(next(response.element_children()))
-    client.invoke(
-        publisher.epr(), EMIT,
-        element(f"{{{NS}}}Emit", element(f"{{{NS}}}Topic", "readings"), element(f"{{{NS}}}Value", "1")),
-    )
-    client.invoke(subscription, rl_actions.DESTROY, element(f"{{{ns.WSRF_RL}}}Destroy"))
-
-
-def run_plain_subscribe(deployment, publisher, client, consumer):
-    body = element(
-        f"{{{ns.WSNT}}}Subscribe",
-        consumer.epr.to_xml(f"{{{ns.WSNT}}}ConsumerReference"),
-        element(f"{{{ns.WSNT}}}TopicExpression", "readings",
-                attrs={"Dialect": TopicDialect.CONCRETE.value}),
-    )
-    client.invoke(publisher.epr(), wsnt_actions.SUBSCRIBE, body)
+SPEC = get_spec("brokered_messages")
 
 
 @pytest.fixture(scope="module")
-def traces():
-    deployment, publisher, broker, client, consumer = build_brokered_rig()
-    plain = measure_virtual(
-        deployment, "plain subscribe",
-        lambda: run_plain_subscribe(deployment, publisher, client, consumer),
-    )
-    demand = measure_virtual(
-        deployment, "demand scenario",
-        lambda: run_demand_scenario(deployment, publisher, broker, client, consumer),
-    )
-    record_figure(
-        TITLE,
-        {
-            "plain Subscribe": {"messages": float(plain.messages), "services": float(len(plain.services_touched)), "virtual ms": plain.elapsed_ms},
-            "demand-based scenario": {"messages": float(demand.messages), "services": float(len(demand.services_touched)), "virtual ms": demand.elapsed_ms},
-        },
-    )
-    return plain, demand
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
+    return rec
 
 
 class TestPaperClaims:
-    def test_many_more_messages(self, traces):
-        plain, demand = traces
-        assert demand.messages >= 5 * plain.messages
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
 
-    def test_multiple_services_involved(self, traces):
-        _, demand = traces
-        # Wire-visible endpoints: publisher, publisher's manager, broker,
-        # broker's manager, consumer sink (registration manager is an
-        # in-container create, not a wire target).
-        assert len(demand.services_touched) >= 4
-
-    def test_single_service_for_plain_subscribe(self, traces):
-        plain, _ = traces
-        assert len(plain.services_touched) == 1
+    def test_order_of_magnitude_gap_in_virtual_time(self, record):
+        values = cell_values(record, workload="brokered")
+        assert values["demand"]["virtual_ms"] > values["plain"]["virtual_ms"]
 
 
 class TestWallClock:
-    def test_bench_demand_scenario(self, benchmark, traces):
+    def test_bench_demand_scenario(self, benchmark, record):
         def scenario():
             deployment, publisher, broker, client, consumer = build_brokered_rig()
             run_demand_scenario(deployment, publisher, broker, client, consumer)

@@ -1,95 +1,41 @@
 """Datagrid replica staging — the declared-services sweep (extension; no
 figure in the paper).
 
-Runs the fixed replica-staging workload through the generated
-ReplicaCatalog/DataTransfer services on both stacks across the six
-security×placement cells and pins the layered framework's claims: shared
-logic means identical source decisions and identical ``link`` charges
-everywhere, with only the wire cost varying per stack/cell.  The same
-sweep is byte-committed as ``results/BENCH_datagrid.json`` and diffed by
-``scripts/check.sh``; regenerate with
-``python -m repro datagrid --json results/BENCH_datagrid.json``.
+Thin wrapper over the ``datagrid`` experiment spec: the fixed
+replica-staging workload through the generated ReplicaCatalog /
+DataTransfer services on both stacks across the six security×placement
+cells.  The layered framework's claims — shared logic means identical
+source decisions and identical ``link`` charges everywhere, with only
+the wire cost varying per stack/cell — are the spec's invariants.  The
+same sweep is byte-committed as ``results/BENCH_datagrid.json`` and
+gated by ``scripts/check.sh``.
 """
-
-import json
-import os
 
 import pytest
 
-from benchmarks.conftest import record_figure
+from benchmarks.conftest import record_figure, write_spec_artifacts
 from repro.apps.datagrid import DatagridScenario
-from repro.bench.datagrid import EXPECTED_SOURCES, STACKS, run_staging, sweep
+from repro.bench.datagrid import STACKS, run_staging
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
-TITLE = "Datagrid replica staging (virtual ms per cell)"
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
-BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_datagrid.json")
+SPEC = get_spec("datagrid")
 
 
 @pytest.fixture(scope="module")
-def datagrid_report():
-    report = sweep()
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    record_figure(
-        TITLE,
-        {
-            cell: {stack: row["virtual_ms"] for stack, row in stacks.items()}
-            for cell, stacks in report["cells"].items()
-        },
-    )
-    return report
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
+    write_spec_artifacts(SPEC, rec)
+    return rec
 
 
 class TestSharedLogicInvariants:
-    def test_source_decisions_identical_everywhere(self, datagrid_report):
-        for cell, stacks in datagrid_report["cells"].items():
-            for stack, row in stacks.items():
-                assert row["sources"] == EXPECTED_SOURCES, (cell, stack)
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
 
-    def test_link_charges_identical_everywhere(self, datagrid_report):
-        # 40 (LAN replicate) + 400 (WAN replicate) + 40 (same-site
-        # stage-in) + 0 (local stage-in): pure host-name topology, blind
-        # to stack, security and placement.
-        for cell, stacks in datagrid_report["cells"].items():
-            for stack, row in stacks.items():
-                assert row["link_ms"] == 480.0, (cell, stack)
-
-    def test_catalog_state_identical_everywhere(self, datagrid_report):
-        rows = [
-            row
-            for stacks in datagrid_report["cells"].values()
-            for row in stacks.values()
-        ]
-        for row in rows:
-            assert row["events_replicas"] == ["se1.cern", "se1.fnal", "se2.cern"]
-            assert row["se1.cern_files"] == ["lfn:calib", "lfn:events"]
-
-    def test_message_counts_match_across_stacks(self, datagrid_report):
-        # Same declared ops, same out-calls: one request/response pair per
-        # operation on either wire idiom.
-        for cell, stacks in datagrid_report["cells"].items():
-            counts = {row["messages"] for row in stacks.values()}
-            assert len(counts) == 1, cell
-
-
-class TestWireCostShape:
-    def test_security_costs_dominate(self, datagrid_report):
-        cells = datagrid_report["cells"]
-        for stack in STACKS:
-            none = cells["co-located/none"][stack]["virtual_ms"]
-            x509 = cells["co-located/x509"][stack]["virtual_ms"]
-            https = cells["co-located/https"][stack]["virtual_ms"]
-            assert x509 > https > none
-
-    def test_distribution_adds_wire_time(self, datagrid_report):
-        cells = datagrid_report["cells"]
-        for mode in ("none", "x509", "https"):
-            for stack in STACKS:
-                colocated = cells[f"co-located/{mode}"][stack]["virtual_ms"]
-                distributed = cells[f"distributed/{mode}"][stack]["virtual_ms"]
-                assert distributed > colocated
+    def test_all_twelve_cells_measured(self, record):
+        assert len(record.cells) == 12
 
 
 class TestWallClock:

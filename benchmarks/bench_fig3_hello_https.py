@@ -1,27 +1,34 @@
 """FIG3 — Figure 3: "Hello World" over HTTPS.
 
-The paper's observation: "Due to socket caching, HTTPS performance is much
-faster" — with resumed TLS sessions the figure looks like the no-security
+Thin wrapper over the ``fig3_hello_https`` experiment spec.  The common
+hello-world shape lives in the spec's invariants; what stays here are the
+*cross-spec* claims — "Due to socket caching, HTTPS performance is much
+faster": with resumed TLS sessions the figure looks like the no-security
 one plus a modest per-KB delta, nothing like the X.509 signing figure.
 """
 
 import pytest
 
-from benchmarks._hello_common import CO_WSRF, CO_WXF, assert_common_hello_shape
 from benchmarks.conftest import record_figure
 from repro.apps.counter.deploy import CounterScenario, build_transfer_rig, build_wsrf_rig
 from repro.bench import hello_world_figure
 from repro.container import SecurityMode
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
 MODE = SecurityMode.HTTPS
-TITLE = "Figure 3: Hello World, HTTPS"
+SPEC = get_spec("fig3_hello_https")
+
+CO_WSRF = "Co-located WSRF.NET"
+CO_WXF = "Co-located WS-Transfer / WS-Eventing"
 
 
 @pytest.fixture(scope="module")
 def figure():
-    fig = hello_world_figure(MODE)
-    record_figure(TITLE, fig)
-    return fig
+    rec = run_in_memory(SPEC)
+    fig = SPEC.figure(rec)
+    record_figure(SPEC.title, fig)
+    return rec, fig
 
 
 @pytest.fixture(scope="module")
@@ -30,14 +37,16 @@ def nosec_figure():
 
 
 class TestShape:
-    def test_common_shape(self, figure):
-        assert_common_hello_shape(figure)
+    def test_spec_invariants_hold(self, figure):
+        rec, _ = figure
+        assert evaluate_invariants(SPEC, rec) == []
 
     def test_https_close_to_nosec_thanks_to_session_cache(self, figure, nosec_figure):
         """Warm HTTPS adds only a small delta over plain HTTP."""
+        _, fig = figure
         for series_label in (CO_WSRF, CO_WXF):
             for op in ("Get", "Set", "Create", "Destroy"):
-                delta = figure[series_label][op] - nosec_figure[series_label][op]
+                delta = fig[series_label][op] - nosec_figure[series_label][op]
                 assert 0 <= delta < 8.0
 
     def test_cold_handshake_would_dominate(self):

@@ -1,28 +1,35 @@
 """FIG4 — Figure 4: "Hello World" with X.509 signing of request + response.
 
-"The overhead of the security processing is so large that the performance
-differences between the two underlying systems tend to fade in
-significance" — every bar is several times its Figure 2 counterpart, and
-the cross-stack gaps shrink in relative terms.
+Thin wrapper over the ``fig4_hello_x509`` experiment spec.  The common
+hello-world shape lives in the spec's invariants; what stays here are the
+cross-spec claims — "The overhead of the security processing is so large
+that the performance differences between the two underlying systems tend
+to fade in significance": every bar is several times its Figure 2
+counterpart, and the cross-stack gaps shrink in relative terms.
 """
 
 import pytest
 
-from benchmarks._hello_common import CO_WSRF, CO_WXF, assert_common_hello_shape
 from benchmarks.conftest import record_figure
 from repro.apps.counter.deploy import CounterScenario, build_transfer_rig, build_wsrf_rig
 from repro.bench import hello_world_figure
 from repro.container import SecurityMode
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
 MODE = SecurityMode.X509
-TITLE = "Figure 4: Hello World, X.509 signing"
+SPEC = get_spec("fig4_hello_x509")
+
+CO_WSRF = "Co-located WSRF.NET"
+CO_WXF = "Co-located WS-Transfer / WS-Eventing"
 
 
 @pytest.fixture(scope="module")
 def figure():
-    fig = hello_world_figure(MODE)
-    record_figure(TITLE, fig)
-    return fig
+    rec = run_in_memory(SPEC)
+    fig = SPEC.figure(rec)
+    record_figure(SPEC.title, fig)
+    return rec, fig
 
 
 @pytest.fixture(scope="module")
@@ -31,23 +38,26 @@ def nosec_figure():
 
 
 class TestShape:
-    def test_common_shape(self, figure):
-        assert_common_hello_shape(figure)
+    def test_spec_invariants_hold(self, figure):
+        rec, _ = figure
+        assert evaluate_invariants(SPEC, rec) == []
 
     def test_signing_dominates(self, figure, nosec_figure):
         """Every operation is at least 3x its no-security time."""
+        _, fig = figure
         for label in (CO_WSRF, CO_WXF):
             for op in ("Get", "Set", "Create", "Destroy", "Notify"):
-                assert figure[label][op] > 3 * nosec_figure[label][op]
+                assert fig[label][op] > 3 * nosec_figure[label][op]
 
     def test_relative_differences_fade(self, figure, nosec_figure):
         """Percentage-wise gaps between the stacks shrink under signing."""
+        _, fig = figure
         for op in ("Get", "Set"):
             gap_nosec = abs(nosec_figure[CO_WSRF][op] - nosec_figure[CO_WXF][op]) / max(
                 nosec_figure[CO_WSRF][op], nosec_figure[CO_WXF][op]
             )
-            gap_signed = abs(figure[CO_WSRF][op] - figure[CO_WXF][op]) / max(
-                figure[CO_WSRF][op], figure[CO_WXF][op]
+            gap_signed = abs(fig[CO_WSRF][op] - fig[CO_WXF][op]) / max(
+                fig[CO_WSRF][op], fig[CO_WXF][op]
             )
             assert gap_signed < gap_nosec
 

@@ -1,9 +1,10 @@
 """FIG6 — Figure 6: Grid-in-a-Box performance comparison.
 
-Six measured client operations under X.509 signing.  The paper's reading:
-"The greatest factor influencing the performance of individual operations
-is the number of web service outcalls (and message signings) triggered on
-the server" — asserted below via the metrics traces.
+Thin wrapper over the ``fig6_giab`` experiment spec.  Six measured client
+operations under X.509 signing; the paper's reading — "The greatest
+factor influencing the performance of individual operations is the
+number of web service outcalls (and message signings) triggered on the
+server" — is asserted by the spec's ``giab_claims`` predicate.
 """
 
 import pytest
@@ -11,96 +12,32 @@ import pytest
 from benchmarks.conftest import record_figure
 from repro.apps.giab import build_transfer_vo, build_wsrf_vo
 from repro.apps.giab.jobs import JobSpec
-from repro.bench.giab import GIAB_OPS, measure_giab
+from repro.bench.giab import GIAB_OPS
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import fig6_analysis_figure, get_spec
 
-TITLE = "Figure 6: Grid-in-a-Box comparison (X.509 signing)"
+SPEC = get_spec("fig6_giab")
 
 
 @pytest.fixture(scope="module")
-def figure():
-    wsrf_results, wsrf_traces = measure_giab("wsrf", with_traces=True)
-    wxf_results, wxf_traces = measure_giab("transfer", with_traces=True)
-    fig = {
-        "WS-Transfer / WS-Eventing": wxf_results,
-        "WSRF.NET": wsrf_results,
-    }
-    record_figure(TITLE, fig)
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
     # The analysis behind the figure: per-operation message/signing counts.
     record_figure(
         "Figure 6 analysis: messages (and signatures) per operation",
-        {
-            "WS-Transfer messages": {op: float(t.messages) for op, t in wxf_traces.items()},
-            "WS-Transfer signatures": {op: float(t.signatures) for op, t in wxf_traces.items()},
-            "WSRF.NET messages": {op: float(t.messages) for op, t in wsrf_traces.items()},
-            "WSRF.NET signatures": {op: float(t.signatures) for op, t in wsrf_traces.items()},
-        },
+        fig6_analysis_figure(rec),
     )
-    return fig, wsrf_traces, wxf_traces
+    return rec
 
 
 class TestShape:
-    def test_all_six_operations_measured(self, figure):
-        fig, _, _ = figure
-        for series in fig.values():
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
+
+    def test_all_six_operations_measured(self, record):
+        for series in SPEC.figure(record).values():
             assert set(series) == set(GIAB_OPS)
-
-    def test_delete_file_single_call_comparable(self, figure):
-        """"The Delete File operation involves a single call in both
-        implementations ... the results of these operations are comparable."""
-        fig, wsrf_traces, wxf_traces = figure
-        assert wsrf_traces["Delete File"].messages == 2  # request + response
-        assert wxf_traces["Delete File"].messages == 2
-        a = fig["WSRF.NET"]["Delete File"]
-        b = fig["WS-Transfer / WS-Eventing"]["Delete File"]
-        assert max(a, b) / min(a, b) < 1.3
-
-    def test_upload_file_pair_of_calls_comparable(self, figure):
-        """Upload File "requires a pair of calls in both"."""
-        fig, wsrf_traces, wxf_traces = figure
-        assert wsrf_traces["Upload File"].messages == 4  # 2 calls × (req+resp)
-        assert wxf_traces["Upload File"].messages == 4
-        a = fig["WSRF.NET"]["Upload File"]
-        b = fig["WS-Transfer / WS-Eventing"]["Upload File"]
-        assert max(a, b) / min(a, b) < 1.3
-
-    def test_instantiate_job_wsrf_needs_more_outcalls(self, figure):
-        """"the WSRF implementation requires several more outcalls to
-        Instantiate a Job than the WS-Transfer version"."""
-        fig, wsrf_traces, wxf_traces = figure
-        assert wsrf_traces["Instantiate Job"].messages > wxf_traces["Instantiate Job"].messages + 2
-        assert (
-            fig["WSRF.NET"]["Instantiate Job"]
-            > 1.4 * fig["WS-Transfer / WS-Eventing"]["Instantiate Job"]
-        )
-
-    def test_unreserve_free_on_wsrf(self, figure):
-        """"Un-reserving a resource also happens automatically in the WSRF
-        version (so no time is reported)."""
-        fig, _, _ = figure
-        assert fig["WSRF.NET"]["Unreserve Resource"] == 0.0
-        assert fig["WS-Transfer / WS-Eventing"]["Unreserve Resource"] > 0
-
-    def test_signings_track_outcalls(self, figure):
-        """More messages ⇒ more signings ⇒ more time (§4.2.3)."""
-        _, wsrf_traces, _ = figure
-        ordered = sorted(
-            (t for t in wsrf_traces.values()),
-            key=lambda t: t.messages,
-        )
-        assert ordered[0].signatures <= ordered[-1].signatures
-        assert wsrf_traces["Instantiate Job"].signatures >= 8
-
-    def test_instantiate_dominated_by_design_not_specs(self, figure):
-        """"The performance differences between individual spec-defined
-        operations are small enough, that the overall design of a system
-        dictates how fast it will run": the cross-stack Instantiate gap is
-        far larger than any single-operation gap in Figure 4."""
-        fig, _, _ = figure
-        gap = (
-            fig["WSRF.NET"]["Instantiate Job"]
-            - fig["WS-Transfer / WS-Eventing"]["Instantiate Job"]
-        )
-        assert gap > 100  # several whole signed round trips
 
 
 class TestWallClock:
@@ -112,7 +49,7 @@ class TestWallClock:
     def transfer_vo(self):
         return build_transfer_vo()
 
-    def test_bench_wsrf_get_available(self, benchmark, figure, wsrf_vo):
+    def test_bench_wsrf_get_available(self, benchmark, record, wsrf_vo):
         benchmark(lambda: wsrf_vo.client.get_available_resources("sort"))
 
     def test_bench_transfer_get_available(self, benchmark, transfer_vo):

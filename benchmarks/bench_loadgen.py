@@ -1,87 +1,44 @@
 """Loadgen — offered load vs latency under the kernel (extension; no
 figure in the paper).
 
-Sweeps open-loop Poisson arrivals over both stacks in the paper's
-hardest mode (X.509 signing, distributed placement) and records the
-trajectory ROADMAP item 3 tracks: p50/p95/p99 latency, virtual
-throughput and messages/sec, and the server host's high-water queue
-depth at each offered load.  The sweep is fully seeded — every number
-derives from the virtual clock — so ``results/BENCH_loadgen.json`` is
-byte-reproducible and ``scripts/check.sh`` diffs a fresh regeneration
-against the committed file.
+Thin wrapper over the ``loadgen`` experiment spec: open-loop Poisson
+arrivals over both stacks in the paper's hardest mode (X.509 signing,
+distributed placement), recording the trajectory ROADMAP item 3 tracks —
+p50/p95/p99 latency, virtual throughput and messages/sec, and the server
+host's high-water queue depth at each offered load.  Monotone p95
+growth, saturation and queue-depth claims are the spec's invariants.
+The sweep is fully seeded, so ``results/BENCH_loadgen.json`` is
+byte-reproducible and gated by ``scripts/check.sh``.
 
 Run via pytest (adds a wall-clock benchmark of one loaded run) or
 ``python -m repro loadgen``.
 """
 
-import json
-import os
-
 import pytest
 
-from benchmarks.conftest import record_figure
-from repro.bench.loadgen import BENCH_RATES, STACKS, run_load, sweep
+from benchmarks.conftest import record_figure, write_spec_artifacts
+from repro.bench.loadgen import BENCH_RATES, STACKS, run_load
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
-TITLE = "Open-loop load: offered load vs p95 latency (X.509, distributed)"
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
-BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_loadgen.json")
+SPEC = get_spec("loadgen")
 
 
 @pytest.fixture(scope="module")
-def loadgen_report():
-    report = sweep()
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    record_figure(
-        TITLE,
-        {
-            stack: {
-                f"{row['offered_per_sec']:g}/s": row["latency"]["p95_ms"]
-                for row in rows
-            }
-            for stack, rows in report["stacks"].items()
-        },
-    )
-    return report
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
+    write_spec_artifacts(SPEC, rec)
+    return rec
 
 
 class TestTrajectoryShape:
-    def test_at_least_three_points_per_stack(self, loadgen_report):
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
+
+    def test_three_points_per_stack(self, record):
         for stack in STACKS:
-            assert len(loadgen_report["stacks"][stack]) >= 3
-
-    def test_every_request_accounted_for(self, loadgen_report):
-        n = loadgen_report["config"]["requests_per_point"]
-        for rows in loadgen_report["stacks"].values():
-            for row in rows:
-                assert row["completed"] + row["rejected"] + row["failed"] == n
-                assert row["failed"] == 0
-
-    def test_p95_grows_with_offered_load(self, loadgen_report):
-        # Open loop: pushing past the service rate must lengthen the queue,
-        # so p95 latency is strictly increasing across the swept rates.
-        for rows in loadgen_report["stacks"].values():
-            p95s = [row["latency"]["p95_ms"] for row in rows]
-            assert p95s == sorted(p95s)
-            assert p95s[-1] > 2 * p95s[0]
-
-    def test_throughput_saturates(self, loadgen_report):
-        # Doubling offered load from the middle to the top rate must not
-        # double completions/sec — the single worker is the bottleneck.
-        for rows in loadgen_report["stacks"].values():
-            mid, top = rows[-2], rows[-1]
-            assert top["throughput_per_sec"] < 1.5 * mid["throughput_per_sec"]
-
-    def test_queue_depth_rises_with_load(self, loadgen_report):
-        for rows in loadgen_report["stacks"].values():
-            depths = [max(row["max_queue_depth"].values()) for row in rows]
-            assert depths[-1] > depths[0]
-
-    def test_queueing_delay_observed_under_saturation(self, loadgen_report):
-        for rows in loadgen_report["stacks"].values():
-            assert rows[-1]["queueing"]["p95_ms"] > 0
+            assert sum(1 for cell in record.cells if cell.params["stack"] == stack) == 3
 
 
 class TestWallClock:

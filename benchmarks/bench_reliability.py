@@ -1,134 +1,61 @@
 """RELIAB — both stacks under a lossy wire (extension, DESIGN §9).
 
-Sweeps the counter-notification path and the Grid-in-a-Box job path on
-both stacks across {0, 1, 5, 10}% message loss (plus the duplication /
-reset / delay mix of ``FaultSpec.lossy``), with the WS-RM layer armed.
-Expected shape: every cell's accounting ledger closes (delivered +
-dead-lettered == assigned — nothing silently lost), clean-wire cells pay
-zero reliability overhead, lossy cells pay latency for retransmission +
-backoff, and every cell reproduces exactly under the same seed.
+Thin wrapper over the ``reliability_counter`` and ``reliability_giab``
+experiment specs: the counter-notification path and the Grid-in-a-Box
+job path on both stacks across {0, 1, 5, 10}% message loss (plus the
+duplication / reset / delay mix of ``FaultSpec.lossy``), with the WS-RM
+layer armed.  Ledger closure, zero clean-wire overhead, latency cost
+under loss and retransmission activity are the specs' invariants; the
+same-seed determinism contract stays pinned here.
 """
 
 import pytest
 
 from benchmarks.conftest import record_figure
-from repro.bench.reliability import (
-    LOSS_RATES,
-    run_counter_reliability,
-    run_giab_reliability,
-)
+from repro.bench.reliability import run_counter_reliability, run_giab_reliability
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
-STACKS = ("wsrf", "transfer")
-LABELS = {"wsrf": "WSRF.NET", "transfer": "WS-Transfer"}
-
-
-def _figure(cells):
-    clean = {stack: cells[(stack, 0.0)].virtual_ms for stack in STACKS}
-    return {
-        f"{LABELS[stack]} @ {rate:.0%} loss": {
-            "virtual ms": cell.virtual_ms,
-            "overhead x": cell.virtual_ms / clean[stack],
-            "delivered": float(cell.notifications_delivered),
-            "retransmits": float(
-                cell.notification_retransmissions + cell.request_retransmissions
-            ),
-            "dup suppressed": float(cell.duplicates_suppressed),
-            "dead-lettered": float(cell.dead_letters_total),
-        }
-        for (stack, rate), cell in cells.items()
-    }
+COUNTER_SPEC = get_spec("reliability_counter")
+GIAB_SPEC = get_spec("reliability_giab")
 
 
 @pytest.fixture(scope="module")
-def counter_cells():
-    cells = {
-        (stack, rate): run_counter_reliability(stack, rate)
-        for stack in STACKS
-        for rate in LOSS_RATES
-    }
-    record_figure("Reliability: counter notifications under loss", _figure(cells))
-    return cells
+def counter_record():
+    rec = run_in_memory(COUNTER_SPEC)
+    record_figure(COUNTER_SPEC.title, COUNTER_SPEC.figure(rec))
+    return rec
 
 
 @pytest.fixture(scope="module")
-def giab_cells():
-    cells = {
-        (stack, rate): run_giab_reliability(stack, rate)
-        for stack in STACKS
-        for rate in LOSS_RATES
-    }
-    record_figure("Reliability: GiaB job flow under loss (X.509)", _figure(cells))
-    return cells
+def giab_record():
+    rec = run_in_memory(GIAB_SPEC)
+    record_figure(GIAB_SPEC.title, GIAB_SPEC.figure(rec))
+    return rec
 
 
 class TestLedger:
     """The acceptance bar: zero lost-and-unreported messages anywhere."""
 
-    def test_counter_ledger_closes_in_every_cell(self, counter_cells):
-        for cell in counter_cells.values():
-            assert cell.ledger_closed, (cell.stack, cell.loss_rate)
+    def test_counter_spec_invariants_hold(self, counter_record):
+        assert evaluate_invariants(COUNTER_SPEC, counter_record) == []
 
-    def test_giab_ledger_closes_in_every_cell(self, giab_cells):
-        for cell in giab_cells.values():
-            assert cell.ledger_closed, (cell.stack, cell.loss_rate)
-
-    def test_dead_letters_all_observable(self, counter_cells, giab_cells):
-        """Anything not delivered is in the dead-letter log, nowhere else."""
-        for cell in list(counter_cells.values()) + list(giab_cells.values()):
-            undelivered = cell.notifications_assigned - cell.notifications_delivered
-            assert undelivered <= cell.dead_letters_total
-
-
-class TestShape:
-    def test_clean_wire_has_zero_reliability_overhead(self, counter_cells, giab_cells):
-        for cells in (counter_cells, giab_cells):
-            for stack in STACKS:
-                cell = cells[(stack, 0.0)]
-                assert cell.completed == cell.operations
-                assert cell.notification_retransmissions == 0
-                assert cell.request_retransmissions == 0
-                assert cell.duplicates_suppressed == 0
-                assert cell.dead_letters_total == 0
-
-    def test_all_operations_survive_every_loss_rate(self, counter_cells, giab_cells):
-        """With the bench retry policy, 10% loss loses no operation."""
-        for cells in (counter_cells, giab_cells):
-            for cell in cells.values():
-                assert cell.completed == cell.operations, (cell.stack, cell.loss_rate)
-
-    def test_loss_costs_latency(self, counter_cells, giab_cells):
-        for cells in (counter_cells, giab_cells):
-            for stack in STACKS:
-                clean = cells[(stack, 0.0)].virtual_ms
-                for rate in LOSS_RATES[1:]:
-                    assert cells[(stack, rate)].virtual_ms > clean
-
-    def test_retransmissions_appear_under_heavy_loss(self, counter_cells, giab_cells):
-        for cells in (counter_cells, giab_cells):
-            for stack in STACKS:
-                for rate in (0.05, 0.10):
-                    cell = cells[(stack, rate)]
-                    total = (
-                        cell.notification_retransmissions
-                        + cell.request_retransmissions
-                    )
-                    assert total > 0, (cell.stack, rate)
-
-    def test_injector_actually_misbehaved(self, counter_cells):
-        cell = counter_cells[("wsrf", 0.10)]
-        assert cell.messages_lost + cell.connections_reset > 0
+    def test_giab_spec_invariants_hold(self, giab_record):
+        assert evaluate_invariants(GIAB_SPEC, giab_record) == []
 
 
 class TestDeterminism:
     """DESIGN §9's contract: same seed + same ops ⇒ identical results."""
 
-    def test_counter_cell_reproduces_exactly(self, counter_cells):
+    def test_counter_cell_reproduces_exactly(self):
+        first = run_counter_reliability("wsrf", 0.10)
         again = run_counter_reliability("wsrf", 0.10)
-        assert again.fingerprint == counter_cells[("wsrf", 0.10)].fingerprint
+        assert again.fingerprint == first.fingerprint
 
-    def test_giab_cell_reproduces_exactly(self, giab_cells):
+    def test_giab_cell_reproduces_exactly(self):
+        first = run_giab_reliability("transfer", 0.10)
         again = run_giab_reliability("transfer", 0.10)
-        assert again.fingerprint == giab_cells[("transfer", 0.10)].fingerprint
+        assert again.fingerprint == first.fingerprint
 
 
 class TestWallClock:

@@ -1,11 +1,13 @@
 """SCALE — scaling characterization (extension; no figure in the paper).
 
-The paper measures single requests on a 2-node VO.  These benches
-characterize how the reproduced systems scale with the quantities a real
-deployment grows: registered hosts (availability queries walk the registry
-and the DB query cost is per-document), notification fan-out (one delivery
-per subscriber), and staged-file size (per-KB costs in transport, signing
-and filesystem).
+Thin wrapper over the ``scaling`` experiment spec.  The paper measures
+single requests on a 2-node VO; the spec characterizes how the
+reproduced systems scale with the quantities a real deployment grows:
+registered hosts (availability queries walk the registry and the DB
+query cost is per-document), notification fan-out (one delivery per
+subscriber), and staged-file size (per-KB costs in transport, signing
+and filesystem).  The monotonicity/linearity claims are the spec's
+``scaling_shapes`` predicate.
 """
 
 import pytest
@@ -13,92 +15,32 @@ import pytest
 from benchmarks.conftest import record_figure
 from repro.apps.counter.deploy import CounterScenario, build_wsrf_rig
 from repro.apps.giab import build_wsrf_vo
-from repro.bench.runner import measure_virtual
 from repro.container import SecurityMode
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
-TITLE = "Scaling characterization (virtual ms)"
-
-
-def availability_time(n_hosts: int) -> float:
-    hosts = {f"node{i:03d}": ["sort"] for i in range(n_hosts)}
-    vo = build_wsrf_vo(mode=SecurityMode.NONE, hosts=hosts)
-    vo.client.get_available_resources("sort")  # warm caches
-    return measure_virtual(
-        vo.deployment, "avail", lambda: vo.client.get_available_resources("sort")
-    ).elapsed_ms
-
-
-def fanout_time(n_subscribers: int) -> float:
-    rig = build_wsrf_rig(CounterScenario())
-    counter = rig.client.create(0)
-    from repro.wsn import NotificationConsumer
-
-    for _ in range(n_subscribers):
-        consumer = NotificationConsumer(rig.deployment, "client")
-        rig.client.subscribe(counter, consumer)
-    return measure_virtual(
-        rig.deployment, "set+notify", lambda: rig.client.set(counter, 1)
-    ).elapsed_ms
-
-
-def upload_time(n_kb: int) -> float:
-    vo = build_wsrf_vo(mode=SecurityMode.NONE)
-    vo.client.make_reservation("node1")
-    directory = vo.client.create_data_directory(vo.nodes["node1"].data_service.address)
-    payload = "x" * (n_kb * 1024)
-    return measure_virtual(
-        vo.deployment, "upload", lambda: vo.client.upload_file(directory, "f", payload)
-    ).elapsed_ms
+SPEC = get_spec("scaling")
 
 
 @pytest.fixture(scope="module")
-def scaling_table():
-    table = {
-        "GetAvailableResources vs hosts": {
-            "2": availability_time(2),
-            "8": availability_time(8),
-            "32": availability_time(32),
-        },
-        "Set+Notify vs subscribers": {
-            "1": fanout_time(1),
-            "4": fanout_time(4),
-            "16": fanout_time(16),
-        },
-        "UploadFile vs KiB": {
-            "16": upload_time(16),
-            "64": upload_time(64),
-            "256": upload_time(256),
-        },
-    }
-    record_figure(TITLE, table)
-    return table
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
+    return rec
 
 
 class TestScalingShapes:
-    def test_availability_grows_sublinearly_but_grows(self, scaling_table):
-        row = scaling_table["GetAvailableResources vs hosts"]
-        assert row["2"] < row["8"] < row["32"]
-        # Per-document query cost: 16x the hosts must not cost 16x the time
-        # (fixed per-call overheads amortize).
-        assert row["32"] < 16 * row["2"]
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
 
-    def test_notification_fanout_linear(self, scaling_table):
-        row = scaling_table["Set+Notify vs subscribers"]
-        assert row["1"] < row["4"] < row["16"]
-        per_sub_4 = (row["4"] - row["1"]) / 3
-        per_sub_16 = (row["16"] - row["4"]) / 12
-        assert per_sub_16 == pytest.approx(per_sub_4, rel=0.5)
-
-    def test_upload_linear_in_size(self, scaling_table):
-        row = scaling_table["UploadFile vs KiB"]
-        assert row["16"] < row["64"] < row["256"]
-        slope_low = (row["64"] - row["16"]) / (64 - 16)
-        slope_high = (row["256"] - row["64"]) / (256 - 64)
-        assert slope_high == pytest.approx(slope_low, rel=0.3)
+    def test_all_three_series_swept(self, record):
+        assert {cell.params["series"] for cell in record.cells} == {
+            "hosts", "subscribers", "kib",
+        }
 
 
 class TestWallClock:
-    def test_bench_availability_32_hosts(self, benchmark, scaling_table):
+    def test_bench_availability_32_hosts(self, benchmark, record):
         hosts = {f"node{i:03d}": ["sort"] for i in range(32)}
         vo = build_wsrf_vo(mode=SecurityMode.NONE, hosts=hosts)
         benchmark(lambda: vo.client.get_available_resources("sort"))

@@ -1,8 +1,9 @@
 """SCEN-6 — §4.1.3: the full six-scenario matrix in one sweep.
 
-One table: every (scenario × stack) row over the five counter operations.
-This is the complete data behind Figures 2-4 plus the cross-scenario
-comparisons §4.1.3 makes in prose.
+Thin wrapper over the ``scenarios_sweep`` experiment spec: every
+(scenario × stack) row over the five counter operations — the complete
+data behind Figures 2-4 plus the cross-scenario comparisons §4.1.3 makes
+in prose, declared as the spec's ordering invariants.
 """
 
 import pytest
@@ -10,69 +11,29 @@ import pytest
 from benchmarks.conftest import record_figure
 from repro.bench import measure_hello_world
 from repro.container import SecurityMode
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
-TITLE = "Six-scenario sweep: all counter operations"
-
-SCENARIOS = [
-    (mode, colocated)
-    for mode in (SecurityMode.NONE, SecurityMode.X509, SecurityMode.HTTPS)
-    for colocated in (True, False)
-]
-
-
-def _label(mode: SecurityMode, colocated: bool, stack: str) -> str:
-    placement = "co-located" if colocated else "distributed"
-    stack_name = "WSRF.NET" if stack == "wsrf" else "WS-Transfer"
-    return f"{mode.value}/{placement}/{stack_name}"
+SPEC = get_spec("scenarios_sweep")
 
 
 @pytest.fixture(scope="module")
-def sweep():
-    table = {}
-    for mode, colocated in SCENARIOS:
-        for stack in ("transfer", "wsrf"):
-            table[_label(mode, colocated, stack)] = measure_hello_world(stack, mode, colocated)
-    record_figure(TITLE, table)
-    return table
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
+    return rec
 
 
 class TestSweepShape:
-    def test_all_twelve_rows_present(self, sweep):
-        assert len(sweep) == 12
+    def test_all_twelve_rows_present(self, record):
+        assert len(SPEC.figure(record)) == 12
 
-    def test_x509_is_the_slowest_scenario_everywhere(self, sweep):
-        for colocated in (True, False):
-            for stack in ("transfer", "wsrf"):
-                for op in ("Get", "Set", "Create", "Destroy", "Notify"):
-                    signed = sweep[_label(SecurityMode.X509, colocated, stack)][op]
-                    for other in (SecurityMode.NONE, SecurityMode.HTTPS):
-                        assert signed > sweep[_label(other, colocated, stack)][op]
-
-    def test_https_between_none_and_x509(self, sweep):
-        for stack in ("transfer", "wsrf"):
-            for op in ("Get", "Set"):
-                none = sweep[_label(SecurityMode.NONE, True, stack)][op]
-                https = sweep[_label(SecurityMode.HTTPS, True, stack)][op]
-                x509 = sweep[_label(SecurityMode.X509, True, stack)][op]
-                assert none < https < x509
-
-    def test_security_processing_dominates_x509(self, sweep):
-        """Adding security "makes percentage wise differences in
-        performance between the two implementations even less notable"."""
-        for op in ("Get", "Set"):
-            nosec_gap = abs(
-                sweep[_label(SecurityMode.NONE, True, "wsrf")][op]
-                - sweep[_label(SecurityMode.NONE, True, "transfer")][op]
-            ) / sweep[_label(SecurityMode.NONE, True, "transfer")][op]
-            signed_gap = abs(
-                sweep[_label(SecurityMode.X509, True, "wsrf")][op]
-                - sweep[_label(SecurityMode.X509, True, "transfer")][op]
-            ) / sweep[_label(SecurityMode.X509, True, "transfer")][op]
-            assert signed_gap < nosec_gap
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
 
 
 class TestWallClock:
-    def test_bench_full_sweep(self, benchmark, sweep):
+    def test_bench_full_sweep(self, benchmark, record):
         benchmark.pedantic(
             lambda: measure_hello_world("wsrf", SecurityMode.NONE, True),
             rounds=3,

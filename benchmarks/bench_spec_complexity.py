@@ -1,85 +1,41 @@
 """TAB-SPEC — §2.3/§3.3 qualitative comparison, quantified.
 
-The paper has no numbered table here, but it argues from the relative size
-of the two specification sets ("WS-Transfer is a less complex specification
-than WSRF (in terms of the number and scope of functions defined)").  This
-bench counts the spec-defined operations each stack's implementation
-carries and records them as a table.
+Thin wrapper over the ``spec_complexity`` experiment spec.  The paper has
+no numbered table here, but it argues from the relative size of the two
+specification sets ("WS-Transfer is a less complex specification than
+WSRF (in terms of the number and scope of functions defined)"); the spec
+counts the spec-defined operations each stack's implementation carries
+and pins the per-specification counts as invariants.
 """
 
 import pytest
 
 from benchmarks.conftest import record_figure
-from repro.eventing.source import actions as wse_actions
-from repro.transfer.service import actions as wxf_actions
-from repro.wsn.base import actions as wsnt_actions
-from repro.wsn.broker import actions as wsbr_actions
-from repro.wsrf.lifetime import actions as rl_actions
-from repro.wsrf.properties import actions as rp_actions
-from repro.wsrf.servicegroup import actions as sg_actions
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
-TITLE = "Spec complexity: operations defined per stack"
-
-
-def _count(actions_class) -> int:
-    return sum(
-        1 for name, value in vars(actions_class).items()
-        if not name.startswith("_") and isinstance(value, str)
-    )
-
-
-def spec_operation_counts() -> dict[str, dict[str, float]]:
-    wsrf_specs = {
-        "WS-ResourceProperties": _count(rp_actions),
-        "WS-ResourceLifetime": _count(rl_actions),
-        "WS-ServiceGroup": _count(sg_actions),
-        "WS-BaseNotification": _count(wsnt_actions),
-        "WS-BrokeredNotification": _count(wsbr_actions),
-    }
-    transfer_specs = {
-        "WS-Transfer": _count(wxf_actions),
-        # SUBSCRIPTION_END is an event, not an operation clients invoke.
-        "WS-Eventing": _count(wse_actions) - 1,
-    }
-    return {
-        "WSRF / WS-Notification": {
-            **{k: float(v) for k, v in wsrf_specs.items()},
-            "total": float(sum(wsrf_specs.values())),
-        },
-        "WS-Transfer / WS-Eventing": {
-            **{k: float(v) for k, v in transfer_specs.items()},
-            "total": float(sum(transfer_specs.values())),
-        },
-    }
+SPEC = get_spec("spec_complexity")
 
 
 @pytest.fixture(scope="module")
-def counts():
-    table = spec_operation_counts()
-    record_figure(TITLE, table)
-    return table
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
+    return rec
 
 
 class TestComplexityClaims:
-    def test_wsrf_stack_defines_more_operations(self, counts):
-        assert (
-            counts["WSRF / WS-Notification"]["total"]
-            > counts["WS-Transfer / WS-Eventing"]["total"]
-        )
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
 
-    def test_ws_transfer_has_exactly_four_operations(self, counts):
-        assert counts["WS-Transfer / WS-Eventing"]["WS-Transfer"] == 4
-
-    def test_eventing_core_operations(self, counts):
-        # Subscribe, Renew, GetStatus, Unsubscribe
-        assert counts["WS-Transfer / WS-Eventing"]["WS-Eventing"] == 4
-
-    def test_wsrf_spec_count(self, counts):
-        wsrf = counts["WSRF / WS-Notification"]
-        assert wsrf["WS-ResourceProperties"] == 4
-        assert wsrf["WS-ResourceLifetime"] == 2
+    def test_totals_are_sums_of_parts(self, record):
+        for series in SPEC.figure(record).values():
+            parts = [v for name, v in series.items() if name != "total"]
+            assert series["total"] == sum(parts)
 
 
 class TestWallClock:
-    def test_bench_counting(self, benchmark, counts):
-        benchmark(spec_operation_counts)
+    def test_bench_counting(self, benchmark, record):
+        benchmark(
+            lambda: [SPEC.measure({"stack": stack}, 0) for stack in ("wsrf", "transfer")]
+        )

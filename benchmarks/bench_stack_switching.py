@@ -1,121 +1,41 @@
 """SWITCH — §5's switching question, quantified.
 
-"How easy is it to switch from one stack to the other?"  The facade
-gateways in ``repro.bridge`` make an unmodified client of stack A drive a
-service of stack B; this bench measures what that indirection costs per
-operation, in both directions.
+Thin wrapper over the ``stack_switching`` experiment spec: "How easy is
+it to switch from one stack to the other?"  The facade gateways in
+``repro.bridge`` make an unmodified client of stack A drive a service of
+stack B; the spec measures what that indirection costs per operation, in
+both directions, and pins the cost envelope (always more than native,
+never more than 10x, Set the worst case) as ordering invariants.
 """
 
 import pytest
 
 from benchmarks.conftest import record_figure
-from repro.apps.counter import (
-    CounterScenario,
-    TransferCounterClient,
-    WsrfCounterClient,
-    build_transfer_rig,
-    build_wsrf_rig,
-)
-from repro.bench.runner import measure_virtual
-from repro.bridge import COUNTER_MAPPING, TransferFacadeService, WsrfFacadeService
+from repro.apps.counter import CounterScenario, WsrfCounterClient, build_transfer_rig, build_wsrf_rig
+from repro.bridge import COUNTER_MAPPING, WsrfFacadeService
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
-TITLE = "Stack switching: native vs bridged operation cost"
-
-
-def build_bridged_pair():
-    """(native wsrf client, wsrf client over transfer backing) and the
-    reverse pair, all in independent deployments."""
-    wsrf_rig = build_wsrf_rig(CounterScenario())
-
-    wxf_rig = build_transfer_rig(CounterScenario())
-    gateway = wxf_rig.deployment.add_container(
-        "gateway-host", "Gateway", wxf_rig.deployment.issue_credentials("gw", seed=601)
-    )
-    wsrf_facade = WsrfFacadeService(wxf_rig.service.address, COUNTER_MAPPING)
-    gateway.add_service(wsrf_facade)
-    bridged_wsrf_client = WsrfCounterClient(wxf_rig.client.soap, wsrf_facade.address)
-
-    wsrf_rig2 = build_wsrf_rig(CounterScenario())
-    gateway2 = wsrf_rig2.deployment.add_container(
-        "gateway-host", "Gateway", wsrf_rig2.deployment.issue_credentials("gw", seed=602)
-    )
-    transfer_facade = TransferFacadeService(wsrf_rig2.service.address, COUNTER_MAPPING)
-    gateway2.add_service(transfer_facade)
-    bridged_transfer_client = TransferCounterClient(
-        wsrf_rig2.client.soap, transfer_facade.address
-    )
-
-    wxf_native = build_transfer_rig(CounterScenario())
-    return wsrf_rig, (wxf_rig, bridged_wsrf_client), (wsrf_rig2, bridged_transfer_client), wxf_native
-
-
-def _measure_ops(deployment, client, destroy_name):
-    results = {}
-    counter = client.create(0)
-    results["Get"] = measure_virtual(deployment, "Get", lambda: client.get(counter)).elapsed_ms
-    results["Set"] = measure_virtual(deployment, "Set", lambda: client.set(counter, 7)).elapsed_ms
-    created = {}
-    results["Create"] = measure_virtual(
-        deployment, "Create", lambda: created.update(epr=client.create(0))
-    ).elapsed_ms
-    destroy = getattr(client, destroy_name)
-    results["Destroy"] = measure_virtual(
-        deployment, "Destroy", lambda: destroy(created["epr"])
-    ).elapsed_ms
-    return results
+SPEC = get_spec("stack_switching")
 
 
 @pytest.fixture(scope="module")
-def figure():
-    wsrf_rig, (wxf_rig, bridged_wsrf), (wsrf_rig2, bridged_wxf), wxf_native = build_bridged_pair()
-    fig = {
-        "native WSRF client → WSRF service": _measure_ops(
-            wsrf_rig.deployment, wsrf_rig.client, "destroy"
-        ),
-        "WSRF client → facade → WS-Transfer service": _measure_ops(
-            wxf_rig.deployment, bridged_wsrf, "destroy"
-        ),
-        "native WS-Transfer client → WS-Transfer service": _measure_ops(
-            wxf_native.deployment, wxf_native.client, "delete"
-        ),
-        "WS-Transfer client → facade → WSRF service": _measure_ops(
-            wsrf_rig2.deployment, bridged_wxf, "delete"
-        ),
-    }
-    record_figure(TITLE, fig)
-    return fig
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
+    return rec
 
 
 class TestSwitchingCosts:
-    def test_bridging_always_costs_more(self, figure):
-        for op in ("Get", "Set", "Create", "Destroy"):
-            assert (
-                figure["WSRF client → facade → WS-Transfer service"][op]
-                > figure["native WSRF client → WSRF service"][op]
-            )
-            assert (
-                figure["WS-Transfer client → facade → WSRF service"][op]
-                > figure["native WS-Transfer client → WS-Transfer service"][op]
-            )
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
 
-    def test_bridged_set_is_the_worst_case(self, figure):
-        """The WSRF→Transfer Set pays Get+Put on the backing service."""
-        bridged = figure["WSRF client → facade → WS-Transfer service"]
-        native = figure["native WSRF client → WSRF service"]
-        assert bridged["Set"] > 2.5 * native["Set"]
-
-    def test_bridging_stays_within_an_order_of_magnitude(self, figure):
-        """Switching is expensive but feasible — the §5 takeaway."""
-        for bridged_label, native_label in (
-            ("WSRF client → facade → WS-Transfer service", "native WSRF client → WSRF service"),
-            ("WS-Transfer client → facade → WSRF service", "native WS-Transfer client → WS-Transfer service"),
-        ):
-            for op in ("Get", "Set", "Create", "Destroy"):
-                assert figure[bridged_label][op] < 10 * figure[native_label][op]
+    def test_all_four_routes_measured(self, record):
+        assert len(record.cells) == 4
 
 
 class TestWallClock:
-    def test_bench_native_get(self, benchmark, figure):
+    def test_bench_native_get(self, benchmark, record):
         rig = build_wsrf_rig(CounterScenario())
         counter = rig.client.create(0)
         benchmark(lambda: rig.client.get(counter))

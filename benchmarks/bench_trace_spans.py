@@ -1,10 +1,12 @@
 """TRACE — per-message span trees from the pipeline's TracingFilter.
 
-Every benchmark scenario already emits span trees (the tracing filter
-runs in every chain); this bench turns them into artifacts: a per-stage
-breakdown figure (via the common CSV machinery) plus a full span-tree
-report — ``results/trace_spans_x509.csv`` and ``.json`` — for one signed
-distributed Get and one Notify per stack.
+Thin wrapper over the ``trace_spans`` experiment spec.  Every benchmark
+scenario already emits span trees (the tracing filter runs in every
+chain); the spec turns them into artifacts: a per-stage breakdown figure
+plus a full span-tree report — ``results/trace_spans_x509.csv`` and
+``.json`` — for one signed distributed Get and one Notify per stack.
+Stage coverage, round-trip partition and the security-dominates claim
+are the spec's ``trace_claims`` predicate.
 """
 
 import json
@@ -12,82 +14,33 @@ import os
 
 import pytest
 
-from benchmarks.conftest import record_figure
-from repro.bench import span_figure, span_trees, spans_to_csv, trace_round_trip
-from repro.container import SecurityMode
+from benchmarks.conftest import record_figure, write_spec_artifacts
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
-TITLE = "Trace spans: signed distributed Get per stage"
+SPEC = get_spec("trace_spans")
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 
-STAGES = (
-    "client.send", "wire.request", "server.receive", "dispatch",
-    "server.send", "wire.response", "client.receive",
-)
-
 
 @pytest.fixture(scope="module")
-def figure():
-    fig = span_figure(SecurityMode.X509)
-    record_figure(TITLE, fig)
-    return fig
-
-
-@pytest.fixture(scope="module")
-def trees():
-    return {
-        label: trace_round_trip(stack)
-        for label, stack in (("WS-Transfer / WS-Eventing", "transfer"), ("WSRF.NET", "wsrf"))
-    }
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
+    write_spec_artifacts(SPEC, rec)
+    return rec
 
 
 class TestStageBreakdown:
-    def test_all_figure_1_stages_present(self, figure):
-        for series in figure.values():
-            assert tuple(series) == STAGES
-
-    def test_stages_partition_the_round_trip(self, trees):
-        """Top-level stages account for the whole invoke (no untraced gap:
-        the sim is synchronous, so stage boundaries touch)."""
-        for ops in trees.values():
-            root = ops["Get"]
-            total = sum(child.elapsed_ms for child in root.children)
-            assert abs(total - root.elapsed_ms) < 1e-9
-
-    def test_security_processing_dominates_signed_get(self, figure):
-        """The paper's signing observation, visible inside one message:
-        the four security-bearing stages outweigh the pure wire time."""
-        for series in figure.values():
-            security_stages = (
-                series["client.send"] + series["server.receive"]
-                + series["server.send"] + series["client.receive"]
-            )
-            wire = series["wire.request"] + series["wire.response"]
-            assert security_stages > wire
-
-    def test_notify_tree_present_for_both_stacks(self, trees):
-        for ops in trees.values():
-            notify = ops["Notify"]
-            names = {span.name for _, span in notify.walk()}
-            assert {"notify.deliver", "notify.send", "wire.notify", "notify.receive"} <= names
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
 
 
 class TestSpanReportArtifacts:
-    def test_csv_and_json_reports_land_in_results(self, trees):
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        flat = {
-            f"{label}/{op}": root
-            for label, ops in trees.items()
-            for op, root in ops.items()
-        }
+    def test_csv_and_json_reports_land_in_results(self, record):
         csv_path = os.path.join(RESULTS_DIR, "trace_spans_x509.csv")
-        with open(csv_path, "w", encoding="utf-8") as fh:
-            fh.write(spans_to_csv(flat))
-        json_path = os.path.join(RESULTS_DIR, "trace_spans_x509.json")
-        with open(json_path, "w", encoding="utf-8") as fh:
-            json.dump(span_trees(SecurityMode.X509), fh, indent=2, sort_keys=True)
-
         header = open(csv_path, encoding="utf-8").readline().strip()
         assert header == "series,depth,span,started_at,ended_at,elapsed_ms,detail"
+        json_path = os.path.join(RESULTS_DIR, "trace_spans_x509.json")
         loaded = json.load(open(json_path, encoding="utf-8"))
         assert loaded["WSRF.NET"]["Get"]["name"] == "client.invoke"
         assert loaded["WSRF.NET"]["Get"]["children"][0]["name"] == "client.send"

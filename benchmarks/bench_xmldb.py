@@ -1,77 +1,37 @@
 """XMLDB — secondary-index scaling (extension; no figure in the paper).
 
-Sweeps the registry size over 10/100/1000/5000 HostInfo documents and
-contrasts the scan query path (``db_query_base + per_doc × N``) with the
-same lookup answered from a declared secondary index (O(hits)).  An
-expression no index can cover runs against the indexed collection and must
-reproduce the scan curve bit-identically — the planner's fallback
-guarantee.  Results land in ``results/xmldb_scaling.{csv,json}``.
+Thin wrapper over the ``xmldb_scaling`` experiment spec: registry sizes
+of 10/100/1000/5000 HostInfo documents, the scan query path
+(``db_query_base + per_doc × N``) against the same lookup answered from
+a declared secondary index (O(hits)), and the planner-fallback guarantee
+(an uncoverable expression reproduces the scan curve bit-identically).
+Results land in ``results/xmldb_scaling.{csv,json}``.  The result-set
+agreement between the two query paths stays pinned here.
 
 Run via pytest (wall-clock + virtual) or ``python -m repro xmldb``.
 """
 
-import json
-import os
-
 import pytest
 
-from benchmarks.conftest import record_figure
-from repro.bench.report import figure_to_csv
-from repro.bench.xmldb import (
-    PREFIXES,
-    SIZES,
-    UNINDEXABLE,
-    build_corpus,
-    host_lookup,
-    query_cost,
-    scan_cost_model,
-    xmldb_scaling_figure,
-)
+from benchmarks.conftest import record_figure, write_spec_artifacts
+from repro.bench.xmldb import PREFIXES, UNINDEXABLE, build_corpus, host_lookup, query_cost
+from repro.experiments import evaluate_invariants, run_in_memory
+from repro.experiments.registry import get_spec
 
-TITLE = "XML DB scaling: indexed query vs collection scan"
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+SPEC = get_spec("xmldb_scaling")
 
 
 @pytest.fixture(scope="module")
-def xmldb_table():
-    table = xmldb_scaling_figure()
-    record_figure(TITLE, table)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "xmldb_scaling.csv"), "w", encoding="utf-8") as fh:
-        fh.write(figure_to_csv(table))
-    with open(os.path.join(RESULTS_DIR, "xmldb_scaling.json"), "w", encoding="utf-8") as fh:
-        json.dump(table, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return table
+def record():
+    rec = run_in_memory(SPEC)
+    record_figure(SPEC.title, SPEC.figure(rec))
+    write_spec_artifacts(SPEC, rec)
+    return rec
 
 
 class TestScalingShapes:
-    def test_scan_matches_cost_model_exactly(self, xmldb_table):
-        # The scan path is charged db_query_base + per_doc × N — the pinned
-        # pre-index cost formula, reproduced at every swept size.
-        for n in SIZES:
-            assert xmldb_table["scan host lookup"][str(n)] == pytest.approx(
-                scan_cost_model(n), abs=1e-6
-            )
-
-    def test_indexed_lookup_is_flat(self, xmldb_table):
-        row = xmldb_table["indexed host lookup"]
-        values = [row[str(n)] for n in SIZES]
-        assert max(values) - min(values) < 0.5  # O(hits), not O(N)
-
-    def test_indexed_at_least_10x_cheaper_at_1000_docs(self, xmldb_table):
-        scan = xmldb_table["scan host lookup"]["1000"]
-        indexed = xmldb_table["indexed host lookup"]["1000"]
-        assert scan >= 10 * indexed
-
-    def test_unindexable_expression_reproduces_scan_curve(self, xmldb_table):
-        # Fallback guarantee: with indexes declared, an expression the
-        # planner cannot cover charges exactly what the plain scan does.
-        for n in SIZES:
-            assert (
-                xmldb_table["unindexable (falls back to scan)"][str(n)]
-                == pytest.approx(xmldb_table["scan host lookup"][str(n)], abs=1e-9)
-            )
+    def test_spec_invariants_hold(self, record):
+        assert evaluate_invariants(SPEC, record) == []
 
     def test_indexed_and_scan_agree_on_results(self):
         n = 100
@@ -84,10 +44,10 @@ class TestScalingShapes:
 
 
 class TestWallClock:
-    def test_bench_indexed_lookup_1000(self, benchmark, xmldb_table):
+    def test_bench_indexed_lookup_1000(self, benchmark, record):
         collection = build_corpus(1000, indexed=True)
         benchmark(lambda: query_cost(collection, host_lookup(1000)))
 
-    def test_bench_scan_lookup_1000(self, benchmark, xmldb_table):
+    def test_bench_scan_lookup_1000(self, benchmark, record):
         collection = build_corpus(1000, indexed=False)
         benchmark(lambda: query_cost(collection, host_lookup(1000)))

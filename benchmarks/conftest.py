@@ -17,12 +17,19 @@ def record_figure(name: str, figure: dict[str, dict[str, float]]) -> None:
     _FIGURES[name] = figure
 
 
+def write_spec_artifacts(spec, record) -> None:
+    """Write every artifact a spec renders from ``record`` under results/."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    for name, text in spec.artifacts(record).items():
+        with open(os.path.join(_RESULTS_DIR, name), "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _FIGURES:
         return
-    from repro.bench.report import figure_to_csv, format_figure_table
+    from repro.bench.report import format_figure_table, write_figure_csv
 
-    os.makedirs(_RESULTS_DIR, exist_ok=True)
     terminalreporter.write_line("")
     terminalreporter.write_line("reproduced figures (virtual ms, single request)")
     terminalreporter.write_line("-" * 72)
@@ -30,6 +37,4 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line("")
         for line in format_figure_table(name, figure).splitlines():
             terminalreporter.write_line(line)
-        safe = name.lower().replace(" ", "_").replace(":", "").replace("/", "-")
-        with open(os.path.join(_RESULTS_DIR, f"{safe}.csv"), "w", encoding="utf-8") as fh:
-            fh.write(figure_to_csv(figure))
+        write_figure_csv(_RESULTS_DIR, name, figure)

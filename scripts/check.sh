@@ -69,40 +69,27 @@ echo "== datagrid smoke =="
 # deterministic and both stacks must pick identical replica sources.
 python -m repro datagrid --smoke || status=1
 
-echo "== datagrid sweep =="
-# Regenerate the replica-staging sweep and diff against the committed
-# file; regenerate with:
-#   python -m repro datagrid --json results/BENCH_datagrid.json
-bench_tmp=$(mktemp)
-python -m repro datagrid --json "$bench_tmp" > /dev/null || status=1
-if ! diff -u results/BENCH_datagrid.json "$bench_tmp"; then
-    echo "BENCH_datagrid.json is stale (see diff above)"
-    status=1
-fi
-rm -f "$bench_tmp"
-
-echo "== loadgen trajectory =="
-# Regenerate the offered-load trajectory and diff against the committed
-# file; regenerate with:
-#   python -m repro loadgen --json results/BENCH_loadgen.json
-bench_tmp=$(mktemp)
-python -m repro loadgen --json "$bench_tmp" > /dev/null || status=1
-if ! diff -u results/BENCH_loadgen.json "$bench_tmp"; then
-    echo "BENCH_loadgen.json is stale (see diff above)"
-    status=1
-fi
-rm -f "$bench_tmp"
-
 echo "== msgperf smoke =="
 # The message-path caching gate: cached must beat uncached and virtual
 # costs must be identical in both modes (asserted inside the run).
 python -m repro msgperf --smoke || status=1
 
-echo "== msgperf trajectory =="
-# Wall-clock numbers are machine-dependent, so this is a shape check, not
-# a byte diff: structure, deterministic virtual costs and the speedup
-# floor must hold against the committed file; regenerate with:
-#   python -m repro msgperf --json results/BENCH_msgperf.json
-python -m repro msgperf --check results/BENCH_msgperf.json || status=1
+echo "== experiments smoke =="
+# Re-run the smoke subset of the declarative experiment grid and gate it
+# against the committed records in results/experiments/.
+python -m repro experiments --smoke || status=1
+
+echo "== experiments regression gate =="
+# Re-measure experiment grids and compare against the committed records:
+# exact-gate specs must match bit-identically (ordering flips, invariant
+# violations and >tolerance drift all fail); shape-gate specs (msgperf,
+# wall-clock) are checked structurally.  --check-docs additionally fails
+# when EXPERIMENTS.md is stale; regenerate with:
+#   python -m repro experiments --run all && python -m repro experiments --docs
+if [ "$soak" = 1 ]; then
+    python -m repro experiments --soak --check-docs || status=1
+else
+    python -m repro experiments --check datagrid loadgen msgperf --check-docs || status=1
+fi
 
 exit $status

@@ -4,6 +4,12 @@ With no arguments, regenerates every figure from the paper's evaluation and
 prints it as a table.  Arguments select individual figures:
 ``fig2 fig3 fig4 fig6 sweep switch reliab xmldb hello``.
 
+``python -m repro experiments`` drives the declarative experiment engine
+(see :mod:`repro.experiments.cli`): ``--list``/``--run``/``--resume``
+manage the recorded grids, ``--check``/``--smoke``/``--soak`` gate fresh
+runs against the committed records, and ``--docs``/``--check-docs``
+regenerate EXPERIMENTS.md from them.
+
 ``python -m repro conformance`` instead runs the differential dual-stack
 conformance sweep (see :mod:`repro.testkit.cli`), ``python -m repro
 loadgen`` the open-loop kernel load generator (see
@@ -72,17 +78,10 @@ def _sweep() -> None:
 
 
 def _switch() -> None:
-    from benchmarks.bench_stack_switching import _measure_ops, build_bridged_pair
+    from repro.bench.switching import switching_figure
 
-    wsrf_rig, (wxf_rig, bridged_wsrf), (wsrf_rig2, bridged_wxf), wxf_native = build_bridged_pair()
     print(format_figure_table(
-        "Stack switching: native vs bridged",
-        {
-            "native WSRF": _measure_ops(wsrf_rig.deployment, wsrf_rig.client, "destroy"),
-            "WSRF over facade": _measure_ops(wxf_rig.deployment, bridged_wsrf, "destroy"),
-            "native WS-Transfer": _measure_ops(wxf_native.deployment, wxf_native.client, "delete"),
-            "WS-Transfer over facade": _measure_ops(wsrf_rig2.deployment, bridged_wxf, "delete"),
-        },
+        "Stack switching: native vs bridged", switching_figure()
     ))
 
 
@@ -153,6 +152,10 @@ FIGURES = {
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "experiments":
+        from repro.experiments.cli import experiments_main
+
+        return experiments_main(argv[1:])
     if argv and argv[0] == "conformance":
         from repro.testkit.cli import conformance_main
 

@@ -1,0 +1,60 @@
+"""Calibration-robustness substrate — are the headline orderings
+calibration artifacts?
+
+Perturbs each load-bearing cost-model entry by ±50% and re-checks the
+paper's headline orderings.  The deliberate scope note: Create-vs-Set is
+*not* checked here because it is genuinely calibration-sensitive —
+WS-Transfer's Set pays read+update, so "Create is slowest" requires
+insert ≳ read+update, which held for Xindice but flips if insert cost is
+halved.  That sensitivity is pinned by its own bench test.
+"""
+
+from __future__ import annotations
+
+from repro.bench.hello import measure_hello_world
+from repro.container.security import SecurityMode
+from repro.sim.costs import CostModel
+
+#: The entries the headline results lean on.
+PERTURBED_ENTRIES = (
+    "db_read",
+    "db_update",
+    "db_insert",
+    "db_delete",
+    "cache_hit",
+    "notify_http_overhead",
+    "notify_tcp_overhead",
+    "rsa_sign",
+    "soap_dispatch",
+    "lan_latency",
+    "xml_parse_per_kb",
+)
+
+#: The perturbation factors swept per entry.
+PERTURBATION_FACTORS = (0.5, 1.5)
+
+
+def orderings_hold(costs: CostModel) -> list[str]:
+    """Return the list of violated headline orderings under ``costs``."""
+    wsrf = measure_hello_world("wsrf", SecurityMode.NONE, True, costs=costs)
+    transfer = measure_hello_world("transfer", SecurityMode.NONE, True, costs=costs)
+    violations = []
+    for series, label in ((wsrf, "wsrf"), (transfer, "transfer")):
+        for op in ("Get", "Destroy"):
+            if series["Create"] <= series[op]:
+                violations.append(f"{label}: Create <= {op}")
+    if wsrf["Set"] >= transfer["Set"]:
+        violations.append("cache advantage lost")
+    if transfer["Notify"] >= wsrf["Notify"]:
+        violations.append("notify advantage lost")
+    return violations
+
+
+def perturbation_row(entry: str) -> dict[str, float]:
+    """Violation counts for one perturbed cost entry at each factor."""
+    base = CostModel()
+    row: dict[str, float] = {}
+    for factor in PERTURBATION_FACTORS:
+        perturbed = base.replace(**{entry: getattr(base, entry) * factor})
+        row[f"x{factor}"] = float(len(orderings_hold(perturbed)))
+    return row

@@ -2,6 +2,33 @@
 
 from __future__ import annotations
 
+import os
+import re
+
+
+def slugify(title: str) -> str:
+    """A filesystem-safe slug for figure titles and cell ids.
+
+    Lowercases and collapses every non-alphanumeric run to a single
+    underscore, so ``Figure 2: Hello World, no security`` becomes
+    ``figure_2_hello_world_no_security`` — no commas, parens or section
+    marks in generated filenames.
+    """
+    return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+
+
+def write_figure_csv(results_dir: str, title: str, figure: dict[str, dict[str, float]]) -> str:
+    """Write one figure's CSV under ``results_dir``; returns the path.
+
+    The single writer both the benchmark conftest and the experiment
+    engine go through, so the bytes cannot disagree.
+    """
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{slugify(title)}.csv")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(figure_to_csv(figure))
+    return path
+
 
 def format_figure_table(
     title: str, figure: dict[str, dict[str, float]], unit: str = "ms"
@@ -41,6 +68,32 @@ def figure_to_csv(figure: dict[str, dict[str, float]]) -> str:
         ]
         lines.append(",".join(cells))
     return "\n".join(lines) + "\n"
+
+
+def figure_to_markdown(
+    figure: dict[str, dict[str, float]], row_header: str = "series"
+) -> str:
+    """Render a figure as a GitHub-flavored markdown table (for the
+    generated EXPERIMENTS.md)."""
+    ops: list[str] = []
+    for series in figure.values():
+        for op in series:
+            if op not in ops:
+                ops.append(op)
+    lines = [
+        "| " + " | ".join([row_header] + ops) + " |",
+        "|" + "---|" * (len(ops) + 1),
+    ]
+    for label, series in figure.items():
+        cells = [label]
+        for op in ops:
+            value = series.get(op)
+            if value is None:
+                cells.append("-")
+            else:
+                cells.append(f"{value:.3f}".rstrip("0").rstrip(".") or "0")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
 
 
 def format_span_tree(root, unit: str = "ms") -> str:

@@ -1,0 +1,142 @@
+"""Engine determinism, checkpointing and resume semantics."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    EngineError,
+    ExperimentEngine,
+    GridIncomplete,
+    run_in_memory,
+)
+from tests.experiments.conftest import CountingMeasure, make_toy_spec
+
+
+class TestGridExecution:
+    def test_grid_runs_in_declared_order(self, tmp_path):
+        measure = CountingMeasure()
+        spec = make_toy_spec(measure=measure)
+        record = ExperimentEngine(str(tmp_path)).run(spec)
+        assert [cell.cell_id for cell in record.cells] == [
+            "mode=none,stack=wsrf",
+            "mode=none,stack=transfer",
+            "mode=x509,stack=wsrf",
+            "mode=x509,stack=transfer",
+        ]
+        assert measure.calls == [cell.params for cell in record.cells]
+
+    def test_cell_seeds_derive_from_base_seed(self, tmp_path):
+        spec = make_toy_spec(seed=0)
+        reseeded = make_toy_spec(seed=7)
+        for cell in run_in_memory(spec).cells:
+            assert cell.seed == spec.cell_seed(cell.cell_id)
+        assert [c.seed for c in run_in_memory(spec).cells] != [
+            c.seed for c in run_in_memory(reseeded).cells
+        ]
+
+    def test_non_dict_measurement_is_an_error(self):
+        spec = make_toy_spec(measure=lambda params, seed: 42.0)
+        with pytest.raises(EngineError, match="expected dict"):
+            run_in_memory(spec)
+
+
+class TestDeterminism:
+    def test_two_full_runs_are_bit_identical(self, tmp_path):
+        spec = make_toy_spec()
+        first = ExperimentEngine(str(tmp_path / "a")).run(spec)
+        second = ExperimentEngine(str(tmp_path / "b")).run(spec)
+        assert first.dumps() == second.dumps()
+
+    def test_persisted_record_matches_in_memory_run(self, tmp_path):
+        spec = make_toy_spec()
+        engine = ExperimentEngine(str(tmp_path))
+        engine.run(spec)
+        assert engine.load_record(spec.name).dumps() == run_in_memory(spec).dumps()
+
+    def test_artifacts_written_from_record(self, tmp_path):
+        spec = make_toy_spec()
+        engine = ExperimentEngine(str(tmp_path))
+        record = engine.run(spec)
+        for name, text in spec.artifacts(record).items():
+            with open(tmp_path / name, encoding="utf-8") as fh:
+                assert fh.read() == text
+
+
+class TestResume:
+    def test_kill_after_n_cells_then_resume_is_bit_identical(self, tmp_path):
+        reference = run_in_memory(make_toy_spec())
+        measure = CountingMeasure()
+        spec = make_toy_spec(measure=measure)
+        engine = ExperimentEngine(str(tmp_path))
+        with pytest.raises(GridIncomplete) as excinfo:
+            engine.run(spec, max_cells=2)
+        assert len(excinfo.value.completed) == 2
+        assert len(measure.calls) == 2
+        # The resumed run measures only the remaining cells...
+        record = engine.run(spec, resume=True)
+        assert len(measure.calls) == 4
+        assert engine.last_stats.resumed == 2
+        assert engine.last_stats.measured == 2
+        # ...and completes the grid bit-identically to an uninterrupted run.
+        assert record.dumps() == reference.dumps()
+
+    def test_full_resume_re_measures_nothing(self, tmp_path):
+        measure = CountingMeasure()
+        spec = make_toy_spec(measure=measure)
+        engine = ExperimentEngine(str(tmp_path))
+        first = engine.run(spec)
+        calls_after_first = len(measure.calls)
+        second = engine.run(spec, resume=True)
+        assert len(measure.calls) == calls_after_first
+        assert engine.last_stats.resumed == 4
+        assert second.dumps() == first.dumps()
+
+    def test_changed_fingerprint_invalidates_checkpoints(self, tmp_path):
+        engine = ExperimentEngine(str(tmp_path))
+        engine.run(make_toy_spec(seed=0))
+        measure = CountingMeasure()
+        reseeded = make_toy_spec(seed=1, measure=measure)
+        assert reseeded.fingerprint() != make_toy_spec(seed=0).fingerprint()
+        engine.run(reseeded, resume=True)
+        # Same cell filenames on disk, but the stale fingerprint forces a
+        # full re-measure rather than silently mixing two contracts.
+        assert len(measure.calls) == 4
+        assert engine.last_stats.resumed == 0
+
+    def test_torn_checkpoint_is_re_measured(self, tmp_path):
+        engine = ExperimentEngine(str(tmp_path))
+        spec = make_toy_spec()
+        record = engine.run(spec)
+        torn = engine.checkpoint_path(spec, record.cells[1].cell_id)
+        with open(torn, "w", encoding="utf-8") as fh:
+            fh.write('{"fingerprint": "truncated')
+        measure = CountingMeasure()
+        respec = make_toy_spec(measure=measure)
+        resumed = engine.run(respec, resume=True)
+        assert [c["stack"] for c in measure.calls] == ["transfer"]
+        assert resumed.dumps() == record.dumps()
+
+    def test_checkpoint_files_are_canonical_json(self, tmp_path):
+        engine = ExperimentEngine(str(tmp_path))
+        spec = make_toy_spec()
+        engine.run(spec)
+        directory = engine.checkpoint_dir(spec.name)
+        names = sorted(os.listdir(directory))
+        assert len(names) == 4
+        for name in names:
+            with open(os.path.join(directory, name), encoding="utf-8") as fh:
+                payload = json.load(fh)
+            assert payload["fingerprint"] == spec.fingerprint()
+
+    def test_clear_checkpoints(self, tmp_path):
+        engine = ExperimentEngine(str(tmp_path))
+        spec = make_toy_spec()
+        engine.run(spec)
+        engine.clear_checkpoints(spec)
+        assert os.listdir(engine.checkpoint_dir(spec.name)) == []
+
+    def test_missing_record_error_names_the_run_command(self, tmp_path):
+        with pytest.raises(EngineError, match="--run toy"):
+            ExperimentEngine(str(tmp_path)).load_record("toy")

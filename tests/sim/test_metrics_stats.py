@@ -1,8 +1,14 @@
 """Percentile / sample-set / queue-depth math (the loadgen's statistics)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim import QueueDepthMeter, SampleSet, merge_sample_sets, percentile
+
+_samples = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
 
 
 class TestPercentile:
@@ -36,6 +42,19 @@ class TestPercentile:
             percentile([1.0], 101)
         with pytest.raises(ValueError):
             percentile([1.0], -1)
+
+    @given(samples=_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_p0_and_p100_are_the_extremes(self, samples):
+        assert percentile(samples, 0) == min(samples)
+        assert percentile(samples, 100) == max(samples)
+
+    @given(samples=_samples, lo=st.integers(0, 100), hi=st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_p_and_bounded(self, samples, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        assert percentile(samples, lo) <= percentile(samples, hi)
+        assert min(samples) <= percentile(samples, lo) <= max(samples)
 
 
 class TestSampleSet:
@@ -92,6 +111,20 @@ class TestSampleSet:
         assert merged.count == 5
         assert merged.samples() == [1.0, 2.0, 3.0, 4.0, 5.0]  # sorted-name order
 
+    def test_merge_with_empty_is_identity(self):
+        host = SampleSet([3.0, 1.0])
+        assert host.merge(SampleSet()).samples() == host.samples()
+        assert SampleSet().merge(host).samples() == host.samples()
+
+    @given(a=_samples, b=_samples, c=_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative_on_the_pooled_data(self, a, b, c):
+        left = SampleSet(a).merge(SampleSet(b)).merge(SampleSet(c))
+        right = SampleSet(a).merge(SampleSet(b).merge(SampleSet(c)))
+        assert left.samples() == right.samples()
+        for p in (0, 50, 95, 100):
+            assert left.percentile(p) == right.percentile(p)
+
 
 class TestQueueDepthMeter:
     def test_tracks_high_water_mark(self):
@@ -131,3 +164,27 @@ class TestQueueDepthMeter:
         meter.record(50.0, 1)
         with pytest.raises(ValueError):
             meter.time_weighted_mean(until=10.0)
+
+    def test_zero_duration_window_reports_instantaneous_depth(self):
+        # until == the first (and only) transition: the window is empty,
+        # so the mean degrades to the current depth instead of 0/0.
+        meter = QueueDepthMeter()
+        meter.record(50.0, 3)
+        assert meter.time_weighted_mean(until=50.0) == 3.0
+
+    def test_simultaneous_transitions_contribute_no_width(self):
+        # Two transitions at the same instant: the first holds for zero
+        # time and must not leak into the integral.
+        meter = QueueDepthMeter()
+        meter.record(0.0, 100)
+        meter.record(0.0, 2)
+        assert meter.max_depth == 100
+        assert meter.time_weighted_mean(until=10.0) == pytest.approx(2.0)
+
+    def test_zero_width_spike_mid_run_is_invisible_to_the_mean(self):
+        meter = QueueDepthMeter()
+        meter.record(0.0, 1)
+        meter.record(5.0, 50)   # spike...
+        meter.record(5.0, 1)    # ...gone within the same instant
+        assert meter.time_weighted_mean(until=10.0) == pytest.approx(1.0)
+        assert meter.max_depth == 50
